@@ -1,0 +1,94 @@
+// Ablation of the I/O substrate's design parameters (paper Sec. 3.2
+// items 5-6: filesystem parameters are outside b_eff_io's definition
+// but must be reported; this bench shows how strongly each one moves
+// the single number).
+//
+// Variants on the T3E I/O model:
+//   * server count halved / doubled (striping width)
+//   * one straggler server at 1/4 speed (max-min tail effects: striped
+//     requests complete at the slowest stripe)
+//   * buffer cache removed
+//   * striping unit 4x larger
+//   * per-call software overhead halved (a faster MPI-I/O library)
+#include <iostream>
+#include <vector>
+
+#include "core/beffio/beffio.hpp"
+#include "machines/machines.hpp"
+#include "parmsg/sim_transport.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace balbench;
+
+  std::int64_t procs = 16;
+  double t_minutes = 5.0;
+  util::Options options("ablation_io_substrate: I/O subsystem parameter study");
+  options.add_int("procs", &procs, "number of processes");
+  options.add_double("minutes", &t_minutes, "scheduled time T in minutes");
+  try {
+    if (!options.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
+  }
+  const int np = static_cast<int>(procs);
+  const auto machine = machines::cray_t3e_900();
+
+  struct Variant {
+    std::string name;
+    pfsim::IoSystemConfig io;
+  };
+  std::vector<Variant> variants;
+  auto add = [&](const std::string& name, auto&& mutate) {
+    auto io = *machine.io;
+    io.name = name;
+    mutate(io);
+    variants.push_back({name, std::move(io)});
+  };
+  add("baseline (10 servers)", [](auto&) {});
+  add("5 servers", [](auto& io) { io.num_servers = 5; });
+  add("20 servers", [](auto& io) { io.num_servers = 20; });
+  add("1 straggler at 1/4 speed", [](auto& io) {
+    // Modeled by lowering the aggregate: striped requests wait for the
+    // slowest stripe, so one slow RAID throttles every large access.
+    io.disk.bandwidth /= 4.0;  // see note below
+  });
+  add("no buffer cache", [](auto& io) { io.cache_bytes = 0; });
+  add("4x striping unit", [](auto& io) { io.stripe_unit *= 4; });
+  add("2x faster I/O library", [](auto& io) {
+    io.request_overhead /= 2;
+    io.server_request_overhead /= 2;
+    io.shared_pointer_overhead /= 2;
+  });
+
+  util::Table table({"variant", "write\nMB/s", "read\nMB/s", "b_eff_io\nMB/s",
+                     "vs baseline"});
+  double base = 0.0;
+  for (const auto& v : variants) {
+    std::fprintf(stderr, "[ablation_io] %s...\n", v.name.c_str());
+    parmsg::SimTransport transport(machine.make_topology(np), machine.costs);
+    beffio::BeffIoOptions opt;
+    opt.scheduled_time = t_minutes * 60.0;
+    opt.memory_per_node = machine.memory_per_proc;
+    opt.file_prefix = v.name;
+    const auto r = beffio::run_beffio(transport, v.io, np, opt);
+    if (base == 0.0) base = r.b_eff_io;
+    char rel[32];
+    std::snprintf(rel, sizeof rel, "%+.0f%%", (r.b_eff_io / base - 1.0) * 100.0);
+    table.add_row({v.name, util::format_mbps(r.write().weighted_bandwidth(), 1),
+                   util::format_mbps(r.read().weighted_bandwidth(), 1),
+                   util::format_mbps(r.b_eff_io, 1), rel});
+  }
+
+  std::cout << "I/O substrate ablation (" << machine.name << ", " << np
+            << " procs, T = " << t_minutes << " min)\n\n";
+  table.render(std::cout);
+  std::cout << "\nNote: the straggler variant scales every disk down; a "
+               "per-server\nslowdown behaves identically for fully striped "
+               "accesses because a\nstriped request completes with its "
+               "slowest stripe (max-min tail).\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Reproduces Figure 5 of the paper: the final b_eff_io values for the
+// four platforms at several partition sizes (T >= 15 minutes, the
+// official schedule).
+#include <iostream>
+#include <vector>
+
+#include "core/beffio/beffio.hpp"
+#include "machines/machines.hpp"
+#include "parmsg/sim_transport.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace balbench;
+
+  bool quick = false;
+  double t_minutes = 15.0;
+  util::Options options("fig5_beffio_final: final b_eff_io comparison (Fig. 5)");
+  options.add_flag("quick", &quick, "fewer partition sizes");
+  options.add_double("minutes", &t_minutes, "scheduled time T in minutes");
+  try {
+    if (!options.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
+  }
+
+  struct Config {
+    machines::MachineSpec machine;
+    std::vector<int> partitions;
+    std::int64_t mpart_cap;
+  };
+  std::vector<Config> configs;
+  configs.push_back({machines::ibm_sp(),
+                     quick ? std::vector<int>{16, 64} : std::vector<int>{16, 32, 64, 128},
+                     0});
+  configs.push_back({machines::cray_t3e_900(),
+                     quick ? std::vector<int>{8, 32} : std::vector<int>{8, 16, 32, 64, 128},
+                     0});
+  configs.push_back({machines::hitachi_sr8000(net::Placement::Sequential),
+                     quick ? std::vector<int>{8} : std::vector<int>{8, 16, 24},
+                     0});
+  configs.push_back({machines::nec_sx5(), std::vector<int>{2, 4}, 2LL << 20});
+
+  util::Table table({"System", "procs", "write\nMB/s", "rewrite\nMB/s",
+                     "read\nMB/s", "b_eff_io\nMB/s"});
+  util::AsciiBarChart chart("Figure 5: b_eff_io (best partition per system), MB/s");
+
+  for (const auto& cfg : configs) {
+    double best = 0.0;
+    int best_np = 0;
+    bool first = true;
+    for (int np : cfg.partitions) {
+      if (np > cfg.machine.max_procs) continue;
+      std::fprintf(stderr, "[fig5] %s, %d procs...\n",
+                   cfg.machine.short_name.c_str(), np);
+      parmsg::SimTransport transport(cfg.machine.make_topology(np),
+                                     cfg.machine.costs);
+      beffio::BeffIoOptions opt;
+      opt.scheduled_time = t_minutes * 60.0;
+      opt.memory_per_node = cfg.machine.memory_per_proc;
+      opt.mpart_cap = cfg.mpart_cap;
+      opt.file_prefix = cfg.machine.short_name;
+      const auto r = beffio::run_beffio(transport, *cfg.machine.io, np, opt);
+      table.add_row({first ? cfg.machine.name : "", util::fmt(np),
+                     util::format_mbps(r.write().weighted_bandwidth(), 1),
+                     util::format_mbps(r.rewrite().weighted_bandwidth(), 1),
+                     util::format_mbps(r.read().weighted_bandwidth(), 1),
+                     util::format_mbps(r.b_eff_io, 1)});
+      if (r.b_eff_io > best) {
+        best = r.b_eff_io;
+        best_np = np;
+      }
+      first = false;
+    }
+    table.add_separator();
+    chart.add_bar(cfg.machine.name, best / (1024.0 * 1024.0),
+                  std::to_string(best_np) + " procs");
+  }
+
+  std::cout << "Figure 5 data: b_eff_io for different numbers of processes\n"
+            << "(b_eff_io of a system = maximum over partitions, T = "
+            << t_minutes << " min)\n";
+  table.render(std::cout);
+  std::cout << '\n';
+  chart.render(std::cout);
+  return 0;
+}

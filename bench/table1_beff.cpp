@@ -1,0 +1,116 @@
+// Reproduces Table 1 of the paper: "Effective Benchmark Results".
+//
+// For every system (and the paper's process counts) it runs the full
+// b_eff benchmark on the simulated machine and prints the table
+// columns: b_eff, b_eff per proc, L_max, ping-pong bandwidth, b_eff at
+// L_max, per proc at L_max, and per proc at L_max over ring patterns
+// only.  Also prints the paper's Sec. 2.2 "coffee-cup" statistic
+// (seconds to communicate the total memory).
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/beff/beff.hpp"
+#include "machines/machines.hpp"
+#include "parmsg/sim_transport.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace balbench;
+
+struct Row {
+  machines::MachineSpec machine;
+  std::vector<int> proc_counts;
+};
+
+beff::BeffResult run_config(const machines::MachineSpec& m, int nprocs,
+                            bool analysis) {
+  parmsg::SimTransport transport(m.make_topology(nprocs), m.costs);
+  beff::BeffOptions opt;
+  opt.memory_per_proc = m.memory_per_proc;
+  opt.measure_analysis = analysis;
+  return beff::run_beff(transport, nprocs, opt);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool protocol = false;
+  std::string only;
+  util::Options options(
+      "table1_beff: reproduce Table 1 (effective bandwidth results)");
+  options.add_flag("quick", &quick, "skip the largest T3E configurations");
+  options.add_flag("protocol", &protocol, "print the full b_eff protocol per run");
+  options.add_string("machine", &only, "run a single machine (short name)");
+  try {
+    if (!options.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
+  }
+
+  std::vector<Row> rows;
+  rows.push_back({machines::cray_t3e_900(),
+                  quick ? std::vector<int>{64, 24, 2}
+                        : std::vector<int>{512, 256, 128, 64, 24, 2}});
+  rows.push_back({machines::hitachi_sr8000(net::Placement::RoundRobin), {128, 24}});
+  rows.push_back({machines::hitachi_sr8000(net::Placement::Sequential), {24}});
+  rows.push_back({machines::hitachi_sr2201(), {16}});
+  rows.push_back({machines::nec_sx5(), {4}});
+  rows.push_back({machines::nec_sx4(), {16, 8, 4}});
+  rows.push_back({machines::hp_v9000(), {7}});
+  rows.push_back({machines::sgi_sv1(), {15}});
+
+  util::Table table({"System", "number\nof pro-\ncessors", "b_eff\nMByte/s",
+                     "b_eff\nper proc.\nMByte/s", "Lmax", "ping-\npong\nMByte/s",
+                     "b_eff\nat Lmax\nMByte/s", "per proc.\nat Lmax\nMByte/s",
+                     "per proc.\nat Lmax\nring pat."});
+  bool section_dist = false;
+  bool section_shared = false;
+
+  for (const auto& row : rows) {
+    if (!only.empty() && row.machine.short_name != only) continue;
+    if (!row.machine.shared_memory && !section_dist) {
+      table.add_section("Distributed memory systems");
+      section_dist = true;
+    }
+    if (row.machine.shared_memory && !section_shared) {
+      table.add_section("Shared memory systems");
+      section_shared = true;
+    }
+    bool first = true;
+    for (int np : row.proc_counts) {
+      std::fprintf(stderr, "[table1] %s, %d procs...\n",
+                   row.machine.name.c_str(), np);
+      const auto r = run_config(row.machine, np, /*analysis=*/first);
+      table.add_row({first ? row.machine.name : "", util::fmt(np),
+                     util::format_mbps(r.b_eff),
+                     util::format_mbps(r.per_proc()),
+                     util::format_bytes(r.lmax),
+                     first && r.analysis.pingpong_bw > 0
+                         ? util::format_mbps(r.analysis.pingpong_bw)
+                         : "",
+                     util::format_mbps(r.b_eff_at_lmax),
+                     util::format_mbps(r.per_proc_at_lmax()),
+                     util::format_mbps(r.per_proc_at_lmax_rings())});
+      if (first && (np >= 24)) {
+        // Coffee-cup statistic (paper Sec. 2.2): total memory over b_eff.
+        std::fprintf(stderr,
+                     "[table1]   total memory communicated in %s (coffee-cup)\n",
+                     util::format_seconds(
+                         r.seconds_for_total_memory(row.machine.memory_per_proc))
+                         .c_str());
+      }
+      if (protocol) std::cout << beff::protocol_report(r) << '\n';
+      first = false;
+    }
+  }
+
+  std::cout << "Table 1. Effective Benchmark Results (simulated)\n";
+  table.render(std::cout);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Reproduces Table 2 / Figure 2 of the paper: the b_eff_io access
+// patterns -- pattern types, chunk sizes l, memory sizes L, and time
+// units U -- for a given M_PART.
+#include <iostream>
+
+#include "core/beffio/pattern_table.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace balbench;
+
+  std::int64_t memory = 256LL << 20;
+  std::int64_t mpart_cap = 0;
+  util::Options options("table2_patterns: the b_eff_io pattern table (Table 2)");
+  options.add_int("memory", &memory, "memory of one node in bytes (fixes M_PART)");
+  options.add_int("mpart-cap", &mpart_cap, "cap on M_PART in bytes (0 = none)");
+  try {
+    if (!options.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
+  }
+
+  const auto mpart = beffio::mpart_for_memory(memory);
+  const auto table = beffio::pattern_table(mpart, mpart_cap);
+
+  std::cout << "Table 2. The pattern details used in b_eff_io\n";
+  std::cout << "M_PART = max(2 MB, memory/128) = " << util::format_bytes(mpart)
+            << " for " << util::format_bytes(memory) << " of node memory\n\n";
+
+  util::Table t({"Pattern Type", "No.", "l", "L", "U", "wellformed"});
+  int last_type = -1;
+  for (const auto& p : table) {
+    const int ty = static_cast<int>(p.type);
+    if (ty != last_type && last_type >= 0) t.add_separator();
+    t.add_row({ty != last_type ? beffio::pattern_type_name(p.type) : "",
+               util::fmt(p.number),
+               p.fill_up ? "fill up segment" : util::format_chunk_label(p.l),
+               p.fill_up ? ":=l" : util::format_chunk_label(p.L),
+               util::fmt(p.time_units),
+               p.fill_up ? "" : (p.wellformed() ? "yes" : "no")});
+    last_type = ty;
+  }
+  t.render(std::cout);
+  std::cout << "\nSum of time units U = " << beffio::total_time_units(table)
+            << " (paper: 64); patterns: " << table.size() << '\n';
+  std::cout << "Each pattern runs for T/3 * U/" << beffio::total_time_units(table)
+            << " of the scheduled time T per access method.\n";
+
+  // Figure 2: the data transfer patterns, for three processes.
+  std::cout << R"(
+Figure 2. Data transfer patterns used in b_eff_io (3 processes P0..P2)
+
+  type 0 "scatter"            type 1 "shared"         type 2 "separated"
+  collective, strided view    collective, shared ptr  non-collective
+  memory: [P0: LLLL]          each call one chunk     one file per process
+  file:   |0|1|2|0|1|2|...    file: |0|1|2|0|1|2|..   file0: |0|0|0|0|...
+          l-sized chunks,           order by shared   file1: |1|1|1|1|...
+          round robin               file pointer      file2: |2|2|2|2|...
+
+  type 3 "segmented" (non-collective)   type 4 "segmented" (collective)
+  file: |000...0|111...1|222...2|       same layout, collective calls
+         seg P0   seg P1   seg P2       (one L_SEG segment per process)
+)";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// The paper's Sec. 6 plan: "It is planned to use both benchmarks in
+// the Top Clusters list."  This bench produces such a list for the
+// simulated machine park: every system is ranked by b_eff, with
+// b_eff_io and the balance factor alongside -- the three numbers the
+// paper argues a balanced-architecture ranking needs.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "core/beff/beff.hpp"
+#include "core/beffio/beffio.hpp"
+#include "machines/machines.hpp"
+#include "parmsg/sim_transport.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace balbench;
+
+  bool quick = false;
+  util::Options options("topclusters_list: rank all systems by b_eff / b_eff_io");
+  options.add_flag("quick", &quick, "smaller partitions");
+  try {
+    if (!options.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
+  }
+
+  struct Entry {
+    std::string name;
+    int procs;
+    double beff;
+    double beffio;  // 0 when the machine has no I/O model
+    double balance;
+  };
+  std::vector<Entry> entries;
+
+  for (const auto& m : machines::all_machines()) {
+    if (m.short_name == "sr8000rr") continue;  // same hardware as sr8000
+    const int np = std::min(m.max_procs, quick ? 16 : 64);
+    std::fprintf(stderr, "[topclusters] %s (%d procs)...\n", m.name.c_str(), np);
+    parmsg::SimTransport t(m.make_topology(np), m.costs);
+    beff::BeffOptions opt;
+    opt.memory_per_proc = m.memory_per_proc;
+    opt.measure_analysis = false;
+    const auto rb = beff::run_beff(t, np, opt);
+
+    double io_bw = 0.0;
+    if (m.io.has_value()) {
+      parmsg::SimTransport t2(m.make_topology(np), m.costs);
+      beffio::BeffIoOptions io_opt;
+      io_opt.scheduled_time = quick ? 60.0 : 300.0;
+      io_opt.memory_per_node = m.memory_per_proc;
+      io_opt.file_prefix = m.short_name;
+      io_bw = beffio::run_beffio(t2, *m.io, np, io_opt).b_eff_io;
+    }
+    entries.push_back({m.name, np, rb.b_eff, io_bw,
+                       rb.b_eff / (m.rmax_gflops_per_proc * 1e9 * np)});
+  }
+
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.beff > b.beff; });
+
+  util::Table table({"#", "System", "procs", "b_eff\nMB/s", "b_eff_io\nMB/s",
+                     "balance\nbytes/flop"});
+  int rank = 1;
+  for (const auto& e : entries) {
+    table.add_row({util::fmt(rank++), e.name, util::fmt(e.procs),
+                   util::format_mbps(e.beff),
+                   e.beffio > 0 ? util::format_mbps(e.beffio, 1) : "-",
+                   util::fmt(e.balance, 3)});
+  }
+  std::cout << "Top Clusters list (simulated park; paper Sec. 6 proposal)\n\n";
+  table.render(std::cout);
+  std::cout << "\nA communication ranking alone would hide both the I/O story\n"
+               "(column 5) and the balance story (column 6) -- the paper's\n"
+               "argument for characterizing *balanced* architectures.\n";
+  return 0;
+}

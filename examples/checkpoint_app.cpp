@@ -1,0 +1,162 @@
+// A complete simulated application on top of every layer of the stack:
+// a 2-D Jacobi-style stencil solver that computes, halo-exchanges over
+// parmsg, and periodically checkpoints its state through pario -- the
+// application pattern behind the paper's *coffee-cup rule* ("a running
+// application using most of the available memory should be able to
+// perform its I/O needs by writing out approximately 1/2 of this
+// memory during the 5 minutes it takes ... to get a cup of coffee").
+//
+// The example reports the compute : communication : checkpoint time
+// split and checks the machine against the coffee-cup rule.
+#include <cmath>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "machines/machines.hpp"
+#include "pario/file.hpp"
+#include "parmsg/cart.hpp"
+#include "parmsg/sim_transport.hpp"
+#include "simt/trace.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace balbench;
+
+struct Split {
+  double compute = 0.0;
+  double halo = 0.0;
+  double checkpoint = 0.0;
+};
+
+Split run_app(const machines::MachineSpec& m, int np, int steps,
+              int checkpoint_every, double flops_per_cell,
+              const std::shared_ptr<simt::Tracer>& tracer) {
+  parmsg::SimTransport transport(m.make_topology(np), m.costs);
+  transport.set_tracer(tracer);
+  std::unique_ptr<pario::IoContext> io;
+  Split split;
+
+  // Per-rank state: half the node memory, as the coffee-cup rule assumes.
+  const std::int64_t state_bytes = m.memory_per_proc / 2;
+  const auto dims = parmsg::dims_create(np, 2);
+  // Halo size: one row/column of an NxN double grid holding the state.
+  const auto n = static_cast<std::int64_t>(
+      std::sqrt(static_cast<double>(state_bytes) / sizeof(double)));
+  const std::int64_t halo_bytes = n * static_cast<std::int64_t>(sizeof(double));
+
+  transport.run_with_setup(
+      np,
+      [&](simt::Engine& eng) {
+        io = std::make_unique<pario::IoContext>(eng, *m.io, np);
+      },
+      [&](parmsg::Comm& c) {
+        const double flop_rate = m.rmax_gflops_per_proc * 1e9;
+        const double t_compute = static_cast<double>(n) * static_cast<double>(n) *
+                                 flops_per_cell / flop_rate;
+        double t0 = c.wtime();
+        double compute = 0.0;
+        double halo = 0.0;
+        double checkpoint = 0.0;
+        for (int step = 1; step <= steps; ++step) {
+          // Compute phase: CPU-busy virtual time.
+          c.advance(t_compute);
+          compute += c.wtime() - t0;
+          t0 = c.wtime();
+
+          // Halo exchange along both grid dimensions.
+          for (int d = 0; d < 2; ++d) {
+            const auto s = parmsg::cart_shift(c.rank(), dims, d);
+            c.sendrecv(s.dest, nullptr, static_cast<std::size_t>(halo_bytes), d,
+                       s.source, nullptr, static_cast<std::size_t>(halo_bytes), d);
+            c.sendrecv(s.source, nullptr, static_cast<std::size_t>(halo_bytes),
+                       2 + d, s.dest, nullptr, static_cast<std::size_t>(halo_bytes),
+                       2 + d);
+          }
+          halo += c.wtime() - t0;
+          t0 = c.wtime();
+
+          // Checkpoint: every rank dumps its state segment collectively.
+          if (step % checkpoint_every == 0) {
+            auto f = pario::File::open(c, *io, "checkpoint",
+                                       pario::OpenMode::Create);
+            f.write_at_all(c.rank() * state_bytes, state_bytes,
+                           /*chunks=*/std::max<std::int64_t>(1, state_bytes / (8 << 20)));
+            f.sync();
+            f.close();
+            checkpoint += c.wtime() - t0;
+            t0 = c.wtime();
+          }
+        }
+        if (c.rank() == 0) split = {compute, halo, checkpoint};
+      });
+  return split;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::int64_t procs = 16;
+  std::int64_t steps = 20;
+  std::int64_t every = 10;
+  double flops_per_cell = 500.0;
+  bool trace = false;
+  std::string machine = "t3e";
+  util::Options options(
+      "checkpoint_app: stencil solver with halo exchange and checkpoints");
+  options.add_string("machine", &machine, "machine with an I/O model (t3e sp sr8000 sx5)");
+  options.add_int("procs", &procs, "number of processes");
+  options.add_int("steps", &steps, "time steps");
+  options.add_int("checkpoint-every", &every, "steps between checkpoints");
+  options.add_double("flops-per-cell", &flops_per_cell, "work per grid cell per step");
+  options.add_flag("trace", &trace, "render a per-rank virtual-time timeline");
+  try {
+    if (!options.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
+  }
+
+  const auto m = machines::machine_by_name(machine);
+  if (!m.io.has_value()) {
+    std::cerr << machine << " has no I/O model; use t3e, sp, sr8000 or sx5\n";
+    return 2;
+  }
+  const int np = static_cast<int>(std::min<std::int64_t>(procs, m.max_procs));
+  std::fprintf(stderr, "[checkpoint_app] %s, %d procs, %lld steps...\n",
+               m.name.c_str(), np, static_cast<long long>(steps));
+
+  auto tracer = trace ? std::make_shared<simt::Tracer>() : nullptr;
+  const auto split = run_app(m, np, static_cast<int>(steps),
+                             static_cast<int>(every), flops_per_cell, tracer);
+  const double total = split.compute + split.halo + split.checkpoint;
+
+  std::cout << "application time split on " << m.name << " (" << np
+            << " procs, state = mem/2 per rank):\n";
+  util::Table t({"phase", "virtual time", "share"});
+  auto row = [&](const char* name, double v) {
+    char pct[16];
+    std::snprintf(pct, sizeof pct, "%.1f%%", 100.0 * v / total);
+    t.add_row({name, util::format_seconds(v), pct});
+  };
+  row("compute", split.compute);
+  row("halo exchange", split.halo);
+  row("checkpoint I/O", split.checkpoint);
+  t.render(std::cout);
+
+  // Coffee-cup check: one checkpoint (half the memory) in <= 5 min?
+  const int ncheckpoints = static_cast<int>(steps / every);
+  const double per_checkpoint = split.checkpoint / std::max(1, ncheckpoints);
+  std::cout << "\none checkpoint (1/2 of memory) takes "
+            << util::format_seconds(per_checkpoint) << " -> "
+            << (per_checkpoint <= 300.0 ? "PASSES" : "FAILS")
+            << " the paper's coffee-cup rule (<= 5 min)\n";
+  if (tracer) {
+    std::cout << '\n';
+    tracer->render_timeline(std::cout, 72, 8);
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// SKaMPI-style comparison-page workflow (paper Sec. 6): run the same
+// benchmark on two machines, export machine-readable summaries, and
+// render an aligned ratio table.
+//
+//   $ ./examples/compare_machines --a t3e --b sr8000 --procs 24
+//
+// Also writes the full per-measurement CSV protocols next to the
+// summaries when --csv-dir is given.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/beff/beff.hpp"
+#include "core/report/export.hpp"
+#include "machines/machines.hpp"
+#include "parmsg/sim_transport.hpp"
+#include "util/options.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace balbench;
+
+beff::BeffResult run(const machines::MachineSpec& m, int procs) {
+  const int np = std::min(procs, m.max_procs);
+  parmsg::SimTransport t(m.make_topology(np), m.costs);
+  beff::BeffOptions opt;
+  opt.memory_per_proc = m.memory_per_proc;
+  return beff::run_beff(t, np, opt);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string a = "t3e";
+  std::string b = "sr8000";
+  std::int64_t procs = 24;
+  std::string csv_dir;
+  util::Options options("compare_machines: aligned b_eff comparison of two systems");
+  options.add_string("a", &a, "first machine short name");
+  options.add_string("b", &b, "second machine short name");
+  options.add_int("procs", &procs, "process count (clamped per machine)");
+  options.add_string("csv-dir", &csv_dir, "directory for full CSV protocols");
+  try {
+    if (!options.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
+  }
+
+  const auto ma = machines::machine_by_name(a);
+  const auto mb = machines::machine_by_name(b);
+  std::fprintf(stderr, "[compare] running %s...\n", ma.name.c_str());
+  const auto ra = run(ma, static_cast<int>(procs));
+  std::fprintf(stderr, "[compare] running %s...\n", mb.name.c_str());
+  const auto rb = run(mb, static_cast<int>(procs));
+
+  std::ostringstream sa;
+  std::ostringstream sb;
+  report::write_beff_summary(sa, ma.name, ra);
+  report::write_beff_summary(sb, mb.name, rb);
+
+  std::cout << sa.str() << '\n' << sb.str() << '\n';
+  std::cout << "comparison (" << a << " vs " << b << "):\n";
+  report::compare_summaries(std::cout, a, report::parse_summary(sa.str()), b,
+                            report::parse_summary(sb.str()));
+
+  if (!csv_dir.empty()) {
+    for (const auto& [name, spec, res] :
+         {std::tuple{a, ma, ra}, std::tuple{b, mb, rb}}) {
+      const std::string path = csv_dir + "/beff_" + name + ".csv";
+      std::ofstream out(path);
+      if (!out) {
+        std::cerr << "cannot write " << path << '\n';
+        return 1;
+      }
+      report::write_beff_csv(out, spec.name, res);
+      std::cout << "wrote " << path << '\n';
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Filesystem tuning study with b_eff_io.
+//
+// The paper (Sec. 5.3): "Such benchmarking can help to uncover
+// advantages and weakness of an I/O implementation and can therefore
+// help in the optimization process."  This example does exactly that:
+// it runs b_eff_io against variants of one I/O subsystem --
+//   (a) the baseline,
+//   (b) two-phase collective buffering disabled,
+//   (c) double the I/O servers,
+//   (d) a quarter of the buffer cache --
+// and prints how the single number and the per-access-method values
+// react.
+#include <iostream>
+#include <vector>
+
+#include "core/beffio/beffio.hpp"
+#include "machines/machines.hpp"
+#include "parmsg/sim_transport.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace balbench;
+
+beffio::BeffIoResult run_variant(const machines::MachineSpec& m,
+                                 const pfsim::IoSystemConfig& io, int np,
+                                 double t_seconds) {
+  parmsg::SimTransport transport(m.make_topology(np), m.costs);
+  beffio::BeffIoOptions opt;
+  opt.scheduled_time = t_seconds;
+  opt.memory_per_node = m.memory_per_proc;
+  opt.file_prefix = io.name;
+  return beffio::run_beffio(transport, io, np, opt);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::int64_t procs = 16;
+  double t_minutes = 5.0;
+  util::Options options("io_tuning: compare I/O subsystem variants with b_eff_io");
+  options.add_int("procs", &procs, "number of processes");
+  options.add_double("minutes", &t_minutes, "scheduled time T in minutes");
+  try {
+    if (!options.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
+  }
+  const int np = static_cast<int>(procs);
+  const auto machine = machines::cray_t3e_900();
+
+  struct Variant {
+    std::string name;
+    pfsim::IoSystemConfig io;
+  };
+  std::vector<Variant> variants;
+  {
+    auto io = *machine.io;
+    io.name = "baseline";
+    variants.push_back({io.name, io});
+  }
+  {
+    auto io = *machine.io;
+    io.name = "no two-phase";
+    io.collective_two_phase = false;
+    variants.push_back({io.name, io});
+  }
+  {
+    auto io = *machine.io;
+    io.name = "2x servers";
+    io.num_servers *= 2;
+    variants.push_back({io.name, io});
+  }
+  {
+    auto io = *machine.io;
+    io.name = "cache/4";
+    io.cache_bytes /= 4;
+    variants.push_back({io.name, io});
+  }
+
+  util::Table table({"variant", "write\nMB/s", "rewrite\nMB/s", "read\nMB/s",
+                     "b_eff_io\nMB/s", "vs baseline"});
+  double base = 0.0;
+  for (const auto& v : variants) {
+    std::fprintf(stderr, "[io_tuning] %s...\n", v.name.c_str());
+    const auto r = run_variant(machine, v.io, np, t_minutes * 60.0);
+    if (base == 0.0) base = r.b_eff_io;
+    char rel[32];
+    std::snprintf(rel, sizeof rel, "%+.0f%%", (r.b_eff_io / base - 1.0) * 100.0);
+    table.add_row({v.name, util::format_mbps(r.write().weighted_bandwidth(), 1),
+                   util::format_mbps(r.rewrite().weighted_bandwidth(), 1),
+                   util::format_mbps(r.read().weighted_bandwidth(), 1),
+                   util::format_mbps(r.b_eff_io, 1), rel});
+  }
+
+  std::cout << "b_eff_io as an I/O tuning tool (" << machine.name << ", "
+            << np << " procs, T = " << t_minutes << " min)\n\n";
+  table.render(std::cout);
+  std::cout << "\nExpected: dropping two-phase hits the scatter patterns;\n"
+               "more servers lift the disk-bound write side; a smaller cache\n"
+               "hurts the read pass (paper Sec. 5.3/5.4).\n";
+  return 0;
+}

@@ -1,0 +1,422 @@
+#include "core/beff/beff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/beff/sizes.hpp"
+#include "parmsg/cart.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace balbench::beff {
+
+const char* method_name(Method m) {
+  switch (m) {
+    case Method::Sendrecv: return "Sendrecv";
+    case Method::Alltoallv: return "Alltoallv";
+    case Method::Nonblocking: return "Nonblocking";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr int kTagToRight = 0;
+constexpr int kTagToLeft = 1;
+
+/// One communication step of `pat` with message size L.  `phases`
+/// allows the combined Cartesian patterns to exchange along several
+/// dimension-patterns within one iteration.
+void run_iteration(parmsg::Comm& c, std::span<const CommPattern* const> phases,
+                   std::int64_t L, Method method) {
+  const int me = c.rank();
+  const auto n = static_cast<std::size_t>(L);
+  switch (method) {
+    case Method::Sendrecv:
+      for (const CommPattern* pat : phases) {
+        const int left = pat->left[static_cast<std::size_t>(me)];
+        const int right = pat->right[static_cast<std::size_t>(me)];
+        // Paper: send to the left neighbour, receive from the right;
+        // afterwards send back to the right, receive from the left.
+        c.sendrecv(left, nullptr, n, kTagToLeft, right, nullptr, n, kTagToLeft);
+        c.sendrecv(right, nullptr, n, kTagToRight, left, nullptr, n, kTagToRight);
+      }
+      break;
+    case Method::Nonblocking: {
+      std::vector<parmsg::Request> reqs;
+      reqs.reserve(phases.size() * 4);
+      for (const CommPattern* pat : phases) {
+        const int left = pat->left[static_cast<std::size_t>(me)];
+        const int right = pat->right[static_cast<std::size_t>(me)];
+        reqs.push_back(c.irecv(right, nullptr, n, kTagToLeft));
+        reqs.push_back(c.irecv(left, nullptr, n, kTagToRight));
+        reqs.push_back(c.isend(left, nullptr, n, kTagToLeft));
+        reqs.push_back(c.isend(right, nullptr, n, kTagToRight));
+      }
+      c.waitall(reqs);
+      break;
+    }
+    case Method::Alltoallv: {
+      const auto p = static_cast<std::size_t>(c.size());
+      std::vector<std::size_t> scounts(p, 0);
+      std::vector<std::size_t> zeros(p, 0);
+      for (const CommPattern* pat : phases) {
+        scounts[static_cast<std::size_t>(pat->left[static_cast<std::size_t>(me)])] += n;
+        scounts[static_cast<std::size_t>(pat->right[static_cast<std::size_t>(me)])] += n;
+      }
+      // Ring symmetry: the bytes I receive from a peer equal the bytes
+      // I send to it.
+      c.alltoallv(nullptr, scounts, zeros, nullptr, scounts, zeros);
+      break;
+    }
+  }
+}
+
+/// Times `looplength` iterations and returns the maximum process time
+/// ("maximum time on each process", paper Sec. 4).
+double measure_loop(parmsg::Comm& c, std::span<const CommPattern* const> phases,
+                    std::int64_t L, Method method, int looplength,
+                    bool fast_forward) {
+  c.barrier();
+  const double t0 = c.wtime();
+  run_iteration(c, phases, L, method);
+  if (fast_forward) {
+    if (looplength > 1) c.advance((c.wtime() - t0) * (looplength - 1));
+  } else {
+    for (int i = 1; i < looplength; ++i) run_iteration(c, phases, L, method);
+  }
+  return c.allreduce_max(c.wtime() - t0);
+}
+
+int adapt_looplength(int looplength, double loop_time, const BeffOptions& opt) {
+  if (loop_time <= 0.0) return opt.start_looplength;
+  const double scaled = looplength * opt.loop_target_time / loop_time;
+  const auto next = static_cast<int>(std::llround(scaled));
+  return std::clamp(next, 1, opt.start_looplength);
+}
+
+/// Measures one pattern across all sizes and methods; fills `out` on
+/// rank 0 (every rank computes identical values via allreduce_max).
+void measure_pattern(parmsg::Comm& c, const CommPattern& pat,
+                     const std::vector<std::int64_t>& sizes,
+                     const BeffOptions& opt, PatternMeasurement* out) {
+  const CommPattern* phase[] = {&pat};
+  const int reps = opt.dedupe_repetitions ? 1 : opt.repetitions;
+  for (int m = 0; m < kNumMethods; ++m) {
+    int looplength = opt.start_looplength;
+    for (std::size_t si = 0; si < sizes.size(); ++si) {
+      const std::int64_t L = sizes[si];
+      double min_time = std::numeric_limits<double>::max();
+      for (int rep = 0; rep < reps; ++rep) {
+        min_time = std::min(
+            min_time, measure_loop(c, phase, L, static_cast<Method>(m),
+                                   looplength, opt.fast_forward));
+      }
+      const double bw = static_cast<double>(L) *
+                        static_cast<double>(pat.total_messages()) * looplength /
+                        min_time;
+      if (out != nullptr) {
+        auto& sm = out->sizes[si];
+        sm.size = L;
+        sm.method_bw[static_cast<std::size_t>(m)] = bw;
+        if (bw > sm.best_bw) {
+          sm.best_bw = bw;
+          sm.looplength = looplength;
+        }
+      }
+      looplength = adapt_looplength(looplength, min_time, opt);
+    }
+  }
+  if (out != nullptr) {
+    std::vector<double> best;
+    best.reserve(out->sizes.size());
+    for (const auto& sm : out->sizes) best.push_back(sm.best_bw);
+    out->avg_bw = util::sum(best) / static_cast<double>(kNumMessageSizes);
+    out->bw_at_lmax = out->sizes.back().best_bw;
+  }
+}
+
+/// Best bandwidth of an analysis pattern at L (max over Sendrecv and
+/// Nonblocking; Alltoallv adds nothing for these diagnostics).
+double measure_analysis_pattern(parmsg::Comm& c,
+                                std::span<const CommPattern* const> phases,
+                                std::int64_t L, const BeffOptions& opt) {
+  std::int64_t msgs = 0;
+  for (const CommPattern* pat : phases) msgs += pat->total_messages();
+  double best = 0.0;
+  for (Method m : {Method::Sendrecv, Method::Nonblocking}) {
+    const int looplength = 4;
+    const double t = measure_loop(c, phases, L, m, looplength, opt.fast_forward);
+    best = std::max(best, static_cast<double>(L) * static_cast<double>(msgs) *
+                              looplength / t);
+  }
+  return best;
+}
+
+CommPattern pairing_pattern(int nprocs, bool interleaved, std::string name) {
+  CommPattern pat;
+  pat.name = std::move(name);
+  pat.left.resize(static_cast<std::size_t>(nprocs));
+  pat.right.resize(static_cast<std::size_t>(nprocs));
+  for (int r = 0; r < nprocs; ++r) {
+    int partner;
+    if (interleaved) {
+      partner = (r % 2 == 0) ? std::min(r + 1, nprocs - 1) : r - 1;
+    } else if (nprocs % 2 == 1 && r == nprocs - 1) {
+      partner = r;  // odd process count: the last rank pairs with itself
+    } else {
+      const int half = nprocs / 2;
+      partner = r < half ? r + half : r - half;
+    }
+    pat.left[static_cast<std::size_t>(r)] = partner;
+    pat.right[static_cast<std::size_t>(r)] = partner;
+  }
+  return pat;
+}
+
+CommPattern worst_cycle_pattern(int nprocs) {
+  // One ring over all processes, ordered with a large coprime stride so
+  // that consecutive ring neighbours are maximally distant ranks.
+  int stride = nprocs / 2 + 1;
+  while (std::gcd(stride, nprocs) != 1) ++stride;
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(nprocs));
+  for (int i = 0; i < nprocs; ++i) {
+    order.push_back(static_cast<int>((static_cast<long>(i) * stride) % nprocs));
+  }
+  CommPattern pat;
+  pat.name = "worst-cycle";
+  pat.left.resize(static_cast<std::size_t>(nprocs));
+  pat.right.resize(static_cast<std::size_t>(nprocs));
+  for (int i = 0; i < nprocs; ++i) {
+    const int me = order[static_cast<std::size_t>(i)];
+    pat.right[static_cast<std::size_t>(me)] =
+        order[static_cast<std::size_t>((i + 1) % nprocs)];
+    pat.left[static_cast<std::size_t>(me)] =
+        order[static_cast<std::size_t>((i + nprocs - 1) % nprocs)];
+  }
+  return pat;
+}
+
+CommPattern cart_dim_pattern(const std::vector<int>& dims, int dim, int nprocs) {
+  CommPattern pat;
+  pat.name = "cart-dim" + std::to_string(dim);
+  pat.left.resize(static_cast<std::size_t>(nprocs));
+  pat.right.resize(static_cast<std::size_t>(nprocs));
+  for (int r = 0; r < nprocs; ++r) {
+    const auto s = parmsg::cart_shift(r, dims, dim);
+    pat.right[static_cast<std::size_t>(r)] = s.dest;
+    pat.left[static_cast<std::size_t>(r)] = s.source;
+  }
+  return pat;
+}
+
+void measure_analysis(parmsg::Comm& c, int nprocs, std::int64_t lmax,
+                      const BeffOptions& opt, AnalysisResults* out) {
+  // Ping-pong between the first two MPI processes.
+  {
+    c.barrier();
+    const int looplength = 8;
+    double local = 0.0;
+    if (c.rank() == 0) {
+      const double t0 = c.wtime();
+      for (int i = 0; i < looplength; ++i) {
+        c.send(1, nullptr, static_cast<std::size_t>(lmax), 9);
+        c.recv(1, nullptr, static_cast<std::size_t>(lmax), 9);
+      }
+      local = c.wtime() - t0;
+    } else if (c.rank() == 1) {
+      for (int i = 0; i < looplength; ++i) {
+        c.recv(0, nullptr, static_cast<std::size_t>(lmax), 9);
+        c.send(0, nullptr, static_cast<std::size_t>(lmax), 9);
+      }
+    }
+    const double t = c.allreduce_max(local);
+    // One message of L per half round trip.
+    const double bw = static_cast<double>(lmax) * 2.0 * looplength / t;
+    if (out != nullptr) out->pingpong_bw = bw;
+  }
+
+  {
+    const auto pat = worst_cycle_pattern(nprocs);
+    const CommPattern* ph[] = {&pat};
+    const double bw = measure_analysis_pattern(c, ph, lmax, opt);
+    if (out != nullptr) out->worst_cycle_bw = bw;
+  }
+  {
+    const auto pat = pairing_pattern(nprocs, /*interleaved=*/false, "bisection-paired");
+    const CommPattern* ph[] = {&pat};
+    const double bw = measure_analysis_pattern(c, ph, lmax, opt);
+    if (out != nullptr) out->bisection_paired_bw = bw;
+  }
+  {
+    const auto pat = pairing_pattern(nprocs, /*interleaved=*/true, "bisection-interleaved");
+    const CommPattern* ph[] = {&pat};
+    const double bw = measure_analysis_pattern(c, ph, lmax, opt);
+    if (out != nullptr) out->bisection_interleaved_bw = bw;
+  }
+
+  for (int ndims = 2; ndims <= 3; ++ndims) {
+    const auto dims = parmsg::dims_create(nprocs, ndims);
+    std::vector<CommPattern> dim_pats;
+    dim_pats.reserve(dims.size());
+    for (int d = 0; d < ndims; ++d) {
+      dim_pats.push_back(cart_dim_pattern(dims, d, nprocs));
+    }
+    std::vector<double> per_dim;
+    for (int d = 0; d < ndims; ++d) {
+      const CommPattern* ph[] = {&dim_pats[static_cast<std::size_t>(d)]};
+      per_dim.push_back(measure_analysis_pattern(c, ph, lmax, opt));
+    }
+    std::vector<const CommPattern*> all;
+    for (const auto& p : dim_pats) all.push_back(&p);
+    const double combined = measure_analysis_pattern(c, all, lmax, opt);
+    if (out != nullptr) {
+      if (ndims == 2) {
+        out->cart2d_dims = dims;
+        out->cart2d_per_dim_bw = per_dim;
+        out->cart2d_combined_bw = combined;
+      } else {
+        out->cart3d_dims = dims;
+        out->cart3d_per_dim_bw = per_dim;
+        out->cart3d_combined_bw = combined;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+BeffResult run_beff(parmsg::Transport& transport, int nprocs,
+                    const BeffOptions& options) {
+  if (nprocs < 2) throw std::invalid_argument("run_beff: need at least 2 processes");
+  if (nprocs > transport.max_processes()) {
+    throw std::invalid_argument("run_beff: nprocs exceeds transport capacity");
+  }
+
+  BeffResult result;
+  result.nprocs = nprocs;
+  result.lmax = options.lmax_override > 0
+                    ? options.lmax_override
+                    : lmax_for_memory(options.memory_per_proc);
+  result.sizes = message_sizes(result.lmax);
+
+  const auto patterns = averaging_patterns(nprocs, options.random_seed);
+  result.patterns.resize(patterns.size());
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    result.patterns[i].name = patterns[i].name;
+    result.patterns[i].is_random = patterns[i].is_random;
+    result.patterns[i].sizes.resize(result.sizes.size());
+  }
+
+  transport.run(nprocs, [&](parmsg::Comm& c) {
+    const bool is_root = c.rank() == 0;
+    const double t_begin = c.wtime();
+    for (std::size_t i = 0; i < patterns.size(); ++i) {
+      measure_pattern(c, patterns[i], result.sizes, options,
+                      is_root ? &result.patterns[i] : nullptr);
+    }
+    if (options.measure_analysis) {
+      measure_analysis(c, nprocs, result.lmax, options,
+                       is_root ? &result.analysis : nullptr);
+    }
+    if (is_root) result.benchmark_seconds = c.wtime() - t_begin;
+  });
+
+  // --- Aggregation (paper Sec. 4). ---
+  std::vector<double> ring_avgs;
+  std::vector<double> random_avgs;
+  std::vector<double> ring_lmax;
+  std::vector<double> random_lmax;
+  for (const auto& pm : result.patterns) {
+    (pm.is_random ? random_avgs : ring_avgs).push_back(pm.avg_bw);
+    (pm.is_random ? random_lmax : ring_lmax).push_back(pm.bw_at_lmax);
+  }
+  result.rings_logavg = util::logavg(ring_avgs);
+  result.random_logavg = util::logavg(random_avgs);
+  result.b_eff = util::logavg2(result.rings_logavg, result.random_logavg);
+  result.rings_logavg_at_lmax = util::logavg(ring_lmax);
+  result.random_logavg_at_lmax = util::logavg(random_lmax);
+  result.b_eff_at_lmax =
+      util::logavg2(result.rings_logavg_at_lmax, result.random_logavg_at_lmax);
+  return result;
+}
+
+std::string protocol_report(const BeffResult& r) {
+  std::ostringstream os;
+  os << "b_eff protocol: " << r.nprocs << " processes, L_max "
+     << util::format_bytes(r.lmax) << ", 21 message sizes, "
+     << r.patterns.size() << " patterns\n";
+  os << "benchmark virtual time: " << util::format_seconds(r.benchmark_seconds)
+     << "\n\n";
+
+  util::Table summary({"pattern", "kind", "avg bw\nMByte/s", "bw at L_max\nMByte/s",
+                       "per proc\nMByte/s"});
+  for (const auto& pm : r.patterns) {
+    summary.add_row({pm.name, pm.is_random ? "random" : "ring",
+                     util::format_mbps(pm.avg_bw),
+                     util::format_mbps(pm.bw_at_lmax),
+                     util::format_mbps(pm.bw_at_lmax / r.nprocs, 1)});
+  }
+  summary.render(os);
+
+  os << "\nbandwidth per process over message size (best method), MByte/s\n";
+  std::vector<std::string> headers{"L"};
+  for (const auto& pm : r.patterns) headers.push_back(pm.name);
+  util::Table detail(headers);
+  for (std::size_t si = 0; si < r.sizes.size(); ++si) {
+    std::vector<std::string> row{util::format_bytes(r.sizes[si])};
+    for (const auto& pm : r.patterns) {
+      row.push_back(util::format_mbps(pm.sizes[si].best_bw / r.nprocs, 2));
+    }
+    detail.add_row(std::move(row));
+  }
+  detail.render(os);
+
+  os << "\nmethod comparison at L_max (full-system MByte/s, ring of all)\n";
+  const auto& allring = r.patterns[5];
+  for (int m = 0; m < kNumMethods; ++m) {
+    os << "  " << method_name(static_cast<Method>(m)) << ": "
+       << util::format_mbps(allring.sizes.back().method_bw[static_cast<std::size_t>(m)])
+       << "\n";
+  }
+
+  os << "\naggregation:\n";
+  os << "  logavg ring patterns   = " << util::format_mbps(r.rings_logavg) << "\n";
+  os << "  logavg random patterns = " << util::format_mbps(r.random_logavg) << "\n";
+  os << "  b_eff                  = " << util::format_mbps(r.b_eff) << " MByte/s ("
+     << util::format_mbps(r.per_proc(), 1) << " per proc)\n";
+  os << "  b_eff at L_max         = " << util::format_mbps(r.b_eff_at_lmax)
+     << " MByte/s (" << util::format_mbps(r.per_proc_at_lmax(), 1)
+     << " per proc, rings only: "
+     << util::format_mbps(r.per_proc_at_lmax_rings(), 1) << ")\n";
+
+  const auto& a = r.analysis;
+  if (a.pingpong_bw > 0.0) {
+    os << "\nanalysis patterns (at L_max):\n";
+    os << "  ping-pong                : " << util::format_mbps(a.pingpong_bw) << " MByte/s\n";
+    os << "  worst-case cycle         : " << util::format_mbps(a.worst_cycle_bw) << "\n";
+    os << "  bisection (paired)       : " << util::format_mbps(a.bisection_paired_bw) << "\n";
+    os << "  bisection (interleaved)  : " << util::format_mbps(a.bisection_interleaved_bw) << "\n";
+    auto cart_line = [&](const char* label, const std::vector<int>& dims,
+                         const std::vector<double>& per_dim, double combined) {
+      os << "  " << label << " (";
+      for (std::size_t i = 0; i < dims.size(); ++i) {
+        os << dims[i] << (i + 1 < dims.size() ? "x" : "");
+      }
+      os << "): per-dim";
+      for (double b : per_dim) os << ' ' << util::format_mbps(b);
+      os << ", together " << util::format_mbps(combined) << "\n";
+    };
+    cart_line("Cartesian 2-D", a.cart2d_dims, a.cart2d_per_dim_bw, a.cart2d_combined_bw);
+    cart_line("Cartesian 3-D", a.cart3d_dims, a.cart3d_per_dim_bw, a.cart3d_combined_bw);
+  }
+  return os.str();
+}
+
+}  // namespace balbench::beff

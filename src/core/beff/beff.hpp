@@ -1,0 +1,127 @@
+// The effective bandwidth benchmark b_eff (paper Sec. 4).
+//
+// Definition (normative, from the paper):
+//
+//   b_eff = logavg( logavg_ringpat ( sum_L( max_mthd( max_rep b ))/21 ),
+//                   logavg_randompat( sum_L( max_mthd( max_rep b ))/21 ) )
+//   b(pat, L, mthd, rep) = L * messages(pat) * looplength
+//                          / max over processes of loop execution time
+//
+// 21 message sizes (sizes.hpp), 6 ring + 6 random patterns
+// (patterns.hpp), three communication methods (MPI_Sendrecv-style,
+// MPI_Alltoallv-style, nonblocking Isend/Irecv/Waitall), three
+// repetitions, looplength 300 for the shortest message adapted to keep
+// each loop between 2.5 and 5 ms.
+//
+// The driver is an ordinary SPMD program over parmsg::Comm and runs on
+// either transport.  On the (deterministic) simulation transport,
+// loops are fast-forwarded: the body executes once and virtual time
+// advances by the remaining iterations -- see DESIGN.md Sec. 6.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/beff/patterns.hpp"
+#include "parmsg/comm.hpp"
+
+namespace balbench::beff {
+
+enum class Method { Sendrecv = 0, Alltoallv = 1, Nonblocking = 2 };
+inline constexpr int kNumMethods = 3;
+const char* method_name(Method m);
+
+struct BeffOptions {
+  /// Memory per process in bytes; fixes L_max = min(128 MB, mem/128).
+  std::int64_t memory_per_proc = 128 * 1024 * 1024;
+  /// Overrides the L_max rule when nonzero.
+  std::int64_t lmax_override = 0;
+
+  std::uint64_t random_seed = 2001;
+  int repetitions = 3;
+  int start_looplength = 300;       // paper: 300 for the shortest message
+  double loop_target_time = 3.75e-3;  // middle of the 2.5..5 ms window
+
+  /// Execute each timing loop once and advance virtual time for the
+  /// remaining iterations.  Only valid on a deterministic transport
+  /// (simulation); set false on the thread transport.
+  bool fast_forward = true;
+  /// Reuse the first repetition's result for all repetitions
+  /// (deterministic transports measure identical values anyway).
+  bool dedupe_repetitions = true;
+  /// Also measure the analysis-only patterns (ping-pong, worst-case
+  /// cycle, bisections, Cartesian halos).
+  bool measure_analysis = true;
+};
+
+/// Bandwidth of one pattern at one message size.
+struct SizeMeasurement {
+  std::int64_t size = 0;
+  std::array<double, kNumMethods> method_bw{};  // max over repetitions
+  double best_bw = 0.0;                          // max over methods
+  int looplength = 0;                            // used for the best method
+};
+
+struct PatternMeasurement {
+  std::string name;
+  bool is_random = false;
+  std::vector<SizeMeasurement> sizes;
+  double avg_bw = 0.0;   // sum over sizes / 21
+  double bw_at_lmax = 0.0;
+};
+
+/// Analysis-only patterns (not part of the average, paper Sec. 4).
+struct AnalysisResults {
+  double pingpong_bw = 0.0;           // rank 0 <-> 1 at L_max
+  double worst_cycle_bw = 0.0;        // one ring, maximally distant order
+  double bisection_paired_bw = 0.0;   // halves exchange, i <-> i+P/2
+  double bisection_interleaved_bw = 0.0;  // even <-> odd pairing
+  std::vector<int> cart2d_dims;
+  std::vector<double> cart2d_per_dim_bw;
+  double cart2d_combined_bw = 0.0;
+  std::vector<int> cart3d_dims;
+  std::vector<double> cart3d_per_dim_bw;
+  double cart3d_combined_bw = 0.0;
+};
+
+struct BeffResult {
+  int nprocs = 0;
+  std::int64_t lmax = 0;
+  std::vector<std::int64_t> sizes;
+  std::vector<PatternMeasurement> patterns;  // 6 ring then 6 random
+
+  double b_eff = 0.0;
+  double rings_logavg = 0.0;
+  double random_logavg = 0.0;
+  double b_eff_at_lmax = 0.0;
+  double rings_logavg_at_lmax = 0.0;
+  double random_logavg_at_lmax = 0.0;
+
+  AnalysisResults analysis;
+
+  /// Virtual duration of the whole benchmark (the paper budgets
+  /// 3-5 minutes of machine time).
+  double benchmark_seconds = 0.0;
+
+  [[nodiscard]] double per_proc() const { return b_eff / nprocs; }
+  [[nodiscard]] double per_proc_at_lmax() const { return b_eff_at_lmax / nprocs; }
+  [[nodiscard]] double per_proc_at_lmax_rings() const {
+    return rings_logavg_at_lmax / nprocs;
+  }
+  /// Coffee-cup metric: seconds to communicate the total memory.
+  [[nodiscard]] double seconds_for_total_memory(std::int64_t mem_per_proc) const {
+    return static_cast<double>(mem_per_proc) * nprocs / b_eff;
+  }
+};
+
+/// Run the full benchmark on `nprocs` processes of `transport`.
+BeffResult run_beff(parmsg::Transport& transport, int nprocs,
+                    const BeffOptions& options);
+
+/// Detailed protocol report ("all measured patterns are reported in the
+/// benchmark protocol", paper Sec. 4).
+std::string protocol_report(const BeffResult& result);
+
+}  // namespace balbench::beff

@@ -1,0 +1,126 @@
+#include "core/beff/patterns.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace balbench::beff {
+
+std::vector<int> ring_sizes(int nprocs, int standard) {
+  if (nprocs < 1) throw std::invalid_argument("ring_sizes: nprocs must be >= 1");
+  if (standard < 2) throw std::invalid_argument("ring_sizes: standard must be >= 2");
+  // Fewer processes than two full rings form a single ring (paper: for
+  // ring size 4, "if the number of processes is less or equal 7 then
+  // all processes form one ring").
+  if (nprocs < 2 * standard) return {nprocs};
+
+  const int k = nprocs / standard;  // full rings
+  const int r = nprocs % standard;  // leftover processes
+  if (r == 0) return std::vector<int>(static_cast<std::size_t>(k), standard);
+
+  // Option A: enlarge r rings to standard+1 (uses k rings total).
+  const bool a_feasible = k >= r;
+  // Option B: shrink m = standard - r rings to standard-1 (turns m-1
+  // full rings plus the leftover into m shrunken rings).
+  const int m = standard - r;
+  const bool b_feasible = k >= m - 1 && standard - 1 >= 2;
+
+  auto build = [&](int n_modified, int modified_size, int n_standard) {
+    std::vector<int> sizes(static_cast<std::size_t>(n_standard), standard);
+    sizes.insert(sizes.end(), static_cast<std::size_t>(n_modified), modified_size);
+    return sizes;
+  };
+
+  if (a_feasible && (!b_feasible || r <= m)) {
+    return build(r, standard + 1, k - r);
+  }
+  if (b_feasible) {
+    return build(m, standard - 1, k - (m - 1));
+  }
+
+  // Small-count fallback (the paper's precomputed list regime): spread
+  // processes over round(nprocs/standard) nearly equal rings, keeping
+  // every ring size >= 2.
+  int nrings = std::max(1, (nprocs + standard / 2) / standard);
+  while (nrings > 1 && nprocs / nrings < 2) --nrings;
+  std::vector<int> sizes(static_cast<std::size_t>(nrings), nprocs / nrings);
+  for (int i = 0; i < nprocs % nrings; ++i) ++sizes[static_cast<std::size_t>(i)];
+  return sizes;
+}
+
+int standard_ring_size(int pattern_index, int nprocs) {
+  switch (pattern_index) {
+    case 0: return 2;
+    case 1: return 4;
+    case 2: return 8;
+    case 3: return std::min(std::max(16, nprocs / 4), nprocs);
+    case 4: return std::min(std::max(32, nprocs / 2), nprocs);
+    case 5: return nprocs;
+    default:
+      throw std::invalid_argument("standard_ring_size: index must be 0..5");
+  }
+}
+
+namespace {
+
+CommPattern pattern_from_order(const std::vector<int>& order, int standard,
+                               std::string name, bool is_random) {
+  const int nprocs = static_cast<int>(order.size());
+  CommPattern pat;
+  pat.name = std::move(name);
+  pat.is_random = is_random;
+  pat.left.assign(static_cast<std::size_t>(nprocs), -1);
+  pat.right.assign(static_cast<std::size_t>(nprocs), -1);
+
+  // The standard size 2 keeps exact ring sizes even for tiny nprocs
+  // (a lone pair plus a 3-ring), handled by ring_sizes itself.
+  const auto sizes =
+      ring_sizes(nprocs, std::max(2, std::min(standard, nprocs)));
+  std::size_t base = 0;
+  for (int sz : sizes) {
+    for (int i = 0; i < sz; ++i) {
+      const int me = order[base + static_cast<std::size_t>(i)];
+      const int nxt = order[base + static_cast<std::size_t>((i + 1) % sz)];
+      const int prv = order[base + static_cast<std::size_t>((i + sz - 1) % sz)];
+      pat.right[static_cast<std::size_t>(me)] = nxt;
+      pat.left[static_cast<std::size_t>(me)] = prv;
+    }
+    base += static_cast<std::size_t>(sz);
+  }
+  return pat;
+}
+
+}  // namespace
+
+CommPattern make_ring_pattern(int index, int nprocs) {
+  std::vector<int> order(static_cast<std::size_t>(nprocs));
+  std::iota(order.begin(), order.end(), 0);
+  return pattern_from_order(order, standard_ring_size(index, nprocs),
+                            "ring-" + std::to_string(standard_ring_size(index, nprocs)),
+                            /*is_random=*/false);
+}
+
+CommPattern make_random_pattern(int index, int nprocs, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed + static_cast<std::uint64_t>(index) * 0x51ED2701u);
+  auto order = util::random_permutation(nprocs, rng);
+  return pattern_from_order(order, standard_ring_size(index, nprocs),
+                            "random-" + std::to_string(standard_ring_size(index, nprocs)),
+                            /*is_random=*/true);
+}
+
+std::vector<CommPattern> averaging_patterns(int nprocs, std::uint64_t seed) {
+  std::vector<CommPattern> pats;
+  pats.reserve(kNumRingPatterns + kNumRandomPatterns);
+  for (int i = 0; i < kNumRingPatterns; ++i) {
+    pats.push_back(make_ring_pattern(i, nprocs));
+  }
+  for (int i = 0; i < kNumRandomPatterns; ++i) {
+    pats.push_back(make_random_pattern(i, nprocs, seed));
+  }
+  // Identical consecutive ring patterns occur for small nprocs (for
+  // nprocs <= 16 patterns 3..5 all degenerate to one full ring); they
+  // are kept, exactly as the original benchmark measures them all.
+  return pats;
+}
+
+}  // namespace balbench::beff

@@ -1,0 +1,60 @@
+// Communication patterns of the b_eff benchmark (paper Sec. 4).
+//
+// A pattern partitions MPI_COMM_WORLD into rings and gives every
+// process a left and a right neighbour within its ring.  Six ring
+// patterns use ring sizes 2, 4, 8, min(max(16,P/4),P), min(max(32,P/2),P)
+// and P, with the remainder rules of ring_numbers.c; the random
+// patterns apply the same partitions to a randomly permuted process
+// order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace balbench::beff {
+
+/// Ring sizes for `nprocs` processes at standard ring size `standard`.
+///
+/// Remainder handling follows the paper's examples: either `r` rings
+/// are enlarged to standard+1 ("1*5, 2*5", "1*9 ... 4*9") or
+/// `standard-r` rings are shrunk to standard-1 ("1*3", "3*7"),
+/// whichever modifies fewer rings (ties prefer enlarging).  When
+/// neither fits (small process counts), processes are spread over
+/// round(nprocs/standard) nearly equal rings -- the regime the paper
+/// delegates to the precomputed ring_numbers list.
+std::vector<int> ring_sizes(int nprocs, int standard);
+
+/// Standard ring size of ring pattern `index` (0-based, 0..5).
+int standard_ring_size(int pattern_index, int nprocs);
+inline constexpr int kNumRingPatterns = 6;
+inline constexpr int kNumRandomPatterns = 6;
+
+/// A fully instantiated communication pattern.
+struct CommPattern {
+  std::string name;
+  bool is_random = false;
+  /// left[p] / right[p]: ring neighbours of process p.  In a 2-ring
+  /// both point at the partner (the process still sends two messages).
+  std::vector<int> left;
+  std::vector<int> right;
+  /// Messages transferred per iteration: 2 per process.
+  [[nodiscard]] std::int64_t total_messages() const {
+    return 2 * static_cast<std::int64_t>(left.size());
+  }
+};
+
+/// Build ring pattern `index` (0..5) on ranks 0..nprocs-1 sorted by
+/// rank (the paper's one-dimensional cyclic topology).
+CommPattern make_ring_pattern(int index, int nprocs);
+
+/// Build random pattern `index`: the same ring partition, but over a
+/// seeded random permutation of the ranks.
+CommPattern make_random_pattern(int index, int nprocs, std::uint64_t seed);
+
+/// All patterns entering the b_eff average: 6 ring then 6 random.
+std::vector<CommPattern> averaging_patterns(int nprocs, std::uint64_t seed);
+
+}  // namespace balbench::beff

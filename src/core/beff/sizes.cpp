@@ -1,0 +1,33 @@
+#include "core/beff/sizes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace balbench::beff {
+
+std::vector<std::int64_t> message_sizes(std::int64_t lmax) {
+  constexpr std::int64_t kFourKb = 4096;
+  if (lmax < kFourKb) {
+    throw std::invalid_argument("message_sizes: L_max must be >= 4 kB");
+  }
+  std::vector<std::int64_t> sizes;
+  sizes.reserve(kNumMessageSizes);
+  for (std::int64_t l = 1; l <= kFourKb; l *= 2) sizes.push_back(l);
+
+  // Geometric factor a with 4kB * a^8 = lmax.
+  const double a = std::pow(static_cast<double>(lmax) / kFourKb, 1.0 / 8.0);
+  for (int i = 1; i <= 8; ++i) {
+    const double v = kFourKb * std::pow(a, i);
+    sizes.push_back(i == 8 ? lmax
+                           : static_cast<std::int64_t>(std::llround(v)));
+  }
+  return sizes;
+}
+
+std::int64_t lmax_for_memory(std::int64_t memory_per_proc) {
+  constexpr std::int64_t kCap = 128LL * 1024 * 1024;
+  return std::min(kCap, memory_per_proc / 128);
+}
+
+}  // namespace balbench::beff

@@ -1,0 +1,21 @@
+// The 21 message sizes of b_eff (paper Sec. 4):
+//   L = 1, 2, 4, ..., 4 kB            (13 fixed sizes)
+//   L = 4kB * a^i, i = 1..8           (8 geometric steps)
+// with 4kB * a^8 = L_max = min(128 MB, memory per processor / 128).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace balbench::beff {
+
+inline constexpr int kNumMessageSizes = 21;
+inline constexpr int kNumFixedSizes = 13;
+
+/// All 21 sizes in ascending order.  Requires lmax >= 4 kB.
+std::vector<std::int64_t> message_sizes(std::int64_t lmax);
+
+/// L_max rule: min(128 MB, memory_per_proc / 128).
+std::int64_t lmax_for_memory(std::int64_t memory_per_proc);
+
+}  // namespace balbench::beff

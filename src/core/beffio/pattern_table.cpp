@@ -1,0 +1,99 @@
+#include "core/beffio/pattern_table.hpp"
+
+#include <algorithm>
+
+#include "util/units.hpp"
+
+namespace balbench::beffio {
+
+using util::kMiB;
+
+const char* pattern_type_name(PatternType t) {
+  switch (t) {
+    case PatternType::ScatterCollective: return "scatter, collective";
+    case PatternType::SharedCollective: return "shared, collective";
+    case PatternType::SeparateFiles: return "separated files, non-coll.";
+    case PatternType::SegmentedIndividual: return "segmented, non-coll.";
+    case PatternType::SegmentedCollective: return "segmented, collective";
+  }
+  return "?";
+}
+
+std::string IoPattern::label() const {
+  if (fill_up) return "fill-up";
+  return util::format_chunk_label(l);
+}
+
+std::int64_t mpart_for_memory(std::int64_t memory_per_node) {
+  return std::max<std::int64_t>(2 * kMiB, memory_per_node / 128);
+}
+
+std::vector<IoPattern> pattern_table(std::int64_t mpart, std::int64_t mpart_cap) {
+  if (mpart_cap > 0) mpart = std::min(mpart, mpart_cap);
+  const std::int64_t kB = 1024;
+
+  std::vector<IoPattern> all;
+  int no = 0;
+  auto add = [&](PatternType t, std::int64_t l, std::int64_t L, int u,
+                 bool fill = false) {
+    all.push_back(IoPattern{no++, t, l, L, u, fill});
+  };
+
+  // --- type 0: strided collective scatter (Table 2, left) -------------
+  add(PatternType::ScatterCollective, 1 * kMiB, 1 * kMiB, 0);
+  add(PatternType::ScatterCollective, mpart, mpart, 4);
+  add(PatternType::ScatterCollective, 1 * kMiB, 2 * kMiB, 4);
+  add(PatternType::ScatterCollective, 1 * kMiB, 1 * kMiB, 4);
+  add(PatternType::ScatterCollective, 32 * kB, 1 * kMiB, 2);
+  add(PatternType::ScatterCollective, 1 * kB, 1 * kMiB, 2);
+  add(PatternType::ScatterCollective, 32 * kB + 8, 1 * kMiB + 256, 2);
+  add(PatternType::ScatterCollective, 1 * kB + 8, 1 * kMiB + 8 * kB, 2);
+  add(PatternType::ScatterCollective, 1 * kMiB + 8, 1 * kMiB + 8, 2);
+
+  // --- types 1 and 2: L := l -------------------------------------------
+  struct Row {
+    std::int64_t l;
+    int u1;  // time units in type 1
+    int u2;  // time units in types 2/3/4
+  };
+  const Row rows[] = {
+      {1 * kMiB, 0, 0}, {mpart, 4, 2},        {1 * kMiB, 2, 2},
+      {32 * kB, 1, 1},  {1 * kB, 1, 1},       {32 * kB + 8, 1, 1},
+      {1 * kB + 8, 1, 1}, {1 * kMiB + 8, 2, 2},
+  };
+  for (const Row& r : rows) {
+    add(PatternType::SharedCollective, r.l, r.l, r.u1);
+  }
+  for (const Row& r : rows) {
+    add(PatternType::SeparateFiles, r.l, r.l, r.u2);
+  }
+  // --- type 3: same chunks, segmented file, plus fill-up ---------------
+  for (const Row& r : rows) {
+    add(PatternType::SegmentedIndividual, r.l, r.l, r.u2);
+  }
+  add(PatternType::SegmentedIndividual, 0, 0, 0, /*fill=*/true);
+  // --- type 4: collective twin of type 3 --------------------------------
+  for (const Row& r : rows) {
+    add(PatternType::SegmentedCollective, r.l, r.l, r.u2);
+  }
+  add(PatternType::SegmentedCollective, 0, 0, 0, /*fill=*/true);
+
+  return all;
+}
+
+std::vector<IoPattern> patterns_of_type(const std::vector<IoPattern>& all,
+                                        PatternType t) {
+  std::vector<IoPattern> out;
+  for (const auto& p : all) {
+    if (p.type == t) out.push_back(p);
+  }
+  return out;
+}
+
+int total_time_units(const std::vector<IoPattern>& all) {
+  int sum = 0;
+  for (const auto& p : all) sum += p.time_units;
+  return sum;
+}
+
+}  // namespace balbench::beffio

@@ -1,0 +1,64 @@
+// The b_eff_io access patterns of Table 2 / Fig. 2 of the paper.
+//
+// A pattern = pattern type x (disk chunk size l, memory chunk size L,
+// time units U).  Five pattern types:
+//   0  strided collective scatter: L bytes of memory per call,
+//      scattered to/from disk chunks of l
+//   1  shared file pointer, collective, one call per chunk (L := l)
+//   2  one file per process, non-collective (L := l)
+//   3  segmented file, non-collective (same chunks as type 2, plus a
+//      fill-up pattern)
+//   4  segmented file, collective (same as type 3)
+//
+// Chunk sizes are 1 kB / 32 kB / 1 MB / M_PART = max(2 MB, memory of
+// one node / 128), in wellformed and non-wellformed (+8 byte) forms.
+// Sum of all time units is 64; a pattern's share of the scheduled time
+// is T/3 * U/64 within its access method (paper Sec. 5.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace balbench::beffio {
+
+enum class PatternType {
+  ScatterCollective = 0,
+  SharedCollective = 1,
+  SeparateFiles = 2,
+  SegmentedIndividual = 3,
+  SegmentedCollective = 4,
+};
+inline constexpr int kNumPatternTypes = 5;
+const char* pattern_type_name(PatternType t);
+
+/// One row of Table 2 with symbolic sizes resolved.
+struct IoPattern {
+  int number = 0;           // Table 2 "No."
+  PatternType type{};
+  std::int64_t l = 0;       // contiguous chunk on disk, bytes
+  std::int64_t L = 0;       // contiguous chunk in memory, bytes
+  int time_units = 0;       // U; 0 => run exactly one iteration
+  bool fill_up = false;     // "fill up segment" pattern of types 3/4
+  [[nodiscard]] bool wellformed() const { return (l & (l - 1)) == 0; }
+  [[nodiscard]] std::string label() const;
+};
+
+/// M_PART = max(2 MB, memory of one node / 128) (paper Sec. 3.2/5.1).
+std::int64_t mpart_for_memory(std::int64_t memory_per_node);
+
+/// All patterns of Table 2 for a given M_PART, grouped by type in
+/// ascending pattern number.  `mpart_cap` optionally limits M_PART
+/// (paper Sec. 5.3: "On the SX-5, a reduced maximum chunk size was
+/// used"; Sec. 5.4: reduce M_PART to 2/n GB on large systems).
+std::vector<IoPattern> pattern_table(std::int64_t mpart,
+                                     std::int64_t mpart_cap = 0);
+
+/// Patterns of one type, in execution order.
+std::vector<IoPattern> patterns_of_type(const std::vector<IoPattern>& all,
+                                        PatternType t);
+
+/// Sum of the time units over all patterns (64 in the paper).
+int total_time_units(const std::vector<IoPattern>& all);
+
+}  // namespace balbench::beffio

@@ -1,0 +1,132 @@
+#include "core/report/export.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace balbench::report {
+
+namespace {
+
+/// CSV-quote a field (the machine names contain spaces and slashes).
+std::string q(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void write_beff_csv(std::ostream& os, const std::string& machine,
+                    const beff::BeffResult& r) {
+  os << "machine,nprocs,pattern,kind,size_bytes,method,bandwidth_Bps\n";
+  for (const auto& pm : r.patterns) {
+    for (const auto& sm : pm.sizes) {
+      for (int m = 0; m < beff::kNumMethods; ++m) {
+        os << q(machine) << ',' << r.nprocs << ',' << q(pm.name) << ','
+           << (pm.is_random ? "random" : "ring") << ',' << sm.size << ','
+           << beff::method_name(static_cast<beff::Method>(m)) << ','
+           << sm.method_bw[static_cast<std::size_t>(m)] << '\n';
+      }
+    }
+  }
+}
+
+void write_beffio_csv(std::ostream& os, const std::string& machine,
+                      const beffio::BeffIoResult& r) {
+  os << "machine,nprocs,access,type,pattern_no,chunk_l,mem_L,wellformed,"
+        "calls,bytes,seconds,bandwidth_Bps\n";
+  for (const auto& am : r.access) {
+    for (const auto& tr : am.types) {
+      for (const auto& pr : tr.patterns) {
+        os << q(machine) << ',' << r.nprocs << ','
+           << beffio::access_method_name(am.method) << ','
+           << static_cast<int>(tr.type) << ',' << pr.pattern.number << ','
+           << pr.pattern.l << ',' << pr.pattern.L << ','
+           << (pr.pattern.wellformed() ? 1 : 0) << ',' << pr.calls << ','
+           << pr.bytes << ',' << pr.seconds << ',' << pr.bandwidth() << '\n';
+      }
+    }
+  }
+}
+
+void write_beff_summary(std::ostream& os, const std::string& machine,
+                        const beff::BeffResult& r) {
+  // Round-trip precision: the summary is machine-readable.
+  const auto saved = os.precision(std::numeric_limits<double>::max_digits10);
+  os << "# b_eff summary for " << machine << "\n";
+  os << "nprocs=" << r.nprocs << "\n";
+  os << "lmax_bytes=" << r.lmax << "\n";
+  os << "b_eff_Bps=" << r.b_eff << "\n";
+  os << "b_eff_per_proc_Bps=" << r.per_proc() << "\n";
+  os << "b_eff_at_lmax_Bps=" << r.b_eff_at_lmax << "\n";
+  os << "rings_logavg_Bps=" << r.rings_logavg << "\n";
+  os << "random_logavg_Bps=" << r.random_logavg << "\n";
+  os << "pingpong_Bps=" << r.analysis.pingpong_bw << "\n";
+  os << "benchmark_seconds=" << r.benchmark_seconds << "\n";
+  os.precision(saved);
+}
+
+void write_beffio_summary(std::ostream& os, const std::string& machine,
+                          const beffio::BeffIoResult& r) {
+  const auto saved = os.precision(std::numeric_limits<double>::max_digits10);
+  os << "# b_eff_io summary for " << machine << "\n";
+  os << "nprocs=" << r.nprocs << "\n";
+  os << "scheduled_seconds=" << r.scheduled_time << "\n";
+  os << "mpart_bytes=" << r.mpart << "\n";
+  os << "b_eff_io_Bps=" << r.b_eff_io << "\n";
+  os << "write_Bps=" << r.write().weighted_bandwidth() << "\n";
+  os << "rewrite_Bps=" << r.rewrite().weighted_bandwidth() << "\n";
+  os << "read_Bps=" << r.read().weighted_bandwidth() << "\n";
+  for (const auto& tr : r.write().types) {
+    os << "write_type" << static_cast<int>(tr.type) << "_Bps="
+       << tr.bandwidth() << "\n";
+  }
+  os << "segment_bytes=" << r.segment_bytes << "\n";
+  os.precision(saved);
+}
+
+std::map<std::string, double> parse_summary(const std::string& text) {
+  std::map<std::string, double> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    try {
+      out[line.substr(0, eq)] = std::stod(line.substr(eq + 1));
+    } catch (const std::exception&) {
+      // Non-numeric values are skipped; the summary format is numeric
+      // by construction.
+    }
+  }
+  return out;
+}
+
+int compare_summaries(std::ostream& os, const std::string& name_a,
+                      const std::map<std::string, double>& a,
+                      const std::string& name_b,
+                      const std::map<std::string, double>& b) {
+  util::Table t({"key", name_a, name_b, "ratio b/a"});
+  int compared = 0;
+  for (const auto& [key, va] : a) {
+    auto it = b.find(key);
+    if (it == b.end()) continue;
+    const double vb = it->second;
+    t.add_row({key, util::fmt(va, 3), util::fmt(vb, 3),
+               va != 0.0 ? util::fmt(vb / va, 3) : "-"});
+    ++compared;
+  }
+  t.render(os);
+  return compared;
+}
+
+}  // namespace balbench::report

@@ -1,0 +1,51 @@
+// Machine-readable result export (paper Sec. 6: "Both benchmarks will
+// also be enhanced to write an additional output that can be used in
+// the SKaMPI comparison page").
+//
+// Two formats:
+//   * CSV  -- one row per elementary measurement, stable column set,
+//             suitable for gnuplot/pandas and cross-machine diffing.
+//   * a key=value summary block ("skampi-style") with the headline
+//     aggregates of a run.
+//
+// Plus a comparison helper that aligns two exported runs and reports
+// per-measurement ratios -- the "comparison page" workflow.
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "core/beff/beff.hpp"
+#include "core/beffio/beffio.hpp"
+
+namespace balbench::report {
+
+/// CSV of every (pattern, message size) cell of a b_eff protocol:
+///   machine,nprocs,pattern,kind,size_bytes,method,bandwidth_Bps
+void write_beff_csv(std::ostream& os, const std::string& machine,
+                    const beff::BeffResult& result);
+
+/// CSV of every (access method, pattern) cell of a b_eff_io protocol:
+///   machine,nprocs,access,type,pattern_no,chunk_l,mem_L,wellformed,
+///   calls,bytes,seconds,bandwidth_Bps
+void write_beffio_csv(std::ostream& os, const std::string& machine,
+                      const beffio::BeffIoResult& result);
+
+/// Headline key=value summary of a b_eff run (skampi-style block).
+void write_beff_summary(std::ostream& os, const std::string& machine,
+                        const beff::BeffResult& result);
+void write_beffio_summary(std::ostream& os, const std::string& machine,
+                          const beffio::BeffIoResult& result);
+
+/// Parsed summary block: key -> numeric value.
+std::map<std::string, double> parse_summary(const std::string& text);
+
+/// Align two summaries and render a ratio table (b / a) for every key
+/// both share; returns the number of compared keys.
+int compare_summaries(std::ostream& os, const std::string& name_a,
+                      const std::map<std::string, double>& a,
+                      const std::string& name_b,
+                      const std::map<std::string, double>& b);
+
+}  // namespace balbench::report

@@ -1,0 +1,183 @@
+#include "net/flow.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace balbench::net {
+
+namespace {
+// A flow is finished once less than half a byte remains; avoids
+// spinning on floating-point residue.
+constexpr double kDoneEpsilonBytes = 0.5;
+}  // namespace
+
+FlowNetwork::FlowNetwork(const Topology& topo, simt::Engine& engine)
+    : topo_(topo), engine_(engine) {}
+
+void FlowNetwork::start_flow(int src, int dst, double bytes,
+                             std::function<void(simt::Time)> done) {
+  if (src < 0 || src >= topo_.num_endpoints() || dst < 0 ||
+      dst >= topo_.num_endpoints()) {
+    throw std::out_of_range("FlowNetwork::start_flow: endpoint out of range");
+  }
+  const double lat = topo_.latency(src, dst);
+
+  ActiveFlow flow;
+  topo_.route(src, dst, flow.path);
+  flow.remaining = std::max(bytes, 0.0);
+  flow.done = std::move(done);
+
+  if (flow.path.empty()) {
+    // Node-local transfer: a straight memcpy, no link contention.
+    const double t = lat + flow.remaining / topo_.self_bandwidth();
+    auto cb = std::move(flow.done);
+    engine_.schedule_after(t, [this, cb = std::move(cb)] { cb(engine_.now()); });
+    return;
+  }
+
+  if (flow.remaining < kDoneEpsilonBytes) {
+    auto cb = std::move(flow.done);
+    engine_.schedule_after(lat, [this, cb = std::move(cb)] { cb(engine_.now()); });
+    return;
+  }
+
+  // The wire latency elapses before bytes start streaming; the flow
+  // only contends for links after that.
+  engine_.schedule_after(lat, [this, flow = std::move(flow)]() mutable {
+    add_active(std::move(flow));
+  });
+}
+
+void FlowNetwork::add_active(ActiveFlow flow) {
+  advance_progress();
+  active_.push_back(std::move(flow));
+  schedule_resolve();
+}
+
+void FlowNetwork::schedule_resolve() {
+  if (resolve_pending_) return;
+  resolve_pending_ = true;
+  // Same-timestamp event: runs after all events already queued for the
+  // current instant, so simultaneous arrivals share one resolve.
+  engine_.schedule_after(0.0, [this] {
+    resolve_pending_ = false;
+    resolve_and_schedule();
+  });
+}
+
+void FlowNetwork::advance_progress() {
+  const simt::Time now = engine_.now();
+  const double dt = now - last_update_;
+  if (dt > 0.0) {
+    for (auto& f : active_) {
+      f.remaining = std::max(0.0, f.remaining - f.rate * dt);
+    }
+  }
+  last_update_ = now;
+}
+
+void FlowNetwork::resolve_and_schedule() {
+  ++resolves_;
+  if (completion_event_ != 0) {
+    engine_.cancel(completion_event_);
+    completion_event_ = 0;
+  }
+  if (active_.empty()) return;
+
+  // --- Progressive filling (max-min fairness). ---
+  // Only links actually crossed by an active flow participate; on large
+  // topologies this is a small subset.
+  const auto& links = topo_.links();
+  if (residual_.size() != links.size()) {
+    residual_.assign(links.size(), 0.0);
+    flows_on_link_.assign(links.size(), 0);
+  }
+  touched_links_.clear();
+  std::vector<ActiveFlow*> unfixed;
+  unfixed.reserve(active_.size());
+  for (auto& f : active_) {
+    f.rate = 0.0;
+    unfixed.push_back(&f);
+    for (LinkId l : f.path) {
+      const auto idx = static_cast<std::size_t>(l);
+      if (flows_on_link_[idx] == 0) {
+        touched_links_.push_back(l);
+        residual_[idx] = links[idx].bandwidth;
+      }
+      ++flows_on_link_[idx];
+    }
+  }
+
+  while (!unfixed.empty()) {
+    // Most constrained link: smallest residual fair share.
+    double min_share = std::numeric_limits<double>::max();
+    for (LinkId l : touched_links_) {
+      const auto idx = static_cast<std::size_t>(l);
+      if (flows_on_link_[idx] > 0) {
+        min_share = std::min(min_share, residual_[idx] / flows_on_link_[idx]);
+      }
+    }
+    if (min_share == std::numeric_limits<double>::max()) break;  // defensive
+
+    // Freeze every unfixed flow that crosses a bottleneck link.
+    const double eps = min_share * 1e-12;
+    auto is_bottleneck = [&](LinkId l) {
+      const auto idx = static_cast<std::size_t>(l);
+      return residual_[idx] / flows_on_link_[idx] <= min_share + eps;
+    };
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < unfixed.size(); ++i) {
+      ActiveFlow* f = unfixed[i];
+      const bool frozen = std::any_of(f->path.begin(), f->path.end(), is_bottleneck);
+      if (frozen) {
+        f->rate = min_share;
+        for (LinkId l : f->path) {
+          const auto idx = static_cast<std::size_t>(l);
+          residual_[idx] = std::max(0.0, residual_[idx] - min_share);
+          --flows_on_link_[idx];
+        }
+      } else {
+        unfixed[kept++] = f;
+      }
+    }
+    if (kept == unfixed.size()) break;  // defensive: no progress
+    unfixed.resize(kept);
+  }
+  // Restore scratch state for the next resolve (counts normally reach
+  // zero; the defensive breaks above may leave residue).
+  for (LinkId l : touched_links_) flows_on_link_[static_cast<std::size_t>(l)] = 0;
+
+  // --- Schedule the next completion. ---
+  double next_done = std::numeric_limits<double>::max();
+  for (const auto& f : active_) {
+    if (f.rate <= 0.0) {
+      throw std::logic_error("FlowNetwork: flow allocated zero rate (link with "
+                             "zero capacity on its path?)");
+    }
+    next_done = std::min(next_done, f.remaining / f.rate);
+  }
+  completion_event_ =
+      engine_.schedule_after(next_done, [this] { on_completion_event(); });
+}
+
+void FlowNetwork::on_completion_event() {
+  completion_event_ = 0;
+  advance_progress();
+  std::vector<std::function<void(simt::Time)>> finished;
+  for (auto it = active_.begin(); it != active_.end();) {
+    if (it->remaining < kDoneEpsilonBytes) {
+      finished.push_back(std::move(it->done));
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  schedule_resolve();
+  const simt::Time now = engine_.now();
+  for (auto& cb : finished) cb(now);
+}
+
+}  // namespace balbench::net

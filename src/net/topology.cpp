@@ -1,0 +1,327 @@
+#include "net/topology.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace balbench::net {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared memory
+// ---------------------------------------------------------------------------
+class SharedMemoryTopology final : public Topology {
+ public:
+  explicit SharedMemoryTopology(const SharedMemoryParams& p) : p_(p) {
+    if (p.processes <= 0) throw std::invalid_argument("processes must be > 0");
+    links_.reserve(static_cast<std::size_t>(p.processes) * 2 + 1);
+    for (int i = 0; i < p.processes; ++i) {
+      links_.push_back({"tx" + std::to_string(i), p.per_process_copy_bw / 2.0});
+    }
+    for (int i = 0; i < p.processes; ++i) {
+      links_.push_back({"rx" + std::to_string(i), p.per_process_copy_bw / 2.0});
+    }
+    bus_ = static_cast<LinkId>(links_.size());
+    links_.push_back({"membus", p.aggregate_bw});
+  }
+
+  int num_endpoints() const override { return p_.processes; }
+  const std::vector<Link>& links() const override { return links_; }
+
+  void route(int src, int dst, std::vector<LinkId>& out) const override {
+    out.clear();
+    if (src == dst) return;
+    out.push_back(src);                    // tx port of src
+    out.push_back(bus_);                   // memory system
+    out.push_back(p_.processes + dst);     // rx port of dst
+  }
+
+  double latency(int, int) const override { return p_.latency_sec; }
+  double self_bandwidth() const override { return p_.per_process_copy_bw; }
+
+  std::string describe() const override {
+    std::ostringstream oss;
+    oss << "shared-memory, " << p_.processes << " procs, "
+        << p_.per_process_copy_bw / 1e6 << " MB/s copy bw per proc, "
+        << p_.aggregate_bw / 1e9 << " GB/s memory system";
+    return oss.str();
+  }
+
+ private:
+  SharedMemoryParams p_;
+  std::vector<Link> links_;
+  LinkId bus_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// 3-D torus
+// ---------------------------------------------------------------------------
+class Torus3DTopology final : public Topology {
+ public:
+  explicit Torus3DTopology(const Torus3DParams& p) : p_(p) {
+    n_ = p.dims[0] * p.dims[1] * p.dims[2];
+    if (n_ <= 0) throw std::invalid_argument("torus dims must be positive");
+    // Layout: [0, n) nic_tx, [n, 2n) nic_rx, [2n, 3n) duplex node
+    // ports, then 3 bidirectional torus edges per node (each physical
+    // wire is shared by the traffic of both directions, as on the
+    // T3E): edge (node, dim) connects node to its +dim neighbour.
+    links_.reserve(static_cast<std::size_t>(n_) * 6);
+    for (int i = 0; i < n_; ++i) links_.push_back({"nic_tx" + std::to_string(i), p.nic_bw});
+    for (int i = 0; i < n_; ++i) links_.push_back({"nic_rx" + std::to_string(i), p.nic_bw});
+    for (int i = 0; i < n_; ++i) {
+      links_.push_back({"port" + std::to_string(i), p.nic_bw * p.duplex_factor});
+    }
+    torus_base_ = 3 * n_;
+    static const char* kDim[3] = {"x", "y", "z"};
+    for (int i = 0; i < n_; ++i) {
+      for (int d = 0; d < 3; ++d) {
+        links_.push_back({"edge" + std::to_string(i) + kDim[d], p.link_bw});
+      }
+    }
+  }
+
+  int num_endpoints() const override { return n_; }
+  const std::vector<Link>& links() const override { return links_; }
+
+  void route(int src, int dst, std::vector<LinkId>& out) const override {
+    out.clear();
+    if (src == dst) return;
+    out.push_back(src);           // nic_tx
+    out.push_back(2 * n_ + src);  // src duplex port
+    int coord[3];
+    int goal[3];
+    to_coord(src, coord);
+    to_coord(dst, goal);
+    // Dimension-order routing, shortest wrap direction per dimension.
+    for (int d = 0; d < 3; ++d) {
+      const int size = p_.dims[d];
+      while (coord[d] != goal[d]) {
+        int fwd = (goal[d] - coord[d] + size) % size;
+        const bool forward = fwd <= size - fwd;
+        int edge_owner;
+        if (forward) {
+          edge_owner = to_rank(coord);
+          coord[d] = (coord[d] + 1) % size;
+        } else {
+          coord[d] = (coord[d] - 1 + size) % size;
+          edge_owner = to_rank(coord);  // edge belongs to its lower node
+        }
+        out.push_back(torus_base_ + edge_owner * 3 + d);
+      }
+    }
+    out.push_back(2 * n_ + dst);  // dst duplex port
+    out.push_back(n_ + dst);      // nic_rx
+  }
+
+  double latency(int src, int dst) const override {
+    if (src == dst) return p_.base_latency;
+    return p_.base_latency + p_.per_hop_latency * static_cast<double>(hops(src, dst));
+  }
+
+  double self_bandwidth() const override { return p_.self_bw; }
+
+  std::string describe() const override {
+    std::ostringstream oss;
+    oss << "3-D torus " << p_.dims[0] << 'x' << p_.dims[1] << 'x' << p_.dims[2]
+        << ", nic " << p_.nic_bw / 1e6 << " MB/s, link " << p_.link_bw / 1e6
+        << " MB/s";
+    return oss.str();
+  }
+
+ private:
+  void to_coord(int rank, int coord[3]) const {
+    coord[0] = rank % p_.dims[0];
+    coord[1] = (rank / p_.dims[0]) % p_.dims[1];
+    coord[2] = rank / (p_.dims[0] * p_.dims[1]);
+  }
+  int to_rank(const int coord[3]) const {
+    return coord[0] + p_.dims[0] * (coord[1] + p_.dims[1] * coord[2]);
+  }
+  int hops(int src, int dst) const {
+    int a[3];
+    int b[3];
+    to_coord(src, a);
+    to_coord(dst, b);
+    int h = 0;
+    for (int d = 0; d < 3; ++d) {
+      const int size = p_.dims[d];
+      const int fwd = (b[d] - a[d] + size) % size;
+      h += std::min(fwd, size - fwd);
+    }
+    return h;
+  }
+
+  Torus3DParams p_;
+  int n_ = 0;
+  int torus_base_ = 0;
+  std::vector<Link> links_;
+};
+
+// ---------------------------------------------------------------------------
+// Cluster of SMPs
+// ---------------------------------------------------------------------------
+class SmpClusterTopology final : public Topology {
+ public:
+  explicit SmpClusterTopology(const SmpClusterParams& p) : p_(p) {
+    if (p.nodes <= 0 || p.procs_per_node <= 0) {
+      throw std::invalid_argument("nodes and procs_per_node must be > 0");
+    }
+    nprocs_ = p.nodes * p.procs_per_node;
+    // Layout: [0,P) mem_tx per process, [P,2P) mem_rx per process,
+    // then per node: bus, nic_tx, nic_rx; finally the switch fabric.
+    for (int i = 0; i < nprocs_; ++i) {
+      links_.push_back({"memtx" + std::to_string(i), p.per_process_copy_bw / 2.0});
+    }
+    for (int i = 0; i < nprocs_; ++i) {
+      links_.push_back({"memrx" + std::to_string(i), p.per_process_copy_bw / 2.0});
+    }
+    node_base_ = 2 * nprocs_;
+    for (int nd = 0; nd < p.nodes; ++nd) {
+      links_.push_back({"bus" + std::to_string(nd), p.node_memory_bw});
+      links_.push_back({"nictx" + std::to_string(nd), p.nic_bw});
+      links_.push_back({"nicrx" + std::to_string(nd), p.nic_bw});
+    }
+    switch_ = static_cast<LinkId>(links_.size());
+    links_.push_back({"switch", p.switch_bw});
+  }
+
+  int num_endpoints() const override { return nprocs_; }
+  const std::vector<Link>& links() const override { return links_; }
+
+  /// Home node of an endpoint under the configured placement.
+  [[nodiscard]] int node_of(int rank) const {
+    if (p_.placement == Placement::Sequential) {
+      return rank / p_.procs_per_node;
+    }
+    return rank % p_.nodes;  // round-robin
+  }
+
+  void route(int src, int dst, std::vector<LinkId>& out) const override {
+    out.clear();
+    if (src == dst) return;
+    const int sn = node_of(src);
+    const int dn = node_of(dst);
+    out.push_back(src);  // mem_tx
+    out.push_back(node_base_ + sn * 3);  // src node bus
+    if (sn != dn) {
+      out.push_back(node_base_ + sn * 3 + 1);  // src nic_tx
+      out.push_back(switch_);
+      out.push_back(node_base_ + dn * 3 + 2);  // dst nic_rx
+      out.push_back(node_base_ + dn * 3);      // dst node bus
+    }
+    out.push_back(nprocs_ + dst);  // mem_rx
+  }
+
+  double latency(int src, int dst) const override {
+    if (src == dst) return p_.intra_latency;
+    return node_of(src) == node_of(dst) ? p_.intra_latency : p_.inter_latency;
+  }
+
+  double self_bandwidth() const override { return p_.per_process_copy_bw; }
+
+  std::string describe() const override {
+    std::ostringstream oss;
+    oss << "SMP cluster " << p_.nodes << " nodes x " << p_.procs_per_node
+        << " procs ("
+        << (p_.placement == Placement::Sequential ? "sequential" : "round-robin")
+        << " placement), nic " << p_.nic_bw / 1e6 << " MB/s";
+    return oss.str();
+  }
+
+ private:
+  SmpClusterParams p_;
+  int nprocs_ = 0;
+  int node_base_ = 0;
+  LinkId switch_ = 0;
+  std::vector<Link> links_;
+};
+
+// ---------------------------------------------------------------------------
+// Crossbar
+// ---------------------------------------------------------------------------
+class CrossbarTopology final : public Topology {
+ public:
+  explicit CrossbarTopology(const CrossbarParams& p) : p_(p) {
+    if (p.processes <= 0) throw std::invalid_argument("processes must be > 0");
+    for (int i = 0; i < p.processes; ++i) {
+      links_.push_back({"tx" + std::to_string(i), p.port_bw});
+    }
+    for (int i = 0; i < p.processes; ++i) {
+      links_.push_back({"rx" + std::to_string(i), p.port_bw});
+    }
+  }
+
+  int num_endpoints() const override { return p_.processes; }
+  const std::vector<Link>& links() const override { return links_; }
+
+  void route(int src, int dst, std::vector<LinkId>& out) const override {
+    out.clear();
+    if (src == dst) return;
+    out.push_back(src);
+    out.push_back(p_.processes + dst);
+  }
+
+  double latency(int, int) const override { return p_.latency_sec; }
+  double self_bandwidth() const override { return 2.0 * p_.port_bw; }
+
+  std::string describe() const override {
+    std::ostringstream oss;
+    oss << "full crossbar, " << p_.processes << " ports x " << p_.port_bw / 1e6
+        << " MB/s";
+    return oss.str();
+  }
+
+ private:
+  CrossbarParams p_;
+  std::vector<Link> links_;
+};
+
+}  // namespace
+
+std::unique_ptr<Topology> make_shared_memory(const SharedMemoryParams& p) {
+  return std::make_unique<SharedMemoryTopology>(p);
+}
+
+std::unique_ptr<Topology> make_torus3d(const Torus3DParams& p) {
+  return std::make_unique<Torus3DTopology>(p);
+}
+
+std::unique_ptr<Topology> make_smp_cluster(const SmpClusterParams& p) {
+  return std::make_unique<SmpClusterTopology>(p);
+}
+
+std::unique_ptr<Topology> make_crossbar(const CrossbarParams& p) {
+  return std::make_unique<CrossbarTopology>(p);
+}
+
+void torus_dims_for(int n, int dims_out[3]) {
+  if (n <= 0) throw std::invalid_argument("torus_dims_for: n must be > 0");
+  // Smallest torus (by volume, then most cubic) holding n nodes --
+  // mirrors how T3E partitions are allocated.
+  int best[3] = {1, 1, n};
+  long best_vol = static_cast<long>(n);
+  int best_maxdim = n;
+  for (int x = 1; static_cast<long>(x) * x * x <= static_cast<long>(n) * 4; ++x) {
+    for (int y = x; static_cast<long>(x) * y <= static_cast<long>(n); ++y) {
+      const long xy = static_cast<long>(x) * y;
+      const int z = static_cast<int>((n + xy - 1) / xy);
+      if (z < y) continue;
+      const long vol = xy * z;
+      const int maxdim = z;  // x <= y <= z
+      if (vol < best_vol || (vol == best_vol && maxdim < best_maxdim)) {
+        best_vol = vol;
+        best_maxdim = maxdim;
+        best[0] = x;
+        best[1] = y;
+        best[2] = z;
+      }
+    }
+  }
+  dims_out[0] = best[0];
+  dims_out[1] = best[1];
+  dims_out[2] = best[2];
+}
+
+}  // namespace balbench::net

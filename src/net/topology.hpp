@@ -1,0 +1,136 @@
+// Network topologies as capacitated link graphs.
+//
+// A Topology maps a pair of endpoints (the hosts of MPI processes) to
+// the ordered list of links a message traverses, plus an end-to-end
+// wire latency.  Machine-specific behaviour the paper observes --
+// ring-versus-random degradation on the T3E torus, the round-robin
+// versus sequential placement gap on the Hitachi SR 8000, flat
+// shared-memory bandwidth on the NEC SX machines -- emerges from these
+// graphs combined with max-min fair link sharing (flow.hpp), not from
+// per-machine special cases in the benchmark code.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace balbench::net {
+
+using LinkId = std::int32_t;
+
+struct Link {
+  std::string name;
+  double bandwidth = 0.0;  // bytes/second capacity
+};
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  /// Number of addressable endpoints (one per process slot).
+  [[nodiscard]] virtual int num_endpoints() const = 0;
+
+  [[nodiscard]] virtual const std::vector<Link>& links() const = 0;
+
+  /// Append the links traversed from src to dst into `out` (cleared
+  /// first).  An empty route means a node-local transfer, served at
+  /// self_bandwidth().  src == dst must produce an empty route.
+  virtual void route(int src, int dst, std::vector<LinkId>& out) const = 0;
+
+  /// End-to-end zero-byte latency in seconds.
+  [[nodiscard]] virtual double latency(int src, int dst) const = 0;
+
+  /// Bandwidth for src == dst (local memcpy) transfers.
+  [[nodiscard]] virtual double self_bandwidth() const = 0;
+
+  /// Human-readable summary for reports.
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Shared-memory machine (NEC SX-4/SX-5, HP-V, SGI SV1 class).
+//
+// Every message is staged through a shared-memory buffer: copy-in by
+// the sender, copy-out by the receiver.  We model each process with a
+// tx and an rx port of `per_process_copy_bw / 2` (the paper: "results
+// generally reflect half of the memory-to-memory copy bandwidth
+// because most MPI implementations have to buffer the message"), and a
+// global memory system of `aggregate_bw`.
+// ---------------------------------------------------------------------------
+struct SharedMemoryParams {
+  int processes = 4;
+  double per_process_copy_bw = 8e9;  // raw memcpy bytes/s of one processor
+  double aggregate_bw = 64e9;        // memory system total bytes/s
+  double latency_sec = 5e-6;
+};
+
+std::unique_ptr<Topology> make_shared_memory(const SharedMemoryParams& p);
+
+// ---------------------------------------------------------------------------
+// 3-D torus (Cray T3E class).
+//
+// Nodes arranged in a dims[0] x dims[1] x dims[2] torus; one process
+// per node.  Each node owns a NIC injection and a NIC ejection link
+// plus six directed torus links (+/- per dimension).  Routing is
+// dimension-order with shortest wrap direction, as on the real T3E.
+// ---------------------------------------------------------------------------
+struct Torus3DParams {
+  int dims[3] = {8, 8, 8};
+  double nic_bw = 330e6;        // injection/ejection bytes/s per direction
+  /// Combined capacity of a node's network port for simultaneous
+  /// send+receive traffic, as a multiple of nic_bw.  Real NICs are not
+  /// fully duplex: the T3E moves ~330 MB/s one-way but only ~2x200 MB/s
+  /// under bidirectional ring load (Table 1 of the paper).
+  double duplex_factor = 1.25;
+  double link_bw = 600e6;       // per torus link per direction
+  double base_latency = 8e-6;   // software + first hop
+  double per_hop_latency = 0.15e-6;
+  double self_bw = 600e6;
+};
+
+std::unique_ptr<Topology> make_torus3d(const Torus3DParams& p);
+
+/// Choose near-cubic torus dimensions for `n` nodes (smallest torus
+/// with at least n nodes); unused slots stay idle.
+void torus_dims_for(int n, int dims_out[3]);
+
+// ---------------------------------------------------------------------------
+// Cluster of SMP nodes (Hitachi SR 8000, IBM RS 6000/SP class).
+//
+// `nodes` SMP nodes with `procs_per_node` processors each.  Intra-node
+// messages use per-process memory ports and the node's memory bus.
+// Inter-node messages additionally traverse the sender's NIC, the
+// switch fabric, and the receiver's NIC.  Process placement is a
+// mapping from rank to (node, slot); round-robin and sequential
+// placements reproduce the paper's Hitachi numbering experiment.
+// ---------------------------------------------------------------------------
+enum class Placement { Sequential, RoundRobin };
+
+struct SmpClusterParams {
+  int nodes = 16;
+  int procs_per_node = 8;
+  Placement placement = Placement::Sequential;
+  double per_process_copy_bw = 1.6e9;  // intra-node per-process memcpy
+  double node_memory_bw = 8e9;         // shared bus per node
+  double nic_bw = 1.0e9;               // node-to-switch per direction
+  double switch_bw = 64e9;             // aggregate fabric capacity
+  double intra_latency = 4e-6;
+  double inter_latency = 14e-6;
+};
+
+std::unique_ptr<Topology> make_smp_cluster(const SmpClusterParams& p);
+
+// ---------------------------------------------------------------------------
+// Ideal full crossbar: per-endpoint tx/rx ports only, non-blocking
+// fabric.  Useful as a baseline and for unit tests.
+// ---------------------------------------------------------------------------
+struct CrossbarParams {
+  int processes = 16;
+  double port_bw = 1e9;
+  double latency_sec = 10e-6;
+};
+
+std::unique_ptr<Topology> make_crossbar(const CrossbarParams& p);
+
+}  // namespace balbench::net

@@ -1,0 +1,361 @@
+#include "pario/file.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "parmsg/sim_transport.hpp"
+
+namespace balbench::pario {
+
+namespace {
+
+parmsg::SimComm& sim_comm(parmsg::Comm& c) {
+  auto* sim = dynamic_cast<parmsg::SimComm*>(&c);
+  if (sim == nullptr) {
+    throw std::logic_error(
+        "pario requires the simulation transport (ranks must block in "
+        "virtual time)");
+  }
+  return *sim;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// IoContext
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<IoContext::SharedFile> IoContext::acquire(const std::string& name) {
+  auto& slot = shared_[name];
+  if (!slot) {
+    slot = std::make_shared<SharedFile>();
+    slot->id = fs_.open(name);
+  }
+  ++slot->open_count;
+  return slot;
+}
+
+void IoContext::release(const std::shared_ptr<SharedFile>& sf) {
+  if (sf) --sf->open_count;
+}
+
+// ---------------------------------------------------------------------------
+// File
+// ---------------------------------------------------------------------------
+
+File::File(parmsg::Comm& comm, IoContext& ctx,
+           std::shared_ptr<IoContext::SharedFile> sf, bool collective,
+           bool two_phase)
+    : comm_(&comm), ctx_(&ctx), shared_(std::move(sf)), collective_(collective),
+      two_phase_(two_phase) {}
+
+File::File(File&& other) noexcept
+    : comm_(other.comm_), ctx_(other.ctx_), shared_(std::move(other.shared_)),
+      collective_(other.collective_), two_phase_(other.two_phase_),
+      pos_(other.pos_), view_chunk_(other.view_chunk_), view_pos_(other.view_pos_) {
+  other.shared_ = nullptr;
+}
+
+File::~File() {
+  // Deliberately no implicit close: closing is collective and must not
+  // happen from a destructor at unwinding time.  Leaked handles only
+  // leak bookkeeping.
+  if (shared_) ctx_->release(shared_);
+}
+
+File File::open(parmsg::Comm& comm, IoContext& ctx, const std::string& name,
+                OpenMode mode, Hints hints) {
+  comm.barrier();
+  comm.advance(ctx.config().open_close_overhead);
+  const bool two_phase =
+      hints.two_phase.value_or(ctx.config().collective_two_phase);
+  File f(comm, ctx, ctx.acquire(name), /*collective=*/true, two_phase);
+  if (mode == OpenMode::Create && comm.rank() == 0) {
+    // MPI_MODE_CREATE semantics for the benchmark: reopening for an
+    // initial write starts from an empty file.
+    ctx.fs_.truncate(f.shared_->id);
+    f.shared_->shared_pointer = 0;
+  }
+  comm.barrier();
+  return f;
+}
+
+File File::open_private(parmsg::Comm& comm, IoContext& ctx,
+                        const std::string& name, OpenMode mode, Hints hints) {
+  comm.advance(ctx.config().open_close_overhead);
+  const bool two_phase =
+      hints.two_phase.value_or(ctx.config().collective_two_phase);
+  File f(comm, ctx, ctx.acquire(name), /*collective=*/false, two_phase);
+  if (mode == OpenMode::Create) {
+    ctx.fs_.truncate(f.shared_->id);
+    f.shared_->shared_pointer = 0;
+  }
+  return f;
+}
+
+void File::close() {
+  if (!shared_) throw std::logic_error("File::close: already closed");
+  comm_->advance(ctx_->config().open_close_overhead);
+  if (collective_) comm_->barrier();
+  ctx_->release(shared_);
+  shared_ = nullptr;
+}
+
+std::int64_t File::size() const {
+  if (!shared_) throw std::logic_error("File::size: file closed");
+  return ctx_->fs_.file_size(shared_->id);
+}
+
+void File::seek(std::int64_t offset) {
+  if (offset < 0) throw std::invalid_argument("File::seek: negative offset");
+  pos_ = offset;
+}
+
+void File::charge_call_overhead(std::int64_t chunks) {
+  comm_->advance(ctx_->config().request_overhead * static_cast<double>(chunks));
+}
+
+void File::submit_blocking(const pfsim::FileSystem::Request& req) {
+  auto& sim = sim_comm(*comm_);
+  simt::Process& proc = sim.process();
+  const double t0 = sim.wtime();
+  bool done = false;
+  ctx_->fs_.submit(req, [&done, &proc] {
+    done = true;
+    proc.wake();
+  });
+  while (!done) proc.block();
+  if (auto* tracer = sim.tracer()) {
+    tracer->record(t0, sim.wtime(), comm_->rank(), req.write ? 'W' : 'R');
+  }
+}
+
+void File::write(std::int64_t bytes, std::int64_t chunks) {
+  write_at(pos_, bytes, chunks);
+  pos_ += bytes;
+}
+
+void File::read(std::int64_t bytes, std::int64_t chunks) {
+  read_at(pos_, bytes, chunks);
+  pos_ += bytes;
+}
+
+void File::write_at(std::int64_t offset, std::int64_t bytes, std::int64_t chunks) {
+  if (!shared_) throw std::logic_error("File::write_at: file closed");
+  charge_call_overhead(chunks);
+  submit_blocking({.client = comm_->rank(), .file = shared_->id, .offset = offset,
+                   .bytes = bytes, .chunks = chunks, .write = true});
+}
+
+void File::read_at(std::int64_t offset, std::int64_t bytes, std::int64_t chunks) {
+  if (!shared_) throw std::logic_error("File::read_at: file closed");
+  charge_call_overhead(chunks);
+  submit_blocking({.client = comm_->rank(), .file = shared_->id, .offset = offset,
+                   .bytes = bytes, .chunks = chunks, .write = false});
+}
+
+// --- shared file pointer (pattern type 1) -----------------------------
+
+void File::transfer_ordered(std::int64_t bytes, std::int64_t calls, bool write) {
+  if (!shared_) throw std::logic_error("File::*_ordered: file closed");
+  const int p = comm_->size();
+  const int rank = comm_->rank();
+  // Every rank must pass the same byte count for ordered access.
+  const double check = comm_->allreduce_max(static_cast<double>(bytes));
+  if (check != static_cast<double>(bytes)) {
+    throw std::invalid_argument("ordered access requires a uniform byte count");
+  }
+  const std::int64_t base = shared_->shared_pointer;
+  // The shared pointer update circulates as a token through the ranks
+  // (paper Sec. 5.1 discussion: this is why shared-pointer patterns
+  // lag): rank r may start its transfer only after r token updates,
+  // and every batched call repeats the full sweep of all p ranks.
+  const double spo = ctx_->config().shared_pointer_overhead;
+  comm_->advance(static_cast<double>(rank + 1) * spo +
+                 static_cast<double>(calls - 1) * static_cast<double>(p) * spo);
+  charge_call_overhead(calls);
+  submit_blocking({.client = rank, .file = shared_->id,
+                   .offset = base + rank * bytes, .bytes = bytes,
+                   .chunks = calls, .write = write});
+  comm_->barrier();
+  shared_->shared_pointer = base + static_cast<std::int64_t>(p) * bytes;
+  comm_->barrier();
+}
+
+std::int64_t File::shared_position() const {
+  if (!shared_) throw std::logic_error("File::shared_position: file closed");
+  return shared_->shared_pointer;
+}
+
+void File::seek_shared(std::int64_t pos) {
+  if (!shared_) throw std::logic_error("File::seek_shared: file closed");
+  if (pos < 0) throw std::invalid_argument("File::seek_shared: negative");
+  comm_->barrier();
+  shared_->shared_pointer = pos;
+  comm_->barrier();
+}
+
+void File::write_ordered(std::int64_t bytes, std::int64_t calls) {
+  transfer_ordered(bytes, calls, /*write=*/true);
+}
+
+void File::read_ordered(std::int64_t bytes, std::int64_t calls) {
+  transfer_ordered(bytes, calls, /*write=*/false);
+}
+
+// --- strided fileview (pattern type 0) ---------------------------------
+
+void File::set_view_strided(std::int64_t disk_chunk) {
+  if (disk_chunk <= 0) throw std::invalid_argument("set_view_strided: chunk <= 0");
+  view_chunk_ = disk_chunk;
+  // view_pos_ is deliberately preserved: b_eff_io switches views
+  // between patterns of one open file, and "the alignment is
+  // implicitly defined by the data written by all previous patterns"
+  // (paper, Table 2 footnote).
+}
+
+void File::seek_view(std::int64_t pos) {
+  if (pos < 0) throw std::invalid_argument("File::seek_view: negative");
+  view_pos_ = pos;
+}
+
+void File::transfer_view(std::int64_t mem_bytes, std::int64_t calls, bool write) {
+  if (!shared_) throw std::logic_error("File::*_all: file closed");
+  if (view_chunk_ <= 0) {
+    throw std::logic_error("File::*_all: set_view_strided first");
+  }
+  const int p = comm_->size();
+  const int rank = comm_->rank();
+  const std::int64_t chunks = std::max<std::int64_t>(1, mem_bytes / view_chunk_);
+  const std::int64_t round = static_cast<std::int64_t>(p) * mem_bytes;
+  const std::int64_t base = view_pos_;
+
+  comm_->barrier();  // collective entry
+  // Each batched collective call repeats the coordination handshake.
+  if (calls > 1) {
+    comm_->advance(static_cast<double>(calls - 1) *
+                   ctx_->config().shared_pointer_overhead);
+  }
+  charge_call_overhead(calls);
+
+  if (two_phase_) {
+    // Two-phase I/O with a bounded aggregator set (ROMIO's cb_nodes):
+    // every rank ships its call payload over the machine network to
+    // its collective-buffering aggregator; the aggregators then issue
+    // one large contiguous, aligned file access each.
+    const int naggr =
+        std::max(1, std::min(p, 2 * ctx_->config().num_servers));
+    const int my_aggr = rank % naggr;
+    constexpr int kShuffleTag = -1003;
+    const std::int64_t round_bytes = static_cast<std::int64_t>(p) * mem_bytes;
+    if (rank >= naggr) {
+      if (write) {
+        comm_->send(my_aggr, nullptr, static_cast<std::size_t>(mem_bytes),
+                    kShuffleTag);
+      }
+    }
+    if (rank < naggr) {
+      // Collect the group's chunks (phase one)...
+      for (int peer = rank + naggr; peer < p; peer += naggr) {
+        if (write) {
+          comm_->recv(peer, nullptr, static_cast<std::size_t>(mem_bytes),
+                      kShuffleTag);
+        }
+      }
+      // ... and access the aggregator's contiguous span (phase two).
+      // File domains are aligned to the striping unit, as ROMIO's
+      // collective buffering does.
+      const std::int64_t su = ctx_->config().stripe_unit;
+      const std::int64_t share =
+          (round_bytes / naggr + su - 1) / su * su;
+      const std::int64_t my_off = rank * share;
+      const std::int64_t my_bytes =
+          std::max<std::int64_t>(0, std::min(share, round_bytes - my_off));
+      const std::int64_t my_chunks =
+          std::max<std::int64_t>(1, chunks * p / naggr);
+      if (my_bytes > 0) {
+        submit_blocking({.client = rank, .file = shared_->id,
+                         .offset = base + my_off, .bytes = my_bytes,
+                         .chunks = my_chunks, .write = write, .aggregated = true});
+      }
+      // Reads distribute the data back to the group.
+      for (int peer = rank + naggr; peer < p; peer += naggr) {
+        if (!write) {
+          comm_->send(peer, nullptr, static_cast<std::size_t>(mem_bytes),
+                      kShuffleTag);
+        }
+      }
+    } else if (!write) {
+      comm_->recv(my_aggr, nullptr, static_cast<std::size_t>(mem_bytes),
+                  kShuffleTag);
+    }
+  } else {
+    // Naive strided access: every view chunk is its own disk access.
+    submit_blocking({.client = rank, .file = shared_->id,
+                     .offset = base + rank * view_chunk_, .bytes = mem_bytes,
+                     .chunks = chunks, .write = write, .aggregated = false});
+  }
+  comm_->barrier();  // collective exit
+  view_pos_ = base + round;
+}
+
+void File::write_all(std::int64_t mem_bytes, std::int64_t calls) {
+  transfer_view(mem_bytes, calls, true);
+}
+void File::read_all(std::int64_t mem_bytes, std::int64_t calls) {
+  transfer_view(mem_bytes, calls, false);
+}
+
+// --- collective explicit offsets (pattern type 4) -----------------------
+
+void File::transfer_at_all(std::int64_t offset, std::int64_t bytes,
+                           std::int64_t chunks, bool write) {
+  if (!shared_) throw std::logic_error("File::*_at_all: file closed");
+  comm_->barrier();  // collective entry
+  const bool optimized = ctx_->config().optimized_segmented_collective;
+  constexpr int kTokenTag = -1002;  // internal tag space
+  if (!optimized && comm_->rank() > 0) {
+    // Unoptimized collective path (the IBM SP prototype, paper
+    // Sec. 5.3): the library processes the ranks' regions one after
+    // the other -- the whole collective call is serialized, which is
+    // what makes this pattern type "more than a factor of 10 worse"
+    // than its non-collective twin on larger partitions.
+    comm_->recv(comm_->rank() - 1, nullptr, 1, kTokenTag);
+  }
+  if (!optimized) {
+    comm_->advance(2.0 * ctx_->config().shared_pointer_overhead *
+                   static_cast<double>(chunks));
+  }
+  charge_call_overhead(chunks);
+  submit_blocking({.client = comm_->rank(), .file = shared_->id, .offset = offset,
+                   .bytes = bytes, .chunks = chunks, .write = write});
+  if (!optimized && comm_->rank() + 1 < comm_->size()) {
+    comm_->send(comm_->rank() + 1, nullptr, 1, kTokenTag);
+  }
+  comm_->barrier();  // collective exit
+}
+
+void File::write_at_all(std::int64_t offset, std::int64_t bytes, std::int64_t chunks) {
+  transfer_at_all(offset, bytes, chunks, /*write=*/true);
+}
+
+void File::read_at_all(std::int64_t offset, std::int64_t bytes, std::int64_t chunks) {
+  transfer_at_all(offset, bytes, chunks, /*write=*/false);
+}
+
+void File::sync() {
+  if (!shared_) throw std::logic_error("File::sync: file closed");
+  if (collective_) comm_->barrier();
+  auto& sim = sim_comm(*comm_);
+  simt::Process& proc = sim.process();
+  bool done = false;
+  ctx_->fs_.sync(shared_->id, [&done, &proc] {
+    done = true;
+    proc.wake();
+  });
+  while (!done) proc.block();
+  if (collective_) comm_->barrier();
+}
+
+}  // namespace balbench::pario

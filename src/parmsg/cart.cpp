@@ -1,0 +1,72 @@
+#include "parmsg/cart.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace balbench::parmsg {
+
+std::vector<int> dims_create(int nprocs, int ndims) {
+  if (nprocs < 1 || ndims < 1) {
+    throw std::invalid_argument("dims_create: nprocs and ndims must be >= 1");
+  }
+  std::vector<int> dims(static_cast<std::size_t>(ndims), 1);
+  // Greedy: repeatedly assign the largest prime factor to the currently
+  // smallest dimension, then sort descending -- matches the balanced
+  // factorizations MPI implementations produce for typical sizes.
+  int remaining = nprocs;
+  std::vector<int> factors;
+  for (int f = 2; f * f <= remaining; ++f) {
+    while (remaining % f == 0) {
+      factors.push_back(f);
+      remaining /= f;
+    }
+  }
+  if (remaining > 1) factors.push_back(remaining);
+  std::sort(factors.rbegin(), factors.rend());
+  for (int f : factors) {
+    auto it = std::min_element(dims.begin(), dims.end());
+    *it *= f;
+  }
+  std::sort(dims.rbegin(), dims.rend());
+  return dims;
+}
+
+std::vector<int> cart_coords(int rank, const std::vector<int>& dims) {
+  std::vector<int> coords(dims.size());
+  // Row-major: last dimension varies fastest (MPI convention).
+  for (std::size_t d = dims.size(); d-- > 0;) {
+    coords[d] = rank % dims[d];
+    rank /= dims[d];
+  }
+  return coords;
+}
+
+int cart_rank(const std::vector<int>& coords, const std::vector<int>& dims) {
+  if (coords.size() != dims.size()) {
+    throw std::invalid_argument("cart_rank: dimension mismatch");
+  }
+  int rank = 0;
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    int c = coords[d] % dims[d];
+    if (c < 0) c += dims[d];
+    rank = rank * dims[d] + c;
+  }
+  return rank;
+}
+
+Shift cart_shift(int rank, const std::vector<int>& dims, int dim) {
+  if (dim < 0 || static_cast<std::size_t>(dim) >= dims.size()) {
+    throw std::invalid_argument("cart_shift: bad dimension");
+  }
+  auto coords = cart_coords(rank, dims);
+  Shift s;
+  auto up = coords;
+  up[static_cast<std::size_t>(dim)] += 1;
+  s.dest = cart_rank(up, dims);
+  auto down = coords;
+  down[static_cast<std::size_t>(dim)] -= 1;
+  s.source = cart_rank(down, dims);
+  return s;
+}
+
+}  // namespace balbench::parmsg

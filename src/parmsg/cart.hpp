@@ -1,0 +1,28 @@
+// Cartesian process-grid helpers (MPI_Dims_create / MPI_Cart_shift
+// equivalents) used by the b_eff analysis patterns: the benchmark
+// measures 2-D and 3-D Cartesian halo communication "in both directions
+// separately and together" (paper Sec. 4).
+#pragma once
+
+#include <array>
+#include <vector>
+
+namespace balbench::parmsg {
+
+/// Balanced factorization of `nprocs` into `ndims` factors, most
+/// balanced first (MPI_Dims_create semantics with all dims zero).
+std::vector<int> dims_create(int nprocs, int ndims);
+
+/// Row-major rank <-> coordinate conversion on a periodic grid.
+std::vector<int> cart_coords(int rank, const std::vector<int>& dims);
+int cart_rank(const std::vector<int>& coords, const std::vector<int>& dims);
+
+/// Ranks of the source/destination for a displacement of +1 along
+/// `dim` on a fully periodic grid (MPI_Cart_shift with disp=1).
+struct Shift {
+  int source = -1;
+  int dest = -1;
+};
+Shift cart_shift(int rank, const std::vector<int>& dims, int dim);
+
+}  // namespace balbench::parmsg

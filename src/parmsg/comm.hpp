@@ -1,0 +1,145 @@
+// parmsg: a small MPI-like message-passing interface.
+//
+// The benchmark drivers (core/beff, core/beffio) are ordinary SPMD
+// programs written against this interface, exactly like the original
+// b_eff / b_eff_io codes are written against MPI.  Two transports
+// implement it:
+//
+//   * SimTransport  -- deterministic discrete-event simulation: ranks
+//     are fibers, transfers are max-min fair flows on a machine
+//     topology, wtime() reads the virtual clock.  This is what
+//     reproduces the paper's numbers.
+//   * ThreadTransport -- real std::thread ranks with real buffer
+//     copies and wall-clock wtime().  This makes parmsg a usable
+//     message-passing library in its own right and lets the test suite
+//     validate transfer semantics for both transports with the same
+//     test bodies.
+//
+// Tags: user code must use tags >= 0; negative tags are reserved for
+// internal collective traffic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace balbench::parmsg {
+
+/// Per-call software costs charged by the simulation transport.
+/// (The thread transport incurs real costs instead.)
+struct CommCosts {
+  double send_overhead = 1.0e-6;       // CPU seconds per send call
+  double recv_overhead = 1.0e-6;       // CPU seconds per receive call
+  double alltoallv_base = 4.0e-6;      // MPI_Alltoallv call setup
+  double alltoallv_per_rank = 0.06e-6; // count-array scan per rank
+  double barrier_hop = 3.0e-6;         // per tree level of a barrier
+  double bcast_hop = 3.0e-6;           // per tree level of a bcast
+  double reduce_hop = 3.0e-6;          // per tree level of a reduction
+};
+
+namespace detail {
+struct RequestState;
+}
+
+/// Handle for a nonblocking operation.  Copyable; wait() through the
+/// issuing Comm.
+class Request {
+ public:
+  Request() = default;
+  [[nodiscard]] bool valid() const { return static_cast<bool>(state_); }
+  [[nodiscard]] bool done() const;
+
+ private:
+  friend class Comm;
+  explicit Request(std::shared_ptr<detail::RequestState> s) : state_(std::move(s)) {}
+  std::shared_ptr<detail::RequestState> state_;
+};
+
+/// Communicator bound to one rank of a running SPMD program.
+/// All methods must be called from that rank's execution context.
+class Comm {
+ public:
+  virtual ~Comm() = default;
+
+  [[nodiscard]] virtual int rank() const = 0;
+  [[nodiscard]] virtual int size() const = 0;
+
+  /// Seconds; virtual time under simulation, steady clock otherwise.
+  virtual double wtime() = 0;
+
+  /// Advance this rank's clock by `dt` seconds of CPU-busy time.  The
+  /// simulation transport sleeps the rank's fiber in virtual time
+  /// (used for compute phases and deterministic loop fast-forward);
+  /// the thread transport has no virtual clock and ignores it.
+  virtual void advance(double dt) { (void)dt; }
+
+  // --- point to point ------------------------------------------------
+  // Buffers may be nullptr, in which case only timing is simulated /
+  // bytes are moved without content (useful for huge-message timing
+  // runs).  `n` is in bytes.
+
+  virtual void send(int dst, const void* buf, std::size_t n, int tag);
+  virtual void recv(int src, void* buf, std::size_t n, int tag);
+
+  virtual Request isend(int dst, const void* buf, std::size_t n, int tag) = 0;
+  virtual Request irecv(int src, void* buf, std::size_t n, int tag) = 0;
+  virtual void wait(Request& req) = 0;
+  void waitall(std::span<Request> reqs);
+
+  /// Concurrent send+receive, as MPI_Sendrecv.
+  void sendrecv(int dst, const void* sendbuf, std::size_t sn, int stag,
+                int src, void* recvbuf, std::size_t rn, int rtag);
+
+  // --- collectives ----------------------------------------------------
+
+  virtual void barrier() = 0;
+  virtual void bcast(void* buf, std::size_t n, int root) = 0;
+  virtual double allreduce_max(double x) = 0;
+  virtual double allreduce_sum(double x) = 0;
+
+  /// Byte-granularity MPI_Alltoallv.  Spans are size() long; an empty
+  /// sendbuf/recvbuf with all-zero counts is allowed.
+  virtual void alltoallv(const void* sendbuf, std::span<const std::size_t> scounts,
+                         std::span<const std::size_t> sdispls, void* recvbuf,
+                         std::span<const std::size_t> rcounts,
+                         std::span<const std::size_t> rdispls);
+
+ protected:
+  /// Request plumbing for transport implementations (which live in
+  /// implementation files and cannot be befriended individually).
+  static Request make_request(std::shared_ptr<detail::RequestState> s) {
+    return Request(std::move(s));
+  }
+  static const std::shared_ptr<detail::RequestState>& state_of(const Request& r) {
+    return r.state_;
+  }
+
+  /// Default alltoallv: pairwise nonblocking exchange (used by both
+  /// transports; SimComm prepends the vector-argument scan cost).
+  void alltoallv_generic(const void* sendbuf, std::span<const std::size_t> scounts,
+                         std::span<const std::size_t> sdispls, void* recvbuf,
+                         std::span<const std::size_t> rcounts,
+                         std::span<const std::size_t> rdispls);
+
+  static constexpr int kInternalTagBase = -1000;
+};
+
+/// Executes SPMD bodies.  run() blocks until every rank returned; any
+/// exception from a rank is rethrown (first one wins).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Upper bound on nprocs for run(); endpoint count of the machine.
+  [[nodiscard]] virtual int max_processes() const = 0;
+
+  virtual void run(int nprocs, const std::function<void(Comm&)>& body) = 0;
+
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+}  // namespace balbench::parmsg

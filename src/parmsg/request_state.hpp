@@ -1,0 +1,32 @@
+// Shared request-state plumbing between the transports.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+namespace balbench::simt {
+class Process;
+}
+
+namespace balbench::parmsg::detail {
+
+struct RequestState {
+  bool done = false;
+
+  // Simulation transport: fiber to wake when the operation completes.
+  simt::Process* sim_waiter = nullptr;
+
+  // Thread transport: completion signalling.
+  std::mutex mu;
+  std::condition_variable cv;
+
+  void complete_threaded() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      done = true;
+    }
+    cv.notify_all();
+  }
+};
+
+}  // namespace balbench::parmsg::detail

@@ -1,0 +1,103 @@
+// Simulation transport: parmsg over fibers + flow-level networking.
+//
+// Each rank is a simt::Process (fiber); point-to-point messages become
+// flows in a net::FlowNetwork over the machine's topology; collectives
+// use synchronizing tree models parameterized by CommCosts.  wtime()
+// reads the virtual clock, so benchmark drivers measure *simulated*
+// machine time while the host executes deterministically on one core.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "net/flow.hpp"
+#include "simt/trace.hpp"
+#include "net/topology.hpp"
+#include "parmsg/comm.hpp"
+#include "simt/engine.hpp"
+
+namespace balbench::parmsg {
+
+class SimComm;
+struct SimRun;
+
+class SimTransport final : public Transport {
+ public:
+  SimTransport(std::unique_ptr<net::Topology> topology, CommCosts costs);
+  ~SimTransport() override;
+
+  [[nodiscard]] int max_processes() const override;
+
+  void run(int nprocs, const std::function<void(Comm&)>& body) override;
+
+  /// Like run(), but invokes `setup(engine)` after the engine exists
+  /// and before any rank starts -- used to attach co-simulations such
+  /// as the parallel filesystem (pfsim) to the same virtual clock.
+  void run_with_setup(int nprocs,
+                      const std::function<void(simt::Engine&)>& setup,
+                      const std::function<void(Comm&)>& body);
+
+  /// Virtual duration of the most recent run in seconds.
+  [[nodiscard]] double last_virtual_time() const { return last_virtual_time_; }
+
+  /// Attach a tracer: subsequent runs record per-rank activity spans
+  /// (compute 'c', collectives 'b', message waits 'w', sends 's',
+  /// I/O 'W'/'R' via pario).  Pass nullptr to detach.
+  void set_tracer(std::shared_ptr<simt::Tracer> tracer);
+  [[nodiscard]] simt::Tracer* tracer() const { return tracer_.get(); }
+
+  [[nodiscard]] const net::Topology& topology() const { return *topology_; }
+  [[nodiscard]] const CommCosts& costs() const { return costs_; }
+
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  std::unique_ptr<net::Topology> topology_;
+  CommCosts costs_;
+  double last_virtual_time_ = 0.0;
+  std::shared_ptr<simt::Tracer> tracer_;
+};
+
+/// Comm implementation used by SimTransport.  Exposed so that
+/// virtual-time subsystems (pario) can reach the engine and the
+/// calling fiber.
+class SimComm final : public Comm {
+ public:
+  [[nodiscard]] int rank() const override;
+  [[nodiscard]] int size() const override;
+  double wtime() override;
+
+  Request isend(int dst, const void* buf, std::size_t n, int tag) override;
+  Request irecv(int src, void* buf, std::size_t n, int tag) override;
+  void wait(Request& req) override;
+
+  void barrier() override;
+  void bcast(void* buf, std::size_t n, int root) override;
+  double allreduce_max(double x) override;
+  double allreduce_sum(double x) override;
+
+  void alltoallv(const void* sendbuf, std::span<const std::size_t> scounts,
+                 std::span<const std::size_t> sdispls, void* recvbuf,
+                 std::span<const std::size_t> rcounts,
+                 std::span<const std::size_t> rdispls) override;
+
+  /// Virtual-time integration points for co-simulated subsystems.
+  [[nodiscard]] simt::Engine& engine();
+  [[nodiscard]] simt::Process& process() { return proc_; }
+  /// Attached tracer, or nullptr (subsystems record I/O spans here).
+  [[nodiscard]] simt::Tracer* tracer() const;
+  /// Advance this rank's virtual time by `dt` (models CPU-busy work).
+  void advance(double dt) override;
+
+ private:
+  friend class SimTransport;
+  friend struct SimRun;
+  SimComm(SimRun& run, int rank, simt::Process& proc);
+  double allreduce(double x, bool want_max);
+
+  SimRun& run_;
+  int rank_;
+  simt::Process& proc_;
+};
+
+}  // namespace balbench::parmsg

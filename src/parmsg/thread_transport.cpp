@@ -1,0 +1,261 @@
+#include "parmsg/thread_transport.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <exception>
+#include <list>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "parmsg/request_state.hpp"
+
+namespace balbench::parmsg {
+
+namespace {
+class ThreadComm;
+}
+
+// ---------------------------------------------------------------------------
+// Shared state of one run
+// ---------------------------------------------------------------------------
+
+struct ThreadRun {
+  explicit ThreadRun(int np) : nprocs(np), mailboxes(static_cast<std::size_t>(np)) {}
+
+  struct Arrival {
+    std::vector<char> data;
+    std::size_t n = 0;
+  };
+  struct PendingRecv {
+    int src = 0;
+    int tag = 0;
+    void* buf = nullptr;
+    std::size_t n = 0;
+    std::shared_ptr<detail::RequestState> req;
+  };
+  struct Mailbox {
+    std::mutex mu;
+    std::map<std::pair<int, int>, std::list<Arrival>> arrived;
+    std::list<PendingRecv> pending;
+  };
+
+  void deliver(int dst, int src, int tag, Arrival arrival) {
+    Mailbox& box = mailboxes[static_cast<std::size_t>(dst)];
+    std::shared_ptr<detail::RequestState> completed;
+    {
+      std::lock_guard<std::mutex> lock(box.mu);
+      bool matched = false;
+      for (auto it = box.pending.begin(); it != box.pending.end(); ++it) {
+        if (it->src == src && it->tag == tag) {
+          if (it->buf != nullptr && !arrival.data.empty()) {
+            std::memcpy(it->buf, arrival.data.data(), std::min(it->n, arrival.n));
+          }
+          completed = it->req;
+          box.pending.erase(it);
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) box.arrived[{src, tag}].push_back(std::move(arrival));
+    }
+    if (completed) completed->complete_threaded();
+  }
+
+  // Central sense-reversing barrier + collective scratch space.
+  std::mutex coll_mu;
+  std::condition_variable coll_cv;
+  int coll_arrived = 0;
+  std::uint64_t coll_generation = 0;
+  std::vector<char> bcast_data;
+  double reduce_acc_max = 0.0;
+  double reduce_acc_sum = 0.0;
+  bool reduce_started = false;
+
+  int nprocs;
+  std::vector<Mailbox> mailboxes;
+  std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+};
+
+// ---------------------------------------------------------------------------
+// ThreadComm
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class ThreadComm final : public Comm {
+ public:
+  ThreadComm(ThreadRun& run, int rank) : run_(run), rank_(rank) {}
+
+  int rank() const override { return rank_; }
+  int size() const override { return run_.nprocs; }
+
+  double wtime() override {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         run_.epoch)
+        .count();
+  }
+
+  Request isend(int dst, const void* buf, std::size_t n, int tag) override {
+    if (dst < 0 || dst >= run_.nprocs) {
+      throw std::out_of_range("isend: bad destination rank");
+    }
+    ThreadRun::Arrival arrival;
+    arrival.n = n;
+    if (buf != nullptr && n > 0) {
+      arrival.data.assign(static_cast<const char*>(buf),
+                          static_cast<const char*>(buf) + n);
+    }
+    run_.deliver(dst, rank_, tag, std::move(arrival));
+    auto req = std::make_shared<detail::RequestState>();
+    req->done = true;
+    return make_request(req);
+  }
+
+  Request irecv(int src, void* buf, std::size_t n, int tag) override {
+    if (src < 0 || src >= run_.nprocs) {
+      throw std::out_of_range("irecv: bad source rank");
+    }
+    auto req = std::make_shared<detail::RequestState>();
+    ThreadRun::Mailbox& box = run_.mailboxes[static_cast<std::size_t>(rank_)];
+    std::lock_guard<std::mutex> lock(box.mu);
+    auto it = box.arrived.find({src, tag});
+    if (it != box.arrived.end() && !it->second.empty()) {
+      ThreadRun::Arrival& a = it->second.front();
+      if (buf != nullptr && !a.data.empty()) {
+        std::memcpy(buf, a.data.data(), std::min(n, a.n));
+      }
+      it->second.pop_front();
+      if (it->second.empty()) box.arrived.erase(it);
+      req->done = true;
+    } else {
+      box.pending.push_back(ThreadRun::PendingRecv{src, tag, buf, n, req});
+    }
+    return make_request(req);
+  }
+
+  void wait(Request& req) override {
+    if (!req.valid()) return;
+    auto st = state_of(req);
+    std::unique_lock<std::mutex> lock(st->mu);
+    st->cv.wait(lock, [&] { return st->done; });
+  }
+
+  void barrier() override { barrier_internal(); }
+
+  void bcast(void* buf, std::size_t n, int root) override {
+    // Phase 1: root publishes.
+    {
+      std::lock_guard<std::mutex> lock(run_.coll_mu);
+      if (rank_ == root && buf != nullptr) {
+        run_.bcast_data.assign(static_cast<char*>(buf),
+                               static_cast<char*>(buf) + n);
+      }
+    }
+    barrier_internal();
+    // Phase 2: everyone reads; a trailing barrier prevents the next
+    // bcast from overwriting the slot early.
+    if (rank_ != root && buf != nullptr) {
+      std::lock_guard<std::mutex> lock(run_.coll_mu);
+      if (!run_.bcast_data.empty()) {
+        std::memcpy(buf, run_.bcast_data.data(), std::min(n, run_.bcast_data.size()));
+      }
+    }
+    barrier_internal();
+  }
+
+  double allreduce_max(double x) override { return allreduce(x, true); }
+  double allreduce_sum(double x) override { return allreduce(x, false); }
+
+ private:
+  void barrier_internal() {
+    std::unique_lock<std::mutex> lock(run_.coll_mu);
+    const std::uint64_t gen = run_.coll_generation;
+    if (++run_.coll_arrived == run_.nprocs) {
+      run_.coll_arrived = 0;
+      ++run_.coll_generation;
+      run_.coll_cv.notify_all();
+    } else {
+      run_.coll_cv.wait(lock, [&] { return run_.coll_generation != gen; });
+    }
+  }
+
+  double allreduce(double x, bool want_max) {
+    {
+      std::lock_guard<std::mutex> lock(run_.coll_mu);
+      if (!run_.reduce_started) {
+        run_.reduce_acc_max = x;
+        run_.reduce_acc_sum = x;
+        run_.reduce_started = true;
+      } else {
+        run_.reduce_acc_max = std::max(run_.reduce_acc_max, x);
+        run_.reduce_acc_sum += x;
+      }
+    }
+    barrier_internal();
+    double result = 0.0;
+    {
+      std::lock_guard<std::mutex> lock(run_.coll_mu);
+      result = want_max ? run_.reduce_acc_max : run_.reduce_acc_sum;
+    }
+    barrier_internal();
+    {
+      std::lock_guard<std::mutex> lock(run_.coll_mu);
+      run_.reduce_started = false;
+    }
+    // A final barrier so no rank races ahead and starts the next
+    // reduction before reduce_started was reset.
+    barrier_internal();
+    return result;
+  }
+
+  ThreadRun& run_;
+  int rank_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ThreadTransport
+// ---------------------------------------------------------------------------
+
+ThreadTransport::ThreadTransport(int max_procs) : max_procs_(max_procs) {
+  if (max_procs < 1) throw std::invalid_argument("max_procs must be >= 1");
+}
+
+void ThreadTransport::run(int nprocs, const std::function<void(Comm&)>& body) {
+  if (nprocs < 1 || nprocs > max_procs_) {
+    throw std::invalid_argument("ThreadTransport::run: nprocs out of range");
+  }
+  ThreadRun run(nprocs);
+  std::vector<std::thread> threads;
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  threads.reserve(static_cast<std::size_t>(nprocs));
+  for (int r = 0; r < nprocs; ++r) {
+    threads.emplace_back([&, r] {
+      ThreadComm comm(run, r);
+      try {
+        body(comm);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::string ThreadTransport::describe() const {
+  std::ostringstream oss;
+  oss << "thread transport (up to " << max_procs_ << " ranks)";
+  return oss.str();
+}
+
+}  // namespace balbench::parmsg

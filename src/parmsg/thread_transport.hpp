@@ -1,0 +1,35 @@
+// Thread transport: parmsg over real std::thread ranks.
+//
+// Every rank is a kernel thread; messages are real buffer copies
+// through per-rank mailboxes; wtime() is the steady clock.  This makes
+// parmsg usable as an actual shared-memory message-passing library and
+// gives the test suite a second, independent implementation of the
+// Comm semantics (the property tests run the same bodies over both
+// transports and require identical data movement).
+#pragma once
+
+#include <memory>
+
+#include "parmsg/comm.hpp"
+
+namespace balbench::parmsg {
+
+struct ThreadRun;
+
+class ThreadTransport final : public Transport {
+ public:
+  /// `max_procs` bounds run(); purely a sanity limit (threads are
+  /// oversubscribed onto however many cores exist).
+  explicit ThreadTransport(int max_procs = 256);
+
+  [[nodiscard]] int max_processes() const override { return max_procs_; }
+
+  void run(int nprocs, const std::function<void(Comm&)>& body) override;
+
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  int max_procs_;
+};
+
+}  // namespace balbench::parmsg

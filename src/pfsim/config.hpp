@@ -1,0 +1,67 @@
+// Configuration of the simulated parallel I/O subsystem.
+//
+// One IoSystemConfig describes everything the paper reports (or its
+// references report) about a platform's I/O hardware and MPI-I/O
+// software: I/O server counts, striping, disk characteristics, the
+// filesystem buffer cache, and which MPI-I/O optimizations the
+// platform's library implements.  pfsim::FileSystem turns this into a
+// virtual-time co-simulation; pario::File implements MPI-I/O semantics
+// on top.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace balbench::pfsim {
+
+struct DiskConfig {
+  double bandwidth = 50e6;   // sustained streaming bytes/s per disk
+  double seek_time = 5e-3;   // positioning cost per discontiguous access
+  /// Contiguous runs shorter than this pay a seek each; longer runs
+  /// amortize positioning (tracks-per-access heuristic).
+  std::int64_t sequential_threshold = 256 * 1024;
+};
+
+struct IoSystemConfig {
+  std::string name;
+
+  // --- hardware ------------------------------------------------------
+  int num_servers = 1;           // I/O server nodes (VSDs, RAID controllers)
+  int disks_per_server = 1;      // striped disks behind each server
+  DiskConfig disk;
+  double server_bandwidth = 100e6;   // per-server network/memory path, bytes/s
+  double client_link_bw = 100e6;     // per client node into the I/O fabric
+  double fabric_bandwidth = 1e9;     // shared fabric aggregate, bytes/s
+  double fabric_latency = 30e-6;     // client <-> server wire latency
+  /// Writes cost this factor more disk time than reads (parity update,
+  /// replication, token revocation -- GPFS writes ~690 MB/s vs reads
+  /// ~950 MB/s in the paper's reference [8]).
+  double write_penalty = 1.0;
+
+  // --- filesystem ------------------------------------------------------
+  std::int64_t stripe_unit = 64 * 1024;  // striping across servers
+  std::int64_t block_size = 4096;        // RMW granularity for unaligned access
+  std::int64_t cache_bytes = 1LL << 30;  // buffer cache (write-back + read)
+  /// NEC SFS behaviour: requests of at least this size bypass the
+  /// cache (0 = never bypass).
+  std::int64_t cache_bypass_threshold = 0;
+
+  // --- software (MPI-I/O library) -------------------------------------
+  double open_close_overhead = 4e-3;       // per MPI_File_open / close
+  double request_overhead = 150e-6;        // client-side cost per I/O call
+  double server_request_overhead = 30e-6;  // per request at the server
+  /// Library implements two-phase buffering for collective strided
+  /// access (pattern type 0).
+  bool collective_two_phase = true;
+  /// Library optimizes collective access to segmented files (pattern
+  /// type 4).  The IBM SP MPI-I/O prototype of the paper did not:
+  /// "the collective counterpart is more than a factor of 10 worse".
+  bool optimized_segmented_collective = true;
+  /// Cost of one shared-file-pointer update (fetch-and-add token).
+  double shared_pointer_overhead = 120e-6;
+  /// Per-chunk handling cost for non-block-aligned ("non-wellformed")
+  /// accesses: unaligned datatype staging and partial-block locking.
+  double unaligned_overhead = 500e-6;
+};
+
+}  // namespace balbench::pfsim

@@ -1,0 +1,97 @@
+#include "simt/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace balbench::simt {
+
+void Process::sleep(Time dt) {
+  assert(dt >= 0.0);
+  engine_->schedule_after(dt, [this] { wake(); });
+  block();
+}
+
+Time Process::block() {
+  assert(Fiber::current() == fiber_.get() && "block() outside own fiber");
+  blocked_ = true;
+  Fiber::suspend();
+  return engine_->now();
+}
+
+void Process::wake() {
+  if (!blocked_) return;  // spurious wake (e.g. cancelled timeout races)
+  blocked_ = false;
+  engine_->make_runnable(*this);
+}
+
+Process& Engine::spawn(std::function<void(Process&)> fn, std::size_t stack_size) {
+  auto proc = std::unique_ptr<Process>(
+      new Process(this, static_cast<int>(processes_.size())));
+  Process* p = proc.get();
+  proc->fiber_ = std::make_unique<Fiber>([p, fn = std::move(fn)] { fn(*p); },
+                                         stack_size);
+  processes_.push_back(std::move(proc));
+  make_runnable(*p);
+  return *p;
+}
+
+std::uint64_t Engine::schedule_at(Time t, std::function<void()> fn) {
+  assert(t >= now_ && "event scheduled in the past");
+  const std::uint64_t seq = next_seq_++;
+  events_.push(Event{std::max(t, now_), seq, std::move(fn)});
+  return seq;
+}
+
+void Engine::cancel(std::uint64_t event_id) {
+  cancelled_.push_back(event_id);
+}
+
+void Engine::make_runnable(Process& p) {
+  if (p.runnable_ || p.finished()) return;
+  p.runnable_ = true;
+  run_queue_.push(&p);
+}
+
+void Engine::drain_run_queue() {
+  while (!run_queue_.empty()) {
+    Process* p = run_queue_.front();
+    run_queue_.pop();
+    p->runnable_ = false;
+    if (p->finished()) continue;
+    ++switches_;
+    p->fiber_->resume();
+    p->fiber_->rethrow_if_failed();
+  }
+}
+
+void Engine::run() {
+  assert(!running_ && "Engine::run is not reentrant");
+  running_ = true;
+  drain_run_queue();
+  while (!events_.empty()) {
+    Event ev = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    if (std::find(cancelled_.begin(), cancelled_.end(), ev.seq) !=
+        cancelled_.end()) {
+      cancelled_.erase(std::remove(cancelled_.begin(), cancelled_.end(), ev.seq),
+                       cancelled_.end());
+      continue;
+    }
+    assert(ev.time >= now_);
+    now_ = ev.time;
+    ++events_fired_;
+    ev.fn();
+    drain_run_queue();
+  }
+  running_ = false;
+
+  for (const auto& p : processes_) {
+    if (!p->finished()) {
+      throw DeadlockError(
+          "simulation ended with blocked process id=" + std::to_string(p->id()) +
+          " (no pending events; the simulated workload deadlocked)");
+    }
+  }
+}
+
+}  // namespace balbench::simt

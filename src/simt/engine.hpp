@@ -1,0 +1,131 @@
+// Discrete-event engine with virtual time and simulated processes.
+//
+// Model: a set of processes (fibers) plus a time-ordered event queue.
+// The engine runs every runnable process until it blocks, then pops the
+// next event, advances the virtual clock and fires the event's
+// callback (which typically wakes processes).  Simulation ends when no
+// process is runnable and no event is pending; if unfinished processes
+// remain at that point the workload deadlocked and the engine throws.
+//
+// Determinism: ties in event time break by insertion order, runnable
+// processes execute in FIFO order, and no wall-clock source is
+// consulted anywhere — a simulation is a pure function of its inputs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "simt/fiber.hpp"
+
+namespace balbench::simt {
+
+/// Virtual time in seconds.
+using Time = double;
+
+class Engine;
+
+/// A simulated process.  Instances are created via Engine::spawn and
+/// owned by the engine; user code receives references.
+class Process {
+ public:
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] bool finished() const { return fiber_->finished(); }
+
+  /// Block the calling process for `dt` seconds of virtual time.
+  /// Must be called from inside this process.
+  void sleep(Time dt);
+
+  /// Block until another party calls wake().  Returns the virtual time
+  /// at wake-up.
+  Time block();
+
+  /// Make a blocked process runnable again (called from event
+  /// callbacks or from other processes).
+  void wake();
+
+ private:
+  friend class Engine;
+  Process(Engine* engine, int id) : engine_(engine), id_(id) {}
+
+  Engine* engine_;
+  int id_;
+  std::unique_ptr<Fiber> fiber_;
+  bool runnable_ = false;   // queued in the run queue
+  bool blocked_ = false;    // waiting for wake()
+};
+
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Create a process executing `fn(process)`.  Must be called before
+  /// or during run(); processes spawned during the run start
+  /// immediately (at the current virtual time).
+  Process& spawn(std::function<void(Process&)> fn,
+                 std::size_t stack_size = Fiber::kDefaultStackSize);
+
+  /// Schedule `fn` to run at absolute virtual time `t` (>= now).
+  /// Returns an id usable with cancel().
+  std::uint64_t schedule_at(Time t, std::function<void()> fn);
+  std::uint64_t schedule_after(Time dt, std::function<void()> fn) {
+    return schedule_at(now_ + dt, std::move(fn));
+  }
+
+  /// Cancel a scheduled event.  No-op if it already fired.
+  void cancel(std::uint64_t event_id);
+
+  /// Run until all processes finished and the event queue is empty.
+  /// Throws DeadlockError if processes remain blocked with no pending
+  /// events, and rethrows the first exception escaping a process.
+  void run();
+
+  /// Number of processes spawned so far.
+  [[nodiscard]] std::size_t process_count() const { return processes_.size(); }
+
+  /// Statistics for engine micro-benchmarks.
+  [[nodiscard]] std::uint64_t events_fired() const { return events_fired_; }
+  [[nodiscard]] std::uint64_t context_switches() const { return switches_; }
+
+ private:
+  friend class Process;
+
+  struct Event {
+    Time time;
+    std::uint64_t seq;  // tie-break + cancellation id
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  void make_runnable(Process& p);
+  void drain_run_queue();
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t events_fired_ = 0;
+  std::uint64_t switches_ = 0;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::vector<std::uint64_t> cancelled_;
+  std::queue<Process*> run_queue_;
+  bool running_ = false;
+};
+
+}  // namespace balbench::simt

@@ -1,0 +1,83 @@
+#include "simt/fiber.hpp"
+
+#include <cassert>
+#include <cstdint>
+#include <stdexcept>
+
+namespace balbench::simt {
+
+namespace {
+thread_local Fiber* g_current_fiber = nullptr;
+}
+
+Fiber* Fiber::current() { return g_current_fiber; }
+
+Fiber::Fiber(Fn fn, std::size_t stack_size)
+    : fn_(std::move(fn)), stack_(new char[stack_size]) {
+  if (getcontext(&context_) != 0) {
+    throw std::runtime_error("Fiber: getcontext failed");
+  }
+  context_.uc_stack.ss_sp = stack_.get();
+  context_.uc_stack.ss_size = stack_size;
+  context_.uc_link = nullptr;  // we always switch back explicitly
+  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+              static_cast<unsigned int>(self >> 32),
+              static_cast<unsigned int>(self & 0xFFFFFFFFu));
+}
+
+void Fiber::trampoline(unsigned int hi, unsigned int lo) {
+  const auto self = (static_cast<std::uintptr_t>(hi) << 32) |
+                    static_cast<std::uintptr_t>(lo);
+  reinterpret_cast<Fiber*>(self)->run();
+}
+
+void Fiber::run() {
+  try {
+    fn_();
+  } catch (...) {
+    error_ = std::current_exception();
+  }
+  finished_ = true;
+  // Return control to the resumer; this fiber must never be resumed
+  // again (resume() asserts on finished_).
+  Fiber* self = g_current_fiber;
+  g_current_fiber = nullptr;
+  swapcontext(&self->context_, &self->return_context_);
+  // Unreachable.
+  assert(false && "finished fiber was resumed");
+}
+
+void Fiber::resume() {
+  assert(g_current_fiber == nullptr && "nested fiber resume not supported");
+  assert(!finished_ && "resume of finished fiber");
+  started_ = true;
+  g_current_fiber = this;
+  if (swapcontext(&return_context_, &context_) != 0) {
+    g_current_fiber = nullptr;
+    throw std::runtime_error("Fiber: swapcontext failed");
+  }
+  g_current_fiber = nullptr;
+}
+
+void Fiber::suspend() {
+  Fiber* self = g_current_fiber;
+  assert(self != nullptr && "Fiber::suspend outside of a fiber");
+  g_current_fiber = nullptr;
+  if (swapcontext(&self->context_, &self->return_context_) != 0) {
+    throw std::runtime_error("Fiber: swapcontext failed");
+  }
+  // Resumed again: restore the current pointer (resume() sets it before
+  // switching, but suspend's counterpart path runs through here).
+  g_current_fiber = self;
+}
+
+void Fiber::rethrow_if_failed() {
+  if (error_) {
+    auto err = error_;
+    error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace balbench::simt

@@ -1,0 +1,65 @@
+// Virtual-time activity tracing.
+//
+// A Tracer collects per-process activity spans (compute, barrier,
+// waiting on messages, I/O, ...) during a simulation run and renders
+// them as a per-process ASCII timeline -- a profiler view of where the
+// simulated machine spends its virtual time.  The communication layer
+// and the MPI-I/O layer record into it when one is attached to the
+// transport; recording is O(1) per span and disabled entirely when no
+// tracer is attached.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace balbench::simt {
+
+/// Categories are single characters so the timeline stays readable:
+/// the category char is what gets drawn.
+struct TraceSpan {
+  double start = 0.0;
+  double end = 0.0;
+  int process = 0;
+  char category = '?';
+  std::string label;
+};
+
+class Tracer {
+ public:
+  /// Spans beyond this cap are dropped (the drop count is reported);
+  /// keeps runaway runs bounded.
+  explicit Tracer(std::size_t max_spans = 1 << 20) : max_spans_(max_spans) {}
+
+  void record(double start, double end, int process, char category,
+              std::string label = {});
+
+  [[nodiscard]] const std::vector<TraceSpan>& spans() const { return spans_; }
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+  void clear();
+
+  /// Register a legend entry for a category character.
+  void describe(char category, std::string meaning);
+
+  /// Per-process timeline: one row per process (up to `max_rows`),
+  /// `width` time buckets; each cell shows the category that dominated
+  /// the bucket.  Includes per-category virtual-time totals.
+  void render_timeline(std::ostream& os, int width = 72,
+                       int max_rows = 16) const;
+
+  /// start,end,process,category,label
+  void write_csv(std::ostream& os) const;
+
+  /// Total recorded virtual time per category.
+  [[nodiscard]] std::map<char, double> category_totals() const;
+
+ private:
+  std::size_t max_spans_;
+  std::size_t dropped_ = 0;
+  std::vector<TraceSpan> spans_;
+  std::map<char, std::string> legend_;
+};
+
+}  // namespace balbench::simt

@@ -1,0 +1,183 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace balbench::util {
+
+AsciiPlot::AsciiPlot(std::vector<std::string> x_labels, Options opts)
+    : x_labels_(std::move(x_labels)), opts_(opts) {}
+
+void AsciiPlot::add_series(Series s) {
+  s.values.resize(x_labels_.size(),
+                  std::numeric_limits<double>::quiet_NaN());
+  series_.push_back(std::move(s));
+}
+
+void AsciiPlot::render(std::ostream& os) const {
+  const int w = std::max(opts_.width, 8);
+  const int h = std::max(opts_.height, 4);
+
+  double lo = opts_.log_y ? std::numeric_limits<double>::max() : opts_.y_min_hint;
+  double hi = -std::numeric_limits<double>::max();
+  bool any = false;
+  for (const auto& s : series_) {
+    for (double v : s.values) {
+      if (std::isnan(v)) continue;
+      if (opts_.log_y && v <= 0.0) continue;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+      any = true;
+    }
+  }
+  if (!any) {
+    os << opts_.title << "\n  (no data)\n";
+    return;
+  }
+  if (hi <= lo) hi = lo + 1.0;
+
+  auto to_row = [&](double v) -> int {
+    double t;
+    if (opts_.log_y) {
+      t = (std::log(v) - std::log(lo)) / (std::log(hi) - std::log(lo));
+    } else {
+      t = (v - lo) / (hi - lo);
+    }
+    t = std::clamp(t, 0.0, 1.0);
+    return static_cast<int>(std::lround(t * (h - 1)));
+  };
+
+  std::vector<std::string> canvas(static_cast<std::size_t>(h),
+                                  std::string(static_cast<std::size_t>(w), ' '));
+
+  const int ncat = static_cast<int>(x_labels_.size());
+  auto to_col = [&](int idx) -> int {
+    if (ncat <= 1) return w / 2;
+    return static_cast<int>(std::lround(
+        static_cast<double>(idx) / (ncat - 1) * (w - 1)));
+  };
+
+  for (const auto& s : series_) {
+    int prev_col = -1;
+    int prev_row = -1;
+    for (int i = 0; i < ncat; ++i) {
+      const double v = s.values[static_cast<std::size_t>(i)];
+      if (std::isnan(v) || (opts_.log_y && v <= 0.0)) {
+        prev_col = -1;
+        continue;
+      }
+      const int col = to_col(i);
+      const int row = to_row(v);
+      // Simple line interpolation to the previous point.
+      if (prev_col >= 0) {
+        const int steps = std::max(std::abs(col - prev_col), 1);
+        for (int k = 1; k < steps; ++k) {
+          const int c = prev_col + (col - prev_col) * k / steps;
+          const int r = prev_row + (row - prev_row) * k / steps;
+          auto& cell = canvas[static_cast<std::size_t>(h - 1 - r)]
+                             [static_cast<std::size_t>(c)];
+          if (cell == ' ') cell = '.';
+        }
+      }
+      canvas[static_cast<std::size_t>(h - 1 - row)][static_cast<std::size_t>(col)] =
+          s.marker;
+      prev_col = col;
+      prev_row = row;
+    }
+  }
+
+  if (!opts_.title.empty()) os << opts_.title << '\n';
+
+  auto ylabel_at = [&](int screen_row) -> double {
+    const double t = static_cast<double>(h - 1 - screen_row) / (h - 1);
+    if (opts_.log_y) {
+      return std::exp(std::log(lo) + t * (std::log(hi) - std::log(lo)));
+    }
+    return lo + t * (hi - lo);
+  };
+
+  char num[32];
+  for (int r = 0; r < h; ++r) {
+    if (r == 0 || r == h - 1 || r == h / 2) {
+      std::snprintf(num, sizeof num, "%9.4g", ylabel_at(r));
+      os << num << " |";
+    } else {
+      os << "          |";
+    }
+    os << canvas[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << "          +" << std::string(static_cast<std::size_t>(w), '-') << '\n';
+
+  // X labels: print a sparse selection to avoid overlap.
+  std::string labels(static_cast<std::size_t>(w) + 2, ' ');
+  for (int i = 0; i < ncat; ++i) {
+    const auto& lab = x_labels_[static_cast<std::size_t>(i)];
+    int col = to_col(i);
+    int start = std::max(0, col - static_cast<int>(lab.size()) / 2);
+    if (start + static_cast<int>(lab.size()) > w + 2) {
+      start = w + 2 - static_cast<int>(lab.size());
+    }
+    bool clash = false;
+    for (std::size_t k = 0; k < lab.size(); ++k) {
+      const auto p = static_cast<std::size_t>(start) + k;
+      if (p < labels.size() && labels[p] != ' ') clash = true;
+    }
+    if (clash) continue;
+    for (std::size_t k = 0; k < lab.size(); ++k) {
+      const auto p = static_cast<std::size_t>(start) + k;
+      if (p < labels.size()) labels[p] = lab[k];
+    }
+  }
+  os << "           " << labels << '\n';
+
+  os << "  legend:";
+  for (const auto& s : series_) os << "  " << s.marker << '=' << s.name;
+  if (!opts_.y_label.empty()) os << "   [y: " << opts_.y_label
+                                 << (opts_.log_y ? ", log scale" : "") << ']';
+  os << '\n';
+}
+
+std::string AsciiPlot::to_string() const {
+  std::ostringstream oss;
+  render(oss);
+  return oss.str();
+}
+
+AsciiBarChart::AsciiBarChart(std::string title, int width)
+    : title_(std::move(title)), width_(std::max(width, 10)) {}
+
+void AsciiBarChart::add_bar(std::string label, double value, std::string annotation) {
+  bars_.push_back(Bar{std::move(label), value, std::move(annotation)});
+}
+
+void AsciiBarChart::render(std::ostream& os) const {
+  if (!title_.empty()) os << title_ << '\n';
+  double hi = 0.0;
+  std::size_t lab_w = 0;
+  for (const auto& b : bars_) {
+    hi = std::max(hi, b.value);
+    lab_w = std::max(lab_w, b.label.size());
+  }
+  if (hi <= 0.0) hi = 1.0;
+  for (const auto& b : bars_) {
+    const int len = static_cast<int>(std::lround(b.value / hi * width_));
+    os << "  " << b.label << std::string(lab_w - b.label.size(), ' ') << " |"
+       << std::string(static_cast<std::size_t>(std::max(len, 0)), '#');
+    char num[32];
+    std::snprintf(num, sizeof num, " %.4g", b.value);
+    os << num;
+    if (!b.annotation.empty()) os << "  (" << b.annotation << ')';
+    os << '\n';
+  }
+}
+
+std::string AsciiBarChart::to_string() const {
+  std::ostringstream oss;
+  render(oss);
+  return oss.str();
+}
+
+}  // namespace balbench::util

@@ -1,0 +1,68 @@
+// Terminal line plots for the paper's figures.
+//
+// Figures 1, 3, 4 and 5 are bar/line charts.  The bench binaries print
+// the raw series (for gnuplot-style post-processing) *and* a quick
+// ASCII rendering so the shape of each figure is visible directly in
+// the benchmark log.  Supports linear and logarithmic y-axes and
+// pseudo-logarithmic categorical x-axes (the paper plots chunk sizes
+// "1k 1k+8 32k 32k+8 1M 1M+8 ..." equidistantly).
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace balbench::util {
+
+struct Series {
+  std::string name;
+  char marker = '*';
+  /// y values aligned with the plot's category labels; NaN = missing.
+  std::vector<double> values;
+};
+
+class AsciiPlot {
+ public:
+  struct Options {
+    int width = 72;          // plot area columns
+    int height = 18;         // plot area rows
+    bool log_y = false;      // logarithmic y axis
+    std::string y_label;     // e.g. "MB/s"
+    std::string title;
+    double y_min_hint = 0.0; // force-include this value in the range
+  };
+
+  AsciiPlot(std::vector<std::string> x_labels, Options opts);
+
+  void add_series(Series s);
+
+  void render(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> x_labels_;
+  Options opts_;
+  std::vector<Series> series_;
+};
+
+/// Horizontal bar chart (used for Fig. 1, balance factors).
+class AsciiBarChart {
+ public:
+  explicit AsciiBarChart(std::string title, int width = 60);
+  void add_bar(std::string label, double value, std::string annotation = {});
+  void render(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  struct Bar {
+    std::string label;
+    double value;
+    std::string annotation;
+  };
+  std::string title_;
+  int width_;
+  std::vector<Bar> bars_;
+};
+
+}  // namespace balbench::util

@@ -1,0 +1,114 @@
+#include "util/options.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace balbench::util {
+
+Options::Options(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void Options::add(const std::string& name, Spec spec) {
+  if (specs_.count(name) != 0) {
+    throw std::logic_error("Options: duplicate option --" + name);
+  }
+  specs_.emplace(name, std::move(spec));
+  order_.push_back(name);
+}
+
+void Options::add_flag(const std::string& name, bool* target, const std::string& help) {
+  add(name, Spec{Spec::Kind::Flag, target, help, *target ? "true" : "false"});
+}
+
+void Options::add_int(const std::string& name, std::int64_t* target,
+                      const std::string& help) {
+  add(name, Spec{Spec::Kind::Int, target, help, std::to_string(*target)});
+}
+
+void Options::add_double(const std::string& name, double* target,
+                         const std::string& help) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", *target);
+  add(name, Spec{Spec::Kind::Double, target, help, buf});
+}
+
+void Options::add_string(const std::string& name, std::string* target,
+                         const std::string& help) {
+  add(name, Spec{Spec::Kind::String, target, help, "'" + *target + "'"});
+}
+
+bool Options::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument '" + arg +
+                                  "'\n" + help());
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool have_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      have_value = true;
+    }
+    auto it = specs_.find(arg);
+    if (it == specs_.end()) {
+      throw std::invalid_argument("unknown option --" + arg + "\n" + help());
+    }
+    Spec& spec = it->second;
+    if (spec.kind == Spec::Kind::Flag) {
+      if (have_value) {
+        *static_cast<bool*>(spec.target) = (value == "1" || value == "true");
+      } else {
+        *static_cast<bool*>(spec.target) = true;
+      }
+      continue;
+    }
+    if (!have_value) {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("option --" + arg + " needs a value");
+      }
+      value = argv[++i];
+    }
+    switch (spec.kind) {
+      case Spec::Kind::Int:
+        *static_cast<std::int64_t*>(spec.target) = std::stoll(value);
+        break;
+      case Spec::Kind::Double:
+        *static_cast<double*>(spec.target) = std::stod(value);
+        break;
+      case Spec::Kind::String:
+        *static_cast<std::string*>(spec.target) = value;
+        break;
+      case Spec::Kind::Flag:
+        break;
+    }
+  }
+  return true;
+}
+
+std::string Options::help() const {
+  std::ostringstream oss;
+  oss << description_ << "\n\noptions:\n";
+  for (const auto& name : order_) {
+    const Spec& s = specs_.at(name);
+    oss << "  --" << name;
+    switch (s.kind) {
+      case Spec::Kind::Flag: break;
+      case Spec::Kind::Int: oss << " <int>"; break;
+      case Spec::Kind::Double: oss << " <float>"; break;
+      case Spec::Kind::String: oss << " <str>"; break;
+    }
+    oss << "\n        " << s.help << " (default: " << s.default_repr << ")\n";
+  }
+  oss << "  --help\n        show this message\n";
+  return oss.str();
+}
+
+}  // namespace balbench::util

@@ -1,0 +1,46 @@
+// Minimal command-line option parser for the bench/example binaries.
+//
+// Supports "--name value", "--name=value" and boolean "--flag".
+// Unknown options raise an error listing the registered ones, so every
+// binary gets a usable --help for free.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace balbench::util {
+
+class Options {
+ public:
+  explicit Options(std::string program_description);
+
+  void add_flag(const std::string& name, bool* target, const std::string& help);
+  void add_int(const std::string& name, std::int64_t* target, const std::string& help);
+  void add_double(const std::string& name, double* target, const std::string& help);
+  void add_string(const std::string& name, std::string* target, const std::string& help);
+
+  /// Parses argv.  Returns false if --help was requested (help text is
+  /// printed to stdout).  Throws std::invalid_argument on bad input.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string help() const;
+
+ private:
+  struct Spec {
+    enum class Kind { Flag, Int, Double, String } kind;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  void add(const std::string& name, Spec spec);
+  std::string description_;
+  std::map<std::string, Spec> specs_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace balbench::util

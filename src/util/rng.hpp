@@ -1,0 +1,74 @@
+// Deterministic pseudo-random number generation.
+//
+// The b_eff "random polygon" patterns permute process ranks randomly.
+// Reproducible benchmark runs need a seedable, platform-independent
+// generator, so we ship a small xoshiro256** implementation instead of
+// relying on std::default_random_engine (which is
+// implementation-defined) or std::shuffle's distribution behaviour.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace balbench::util {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the four state words.
+    std::uint64_t x = seed;
+    for (auto& w : s_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      w = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n) via Lemire's multiply-shift reduction.
+  std::uint64_t below(std::uint64_t n) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * n) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+/// Fisher-Yates permutation of 0..n-1, deterministic for a given seed.
+inline std::vector<int> random_permutation(int n, Xoshiro256& rng) {
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  for (int i = n - 1; i > 0; --i) {
+    const auto j = static_cast<int>(rng.below(static_cast<std::uint64_t>(i) + 1));
+    std::swap(perm[static_cast<std::size_t>(i)], perm[static_cast<std::size_t>(j)]);
+  }
+  return perm;
+}
+
+}  // namespace balbench::util

@@ -1,0 +1,65 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace balbench::util {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double logavg(std::span<const double> xs, double floor) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += std::log(std::max(x, floor));
+  return std::exp(s / static_cast<double>(xs.size()));
+}
+
+double logavg2(double a, double b, double floor) {
+  const double xs[] = {a, b};
+  return logavg(xs, floor);
+}
+
+double maximum(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double minimum(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double sum(std::span<const double> xs) {
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s;
+}
+
+double weighted_mean(std::span<const double> xs, std::span<const double> ws) {
+  double sw = 0.0;
+  double sxw = 0.0;
+  const std::size_t n = std::min(xs.size(), ws.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    sxw += xs[i] * ws[i];
+    sw += ws[i];
+  }
+  return sw > 0.0 ? sxw / sw : 0.0;
+}
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  sum_ += x;
+  ++n_;
+}
+
+}  // namespace balbench::util

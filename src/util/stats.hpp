@@ -1,0 +1,62 @@
+// Statistical helpers used by the b_eff / b_eff_io aggregation rules.
+//
+// The paper defines the effective bandwidth as nested combinations of
+// maxima, arithmetic averages and *logarithmic* averages (geometric
+// means).  These helpers implement those reductions with explicit
+// handling of empty input and non-positive samples so the aggregation
+// code in core/ stays free of special cases.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace balbench::util {
+
+/// Arithmetic mean of `xs`.  Returns 0 for empty input.
+double mean(std::span<const double> xs);
+
+/// Logarithmic average (geometric mean) of `xs`:
+///   logavg(x_1..x_n) = exp( (1/n) * sum_i ln(x_i) ).
+/// This is the `logavg` of the b_eff definition (paper Sec. 4).
+/// Non-positive samples are invalid for a geometric mean; they are
+/// clamped to `floor` (default 1e-12) so that a single failed
+/// measurement drags the average down instead of poisoning it with NaN.
+double logavg(std::span<const double> xs, double floor = 1e-12);
+
+/// Two-value convenience overload used for the final
+/// logavg(logavg_rings, logavg_random) step.
+double logavg2(double a, double b, double floor = 1e-12);
+
+/// Maximum of `xs`; 0 for empty input.
+double maximum(std::span<const double> xs);
+
+/// Minimum of `xs`; 0 for empty input.
+double minimum(std::span<const double> xs);
+
+/// Sum of `xs`.
+double sum(std::span<const double> xs);
+
+/// Weighted arithmetic mean: sum(w_i * x_i) / sum(w_i).
+/// Used by b_eff_io: pattern types averaged with double weight for the
+/// scatter type, access methods with weights 25/25/50.
+double weighted_mean(std::span<const double> xs, std::span<const double> ws);
+
+/// Online min/max/mean/sum accumulator for measurement loops.
+class Accumulator {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace balbench::util

@@ -1,0 +1,136 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace balbench::util {
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == '\n') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(Row{Row::Kind::Cells, std::move(cells), {}});
+}
+
+void Table::add_separator() {
+  rows_.push_back(Row{Row::Kind::Separator, {}, {}});
+}
+
+void Table::add_section(std::string label) {
+  rows_.push_back(Row{Row::Kind::Section, {}, std::move(label)});
+}
+
+void Table::render(std::ostream& os) const {
+  const std::size_t ncols = headers_.size();
+
+  // Header lines (split on '\n').
+  std::vector<std::vector<std::string>> header_lines(ncols);
+  std::size_t header_height = 0;
+  for (std::size_t c = 0; c < ncols; ++c) {
+    header_lines[c] = split_lines(headers_[c]);
+    header_height = std::max(header_height, header_lines[c].size());
+  }
+
+  // Column widths.
+  std::vector<std::size_t> width(ncols, 0);
+  for (std::size_t c = 0; c < ncols; ++c) {
+    for (const auto& line : header_lines[c]) width[c] = std::max(width[c], line.size());
+  }
+  for (const auto& row : rows_) {
+    if (row.kind != Row::Kind::Cells) continue;
+    for (std::size_t c = 0; c < ncols; ++c) {
+      width[c] = std::max(width[c], row.cells[c].size());
+    }
+  }
+
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < ncols; ++c) total += width[c] + 3;
+  ++total;
+
+  auto hline = [&] { os << std::string(total, '-') << '\n'; };
+
+  auto emit_cells = [&](const std::vector<std::string>& cells, bool left_align) {
+    os << '|';
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      const std::size_t pad = width[c] - std::min(width[c], cell.size());
+      if (left_align) {
+        os << ' ' << cell << std::string(pad, ' ') << " |";
+      } else {
+        os << ' ' << std::string(pad, ' ') << cell << " |";
+      }
+    }
+    os << '\n';
+  };
+
+  hline();
+  for (std::size_t l = 0; l < header_height; ++l) {
+    std::vector<std::string> line(ncols);
+    for (std::size_t c = 0; c < ncols; ++c) {
+      if (l < header_lines[c].size()) line[c] = header_lines[c][l];
+    }
+    emit_cells(line, /*left_align=*/true);
+  }
+  hline();
+
+  for (const auto& row : rows_) {
+    switch (row.kind) {
+      case Row::Kind::Cells:
+        emit_cells(row.cells, /*left_align=*/false);
+        break;
+      case Row::Kind::Separator:
+        hline();
+        break;
+      case Row::Kind::Section: {
+        os << "| " << row.label;
+        const std::size_t used = 2 + row.label.size();
+        if (used + 1 < total) os << std::string(total - used - 1, ' ');
+        os << "|\n";
+        break;
+      }
+    }
+  }
+  hline();
+}
+
+std::string Table::to_string() const {
+  std::ostringstream oss;
+  render(oss);
+  return oss.str();
+}
+
+std::string fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string fmt(std::int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+  return buf;
+}
+
+std::string fmt(int value) { return fmt(static_cast<std::int64_t>(value)); }
+
+}  // namespace balbench::util

@@ -1,0 +1,54 @@
+// ASCII table rendering for benchmark protocols.
+//
+// Both benchmarks must "report the detailed results" (paper Sec. 2.2);
+// the original codes emit fixed-width protocol tables.  This writer
+// right-aligns numeric columns, supports multi-line headers and row
+// separators, and renders to any std::ostream.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace balbench::util {
+
+class Table {
+ public:
+  /// `headers` are column titles; embedded '\n' splits a title across
+  /// header lines.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row.  Cells beyond the header count are dropped; missing
+  /// cells render empty.
+  void add_row(std::vector<std::string> cells);
+
+  /// Insert a horizontal separator line before the next row.
+  void add_separator();
+
+  /// Insert a full-width section label row ("Distributed memory
+  /// systems" in Table 1 of the paper).
+  void add_section(std::string label);
+
+  void render(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    enum class Kind { Cells, Separator, Section } kind = Kind::Cells;
+    std::vector<std::string> cells;  // Kind::Cells
+    std::string label;               // Kind::Section
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+/// Format helper: fixed precision double -> string.
+std::string fmt(double value, int precision = 1);
+std::string fmt(std::int64_t value);
+std::string fmt(int value);
+
+}  // namespace balbench::util

@@ -1,0 +1,88 @@
+#include "util/units.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace balbench::util {
+
+std::string format_bytes(std::int64_t bytes) {
+  char buf[64];
+  if (bytes >= kGiB && bytes % kGiB == 0) {
+    std::snprintf(buf, sizeof buf, "%lld GB", static_cast<long long>(bytes / kGiB));
+  } else if (bytes >= kMiB && bytes % kMiB == 0) {
+    std::snprintf(buf, sizeof buf, "%lld MB", static_cast<long long>(bytes / kMiB));
+  } else if (bytes >= kKiB && bytes % kKiB == 0) {
+    std::snprintf(buf, sizeof buf, "%lld kB", static_cast<long long>(bytes / kKiB));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lld B", static_cast<long long>(bytes));
+  }
+  return buf;
+}
+
+std::string format_chunk_label(std::int64_t bytes) {
+  if (bytes > 8 && is_wellformed(bytes - 8)) {
+    return format_bytes(bytes - 8) + "+8";
+  }
+  return format_bytes(bytes);
+}
+
+std::string format_mbps(double bytes_per_second, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision,
+                bytes_per_second / static_cast<double>(kMiB));
+  return buf;
+}
+
+std::int64_t parse_bytes(const std::string& text) {
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("parse_bytes: not a number: '" + text + "'");
+  }
+  while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  double mult = 1.0;
+  if (pos < text.size()) {
+    switch (std::tolower(static_cast<unsigned char>(text[pos]))) {
+      case 'k': mult = static_cast<double>(kKiB); ++pos; break;
+      case 'm': mult = static_cast<double>(kMiB); ++pos; break;
+      case 'g': mult = static_cast<double>(kGiB); ++pos; break;
+      case 'b': break;
+      default:
+        throw std::invalid_argument("parse_bytes: bad unit in '" + text + "'");
+    }
+  }
+  // Optional trailing 'B' / "iB".
+  while (pos < text.size()) {
+    char c = static_cast<char>(std::tolower(static_cast<unsigned char>(text[pos])));
+    if (c == 'b' || c == 'i' || std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+    } else {
+      throw std::invalid_argument("parse_bytes: trailing junk in '" + text + "'");
+    }
+  }
+  return static_cast<std::int64_t>(value * mult);
+}
+
+bool is_wellformed(std::int64_t bytes) {
+  return bytes > 0 && (bytes & (bytes - 1)) == 0;
+}
+
+std::string format_seconds(double seconds) {
+  char buf[64];
+  if (seconds >= 120.0) {
+    std::snprintf(buf, sizeof buf, "%.1f min", seconds / 60.0);
+  } else if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.1f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.1f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f us", seconds * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace balbench::util

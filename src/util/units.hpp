@@ -1,0 +1,40 @@
+// Byte-size and bandwidth formatting/parsing.
+//
+// The paper (and the original b_eff protocol files) report sizes as
+// "1 kB", "1 MB", "+8B" variants and bandwidths in MByte/s.  We follow
+// the paper's convention: 1 kB = 1024 B, 1 MB = 1024^2 B (binary units,
+// as the benchmark sources use powers of two).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace balbench::util {
+
+inline constexpr std::int64_t kKiB = 1024;
+inline constexpr std::int64_t kMiB = 1024 * 1024;
+inline constexpr std::int64_t kGiB = 1024LL * 1024 * 1024;
+
+/// "1 B", "512 B", "4 kB", "1 MB", "2 GB"; exact multiples only,
+/// otherwise falls back to "<n> B".  Matches the paper's table labels.
+std::string format_bytes(std::int64_t bytes);
+
+/// Compact pseudo-log tick label used in Fig. 4 style plots:
+/// wellformed sizes print as format_bytes, non-wellformed sizes
+/// (wellformed + 8) print as "<wf>+8".
+std::string format_chunk_label(std::int64_t bytes);
+
+/// Bandwidth in MByte/s with a sensible precision ("  19919", "39.4").
+std::string format_mbps(double bytes_per_second, int precision = 0);
+
+/// Parse "4k", "4kB", "1M", "1 MB", "128", "2g" -> bytes.
+/// Throws std::invalid_argument on garbage.
+std::int64_t parse_bytes(const std::string& text);
+
+/// True if `bytes` is a power of two (the paper's "wellformed" sizes).
+bool is_wellformed(std::int64_t bytes);
+
+/// Seconds pretty-printer: "3.2 s", "13.6 s", "250 us", "12 min".
+std::string format_seconds(double seconds);
+
+}  // namespace balbench::util

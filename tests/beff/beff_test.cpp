@@ -1,0 +1,244 @@
+// End-to-end tests of the b_eff driver on small simulated machines.
+#include "core/beff/beff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "machines/machines.hpp"
+#include "net/topology.hpp"
+#include "parmsg/sim_transport.hpp"
+#include "parmsg/thread_transport.hpp"
+
+namespace bb = balbench::beff;
+namespace bp = balbench::parmsg;
+namespace bn = balbench::net;
+namespace bm = balbench::machines;
+
+namespace {
+
+std::unique_ptr<bp::SimTransport> small_xbar(int procs, double bw_mb) {
+  bn::CrossbarParams p;
+  p.processes = procs;
+  p.port_bw = bw_mb * 1024 * 1024;
+  p.latency_sec = 10e-6;
+  return std::make_unique<bp::SimTransport>(bn::make_crossbar(p), bp::CommCosts{});
+}
+
+bb::BeffOptions small_options() {
+  bb::BeffOptions opt;
+  opt.memory_per_proc = 4096LL * 128;  // L_max = 4 kB: tiny, fast runs
+  opt.measure_analysis = true;
+  return opt;
+}
+
+}  // namespace
+
+TEST(Beff, RunsAndProducesPositiveResult) {
+  auto t = small_xbar(4, 100);
+  const auto r = bb::run_beff(*t, 4, small_options());
+  EXPECT_GT(r.b_eff, 0.0);
+  EXPECT_EQ(r.nprocs, 4);
+  EXPECT_EQ(r.sizes.size(), 21u);
+  EXPECT_EQ(r.patterns.size(), 12u);
+  EXPECT_EQ(r.lmax, 4096);
+  EXPECT_GT(r.benchmark_seconds, 0.0);
+}
+
+TEST(Beff, AggregationMatchesManualRecomputation) {
+  auto t = small_xbar(6, 100);
+  const auto r = bb::run_beff(*t, 6, small_options());
+
+  // Recompute b_eff from the reported per-pattern values.
+  std::vector<double> rings;
+  std::vector<double> randoms;
+  for (const auto& pm : r.patterns) {
+    double s = 0.0;
+    for (const auto& sm : pm.sizes) s += sm.best_bw;
+    const double avg = s / 21.0;
+    EXPECT_NEAR(avg, pm.avg_bw, 1e-9 * avg);
+    (pm.is_random ? randoms : rings).push_back(avg);
+  }
+  double lr = 0.0;
+  for (double v : rings) lr += std::log(v);
+  lr = std::exp(lr / rings.size());
+  double lq = 0.0;
+  for (double v : randoms) lq += std::log(v);
+  lq = std::exp(lq / randoms.size());
+  EXPECT_NEAR(r.b_eff, std::sqrt(lr * lq), 1e-9 * r.b_eff);
+}
+
+TEST(Beff, BestBwIsMaxOverMethods) {
+  auto t = small_xbar(4, 100);
+  const auto r = bb::run_beff(*t, 4, small_options());
+  for (const auto& pm : r.patterns) {
+    for (const auto& sm : pm.sizes) {
+      const double m = std::max({sm.method_bw[0], sm.method_bw[1], sm.method_bw[2]});
+      EXPECT_DOUBLE_EQ(sm.best_bw, m);
+      EXPECT_GT(sm.best_bw, 0.0);
+    }
+  }
+}
+
+TEST(Beff, BandwidthIncreasesWithMessageSize) {
+  // On a latency+bandwidth network, the bandwidth curve over message
+  // size must be (weakly) increasing for ring patterns.
+  auto t = small_xbar(4, 200);
+  const auto r = bb::run_beff(*t, 4, small_options());
+  const auto& pm = r.patterns.front();
+  for (std::size_t i = 1; i < pm.sizes.size(); ++i) {
+    EXPECT_GE(pm.sizes[i].best_bw, pm.sizes[i - 1].best_bw * 0.95)
+        << "size index " << i;
+  }
+}
+
+TEST(Beff, AvgIsBelowLmaxValue) {
+  // Averaging over all message sizes must reduce the result versus the
+  // asymptotic L_max value (the whole point of the averaging rule).
+  auto t = small_xbar(4, 100);
+  const auto r = bb::run_beff(*t, 4, small_options());
+  EXPECT_LT(r.b_eff, r.b_eff_at_lmax);
+}
+
+TEST(Beff, DeterministicAcrossRuns) {
+  auto t1 = small_xbar(4, 100);
+  auto t2 = small_xbar(4, 100);
+  const auto r1 = bb::run_beff(*t1, 4, small_options());
+  const auto r2 = bb::run_beff(*t2, 4, small_options());
+  EXPECT_DOUBLE_EQ(r1.b_eff, r2.b_eff);
+  EXPECT_DOUBLE_EQ(r1.b_eff_at_lmax, r2.b_eff_at_lmax);
+}
+
+TEST(Beff, RejectsBadArguments) {
+  auto t = small_xbar(4, 100);
+  EXPECT_THROW(bb::run_beff(*t, 1, small_options()), std::invalid_argument);
+  EXPECT_THROW(bb::run_beff(*t, 8, small_options()), std::invalid_argument);
+}
+
+TEST(Beff, LmaxOverride) {
+  auto t = small_xbar(2, 100);
+  auto opt = small_options();
+  opt.lmax_override = 64 * 1024;
+  const auto r = bb::run_beff(*t, 2, opt);
+  EXPECT_EQ(r.lmax, 64 * 1024);
+  EXPECT_EQ(r.sizes.back(), 64 * 1024);
+}
+
+TEST(Beff, AnalysisPatternsPopulated) {
+  auto t = small_xbar(8, 100);
+  const auto r = bb::run_beff(*t, 8, small_options());
+  const auto& a = r.analysis;
+  EXPECT_GT(a.pingpong_bw, 0.0);
+  EXPECT_GT(a.worst_cycle_bw, 0.0);
+  EXPECT_GT(a.bisection_paired_bw, 0.0);
+  EXPECT_GT(a.bisection_interleaved_bw, 0.0);
+  EXPECT_EQ(a.cart2d_dims.size(), 2u);
+  EXPECT_EQ(a.cart3d_dims.size(), 3u);
+  EXPECT_EQ(a.cart2d_per_dim_bw.size(), 2u);
+  EXPECT_EQ(a.cart3d_per_dim_bw.size(), 3u);
+  EXPECT_GT(a.cart2d_combined_bw, 0.0);
+  EXPECT_GT(a.cart3d_combined_bw, 0.0);
+}
+
+TEST(Beff, PingPongBeatsParallelRingPerProcess) {
+  // The paper's key observation (Sec. 2.1): ping-pong overstates what
+  // each process gets when everyone communicates at once.  Needs a
+  // machine whose node port is shared by concurrent traffic (T3E);
+  // an ideal crossbar has no such penalty.
+  auto m = bm::cray_t3e_900();
+  bp::SimTransport t(m.make_topology(16), m.costs);
+  bb::BeffOptions opt;
+  opt.memory_per_proc = m.memory_per_proc;
+  const auto r = bb::run_beff(t, 16, opt);
+  EXPECT_GT(r.analysis.pingpong_bw, r.per_proc_at_lmax_rings() * 1.2);
+}
+
+TEST(Beff, WorksOnThreadTransportWithoutFastForward) {
+  bp::ThreadTransport t(8);
+  bb::BeffOptions opt;
+  opt.memory_per_proc = 4096LL * 128;
+  opt.fast_forward = false;
+  opt.dedupe_repetitions = true;
+  opt.start_looplength = 3;  // keep the wall-clock cost trivial
+  opt.measure_analysis = false;
+  const auto r = bb::run_beff(t, 4, opt);
+  EXPECT_GT(r.b_eff, 0.0);
+  EXPECT_EQ(r.patterns.size(), 12u);
+}
+
+TEST(Beff, OddProcessCountRuns) {
+  auto t = small_xbar(7, 100);
+  const auto r = bb::run_beff(*t, 7, small_options());
+  EXPECT_GT(r.b_eff, 0.0);
+  EXPECT_GT(r.analysis.bisection_paired_bw, 0.0);
+}
+
+TEST(Beff, ProtocolReportMentionsEverything) {
+  auto t = small_xbar(4, 100);
+  const auto r = bb::run_beff(*t, 4, small_options());
+  const auto report = bb::protocol_report(r);
+  EXPECT_NE(report.find("b_eff"), std::string::npos);
+  EXPECT_NE(report.find("ring-2"), std::string::npos);
+  EXPECT_NE(report.find("random-2"), std::string::npos);
+  EXPECT_NE(report.find("Sendrecv"), std::string::npos);
+  EXPECT_NE(report.find("Alltoallv"), std::string::npos);
+  EXPECT_NE(report.find("ping-pong"), std::string::npos);
+  EXPECT_NE(report.find("Cartesian 2-D"), std::string::npos);
+}
+
+// --- machine-level sanity: the paper's qualitative findings -----------
+
+TEST(BeffMachines, SequentialPlacementBeatsRoundRobinOnSr8000) {
+  // Paper Sec. 4.1: "The numbering has a heavy impact on the
+  // communication bandwidth of the ring patterns."
+  auto run = [](balbench::net::Placement pl) {
+    auto m = bm::hitachi_sr8000(pl);
+    bp::SimTransport t(m.make_topology(24), m.costs);
+    bb::BeffOptions opt;
+    opt.memory_per_proc = m.memory_per_proc;
+    opt.measure_analysis = false;
+    return bb::run_beff(t, 24, opt);
+  };
+  const auto seq = run(balbench::net::Placement::Sequential);
+  const auto rr = run(balbench::net::Placement::RoundRobin);
+  EXPECT_GT(seq.b_eff, rr.b_eff * 1.5);
+}
+
+TEST(BeffMachines, RandomPatternsDegradeOnTorus) {
+  // Paper Sec. 4.1: "Comparing the last two columns, we see the
+  // negative effect of random neighbor locations" (T3E).
+  auto m = bm::cray_t3e_900();
+  bp::SimTransport t(m.make_topology(64), m.costs);
+  bb::BeffOptions opt;
+  opt.memory_per_proc = m.memory_per_proc;
+  opt.measure_analysis = false;
+  const auto r = bb::run_beff(t, 64, opt);
+  EXPECT_LT(r.random_logavg_at_lmax, r.rings_logavg_at_lmax * 0.8);
+}
+
+TEST(BeffMachines, SharedMemoryShowsNoRandomPenalty) {
+  // On a flat shared-memory system the process order is irrelevant.
+  auto m = bm::nec_sx4();
+  bp::SimTransport t(m.make_topology(8), m.costs);
+  bb::BeffOptions opt;
+  opt.memory_per_proc = m.memory_per_proc;
+  opt.measure_analysis = false;
+  const auto r = bb::run_beff(t, 8, opt);
+  EXPECT_NEAR(r.random_logavg_at_lmax / r.rings_logavg_at_lmax, 1.0, 0.05);
+}
+
+TEST(BeffMachines, CoffeeCupRuleOrdersOfMagnitude) {
+  // Paper Sec. 2.2: a 24-processor machine communicates its total
+  // memory in seconds (13.6 s on the SR 8000), not minutes.
+  auto m = bm::hitachi_sr8000(balbench::net::Placement::RoundRobin);
+  bp::SimTransport t(m.make_topology(24), m.costs);
+  bb::BeffOptions opt;
+  opt.memory_per_proc = m.memory_per_proc;
+  opt.measure_analysis = false;
+  const auto r = bb::run_beff(t, 24, opt);
+  const double secs = r.seconds_for_total_memory(m.memory_per_proc);
+  EXPECT_GT(secs, 1.0);
+  EXPECT_LT(secs, 120.0);
+}
+

@@ -1,0 +1,155 @@
+#include "core/beff/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace bb = balbench::beff;
+
+namespace {
+
+int total(const std::vector<int>& sizes) {
+  return std::accumulate(sizes.begin(), sizes.end(), 0);
+}
+
+int count_of(const std::vector<int>& sizes, int v) {
+  return static_cast<int>(std::count(sizes.begin(), sizes.end(), v));
+}
+
+}  // namespace
+
+TEST(RingSizes, PaperExampleSevenProcsSizeTwo) {
+  // Paper: "if MPI_COMM_WORLD has 7 processes, then ranks 0 & 1 form
+  // the first ring, 2 & 3 the second, and 4 & 5 & 6 the third."
+  const auto sizes = bb::ring_sizes(7, 2);
+  EXPECT_EQ(total(sizes), 7);
+  EXPECT_EQ(count_of(sizes, 2), 2);
+  EXPECT_EQ(count_of(sizes, 3), 1);
+}
+
+TEST(RingSizes, SizeFourRemainders) {
+  // Paper: ring size 4, "except the last rings, that may have the
+  // sizes 1*3, 1*5, or 2*5".
+  EXPECT_EQ(count_of(bb::ring_sizes(11, 4), 3), 1);   // 4+4+3
+  EXPECT_EQ(count_of(bb::ring_sizes(13, 4), 5), 1);   // 4+4+5
+  EXPECT_EQ(count_of(bb::ring_sizes(14, 4), 5), 2);   // 4+5+5
+  EXPECT_EQ(total(bb::ring_sizes(11, 4)), 11);
+  EXPECT_EQ(total(bb::ring_sizes(13, 4)), 13);
+  EXPECT_EQ(total(bb::ring_sizes(14, 4)), 14);
+}
+
+TEST(RingSizes, AtMostSevenProcsSizeFourIsOneRing) {
+  // Paper: "If the number of processes is less or equal 7 then all
+  // processes form one ring."
+  for (int n = 2; n <= 7; ++n) {
+    const auto sizes = bb::ring_sizes(n, 4);
+    EXPECT_EQ(sizes, std::vector<int>{n}) << "n=" << n;
+  }
+}
+
+TEST(RingSizes, SizeEightRemainders) {
+  // Paper: ring size 8 with last rings "3*7, ... 1*7, 1*9, ... 4*9".
+  EXPECT_EQ(count_of(bb::ring_sizes(33, 8), 9), 1);   // r=1 -> 1*9
+  EXPECT_EQ(count_of(bb::ring_sizes(36, 8), 9), 4);   // r=4 -> 4*9
+  EXPECT_EQ(count_of(bb::ring_sizes(37, 8), 7), 3);   // r=5 -> 3*7
+  EXPECT_EQ(count_of(bb::ring_sizes(39, 8), 7), 1);   // r=7 -> 1*7
+  for (int n : {33, 36, 37, 39}) EXPECT_EQ(total(bb::ring_sizes(n, 8)), n);
+}
+
+TEST(RingSizes, AllCountsPartitionExactly) {
+  for (int standard : {2, 4, 8, 16, 32}) {
+    for (int n = 2; n <= 200; ++n) {
+      const auto sizes = bb::ring_sizes(n, standard);
+      EXPECT_EQ(total(sizes), n) << "n=" << n << " s=" << standard;
+      for (int sz : sizes) EXPECT_GE(sz, 2) << "n=" << n << " s=" << standard;
+    }
+  }
+}
+
+TEST(StandardRingSize, PaperRules) {
+  EXPECT_EQ(bb::standard_ring_size(0, 512), 2);
+  EXPECT_EQ(bb::standard_ring_size(1, 512), 4);
+  EXPECT_EQ(bb::standard_ring_size(2, 512), 8);
+  EXPECT_EQ(bb::standard_ring_size(3, 512), 128);  // max(16, 512/4)
+  EXPECT_EQ(bb::standard_ring_size(4, 512), 256);  // max(32, 512/2)
+  EXPECT_EQ(bb::standard_ring_size(5, 512), 512);
+  // Small counts clamp to nprocs.
+  EXPECT_EQ(bb::standard_ring_size(3, 8), 8);
+  EXPECT_EQ(bb::standard_ring_size(4, 8), 8);
+}
+
+namespace {
+
+/// Pattern invariants: left/right are mutually inverse permutations.
+void check_pattern(const bb::CommPattern& pat, int nprocs) {
+  ASSERT_EQ(pat.left.size(), static_cast<std::size_t>(nprocs));
+  ASSERT_EQ(pat.right.size(), static_cast<std::size_t>(nprocs));
+  for (int r = 0; r < nprocs; ++r) {
+    const int right = pat.right[static_cast<std::size_t>(r)];
+    ASSERT_GE(right, 0);
+    ASSERT_LT(right, nprocs);
+    // right's left neighbour must be me.
+    EXPECT_EQ(pat.left[static_cast<std::size_t>(right)], r);
+  }
+  // right is a permutation.
+  std::set<int> rs(pat.right.begin(), pat.right.end());
+  EXPECT_EQ(rs.size(), static_cast<std::size_t>(nprocs));
+  EXPECT_EQ(pat.total_messages(), 2 * nprocs);
+}
+
+}  // namespace
+
+class PatternInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(PatternInvariants, RingAndRandomAreConsistent) {
+  const int nprocs = GetParam();
+  for (int i = 0; i < bb::kNumRingPatterns; ++i) {
+    check_pattern(bb::make_ring_pattern(i, nprocs), nprocs);
+    check_pattern(bb::make_random_pattern(i, nprocs, 2001), nprocs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcCounts, PatternInvariants,
+                         ::testing::Values(2, 3, 4, 7, 8, 11, 16, 24, 28, 29,
+                                           33, 64, 100, 128, 512));
+
+TEST(Patterns, RingTwoPairsAdjacentRanks) {
+  const auto pat = bb::make_ring_pattern(0, 8);
+  for (int r = 0; r < 8; r += 2) {
+    EXPECT_EQ(pat.right[static_cast<std::size_t>(r)], r + 1);
+    EXPECT_EQ(pat.left[static_cast<std::size_t>(r)], r + 1);
+  }
+}
+
+TEST(Patterns, FullRingVisitsRanksInOrder) {
+  const auto pat = bb::make_ring_pattern(5, 6);
+  for (int r = 0; r < 6; ++r) {
+    EXPECT_EQ(pat.right[static_cast<std::size_t>(r)], (r + 1) % 6);
+    EXPECT_EQ(pat.left[static_cast<std::size_t>(r)], (r + 5) % 6);
+  }
+}
+
+TEST(Patterns, RandomDiffersFromRingForLargeCounts) {
+  const auto ring = bb::make_ring_pattern(5, 64);
+  const auto rnd = bb::make_random_pattern(5, 64, 2001);
+  EXPECT_TRUE(rnd.is_random);
+  EXPECT_FALSE(ring.is_random);
+  EXPECT_NE(ring.right, rnd.right);
+}
+
+TEST(Patterns, RandomDeterministicPerSeed) {
+  const auto a = bb::make_random_pattern(2, 64, 7);
+  const auto b = bb::make_random_pattern(2, 64, 7);
+  const auto c = bb::make_random_pattern(2, 64, 8);
+  EXPECT_EQ(a.right, b.right);
+  EXPECT_NE(a.right, c.right);
+}
+
+TEST(Patterns, AveragingSetHasTwelvePatterns) {
+  const auto pats = bb::averaging_patterns(32, 2001);
+  ASSERT_EQ(pats.size(), 12u);
+  for (int i = 0; i < 6; ++i) EXPECT_FALSE(pats[static_cast<std::size_t>(i)].is_random);
+  for (int i = 6; i < 12; ++i) EXPECT_TRUE(pats[static_cast<std::size_t>(i)].is_random);
+}

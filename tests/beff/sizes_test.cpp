@@ -1,0 +1,49 @@
+#include "core/beff/sizes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bb = balbench::beff;
+
+TEST(Sizes, TwentyOneSizesForOneMb) {
+  const auto sizes = bb::message_sizes(1 << 20);
+  ASSERT_EQ(sizes.size(), 21u);
+  // 13 fixed sizes 1..4096.
+  for (int i = 0; i < 13; ++i) {
+    EXPECT_EQ(sizes[static_cast<std::size_t>(i)], std::int64_t{1} << i);
+  }
+  EXPECT_EQ(sizes.back(), 1 << 20);
+}
+
+TEST(Sizes, GeometricSpacingAboveFourKb) {
+  const auto sizes = bb::message_sizes(1 << 20);
+  // Ratio between consecutive geometric sizes is constant: a = 2^(8/8)=2.
+  for (int i = 13; i < 21; ++i) {
+    EXPECT_NEAR(static_cast<double>(sizes[static_cast<std::size_t>(i)]) /
+                    static_cast<double>(sizes[static_cast<std::size_t>(i - 1)]),
+                2.0, 0.01);
+  }
+}
+
+TEST(Sizes, StrictlyIncreasing) {
+  for (std::int64_t lmax : {std::int64_t{4096} * 2, std::int64_t{1} << 20,
+                            std::int64_t{8} << 20, std::int64_t{128} << 20}) {
+    const auto sizes = bb::message_sizes(lmax);
+    for (std::size_t i = 1; i < sizes.size(); ++i) {
+      EXPECT_GT(sizes[i], sizes[i - 1]) << "lmax=" << lmax << " i=" << i;
+    }
+    EXPECT_EQ(sizes.back(), lmax);
+  }
+}
+
+TEST(Sizes, RejectsTinyLmax) {
+  EXPECT_THROW(bb::message_sizes(1024), std::invalid_argument);
+}
+
+TEST(Sizes, LmaxRule) {
+  // L_max = min(128 MB, mem/128): T3E with 128 MB per proc -> 1 MB.
+  EXPECT_EQ(bb::lmax_for_memory(128LL << 20), 1 << 20);
+  // Hitachi SR 8000 with 1 GB -> 8 MB.
+  EXPECT_EQ(bb::lmax_for_memory(1LL << 30), 8 << 20);
+  // Enormous memory caps at 128 MB.
+  EXPECT_EQ(bb::lmax_for_memory(1LL << 60), 128LL << 20);
+}

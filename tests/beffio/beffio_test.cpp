@@ -1,0 +1,270 @@
+// End-to-end b_eff_io runs on small simulated machines.
+#include "core/beffio/beffio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "machines/machines.hpp"
+#include "net/topology.hpp"
+#include "parmsg/sim_transport.hpp"
+#include "util/units.hpp"
+
+namespace bi = balbench::beffio;
+namespace bp = balbench::parmsg;
+namespace bn = balbench::net;
+namespace bm = balbench::machines;
+using balbench::util::kMiB;
+
+namespace {
+
+std::unique_ptr<bp::SimTransport> xbar(int procs) {
+  bn::CrossbarParams p;
+  p.processes = procs;
+  p.port_bw = 500e6;
+  p.latency_sec = 10e-6;
+  return std::make_unique<bp::SimTransport>(bn::make_crossbar(p), bp::CommCosts{});
+}
+
+balbench::pfsim::IoSystemConfig small_io() {
+  balbench::pfsim::IoSystemConfig cfg;
+  cfg.name = "test";
+  cfg.num_servers = 4;
+  cfg.disk.bandwidth = 40e6;
+  cfg.disk.seek_time = 4e-3;
+  cfg.server_bandwidth = 100e6;
+  cfg.client_link_bw = 80e6;
+  cfg.fabric_bandwidth = 400e6;
+  cfg.stripe_unit = 64 * 1024;
+  cfg.block_size = 16 * 1024;
+  cfg.cache_bytes = 256 * kMiB;
+  return cfg;
+}
+
+bi::BeffIoOptions quick_options(double t_seconds = 30.0) {
+  bi::BeffIoOptions opt;
+  opt.scheduled_time = t_seconds;  // far below the official 15 min: test speed
+  opt.memory_per_node = 128 * kMiB;  // M_PART = 2 MB
+  return opt;
+}
+
+}  // namespace
+
+TEST(BeffIo, RunsAndProducesSensibleAggregates) {
+  auto t = xbar(4);
+  const auto r = bi::run_beffio(*t, small_io(), 4, quick_options());
+  EXPECT_EQ(r.nprocs, 4);
+  EXPECT_GT(r.b_eff_io, 0.0);
+  EXPECT_EQ(r.mpart, 2 * kMiB);
+  // All three access methods and five types were measured.
+  for (const auto& am : r.access) {
+    for (const auto& tr : am.types) {
+      EXPECT_FALSE(tr.patterns.empty());
+      EXPECT_GT(tr.seconds, 0.0);
+      EXPECT_GT(tr.bytes, 0);
+    }
+  }
+  EXPECT_GT(r.segment_bytes, 0);
+  EXPECT_EQ(r.segment_bytes % kMiB, 0) << "L_SEG must be a 1 MB multiple";
+}
+
+TEST(BeffIo, FinalValueMatchesWeighting) {
+  auto t = xbar(4);
+  const auto r = bi::run_beffio(*t, small_io(), 4, quick_options());
+  const double expect = 0.25 * r.write().weighted_bandwidth() +
+                        0.25 * r.rewrite().weighted_bandwidth() +
+                        0.50 * r.read().weighted_bandwidth();
+  EXPECT_NEAR(r.b_eff_io, expect, 1e-9 * expect);
+}
+
+TEST(BeffIo, ScatterWeightedDouble) {
+  auto t = xbar(2);
+  const auto r = bi::run_beffio(*t, small_io(), 2, quick_options());
+  const auto& am = r.write();
+  double bw[5];
+  for (int i = 0; i < 5; ++i) bw[i] = am.types[static_cast<std::size_t>(i)].bandwidth();
+  const double manual =
+      (2 * bw[0] + bw[1] + bw[2] + bw[3] + bw[4]) / 6.0;
+  EXPECT_NEAR(am.weighted_bandwidth(), manual, 1e-9 * manual);
+}
+
+TEST(BeffIo, DeterministicAcrossRuns) {
+  auto t1 = xbar(2);
+  auto t2 = xbar(2);
+  const auto a = bi::run_beffio(*t1, small_io(), 2, quick_options());
+  const auto b = bi::run_beffio(*t2, small_io(), 2, quick_options());
+  EXPECT_DOUBLE_EQ(a.b_eff_io, b.b_eff_io);
+}
+
+TEST(BeffIo, TimeDrivenLoopsRespectSchedule) {
+  auto t = xbar(2);
+  const double T = 30.0;
+  const auto r = bi::run_beffio(*t, small_io(), 2, quick_options(T));
+  // The whole benchmark should take roughly T of virtual time (pattern
+  // mix can overshoot somewhat: size-driven types 3/4, syncs, opens).
+  EXPECT_GT(r.benchmark_seconds, 0.5 * T);
+  EXPECT_LT(r.benchmark_seconds, 4.0 * T);
+}
+
+TEST(BeffIo, ScatterTypeBestAtSmallChunks) {
+  // Paper Sec. 5.3: "the scattering pattern type 0 is the best on all
+  // platforms for small chunk sizes on disk."
+  auto t = xbar(4);
+  const auto r = bi::run_beffio(*t, small_io(), 4, quick_options());
+  const auto& wr = r.write();
+  auto bw_of_1k = [&](bi::PatternType type) {
+    for (const auto& pr : wr.types[static_cast<std::size_t>(type)].patterns) {
+      if (!pr.pattern.fill_up && pr.pattern.l == 1024) return pr.bandwidth();
+    }
+    return 0.0;
+  };
+  const double scatter = bw_of_1k(bi::PatternType::ScatterCollective);
+  const double shared = bw_of_1k(bi::PatternType::SharedCollective);
+  const double separate = bw_of_1k(bi::PatternType::SeparateFiles);
+  EXPECT_GT(scatter, shared);
+  EXPECT_GT(scatter, separate);
+}
+
+TEST(BeffIo, NonWellformedSlowerThanWellformed) {
+  auto t = xbar(4);
+  const auto r = bi::run_beffio(*t, small_io(), 4, quick_options());
+  const auto& wr = r.write().types[static_cast<std::size_t>(
+      bi::PatternType::SeparateFiles)];
+  double bw_1k = 0.0;
+  double bw_1k8 = 0.0;
+  for (const auto& pr : wr.patterns) {
+    if (pr.pattern.l == 1024) bw_1k = pr.bandwidth();
+    if (pr.pattern.l == 1024 + 8) bw_1k8 = pr.bandwidth();
+  }
+  EXPECT_GT(bw_1k, bw_1k8 * 1.2);
+}
+
+TEST(BeffIo, UnoptimizedSegmentedCollectiveMuchWorse) {
+  // Paper Sec. 5.3 (IBM SP prototype): segmented collective is "more
+  // than a factor of 10 worse" than segmented non-collective.
+  // SP-like balance: per-client links are the bottleneck, disks are
+  // plentiful, so serializing the clients costs the full parallelism.
+  auto cfg = small_io();
+  cfg.optimized_segmented_collective = false;
+  cfg.shared_pointer_overhead = 250e-6;
+  cfg.client_link_bw = 15e6;
+  cfg.disk.bandwidth = 80e6;
+  auto t = xbar(8);
+  const auto r = bi::run_beffio(*t, cfg, 8, quick_options());
+  // The serialization shows in the per-pattern bandwidths (the data of
+  // Fig. 4); the type totals are additionally sync/disk bound.
+  auto pattern_bw = [&](bi::PatternType type, std::int64_t l) {
+    for (const auto& pr :
+         r.write().types[static_cast<std::size_t>(type)].patterns) {
+      if (!pr.pattern.fill_up && pr.pattern.l == l && pr.pattern.time_units > 0) {
+        return pr.bandwidth();
+      }
+    }
+    return 0.0;
+  };
+  const double t3 = pattern_bw(bi::PatternType::SegmentedIndividual, 1 << 20);
+  const double t4 = pattern_bw(bi::PatternType::SegmentedCollective, 1 << 20);
+  EXPECT_GT(t3, t4 * 3.0);
+}
+
+TEST(BeffIo, ReadBenefitsFromCacheOnShortRuns) {
+  // Short T -> small files -> reads come from the filesystem cache and
+  // beat the raw disk bandwidth (paper Sec. 5.4 caching discussion).
+  auto cfg = small_io();
+  auto t = xbar(2);
+  const auto r = bi::run_beffio(*t, cfg, 2, quick_options(20.0));
+  EXPECT_GT(r.fs_stats.read_cache_hits, 0);
+}
+
+TEST(BeffIo, InvalidArgumentsThrow) {
+  auto t = xbar(2);
+  EXPECT_THROW(bi::run_beffio(*t, small_io(), 0, quick_options()),
+               std::invalid_argument);
+  EXPECT_THROW(bi::run_beffio(*t, small_io(), 99, quick_options()),
+               std::invalid_argument);
+  auto opt = quick_options();
+  opt.scheduled_time = -1;
+  EXPECT_THROW(bi::run_beffio(*t, small_io(), 2, opt), std::invalid_argument);
+}
+
+TEST(BeffIo, ReportContainsAllSections) {
+  auto t = xbar(2);
+  const auto r = bi::run_beffio(*t, small_io(), 2, quick_options());
+  const auto report = bi::beffio_report(r);
+  EXPECT_NE(report.find("initial write"), std::string::npos);
+  EXPECT_NE(report.find("rewrite"), std::string::npos);
+  EXPECT_NE(report.find("read"), std::string::npos);
+  EXPECT_NE(report.find("scatter"), std::string::npos);
+  EXPECT_NE(report.find("segmented"), std::string::npos);
+  EXPECT_NE(report.find("b_eff_io"), std::string::npos);
+  EXPECT_NE(report.find("fill-up"), std::string::npos);
+}
+
+TEST(BeffIo, RunsOnPaperMachineModels) {
+  // Smoke: T3E I/O configuration with a short schedule.
+  auto m = bm::cray_t3e_900();
+  bp::SimTransport t(m.make_topology(8), m.costs);
+  bi::BeffIoOptions opt;
+  opt.scheduled_time = 30.0;
+  opt.memory_per_node = m.memory_per_proc;
+  const auto r = bi::run_beffio(t, *m.io, 8, opt);
+  EXPECT_GT(r.b_eff_io, 0.0);
+}
+
+TEST(BeffIo, GeometricSeriesTerminationReducesCheckOverheadForSmallChunks) {
+  // Paper Sec. 5.4: per-iteration termination checks are NOT 10x
+  // faster than a 1 kB call, so the proposed geometric series should
+  // improve small-chunk bandwidth.
+  auto cfg = small_io();
+  auto t1 = xbar(4);
+  auto t2 = xbar(4);
+  auto opt = quick_options();
+  opt.termination = bi::TerminationMode::PerIterationCheck;
+  const auto per_iter = bi::run_beffio(*t1, cfg, 4, opt);
+  opt.termination = bi::TerminationMode::GeometricSeries;
+  const auto geometric = bi::run_beffio(*t2, cfg, 4, opt);
+
+  auto bw_1k_type2 = [](const bi::BeffIoResult& r) {
+    for (const auto& pr :
+         r.write().types[static_cast<std::size_t>(bi::PatternType::SeparateFiles)]
+             .patterns) {
+      if (!pr.pattern.fill_up && pr.pattern.l == 1024 && pr.pattern.time_units > 0) {
+        return pr.bandwidth();
+      }
+    }
+    return 0.0;
+  };
+  EXPECT_GT(bw_1k_type2(geometric), bw_1k_type2(per_iter) * 1.05);
+  EXPECT_GT(geometric.b_eff_io, 0.0);
+}
+
+TEST(BeffIo, RandomAccessExtensionReportedSeparately) {
+  auto t = xbar(4);
+  auto opt = quick_options();
+  opt.include_random_type = true;
+  const auto r = bi::run_beffio(*t, small_io(), 4, opt);
+  for (double v : r.random_extension) EXPECT_GT(v, 0.0);
+  // Informational only: the headline number ignores it.
+  const double expect = 0.25 * r.write().weighted_bandwidth() +
+                        0.25 * r.rewrite().weighted_bandwidth() +
+                        0.50 * r.read().weighted_bandwidth();
+  EXPECT_NEAR(r.b_eff_io, expect, 1e-9 * expect);
+  // Random access must be slower than the (mostly sequential) type 2.
+  const double seq = r.write()
+                         .types[static_cast<std::size_t>(bi::PatternType::SeparateFiles)]
+                         .bandwidth();
+  EXPECT_LT(r.random_extension[0], seq * 1.5);
+  const auto report = bi::beffio_report(r);
+  EXPECT_NE(report.find("random-access extension"), std::string::npos);
+}
+
+TEST(BeffIo, RandomExtensionDeterministicPerSeed) {
+  auto t1 = xbar(2);
+  auto t2 = xbar(2);
+  auto opt = quick_options();
+  opt.include_random_type = true;
+  const auto a = bi::run_beffio(*t1, small_io(), 2, opt);
+  const auto b = bi::run_beffio(*t2, small_io(), 2, opt);
+  EXPECT_DOUBLE_EQ(a.random_extension[0], b.random_extension[0]);
+  EXPECT_DOUBLE_EQ(a.random_extension[2], b.random_extension[2]);
+}

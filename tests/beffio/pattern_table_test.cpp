@@ -1,0 +1,94 @@
+#include "core/beffio/pattern_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/units.hpp"
+
+namespace bi = balbench::beffio;
+using balbench::util::kMiB;
+
+TEST(PatternTable, TimeUnitsSumTo64) {
+  // Paper Table 2: sum of U = 64.
+  const auto table = bi::pattern_table(2 * kMiB);
+  EXPECT_EQ(bi::total_time_units(table), 64);
+}
+
+TEST(PatternTable, TypeCountsMatchTable2) {
+  const auto table = bi::pattern_table(2 * kMiB);
+  EXPECT_EQ(bi::patterns_of_type(table, bi::PatternType::ScatterCollective).size(), 9u);
+  EXPECT_EQ(bi::patterns_of_type(table, bi::PatternType::SharedCollective).size(), 8u);
+  EXPECT_EQ(bi::patterns_of_type(table, bi::PatternType::SeparateFiles).size(), 8u);
+  EXPECT_EQ(bi::patterns_of_type(table, bi::PatternType::SegmentedIndividual).size(), 9u);
+  EXPECT_EQ(bi::patterns_of_type(table, bi::PatternType::SegmentedCollective).size(), 9u);
+  EXPECT_EQ(table.size(), 43u);
+}
+
+TEST(PatternTable, PatternNumbersAreSequential) {
+  const auto table = bi::pattern_table(2 * kMiB);
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    EXPECT_EQ(table[i].number, static_cast<int>(i));
+  }
+}
+
+TEST(PatternTable, ScatterRowsMatchPaper) {
+  const auto table = bi::pattern_table(8 * kMiB);
+  // Pattern 0: l = L = 1 MB, U = 0.
+  EXPECT_EQ(table[0].l, 1 * kMiB);
+  EXPECT_EQ(table[0].L, 1 * kMiB);
+  EXPECT_EQ(table[0].time_units, 0);
+  // Pattern 1: l = M_PART.
+  EXPECT_EQ(table[1].l, 8 * kMiB);
+  EXPECT_EQ(table[1].time_units, 4);
+  // Pattern 2: l = 1 MB scattered from L = 2 MB memory chunks.
+  EXPECT_EQ(table[2].L, 2 * kMiB);
+  // Pattern 6: 32 kB + 8 from 1 MB + 256 B.
+  EXPECT_EQ(table[6].l, 32 * 1024 + 8);
+  EXPECT_EQ(table[6].L, 1 * kMiB + 256);
+  // Pattern 7: 1 kB + 8 from 1 MB + 8 kB.
+  EXPECT_EQ(table[7].l, 1024 + 8);
+  EXPECT_EQ(table[7].L, 1 * kMiB + 8 * 1024);
+}
+
+TEST(PatternTable, NonWellformedMarkedCorrectly) {
+  const auto table = bi::pattern_table(2 * kMiB);
+  int wellformed = 0;
+  int odd = 0;
+  for (const auto& p : table) {
+    if (p.fill_up) continue;
+    if (p.wellformed()) {
+      ++wellformed;
+    } else {
+      ++odd;
+      EXPECT_EQ(p.l % 8, 0);  // +8 variants
+    }
+  }
+  EXPECT_GT(wellformed, 0);
+  // 3 non-wellformed rows in each of the 5 types.
+  EXPECT_EQ(odd, 15);
+}
+
+TEST(PatternTable, MpartRule) {
+  // M_PART = max(2 MB, memory / 128).
+  EXPECT_EQ(bi::mpart_for_memory(128 * kMiB), 2 * kMiB);
+  EXPECT_EQ(bi::mpart_for_memory(1LL << 30), 8 * kMiB);
+  EXPECT_EQ(bi::mpart_for_memory(0), 2 * kMiB);
+}
+
+TEST(PatternTable, MpartCapApplies) {
+  const auto table = bi::pattern_table(64 * kMiB, 2 * kMiB);
+  EXPECT_EQ(table[1].l, 2 * kMiB);  // capped M_PART row
+}
+
+TEST(PatternTable, FillUpPatternsExistInSegmentedTypes) {
+  const auto table = bi::pattern_table(2 * kMiB);
+  int fills = 0;
+  for (const auto& p : table) {
+    if (p.fill_up) {
+      ++fills;
+      EXPECT_TRUE(p.type == bi::PatternType::SegmentedIndividual ||
+                  p.type == bi::PatternType::SegmentedCollective);
+      EXPECT_EQ(p.time_units, 0);
+    }
+  }
+  EXPECT_EQ(fills, 2);
+}

@@ -1,0 +1,165 @@
+// Cross-module integration tests: the paper's qualitative claims that
+// need several subsystems cooperating.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/beff/beff.hpp"
+#include "core/beffio/beffio.hpp"
+#include "machines/machines.hpp"
+#include "parmsg/sim_transport.hpp"
+#include "util/units.hpp"
+
+namespace bb = balbench::beff;
+namespace bi = balbench::beffio;
+namespace bm = balbench::machines;
+namespace bp = balbench::parmsg;
+using balbench::util::kMiB;
+
+namespace {
+
+bb::BeffResult beff_on(const bm::MachineSpec& m, int np) {
+  bp::SimTransport t(m.make_topology(np), m.costs);
+  bb::BeffOptions opt;
+  opt.memory_per_proc = m.memory_per_proc;
+  opt.measure_analysis = true;
+  return bb::run_beff(t, np, opt);
+}
+
+bi::BeffIoResult beffio_on(const bm::MachineSpec& m, int np, double T) {
+  bp::SimTransport t(m.make_topology(np), m.costs);
+  bi::BeffIoOptions opt;
+  opt.scheduled_time = T;
+  opt.memory_per_node = m.memory_per_proc;
+  return bi::run_beffio(t, *m.io, np, opt);
+}
+
+}  // namespace
+
+TEST(Integration, CoffeeCupRuleTwoOrdersOfMagnitude) {
+  // Paper Sec. 2.2: communication moves the total memory in seconds,
+  // I/O needs on the order of tens of minutes -- about two orders of
+  // magnitude apart.
+  // The gap grows with machine size: communication scales with the
+  // processors, the I/O subsystem is fixed.  At 64 PEs the T3E gap is
+  // already more than an order of magnitude (at 512 it is two).
+  auto m = bm::cray_t3e_900();
+  const int np = 64;
+  const auto comm = beff_on(m, np);
+  const auto io = beffio_on(m, np, 120.0);
+
+  const double total_mem = static_cast<double>(m.memory_per_proc) * np;
+  const double comm_seconds = total_mem / comm.b_eff;
+  const double io_seconds = total_mem / io.b_eff_io;
+  EXPECT_GT(io_seconds / comm_seconds, 15.0)
+      << "I/O must be far slower than communication";
+  EXPECT_LT(comm_seconds, 60.0);
+}
+
+TEST(Integration, BeffRuntimeBudgetIsMinutes) {
+  // Paper Sec. 2: b_eff achieves its result in 3-5 minutes of machine
+  // time.  Our simulated benchmark time must be in that order (the
+  // fast-forwarded looplength arithmetic preserves the budget).
+  auto m = bm::cray_t3e_900();
+  const auto r = beff_on(m, 32);
+  EXPECT_GT(r.benchmark_seconds, 1.0);
+  EXPECT_LT(r.benchmark_seconds, 15.0 * 60.0);
+}
+
+TEST(Integration, Table1ShapeHolds) {
+  // The headline relations of Table 1 on the simulated machines.
+  auto t3e = bm::cray_t3e_900();
+  const auto r64 = beff_on(t3e, 64);
+  const auto r24 = beff_on(t3e, 24);
+
+  // Ping-pong ~330 MB/s on the T3E.
+  EXPECT_NEAR(r64.analysis.pingpong_bw / kMiB, 330.0, 40.0);
+  // Ring patterns at L_max: ~190-210 MB/s per process, stable in P.
+  EXPECT_NEAR(r64.per_proc_at_lmax_rings() / kMiB, 200.0, 25.0);
+  EXPECT_NEAR(r24.per_proc_at_lmax_rings() / kMiB, 200.0, 25.0);
+  // Averaging over sizes reduces the per-process value well below the
+  // L_max value.
+  EXPECT_LT(r64.per_proc(), 0.75 * r64.per_proc_at_lmax());
+
+  // Shared memory: NEC SX-5 per-process bandwidth is vastly higher.
+  auto sx5 = bm::nec_sx5();
+  const auto rs = beff_on(sx5, 4);
+  EXPECT_GT(rs.per_proc_at_lmax(), 30.0 * r64.per_proc_at_lmax());
+}
+
+TEST(Integration, BalanceFactorOrdering) {
+  // Fig. 1: vector shared-memory systems are better balanced than the
+  // MPP (more communication bytes per flop).
+  auto t3e = bm::cray_t3e_900();
+  auto sx5 = bm::nec_sx5();
+  const auto rt = beff_on(t3e, 64);
+  const auto rs = beff_on(sx5, 4);
+  const double bal_t3e = rt.b_eff / (t3e.rmax_gflops_per_proc * 1e9 * 64);
+  const double bal_sx5 = rs.b_eff / (sx5.rmax_gflops_per_proc * 1e9 * 4);
+  EXPECT_GT(bal_sx5, bal_t3e * 1.5);
+}
+
+TEST(Integration, T3eIoIsAGlobalResource) {
+  // Fig. 3 left: on the T3E the I/O bandwidth saturates at small
+  // process counts -- a global resource.
+  auto m = bm::cray_t3e_900();
+  const auto io8 = beffio_on(m, 8, 90.0);
+  const auto io32 = beffio_on(m, 32, 90.0);
+  EXPECT_LT(std::abs(io32.b_eff_io - io8.b_eff_io),
+            0.5 * io8.b_eff_io)
+      << "T3E I/O should be roughly flat from 8 to 32 processes";
+}
+
+TEST(Integration, SpIoTracksClientCount) {
+  // Fig. 3 right: on the SP the I/O bandwidth tracks the number of
+  // client nodes until saturation.
+  auto m = bm::ibm_sp();
+  const auto io4 = beffio_on(m, 4, 90.0);
+  const auto io16 = beffio_on(m, 16, 90.0);
+  EXPECT_GT(io16.b_eff_io, 2.5 * io4.b_eff_io);
+}
+
+TEST(Integration, LongerScheduleReducesCacheBenefit) {
+  // Paper Sec. 5.4: "the b_eff_io value may have its maximum for T=10
+  // minutes ... for any larger time interval, the caching of the
+  // filesystem in the memory is reduced."
+  auto m = bm::cray_t3e_900();
+  const auto short_t = beffio_on(m, 8, 120.0);
+  const auto long_t = beffio_on(m, 8, 600.0);
+  const double short_read = short_t.read().weighted_bandwidth();
+  const double long_read = long_t.read().weighted_bandwidth();
+  EXPECT_LE(long_read, short_read * 1.15)
+      << "longer schedules must not look faster on reads";
+}
+
+TEST(Integration, ScatterTypeWinsAtSmallChunksOnAllIoMachines) {
+  // Paper Sec. 5.3: "the scattering pattern type 0 is the best on all
+  // platforms for small chunk sizes on disk."
+  for (const char* name : {"t3e", "sp", "sr8000", "sx5"}) {
+    auto m = bm::machine_by_name(name);
+    const int np = std::min(8, m.max_procs);
+    const auto r = beffio_on(m, np, 60.0);
+    const auto& wr = r.write();
+    auto bw_1k = [&](bi::PatternType t) {
+      for (const auto& pr : wr.types[static_cast<std::size_t>(t)].patterns) {
+        if (!pr.pattern.fill_up && pr.pattern.l == 1024) return pr.bandwidth();
+      }
+      return 0.0;
+    };
+    EXPECT_GT(bw_1k(bi::PatternType::ScatterCollective),
+              bw_1k(bi::PatternType::SeparateFiles))
+        << "machine " << name;
+  }
+}
+
+TEST(Integration, DeterministicEndToEnd) {
+  auto m = bm::hitachi_sr8000(balbench::net::Placement::Sequential);
+  const auto a = beff_on(m, 16);
+  const auto b = beff_on(m, 16);
+  EXPECT_DOUBLE_EQ(a.b_eff, b.b_eff);
+  EXPECT_DOUBLE_EQ(a.analysis.cart3d_combined_bw, b.analysis.cart3d_combined_bw);
+
+  const auto x = beffio_on(m, 8, 45.0);
+  const auto y = beffio_on(m, 8, 45.0);
+  EXPECT_DOUBLE_EQ(x.b_eff_io, y.b_eff_io);
+}

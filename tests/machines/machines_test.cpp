@@ -1,0 +1,82 @@
+#include "machines/machines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/units.hpp"
+
+namespace bm = balbench::machines;
+namespace bu = balbench::util;
+
+TEST(Machines, RegistryContainsAllPaperSystems) {
+  const auto all = bm::all_machines();
+  EXPECT_EQ(all.size(), 10u);
+  for (const auto& m : all) {
+    EXPECT_FALSE(m.name.empty());
+    EXPECT_FALSE(m.short_name.empty());
+    EXPECT_GT(m.max_procs, 0);
+    EXPECT_GT(m.memory_per_proc, 0);
+    EXPECT_GT(m.rmax_gflops_per_proc, 0.0);
+    ASSERT_TRUE(static_cast<bool>(m.make_topology)) << m.name;
+  }
+}
+
+TEST(Machines, LookupByShortName) {
+  EXPECT_EQ(bm::machine_by_name("t3e").name, "Cray T3E/900-512");
+  EXPECT_EQ(bm::machine_by_name("sx5").max_procs, 4);
+  EXPECT_THROW(bm::machine_by_name("cray-3"), std::invalid_argument);
+}
+
+TEST(Machines, LmaxMatchesTable1) {
+  // Table 1's L_max column.
+  EXPECT_EQ(bm::machine_by_name("t3e").lmax(), 1 * bu::kMiB);
+  EXPECT_EQ(bm::machine_by_name("sr8000").lmax(), 8 * bu::kMiB);
+  EXPECT_EQ(bm::machine_by_name("sr2201").lmax(), 2 * bu::kMiB);
+  EXPECT_EQ(bm::machine_by_name("sx5").lmax(), 2 * bu::kMiB);
+  EXPECT_EQ(bm::machine_by_name("sx4").lmax(), 2 * bu::kMiB);
+  EXPECT_EQ(bm::machine_by_name("hpv").lmax(), 8 * bu::kMiB);
+  EXPECT_EQ(bm::machine_by_name("sv1").lmax(), 4 * bu::kMiB);
+}
+
+TEST(Machines, TopologiesHonorProcessCount) {
+  for (const auto& m : bm::all_machines()) {
+    const int np = std::min(m.max_procs, 8);
+    auto topo = m.make_topology(np);
+    EXPECT_GE(topo->num_endpoints(), np) << m.name;
+  }
+}
+
+TEST(Machines, IoConfigsPresentWhereThePaperMeasuredIo) {
+  // Figs. 3-5 cover T3E, IBM SP, SR 8000 and SX-5.
+  EXPECT_TRUE(bm::machine_by_name("t3e").io.has_value());
+  EXPECT_TRUE(bm::machine_by_name("sp").io.has_value());
+  EXPECT_TRUE(bm::machine_by_name("sr8000").io.has_value());
+  EXPECT_TRUE(bm::machine_by_name("sx5").io.has_value());
+  EXPECT_TRUE(bm::machine_by_name("beowulf").io.has_value());
+  // The pure b_eff systems have none.
+  EXPECT_FALSE(bm::machine_by_name("sx4").io.has_value());
+  EXPECT_FALSE(bm::machine_by_name("hpv").io.has_value());
+}
+
+TEST(Machines, PaperIoFacts) {
+  const auto sp = bm::machine_by_name("sp");
+  EXPECT_EQ(sp.io->num_servers, 20);  // 20 VSD I/O servers
+  EXPECT_FALSE(sp.io->optimized_segmented_collective);  // prototype quirk
+  const auto t3e = bm::machine_by_name("t3e");
+  EXPECT_EQ(t3e.io->num_servers, 10);  // 10 striped RAIDs
+  const auto sx5 = bm::machine_by_name("sx5");
+  EXPECT_EQ(sx5.io->cache_bytes, 2LL * bu::kGiB);  // 2 GB fs cache
+  EXPECT_EQ(sx5.io->cache_bypass_threshold, 1 * bu::kMiB);
+  EXPECT_EQ(sx5.io->stripe_unit, 4 * bu::kMiB);  // 4 MB cluster size
+}
+
+TEST(Machines, SharedMemoryFlagConsistentWithTopology) {
+  for (const auto& m : bm::all_machines()) {
+    auto topo = m.make_topology(std::min(m.max_procs, 4));
+    const auto desc = topo->describe();
+    if (m.shared_memory) {
+      EXPECT_NE(desc.find("shared-memory"), std::string::npos) << m.name;
+    } else {
+      EXPECT_EQ(desc.find("shared-memory"), std::string::npos) << m.name;
+    }
+  }
+}

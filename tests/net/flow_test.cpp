@@ -1,0 +1,151 @@
+#include "net/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/topology.hpp"
+#include "simt/engine.hpp"
+
+namespace bn = balbench::net;
+namespace bs = balbench::simt;
+
+namespace {
+
+bn::CrossbarParams simple_xbar(int procs, double bw, double lat) {
+  bn::CrossbarParams p;
+  p.processes = procs;
+  p.port_bw = bw;
+  p.latency_sec = lat;
+  return p;
+}
+
+}  // namespace
+
+TEST(Flow, SingleFlowTakesLatencyPlusBytesOverBandwidth) {
+  auto topo = bn::make_crossbar(simple_xbar(2, 100.0, 0.5));
+  bs::Engine eng;
+  bn::FlowNetwork net(*topo, eng);
+  double done_at = -1.0;
+  net.start_flow(0, 1, 1000.0, [&](bs::Time t) { done_at = t; });
+  eng.run();
+  EXPECT_NEAR(done_at, 0.5 + 1000.0 / 100.0, 1e-9);
+}
+
+TEST(Flow, ZeroByteFlowTakesLatencyOnly) {
+  auto topo = bn::make_crossbar(simple_xbar(2, 100.0, 0.25));
+  bs::Engine eng;
+  bn::FlowNetwork net(*topo, eng);
+  double done_at = -1.0;
+  net.start_flow(0, 1, 0.0, [&](bs::Time t) { done_at = t; });
+  eng.run();
+  EXPECT_NEAR(done_at, 0.25, 1e-12);
+}
+
+TEST(Flow, SelfFlowUsesSelfBandwidth) {
+  auto topo = bn::make_crossbar(simple_xbar(2, 100.0, 0.25));
+  bs::Engine eng;
+  bn::FlowNetwork net(*topo, eng);
+  double done_at = -1.0;
+  net.start_flow(1, 1, 1000.0, [&](bs::Time t) { done_at = t; });
+  eng.run();
+  EXPECT_NEAR(done_at, 0.25 + 1000.0 / topo->self_bandwidth(), 1e-9);
+}
+
+TEST(Flow, TwoFlowsShareABottleneckFairly) {
+  // Both flows leave port 0: each gets half the tx bandwidth.
+  auto topo = bn::make_crossbar(simple_xbar(3, 100.0, 0.0));
+  bs::Engine eng;
+  bn::FlowNetwork net(*topo, eng);
+  std::vector<double> done(2, -1.0);
+  net.start_flow(0, 1, 1000.0, [&](bs::Time t) { done[0] = t; });
+  net.start_flow(0, 2, 1000.0, [&](bs::Time t) { done[1] = t; });
+  eng.run();
+  EXPECT_NEAR(done[0], 2000.0 / 100.0, 1e-9);
+  EXPECT_NEAR(done[1], 2000.0 / 100.0, 1e-9);
+}
+
+TEST(Flow, DisjointFlowsDoNotInterfere) {
+  auto topo = bn::make_crossbar(simple_xbar(4, 100.0, 0.0));
+  bs::Engine eng;
+  bn::FlowNetwork net(*topo, eng);
+  std::vector<double> done(2, -1.0);
+  net.start_flow(0, 1, 1000.0, [&](bs::Time t) { done[0] = t; });
+  net.start_flow(2, 3, 1000.0, [&](bs::Time t) { done[1] = t; });
+  eng.run();
+  EXPECT_NEAR(done[0], 10.0, 1e-9);
+  EXPECT_NEAR(done[1], 10.0, 1e-9);
+}
+
+TEST(Flow, RateRedistributedAfterCompletion) {
+  // Flow A: 0->1 (1000 bytes). Flow B: 0->2 (3000 bytes). Shared tx
+  // port of 100 B/s.  Phase 1: both at 50 B/s until A ends at t=20
+  // (A moved 1000). B then speeds to 100 B/s with 2000 left -> ends at
+  // t = 20 + 20 = 40.
+  auto topo = bn::make_crossbar(simple_xbar(3, 100.0, 0.0));
+  bs::Engine eng;
+  bn::FlowNetwork net(*topo, eng);
+  double a = -1.0;
+  double b = -1.0;
+  net.start_flow(0, 1, 1000.0, [&](bs::Time t) { a = t; });
+  net.start_flow(0, 2, 3000.0, [&](bs::Time t) { b = t; });
+  eng.run();
+  EXPECT_NEAR(a, 20.0, 1e-9);
+  EXPECT_NEAR(b, 40.0, 1e-9);
+}
+
+TEST(Flow, LateArrivalSlowsExistingFlow) {
+  // Flow A starts alone; at t=5 (latency of B = 5) flow B joins the
+  // same tx port.  A: 1000 bytes at 100 B/s for 5 s (500 left), then
+  // 50 B/s -> +10 s => done at 15.
+  auto topo = bn::make_crossbar(simple_xbar(3, 100.0, 0.0));
+  bs::Engine eng;
+  bn::FlowNetwork net(*topo, eng);
+  double a = -1.0;
+  net.start_flow(0, 1, 1000.0, [&](bs::Time t) { a = t; });
+  eng.schedule_at(5.0, [&] {
+    net.start_flow(0, 2, 10000.0, [](bs::Time) {});
+  });
+  eng.run();
+  EXPECT_NEAR(a, 15.0, 1e-9);
+}
+
+TEST(Flow, MaxMinFairnessOnAsymmetricPaths) {
+  // On a shared-memory topology with a tight bus: 4 flows through one
+  // bus of 100 B/s -> 25 B/s each even though ports allow 50.
+  bn::SharedMemoryParams p;
+  p.processes = 8;
+  p.per_process_copy_bw = 100.0;  // ports = 50
+  p.aggregate_bw = 100.0;
+  p.latency_sec = 0.0;
+  auto topo = bn::make_shared_memory(p);
+  bs::Engine eng;
+  bn::FlowNetwork net(*topo, eng);
+  std::vector<double> done(4, -1.0);
+  for (int i = 0; i < 4; ++i) {
+    net.start_flow(i, i + 4, 250.0, [&done, i](bs::Time t) { done[static_cast<std::size_t>(i)] = t; });
+  }
+  eng.run();
+  for (double t : done) EXPECT_NEAR(t, 250.0 / 25.0, 1e-9);
+}
+
+TEST(Flow, ManyFlowsAllComplete) {
+  auto topo = bn::make_crossbar(simple_xbar(64, 1e6, 1e-6));
+  bs::Engine eng;
+  bn::FlowNetwork net(*topo, eng);
+  int completed = 0;
+  for (int i = 0; i < 64; ++i) {
+    net.start_flow(i, (i + 1) % 64, 1e5, [&](bs::Time) { ++completed; });
+  }
+  eng.run();
+  EXPECT_EQ(completed, 64);
+  EXPECT_EQ(net.active_flows(), 0u);
+  EXPECT_GT(net.resolves(), 0u);
+}
+
+TEST(Flow, OutOfRangeEndpointThrows) {
+  auto topo = bn::make_crossbar(simple_xbar(2, 1.0, 0.0));
+  bs::Engine eng;
+  bn::FlowNetwork net(*topo, eng);
+  EXPECT_THROW(net.start_flow(0, 7, 1.0, [](bs::Time) {}), std::out_of_range);
+}

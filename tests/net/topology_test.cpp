@@ -1,0 +1,180 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace bn = balbench::net;
+
+TEST(SharedMemory, RouteGoesThroughPortsAndBus) {
+  bn::SharedMemoryParams p;
+  p.processes = 4;
+  auto topo = bn::make_shared_memory(p);
+  EXPECT_EQ(topo->num_endpoints(), 4);
+  std::vector<bn::LinkId> route;
+  topo->route(0, 3, route);
+  ASSERT_EQ(route.size(), 3u);  // tx, bus, rx
+  topo->route(2, 2, route);
+  EXPECT_TRUE(route.empty());
+}
+
+TEST(SharedMemory, PortBandwidthIsHalfCopyBandwidth) {
+  bn::SharedMemoryParams p;
+  p.processes = 2;
+  p.per_process_copy_bw = 8e9;
+  auto topo = bn::make_shared_memory(p);
+  std::vector<bn::LinkId> route;
+  topo->route(0, 1, route);
+  // First link is the tx port: the paper notes shared-memory MPI gets
+  // ~half the memcpy bandwidth due to the intermediate buffer copy.
+  EXPECT_DOUBLE_EQ(topo->links()[static_cast<std::size_t>(route[0])].bandwidth, 4e9);
+}
+
+TEST(Torus3D, SelfRouteEmpty) {
+  bn::Torus3DParams p;
+  p.dims[0] = p.dims[1] = p.dims[2] = 4;
+  auto topo = bn::make_torus3d(p);
+  EXPECT_EQ(topo->num_endpoints(), 64);
+  std::vector<bn::LinkId> route;
+  topo->route(5, 5, route);
+  EXPECT_TRUE(route.empty());
+}
+
+TEST(Torus3D, NeighborRouteLength) {
+  bn::Torus3DParams p;
+  p.dims[0] = p.dims[1] = p.dims[2] = 4;
+  auto topo = bn::make_torus3d(p);
+  std::vector<bn::LinkId> route;
+  // Rank 0 -> rank 1 are +x neighbors: nic_tx, port, 1 torus hop,
+  // port, nic_rx.
+  topo->route(0, 1, route);
+  EXPECT_EQ(route.size(), 5u);
+}
+
+TEST(Torus3D, WrapAroundUsesShortestDirection) {
+  bn::Torus3DParams p;
+  p.dims[0] = 8;
+  p.dims[1] = 1;
+  p.dims[2] = 1;
+  auto topo = bn::make_torus3d(p);
+  std::vector<bn::LinkId> a;
+  std::vector<bn::LinkId> b;
+  topo->route(0, 7, a);  // one hop backwards via wraparound
+  topo->route(0, 1, b);  // one hop forwards
+  EXPECT_EQ(a.size(), b.size());
+}
+
+TEST(Torus3D, LatencyGrowsWithHops) {
+  bn::Torus3DParams p;
+  p.dims[0] = 8;
+  p.dims[1] = 8;
+  p.dims[2] = 8;
+  auto topo = bn::make_torus3d(p);
+  EXPECT_LT(topo->latency(0, 1), topo->latency(0, 4 + 8 * 4 + 64 * 4));
+}
+
+TEST(Torus3D, RouteIsDimensionOrderDeterministic) {
+  bn::Torus3DParams p;
+  p.dims[0] = p.dims[1] = p.dims[2] = 4;
+  auto topo = bn::make_torus3d(p);
+  std::vector<bn::LinkId> r1;
+  std::vector<bn::LinkId> r2;
+  topo->route(3, 42, r1);
+  topo->route(3, 42, r2);
+  EXPECT_EQ(r1, r2);
+}
+
+TEST(TorusDims, PicksCompactShapes) {
+  int d[3];
+  bn::torus_dims_for(512, d);
+  EXPECT_EQ(d[0] * d[1] * d[2], 512);
+  EXPECT_EQ(d[0], 8);
+  EXPECT_EQ(d[1], 8);
+  EXPECT_EQ(d[2], 8);
+
+  bn::torus_dims_for(2, d);
+  EXPECT_GE(d[0] * d[1] * d[2], 2);
+  EXPECT_LE(d[0] * d[1] * d[2], 2);
+
+  bn::torus_dims_for(24, d);
+  EXPECT_GE(d[0] * d[1] * d[2], 24);
+}
+
+TEST(SmpCluster, PlacementChangesNodeOfRank) {
+  bn::SmpClusterParams p;
+  p.nodes = 3;
+  p.procs_per_node = 8;
+  p.placement = bn::Placement::Sequential;
+  auto seq = bn::make_smp_cluster(p);
+  p.placement = bn::Placement::RoundRobin;
+  auto rr = bn::make_smp_cluster(p);
+
+  std::vector<bn::LinkId> route;
+  // Sequential: ranks 0 and 1 share a node -> intra route (3 links).
+  seq->route(0, 1, route);
+  EXPECT_EQ(route.size(), 3u);
+  // Round-robin: ranks 0 and 1 are on different nodes -> inter route.
+  rr->route(0, 1, route);
+  EXPECT_EQ(route.size(), 7u);
+}
+
+TEST(SmpCluster, InterNodeLatencyHigher) {
+  bn::SmpClusterParams p;
+  p.nodes = 2;
+  p.procs_per_node = 2;
+  p.placement = bn::Placement::Sequential;
+  auto topo = bn::make_smp_cluster(p);
+  EXPECT_LT(topo->latency(0, 1), topo->latency(0, 2));
+}
+
+TEST(Crossbar, DirectRoutes) {
+  bn::CrossbarParams p;
+  p.processes = 8;
+  auto topo = bn::make_crossbar(p);
+  std::vector<bn::LinkId> route;
+  topo->route(1, 6, route);
+  EXPECT_EQ(route.size(), 2u);
+  EXPECT_EQ(topo->num_endpoints(), 8);
+}
+
+TEST(AllTopologies, LinksHavePositiveBandwidth) {
+  std::vector<std::unique_ptr<bn::Topology>> topos;
+  topos.push_back(bn::make_shared_memory({}));
+  topos.push_back(bn::make_torus3d({}));
+  topos.push_back(bn::make_smp_cluster({}));
+  topos.push_back(bn::make_crossbar({}));
+  for (const auto& t : topos) {
+    for (const auto& l : t->links()) {
+      EXPECT_GT(l.bandwidth, 0.0) << t->describe() << " link " << l.name;
+    }
+    EXPECT_FALSE(t->describe().empty());
+    EXPECT_GT(t->self_bandwidth(), 0.0);
+  }
+}
+
+TEST(AllTopologies, RoutesStayInRange) {
+  std::vector<std::unique_ptr<bn::Topology>> topos;
+  bn::Torus3DParams tp;
+  tp.dims[0] = 3;
+  tp.dims[1] = 3;
+  tp.dims[2] = 2;
+  topos.push_back(bn::make_torus3d(tp));
+  bn::SmpClusterParams sp;
+  sp.nodes = 4;
+  sp.procs_per_node = 3;
+  topos.push_back(bn::make_smp_cluster(sp));
+  std::vector<bn::LinkId> route;
+  for (const auto& t : topos) {
+    const int n = t->num_endpoints();
+    for (int s = 0; s < n; ++s) {
+      for (int d = 0; d < n; ++d) {
+        t->route(s, d, route);
+        for (auto l : route) {
+          ASSERT_GE(l, 0);
+          ASSERT_LT(static_cast<std::size_t>(l), t->links().size());
+        }
+        EXPECT_GT(t->latency(s, d), 0.0);
+      }
+    }
+  }
+}

@@ -1,0 +1,259 @@
+// MPI-I/O layer semantics and timing over the simulated filesystem.
+#include "pario/file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/topology.hpp"
+#include "parmsg/sim_transport.hpp"
+#include "parmsg/thread_transport.hpp"
+#include "util/units.hpp"
+
+namespace bp = balbench::parmsg;
+namespace bn = balbench::net;
+namespace bio = balbench::pario;
+namespace bf = balbench::pfsim;
+using balbench::util::kMiB;
+
+namespace {
+
+bf::IoSystemConfig test_io_config() {
+  bf::IoSystemConfig cfg;
+  cfg.name = "test";
+  cfg.num_servers = 4;
+  cfg.disk.bandwidth = 50e6;
+  cfg.disk.seek_time = 4e-3;
+  cfg.disk.sequential_threshold = 256 * 1024;
+  cfg.server_bandwidth = 120e6;
+  cfg.client_link_bw = 100e6;
+  cfg.fabric_bandwidth = 500e6;
+  cfg.stripe_unit = 64 * 1024;
+  cfg.block_size = 16 * 1024;
+  cfg.cache_bytes = 32 * kMiB;
+  cfg.open_close_overhead = 1e-3;
+  cfg.request_overhead = 150e-6;
+  cfg.shared_pointer_overhead = 120e-6;
+  return cfg;
+}
+
+/// Runs `body(comm, ctx)` on `nprocs` simulated ranks with a fresh
+/// filesystem; returns the total virtual time.
+double run_io(int nprocs, bf::IoSystemConfig cfg,
+              const std::function<void(bp::Comm&, bio::IoContext&)>& body) {
+  bn::CrossbarParams p;
+  p.processes = nprocs;
+  p.port_bw = 1e9;
+  p.latency_sec = 5e-6;
+  bp::SimTransport t(bn::make_crossbar(p), bp::CommCosts{});
+  std::unique_ptr<bio::IoContext> ctx;
+  t.run_with_setup(
+      nprocs,
+      [&](balbench::simt::Engine& eng) {
+        ctx = std::make_unique<bio::IoContext>(eng, cfg, nprocs);
+      },
+      [&](bp::Comm& c) { body(c, *ctx); });
+  return t.last_virtual_time();
+}
+
+}  // namespace
+
+TEST(ParioFile, CollectiveOpenWriteCloseAdvancesTime) {
+  const double t = run_io(4, test_io_config(), [](bp::Comm& c, bio::IoContext& ctx) {
+    auto f = bio::File::open(c, ctx, "data", bio::OpenMode::Create);
+    f.seek(c.rank() * 1 * kMiB);
+    f.write(1 * kMiB);
+    f.sync();
+    f.close();
+  });
+  EXPECT_GT(t, 0.0);
+}
+
+TEST(ParioFile, WriteExtendsSize) {
+  run_io(2, test_io_config(), [](bp::Comm& c, bio::IoContext& ctx) {
+    auto f = bio::File::open(c, ctx, "data", bio::OpenMode::Create);
+    if (c.rank() == 0) f.write_at(0, 2 * kMiB);
+    c.barrier();
+    EXPECT_EQ(f.size(), 2 * kMiB);
+    f.close();
+  });
+}
+
+TEST(ParioFile, CreateTruncatesExistingFile) {
+  auto cfg = test_io_config();
+  run_io(2, cfg, [](bp::Comm& c, bio::IoContext& ctx) {
+    {
+      auto f = bio::File::open(c, ctx, "data", bio::OpenMode::Create);
+      if (c.rank() == 0) f.write_at(0, 4 * kMiB);
+      f.sync();
+      f.close();
+    }
+    {
+      auto f = bio::File::open(c, ctx, "data", bio::OpenMode::Create);
+      EXPECT_EQ(f.size(), 0);
+      f.close();
+    }
+  });
+}
+
+TEST(ParioFile, PrivateFilesAreIndependent) {
+  run_io(3, test_io_config(), [](bp::Comm& c, bio::IoContext& ctx) {
+    auto f = bio::File::open_private(
+        c, ctx, "part." + std::to_string(c.rank()), bio::OpenMode::Create);
+    f.write((c.rank() + 1) * 1024);
+    EXPECT_EQ(f.size(), (c.rank() + 1) * 1024);
+    f.close();
+  });
+}
+
+TEST(ParioFile, SharedPointerAdvancesAcrossOrderedWrites) {
+  run_io(4, test_io_config(), [](bp::Comm& c, bio::IoContext& ctx) {
+    auto f = bio::File::open(c, ctx, "shared", bio::OpenMode::Create);
+    f.write_ordered(1024);
+    f.write_ordered(1024);
+    c.barrier();
+    // 2 rounds x 4 ranks x 1 kB.
+    EXPECT_EQ(f.size(), 8 * 1024);
+    f.close();
+  });
+}
+
+TEST(ParioFile, OrderedWritesAreSerializedInTime) {
+  // The token-serialized shared pointer makes P small ordered writes
+  // take at least P * shared_pointer_overhead.
+  auto cfg = test_io_config();
+  const double t = run_io(8, cfg, [](bp::Comm& c, bio::IoContext& ctx) {
+    auto f = bio::File::open(c, ctx, "shared", bio::OpenMode::Create);
+    f.write_ordered(1024);
+    f.close();
+  });
+  EXPECT_GT(t, 8 * 120e-6);
+}
+
+TEST(ParioFile, StridedViewCoversDisjointRoundRobinChunks) {
+  run_io(4, test_io_config(), [](bp::Comm& c, bio::IoContext& ctx) {
+    auto f = bio::File::open(c, ctx, "view", bio::OpenMode::Create);
+    f.set_view_strided(64 * 1024);
+    f.write_all(1 * kMiB);  // each rank scatters 1 MB
+    c.barrier();
+    EXPECT_EQ(f.size(), 4 * kMiB);
+    f.write_all(1 * kMiB);  // next round appends
+    c.barrier();
+    EXPECT_EQ(f.size(), 8 * kMiB);
+    f.close();
+  });
+}
+
+TEST(ParioFile, TwoPhaseBeatsNaiveStridedForSmallChunks) {
+  auto cfg = test_io_config();
+  cfg.cache_bytes = 0;  // expose raw disk behaviour
+  auto run_with = [&](bool two_phase) {
+    return run_io(4, cfg, [two_phase](bp::Comm& c, bio::IoContext& ctx) {
+      bio::Hints hints;
+      hints.two_phase = two_phase;
+      auto f = bio::File::open(c, ctx, "view", bio::OpenMode::Create, hints);
+      f.set_view_strided(1024);  // 1 kB disk chunks
+      f.write_all(1 * kMiB);
+      f.sync();
+      f.close();
+    });
+  };
+  const double with_tp = run_with(true);
+  const double without_tp = run_with(false);
+  // Paper Sec. 5.3: "the scattering pattern type 0 is the best on all
+  // platforms for small chunk sizes" -- because of two-phase I/O.
+  EXPECT_LT(with_tp * 4.0, without_tp);
+}
+
+TEST(ParioFile, UnoptimizedCollectiveSegmentedIsMuchSlower) {
+  // The IBM SP prototype effect (paper Sec. 5.3): type 4 about 10x
+  // worse than type 3 when the library lacks the optimization.
+  auto cfg = test_io_config();
+  auto run_with = [&](bool optimized, bool collective) {
+    cfg.optimized_segmented_collective = optimized;
+    return run_io(8, cfg, [collective](bp::Comm& c, bio::IoContext& ctx) {
+      auto f = bio::File::open(c, ctx, "seg", bio::OpenMode::Create);
+      const std::int64_t seg = 1 * kMiB;
+      std::int64_t off = c.rank() * seg;
+      for (int i = 0; i < 16; ++i) {
+        if (collective) {
+          f.write_at_all(off, 1024);
+        } else {
+          f.write_at(off, 1024);
+        }
+        off += 1024;
+      }
+      f.close();
+    });
+  };
+  const double opt_coll = run_with(true, true);
+  const double unopt_coll = run_with(false, true);
+  EXPECT_GT(unopt_coll, opt_coll * 3.0);
+}
+
+TEST(ParioFile, SyncWaitsForAllRanksDirtyData) {
+  auto cfg = test_io_config();
+  cfg.cache_bytes = 1024LL * kMiB;  // absorb everything
+  const double t = run_io(4, cfg, [](bp::Comm& c, bio::IoContext& ctx) {
+    auto f = bio::File::open(c, ctx, "data", bio::OpenMode::Create);
+    f.write_at(c.rank() * 8 * kMiB, 8 * kMiB);
+    f.sync();
+    f.close();
+  });
+  // 32 MB of dirty data at 4 x 50 MB/s: sync must cost >= 160 ms even
+  // though the writes were absorbed instantly.
+  EXPECT_GT(t, 0.16);
+}
+
+TEST(ParioFile, ReadModeSeesWrittenBytes) {
+  run_io(2, test_io_config(), [](bp::Comm& c, bio::IoContext& ctx) {
+    {
+      auto f = bio::File::open(c, ctx, "rw", bio::OpenMode::Create);
+      f.write_at(c.rank() * kMiB, kMiB);
+      f.sync();
+      f.close();
+    }
+    {
+      auto f = bio::File::open(c, ctx, "rw", bio::OpenMode::ReadOnly);
+      EXPECT_EQ(f.size(), 2 * kMiB);
+      f.read_at(c.rank() * kMiB, kMiB);
+      f.close();
+    }
+  });
+}
+
+TEST(ParioFile, UseAfterCloseThrows) {
+  EXPECT_THROW(
+      run_io(2, test_io_config(), [](bp::Comm& c, bio::IoContext& ctx) {
+        auto f = bio::File::open(c, ctx, "data", bio::OpenMode::Create);
+        f.close();
+        f.write(1024);
+      }),
+      std::logic_error);
+}
+
+TEST(ParioFile, RequiresSimulationTransport) {
+  bp::ThreadTransport t(2);
+  balbench::simt::Engine eng;
+  bio::IoContext ctx(eng, test_io_config(), 2);
+  EXPECT_THROW(t.run(2, [&](bp::Comm& c) {
+    auto f = bio::File::open(c, ctx, "x", bio::OpenMode::Create);
+    f.write(16);
+  }),
+               std::logic_error);
+}
+
+TEST(ParioFile, ChunkedWriteChargesPerCallOverhead) {
+  auto cfg = test_io_config();
+  auto measure = [&](std::int64_t chunks) {
+    return run_io(1, cfg, [chunks](bp::Comm& c, bio::IoContext& ctx) {
+      auto f = bio::File::open(c, ctx, "data", bio::OpenMode::Create);
+      f.write(1 * kMiB, chunks);
+      f.close();
+    });
+  };
+  const double one = measure(1);
+  const double many = measure(1024);
+  // 1024 calls x 150 us of client overhead dominate.
+  EXPECT_GT(many, one + 1024 * 150e-6 * 0.8);
+}

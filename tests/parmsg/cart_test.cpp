@@ -1,0 +1,65 @@
+#include "parmsg/cart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace bp = balbench::parmsg;
+
+TEST(Cart, DimsCreateBalances) {
+  EXPECT_EQ(bp::dims_create(12, 2), (std::vector<int>{4, 3}));
+  EXPECT_EQ(bp::dims_create(64, 2), (std::vector<int>{8, 8}));
+  EXPECT_EQ(bp::dims_create(64, 3), (std::vector<int>{4, 4, 4}));
+  EXPECT_EQ(bp::dims_create(7, 2), (std::vector<int>{7, 1}));
+  EXPECT_EQ(bp::dims_create(1, 3), (std::vector<int>{1, 1, 1}));
+}
+
+TEST(Cart, DimsCreateProductInvariant) {
+  for (int n = 1; n <= 128; ++n) {
+    for (int d = 1; d <= 3; ++d) {
+      auto dims = bp::dims_create(n, d);
+      const int prod = std::accumulate(dims.begin(), dims.end(), 1,
+                                       std::multiplies<>());
+      EXPECT_EQ(prod, n) << "n=" << n << " d=" << d;
+    }
+  }
+}
+
+TEST(Cart, CoordsRoundTrip) {
+  const std::vector<int> dims{4, 3, 2};
+  for (int r = 0; r < 24; ++r) {
+    EXPECT_EQ(bp::cart_rank(bp::cart_coords(r, dims), dims), r);
+  }
+}
+
+TEST(Cart, RankWrapsPeriodically) {
+  const std::vector<int> dims{4, 4};
+  EXPECT_EQ(bp::cart_rank({-1, 0}, dims), bp::cart_rank({3, 0}, dims));
+  EXPECT_EQ(bp::cart_rank({4, 2}, dims), bp::cart_rank({0, 2}, dims));
+}
+
+TEST(Cart, ShiftNeighborsAreMutual) {
+  const std::vector<int> dims{4, 3};
+  for (int r = 0; r < 12; ++r) {
+    for (int d = 0; d < 2; ++d) {
+      auto s = bp::cart_shift(r, dims, d);
+      // My +1 destination's -1 source must be me.
+      auto back = bp::cart_shift(s.dest, dims, d);
+      EXPECT_EQ(back.source, r);
+    }
+  }
+}
+
+TEST(Cart, ShiftOnSizeOneDimensionIsSelf) {
+  const std::vector<int> dims{5, 1};
+  auto s = bp::cart_shift(3, dims, 1);
+  EXPECT_EQ(s.dest, 3);
+  EXPECT_EQ(s.source, 3);
+}
+
+TEST(Cart, InvalidArgumentsThrow) {
+  EXPECT_THROW(bp::dims_create(0, 2), std::invalid_argument);
+  EXPECT_THROW(bp::dims_create(4, 0), std::invalid_argument);
+  EXPECT_THROW(bp::cart_shift(0, {2, 2}, 5), std::invalid_argument);
+  EXPECT_THROW(bp::cart_rank({0, 0}, {2}), std::invalid_argument);
+}

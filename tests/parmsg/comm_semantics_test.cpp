@@ -1,0 +1,257 @@
+// Transport-independent semantics tests: every test body runs on both
+// the simulation transport and the thread transport and must observe
+// identical data movement.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "parmsg/comm.hpp"
+#include "parmsg/sim_transport.hpp"
+#include "parmsg/thread_transport.hpp"
+
+namespace bp = balbench::parmsg;
+namespace bn = balbench::net;
+
+namespace {
+
+std::unique_ptr<bp::Transport> make_transport(const std::string& kind, int max_procs) {
+  if (kind == "sim") {
+    bn::CrossbarParams p;
+    p.processes = max_procs;
+    p.port_bw = 1e9;
+    p.latency_sec = 1e-6;
+    return std::make_unique<bp::SimTransport>(bn::make_crossbar(p), bp::CommCosts{});
+  }
+  return std::make_unique<bp::ThreadTransport>(max_procs);
+}
+
+class CommSemantics : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<bp::Transport> transport(int max_procs = 16) {
+    return make_transport(GetParam(), max_procs);
+  }
+};
+
+}  // namespace
+
+TEST_P(CommSemantics, RankAndSize) {
+  auto t = transport();
+  std::vector<int> seen(8, -1);
+  t->run(8, [&](bp::Comm& c) {
+    EXPECT_EQ(c.size(), 8);
+    seen[static_cast<std::size_t>(c.rank())] = c.rank();
+  });
+  for (int r = 0; r < 8; ++r) EXPECT_EQ(seen[static_cast<std::size_t>(r)], r);
+}
+
+TEST_P(CommSemantics, SendRecvMovesBytes) {
+  auto t = transport();
+  t->run(2, [&](bp::Comm& c) {
+    std::vector<char> buf(64);
+    if (c.rank() == 0) {
+      std::iota(buf.begin(), buf.end(), 1);
+      c.send(1, buf.data(), buf.size(), 7);
+    } else {
+      c.recv(0, buf.data(), buf.size(), 7);
+      for (int i = 0; i < 64; ++i) EXPECT_EQ(buf[static_cast<std::size_t>(i)], static_cast<char>(i + 1));
+    }
+  });
+}
+
+TEST_P(CommSemantics, MessagesMatchedByTag) {
+  auto t = transport();
+  t->run(2, [&](bp::Comm& c) {
+    if (c.rank() == 0) {
+      int a = 111;
+      int b = 222;
+      c.send(1, &a, sizeof a, 1);
+      c.send(1, &b, sizeof b, 2);
+    } else {
+      int x = 0;
+      int y = 0;
+      // Receive in reverse tag order: matching must be by tag, not
+      // arrival order.
+      c.recv(0, &y, sizeof y, 2);
+      c.recv(0, &x, sizeof x, 1);
+      EXPECT_EQ(x, 111);
+      EXPECT_EQ(y, 222);
+    }
+  });
+}
+
+TEST_P(CommSemantics, SameTagPreservesChannelOrder) {
+  auto t = transport();
+  t->run(2, [&](bp::Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 10; ++i) c.send(1, &i, sizeof i, 3);
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        int v = -1;
+        c.recv(0, &v, sizeof v, 3);
+        EXPECT_EQ(v, i);
+      }
+    }
+  });
+}
+
+TEST_P(CommSemantics, IrecvBeforeSendCompletes) {
+  auto t = transport();
+  t->run(2, [&](bp::Comm& c) {
+    if (c.rank() == 1) {
+      int v = 0;
+      bp::Request r = c.irecv(0, &v, sizeof v, 5);
+      c.wait(r);
+      EXPECT_EQ(v, 99);
+    } else {
+      int v = 99;
+      c.send(1, &v, sizeof v, 5);
+    }
+  });
+}
+
+TEST_P(CommSemantics, SendrecvRingShiftsData) {
+  auto t = transport();
+  constexpr int kP = 8;
+  std::vector<int> results(kP, -1);
+  t->run(kP, [&](bp::Comm& c) {
+    const int me = c.rank();
+    const int right = (me + 1) % kP;
+    const int left = (me + kP - 1) % kP;
+    int out = me;
+    int in = -1;
+    c.sendrecv(right, &out, sizeof out, 0, left, &in, sizeof in, 0);
+    results[static_cast<std::size_t>(me)] = in;
+  });
+  for (int r = 0; r < kP; ++r) {
+    EXPECT_EQ(results[static_cast<std::size_t>(r)], (r + kP - 1) % kP);
+  }
+}
+
+TEST_P(CommSemantics, BarrierSeparatesPhases) {
+  auto t = transport();
+  constexpr int kP = 6;
+  std::vector<int> phase1(kP, 0);
+  t->run(kP, [&](bp::Comm& c) {
+    phase1[static_cast<std::size_t>(c.rank())] = 1;
+    c.barrier();
+    // After the barrier every rank must see every phase1 flag set.
+    for (int r = 0; r < kP; ++r) EXPECT_EQ(phase1[static_cast<std::size_t>(r)], 1);
+  });
+}
+
+TEST_P(CommSemantics, BcastDistributesRootData) {
+  auto t = transport();
+  t->run(5, [&](bp::Comm& c) {
+    double v = (c.rank() == 2) ? 3.25 : 0.0;
+    c.bcast(&v, sizeof v, 2);
+    EXPECT_DOUBLE_EQ(v, 3.25);
+  });
+}
+
+TEST_P(CommSemantics, ConsecutiveBcastsDoNotBleed) {
+  auto t = transport();
+  t->run(4, [&](bp::Comm& c) {
+    for (int round = 0; round < 5; ++round) {
+      int v = (c.rank() == 0) ? round * 10 : -1;
+      c.bcast(&v, sizeof v, 0);
+      EXPECT_EQ(v, round * 10);
+    }
+  });
+}
+
+TEST_P(CommSemantics, AllreduceMaxAndSum) {
+  auto t = transport();
+  constexpr int kP = 7;
+  t->run(kP, [&](bp::Comm& c) {
+    const double mine = static_cast<double>(c.rank() + 1);
+    EXPECT_DOUBLE_EQ(c.allreduce_max(mine), kP);
+    EXPECT_DOUBLE_EQ(c.allreduce_sum(mine), kP * (kP + 1) / 2.0);
+  });
+}
+
+TEST_P(CommSemantics, AlltoallvRingExchange) {
+  auto t = transport();
+  constexpr int kP = 6;
+  t->run(kP, [&](bp::Comm& c) {
+    const int me = c.rank();
+    const int right = (me + 1) % kP;
+    const int left = (me + kP - 1) % kP;
+    // Send my rank (as one int) to both neighbors.
+    std::vector<std::size_t> scounts(kP, 0);
+    std::vector<std::size_t> sdispls(kP, 0);
+    std::vector<std::size_t> rcounts(kP, 0);
+    std::vector<std::size_t> rdispls(kP, 0);
+    int sendbuf[2] = {me, me};
+    int recvbuf[2] = {-1, -1};
+    scounts[static_cast<std::size_t>(left)] = sizeof(int);
+    sdispls[static_cast<std::size_t>(left)] = 0;
+    scounts[static_cast<std::size_t>(right)] = sizeof(int);
+    sdispls[static_cast<std::size_t>(right)] = sizeof(int);
+    rcounts[static_cast<std::size_t>(left)] = sizeof(int);
+    rdispls[static_cast<std::size_t>(left)] = 0;
+    rcounts[static_cast<std::size_t>(right)] = sizeof(int);
+    rdispls[static_cast<std::size_t>(right)] = sizeof(int);
+    c.alltoallv(sendbuf, scounts, sdispls, recvbuf, rcounts, rdispls);
+    EXPECT_EQ(recvbuf[0], left);
+    EXPECT_EQ(recvbuf[1], right);
+  });
+}
+
+TEST_P(CommSemantics, NullBuffersMoveTimingOnly) {
+  auto t = transport();
+  t->run(2, [&](bp::Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, nullptr, 4096, 0);
+    } else {
+      c.recv(0, nullptr, 4096, 0);
+    }
+  });
+}
+
+TEST_P(CommSemantics, RankExceptionPropagates) {
+  auto t = transport();
+  EXPECT_THROW(t->run(2, [&](bp::Comm& c) {
+    if (c.rank() == 1) throw std::runtime_error("rank 1 aborts");
+    // rank 0 returns immediately; no pending communication.
+  }),
+               std::runtime_error);
+}
+
+TEST_P(CommSemantics, InvalidRankArgumentsThrow) {
+  auto t = transport();
+  EXPECT_THROW(t->run(2, [&](bp::Comm& c) {
+    if (c.rank() == 0) c.send(5, nullptr, 1, 0);
+  }),
+               std::out_of_range);
+}
+
+TEST_P(CommSemantics, WaitallCompletesMixedRequests) {
+  auto t = transport();
+  t->run(4, [&](bp::Comm& c) {
+    const int me = c.rank();
+    std::vector<bp::Request> reqs;
+    std::vector<int> inbox(4, -1);
+    for (int peer = 0; peer < 4; ++peer) {
+      if (peer == me) continue;
+      reqs.push_back(c.irecv(peer, &inbox[static_cast<std::size_t>(peer)], sizeof(int), 9));
+    }
+    int self = me;
+    for (int peer = 0; peer < 4; ++peer) {
+      if (peer == me) continue;
+      reqs.push_back(c.isend(peer, &self, sizeof(int), 9));
+    }
+    c.waitall(reqs);
+    for (int peer = 0; peer < 4; ++peer) {
+      if (peer == me) continue;
+      EXPECT_EQ(inbox[static_cast<std::size_t>(peer)], peer);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, CommSemantics,
+                         ::testing::Values("sim", "thread"),
+                         [](const auto& info) { return std::string(info.param); });

@@ -1,0 +1,203 @@
+// Virtual-time behaviour of the simulation transport: the timing facts
+// the b_eff driver relies on.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "parmsg/comm.hpp"
+#include "parmsg/sim_transport.hpp"
+
+namespace bp = balbench::parmsg;
+namespace bn = balbench::net;
+
+namespace {
+
+bp::CommCosts zero_costs() {
+  bp::CommCosts c;
+  c.send_overhead = 0.0;
+  c.recv_overhead = 0.0;
+  c.alltoallv_base = 0.0;
+  c.alltoallv_per_rank = 0.0;
+  c.barrier_hop = 0.0;
+  c.bcast_hop = 0.0;
+  c.reduce_hop = 0.0;
+  return c;
+}
+
+std::unique_ptr<bp::SimTransport> xbar(int procs, double bw, double lat,
+                                       bp::CommCosts costs) {
+  bn::CrossbarParams p;
+  p.processes = procs;
+  p.port_bw = bw;
+  p.latency_sec = lat;
+  return std::make_unique<bp::SimTransport>(bn::make_crossbar(p), costs);
+}
+
+}  // namespace
+
+TEST(SimTiming, PingPongTimeMatchesModel) {
+  // 1 MB at 100 MB/s with 10 us latency: one-way = lat + L/bw.
+  auto t = xbar(2, 100e6, 10e-6, zero_costs());
+  double elapsed = -1.0;
+  t->run(2, [&](bp::Comm& c) {
+    const std::size_t n = 1 << 20;
+    if (c.rank() == 0) {
+      const double t0 = c.wtime();
+      c.send(1, nullptr, n, 0);
+      c.recv(1, nullptr, n, 0);
+      elapsed = c.wtime() - t0;
+    } else {
+      c.recv(0, nullptr, n, 0);
+      c.send(0, nullptr, n, 0);
+    }
+  });
+  const double one_way = 10e-6 + static_cast<double>(1 << 20) / 100e6;
+  EXPECT_NEAR(elapsed, 2 * one_way, 1e-9);
+}
+
+TEST(SimTiming, WtimeIsVirtualNotWallClock) {
+  auto t = xbar(2, 1e6, 0.0, zero_costs());
+  t->run(2, [&](bp::Comm& c) {
+    // Moving 10 MB at 1 MB/s takes 10 virtual seconds; the host
+    // certainly does not block for 10 wall seconds in this test.
+    if (c.rank() == 0) {
+      c.send(1, nullptr, 10'000'000, 0);
+    } else {
+      const double t0 = c.wtime();
+      c.recv(0, nullptr, 10'000'000, 0);
+      EXPECT_NEAR(c.wtime() - t0, 10.0, 1e-6);
+    }
+  });
+  EXPECT_NEAR(t->last_virtual_time(), 10.0, 1e-6);
+}
+
+TEST(SimTiming, SendOverheadCharged) {
+  auto costs = zero_costs();
+  costs.send_overhead = 5e-6;
+  auto t = xbar(2, 1e9, 0.0, costs);
+  t->run(2, [&](bp::Comm& c) {
+    if (c.rank() == 0) {
+      const double t0 = c.wtime();
+      bp::Request r = c.isend(1, nullptr, 0, 0);
+      c.wait(r);
+      EXPECT_NEAR(c.wtime() - t0, 5e-6, 1e-12);
+    } else {
+      c.recv(0, nullptr, 0, 0);
+    }
+  });
+}
+
+TEST(SimTiming, ParallelRingSlowerThanSingleMessage) {
+  // On a shared port, everyone sending at once halves per-process
+  // bandwidth versus a lone message -- the core reason b_eff differs
+  // from ping-pong benchmarks (paper Sec. 2.1).
+  bn::SharedMemoryParams p;
+  p.processes = 8;
+  p.per_process_copy_bw = 200e6;  // ports at 100 MB/s
+  p.aggregate_bw = 1e12;
+  p.latency_sec = 0.0;
+
+  auto measure_ring = [&](bool bidirectional) {
+    bp::SimTransport t(bn::make_shared_memory(p), zero_costs());
+    double elapsed = 0.0;
+    t.run(8, [&](bp::Comm& c) {
+      const int right = (c.rank() + 1) % 8;
+      const int left = (c.rank() + 7) % 8;
+      const std::size_t n = 1 << 20;
+      const double t0 = c.wtime();
+      if (bidirectional) {
+        bp::Request reqs[4];
+        reqs[0] = c.irecv(left, nullptr, n, 0);
+        reqs[1] = c.irecv(right, nullptr, n, 1);
+        reqs[2] = c.isend(right, nullptr, n, 0);
+        reqs[3] = c.isend(left, nullptr, n, 1);
+        c.waitall(reqs);
+      } else {
+        c.sendrecv(right, nullptr, n, 0, left, nullptr, n, 0);
+      }
+      if (c.rank() == 0) elapsed = c.wtime() - t0;
+    });
+    return elapsed;
+  };
+
+  const double one_dir = measure_ring(false);
+  const double two_dir = measure_ring(true);
+  // One direction: each tx port carries one flow -> L/100e6.
+  EXPECT_NEAR(one_dir, static_cast<double>(1 << 20) / 100e6, 1e-6);
+  // Two directions: two flows share each tx port -> twice as long.
+  EXPECT_NEAR(two_dir, 2.0 * one_dir, 1e-6);
+}
+
+TEST(SimTiming, BarrierCostScalesWithTreeDepth) {
+  auto costs = zero_costs();
+  costs.barrier_hop = 10e-6;
+  auto t4 = xbar(4, 1e9, 0.0, costs);
+  auto t16 = xbar(16, 1e9, 0.0, costs);
+  double d4 = 0.0;
+  double d16 = 0.0;
+  t4->run(4, [&](bp::Comm& c) {
+    const double t0 = c.wtime();
+    c.barrier();
+    if (c.rank() == 0) d4 = c.wtime() - t0;
+  });
+  t16->run(16, [&](bp::Comm& c) {
+    const double t0 = c.wtime();
+    c.barrier();
+    if (c.rank() == 0) d16 = c.wtime() - t0;
+  });
+  EXPECT_NEAR(d4, 2 * 10e-6, 1e-12);   // ceil(log2 4) = 2
+  EXPECT_NEAR(d16, 4 * 10e-6, 1e-12);  // ceil(log2 16) = 4
+}
+
+TEST(SimTiming, TerminationCheckFasterThanIoCall) {
+  // Paper Sec. 5.4: on 32 PEs a barrier followed by a broadcast costs
+  // ~60 us.  Our default costs should land in that order of magnitude.
+  bn::CrossbarParams p;
+  p.processes = 32;
+  p.port_bw = 300e6;
+  p.latency_sec = 10e-6;
+  bp::SimTransport t(bn::make_crossbar(p), bp::CommCosts{});
+  double elapsed = 0.0;
+  t.run(32, [&](bp::Comm& c) {
+    const double t0 = c.wtime();
+    c.barrier();
+    int flag = 1;
+    c.bcast(&flag, sizeof flag, 0);
+    if (c.rank() == 0) elapsed = c.wtime() - t0;
+  });
+  EXPECT_GT(elapsed, 5e-6);
+  EXPECT_LT(elapsed, 300e-6);
+}
+
+TEST(SimTiming, AlltoallvChargesVectorScanCost) {
+  auto costs = zero_costs();
+  costs.alltoallv_base = 4e-6;
+  costs.alltoallv_per_rank = 1e-6;
+  auto t = xbar(8, 1e9, 0.0, costs);
+  t->run(8, [&](bp::Comm& c) {
+    std::vector<std::size_t> zero(8, 0);
+    const double t0 = c.wtime();
+    c.alltoallv(nullptr, zero, zero, nullptr, zero, zero);
+    EXPECT_NEAR(c.wtime() - t0, 4e-6 + 8e-6, 1e-12);
+  });
+}
+
+TEST(SimTiming, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    auto t = xbar(16, 123e6, 7e-6, bp::CommCosts{});
+    t->run(16, [&](bp::Comm& c) {
+      const int right = (c.rank() + 1) % 16;
+      const int left = (c.rank() + 15) % 16;
+      for (int i = 0; i < 5; ++i) {
+        c.sendrecv(right, nullptr, 77777, 0, left, nullptr, 77777, 0);
+      }
+    });
+    return t->last_virtual_time();
+  };
+  const double a = run_once();
+  const double b = run_once();
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a, 0.0);
+}

@@ -1,0 +1,107 @@
+// Property sweeps over the filesystem simulator.
+#include <gtest/gtest.h>
+
+#include "pfsim/filesystem.hpp"
+#include "simt/engine.hpp"
+#include "util/units.hpp"
+
+namespace bf = balbench::pfsim;
+namespace bs = balbench::simt;
+using balbench::util::kMiB;
+
+namespace {
+
+bf::IoSystemConfig base_config() {
+  bf::IoSystemConfig cfg;
+  cfg.num_servers = 4;
+  cfg.disk.bandwidth = 50e6;
+  cfg.disk.seek_time = 5e-3;
+  cfg.disk.sequential_threshold = 256 * 1024;
+  cfg.server_bandwidth = 150e6;
+  cfg.client_link_bw = 120e6;
+  cfg.fabric_bandwidth = 600e6;
+  cfg.stripe_unit = 64 * 1024;
+  cfg.block_size = 16 * 1024;
+  cfg.cache_bytes = 0;  // disk-bound: deterministic timing comparisons
+  return cfg;
+}
+
+double timed_write(const bf::IoSystemConfig& cfg, std::int64_t bytes,
+                   std::int64_t chunks) {
+  bs::Engine eng;
+  bf::FileSystem fs(eng, cfg, 2);
+  const auto f = fs.open("f");
+  double done = -1.0;
+  fs.submit({.client = 0, .file = f, .offset = 0, .bytes = bytes,
+             .chunks = chunks},
+            [&] { done = eng.now(); });
+  eng.run();
+  return done;
+}
+
+}  // namespace
+
+// Property: completion time is monotonically non-decreasing in the
+// chunk count for fixed volume (more chunks = more overhead).
+class ChunkMonotonicity : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ChunkMonotonicity, MoreChunksNeverFaster) {
+  const std::int64_t bytes = 4 * kMiB;
+  const std::int64_t chunks = GetParam();
+  const auto cfg = base_config();
+  const double coarse = timed_write(cfg, bytes, chunks);
+  const double fine = timed_write(cfg, bytes, chunks * 4);
+  EXPECT_GE(fine, coarse * 0.999)
+      << "chunks=" << chunks << " vs " << chunks * 4;
+}
+
+INSTANTIATE_TEST_SUITE_P(Chunks, ChunkMonotonicity,
+                         ::testing::Values(1, 4, 16, 64, 256));
+
+// Property: doubling the byte volume at fixed chunk size at least
+// doubles nothing less than the transfer component -- time grows.
+class VolumeMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(VolumeMonotonicity, TimeGrowsWithVolume) {
+  const std::int64_t base = std::int64_t{64} << GetParam();  // 64 B ... 64 MB
+  const auto cfg = base_config();
+  const double small = timed_write(cfg, std::max<std::int64_t>(base, 1024), 1);
+  const double large = timed_write(cfg, std::max<std::int64_t>(base, 1024) * 8, 8);
+  EXPECT_GT(large, small);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, VolumeMonotonicity, ::testing::Range(4, 21, 4));
+
+// Property: more servers never slow a fixed workload down.
+class ServerScaling : public ::testing::TestWithParam<int> {};
+
+TEST_P(ServerScaling, MoreServersNotSlower) {
+  auto cfg = base_config();
+  cfg.num_servers = GetParam();
+  const double t1 = timed_write(cfg, 16 * kMiB, 16);
+  cfg.num_servers = GetParam() * 2;
+  const double t2 = timed_write(cfg, 16 * kMiB, 16);
+  EXPECT_LE(t2, t1 * 1.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Servers, ServerScaling, ::testing::Values(1, 2, 4, 8));
+
+// Property: the striping split conserves bytes and stays balanced for
+// aligned multi-stripe ranges.
+TEST(FileSystemProperty, WriteTimeLinearInVolumeForLargeStreams) {
+  const auto cfg = base_config();
+  const double t8 = timed_write(cfg, 8 * kMiB, 1);
+  const double t32 = timed_write(cfg, 32 * kMiB, 1);
+  // Large contiguous writes are bandwidth-bound: 4x volume within
+  // [3x, 5x] time.
+  EXPECT_GT(t32, t8 * 3.0);
+  EXPECT_LT(t32, t8 * 5.0);
+}
+
+TEST(FileSystemProperty, SeekCostDominatesTinyChunksBypassingCache) {
+  auto cfg = base_config();
+  cfg.cache_bypass_threshold = 1;  // every request bypasses, raw chunks
+  const double bulk = timed_write(cfg, 1 * kMiB, 1);
+  const double shredded = timed_write(cfg, 1 * kMiB, 1024);  // 1 kB chunks
+  EXPECT_GT(shredded, bulk * 20.0);
+}

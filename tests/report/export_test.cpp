@@ -1,0 +1,108 @@
+#include "core/report/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "net/topology.hpp"
+#include "parmsg/sim_transport.hpp"
+
+namespace br = balbench::report;
+namespace bb = balbench::beff;
+namespace bi = balbench::beffio;
+namespace bp = balbench::parmsg;
+namespace bn = balbench::net;
+
+namespace {
+
+bb::BeffResult small_beff() {
+  bn::CrossbarParams p;
+  p.processes = 4;
+  p.port_bw = 1e8;
+  bp::SimTransport t(bn::make_crossbar(p), bp::CommCosts{});
+  bb::BeffOptions opt;
+  opt.memory_per_proc = 4096LL * 128;
+  return bb::run_beff(t, 4, opt);
+}
+
+bi::BeffIoResult small_beffio() {
+  bn::CrossbarParams p;
+  p.processes = 2;
+  p.port_bw = 1e8;
+  bp::SimTransport t(bn::make_crossbar(p), bp::CommCosts{});
+  balbench::pfsim::IoSystemConfig io;
+  io.num_servers = 2;
+  bi::BeffIoOptions opt;
+  opt.scheduled_time = 20.0;
+  opt.memory_per_node = 128LL << 20;
+  return bi::run_beffio(t, io, 2, opt);
+}
+
+int count_lines(const std::string& s) {
+  int n = 0;
+  for (char c : s) {
+    if (c == '\n') ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+TEST(Export, BeffCsvHasOneRowPerCell) {
+  const auto r = small_beff();
+  std::ostringstream os;
+  br::write_beff_csv(os, "test machine", r);
+  const auto text = os.str();
+  // Header + 12 patterns x 21 sizes x 3 methods.
+  EXPECT_EQ(count_lines(text), 1 + 12 * 21 * 3);
+  EXPECT_NE(text.find("\"test machine\""), std::string::npos);
+  EXPECT_NE(text.find("Sendrecv"), std::string::npos);
+  EXPECT_NE(text.find("random"), std::string::npos);
+}
+
+TEST(Export, BeffIoCsvCoversAllPatterns) {
+  const auto r = small_beffio();
+  std::ostringstream os;
+  br::write_beffio_csv(os, "m", r);
+  // Header + 3 access methods x 43 patterns.
+  EXPECT_EQ(count_lines(os.str()), 1 + 3 * 43);
+}
+
+TEST(Export, SummaryRoundTripsThroughParser) {
+  const auto r = small_beff();
+  std::ostringstream os;
+  br::write_beff_summary(os, "m", r);
+  const auto kv = br::parse_summary(os.str());
+  EXPECT_DOUBLE_EQ(kv.at("b_eff_Bps"), r.b_eff);
+  EXPECT_DOUBLE_EQ(kv.at("nprocs"), 4.0);
+  EXPECT_DOUBLE_EQ(kv.at("pingpong_Bps"), r.analysis.pingpong_bw);
+}
+
+TEST(Export, BeffIoSummaryRoundTrips) {
+  const auto r = small_beffio();
+  std::ostringstream os;
+  br::write_beffio_summary(os, "m", r);
+  const auto kv = br::parse_summary(os.str());
+  EXPECT_DOUBLE_EQ(kv.at("b_eff_io_Bps"), r.b_eff_io);
+  EXPECT_DOUBLE_EQ(kv.at("write_type0_Bps"),
+                   r.write().types[0].bandwidth());
+}
+
+TEST(Export, ParserIgnoresCommentsAndGarbage) {
+  const auto kv = br::parse_summary("# comment\nfoo=1.5\nbroken line\nbar=2\n");
+  EXPECT_EQ(kv.size(), 2u);
+  EXPECT_DOUBLE_EQ(kv.at("foo"), 1.5);
+}
+
+TEST(Export, CompareAlignsSharedKeys) {
+  std::map<std::string, double> a{{"x", 2.0}, {"y", 10.0}, {"only_a", 1.0}};
+  std::map<std::string, double> b{{"x", 4.0}, {"y", 5.0}, {"only_b", 1.0}};
+  std::ostringstream os;
+  const int n = br::compare_summaries(os, "A", a, "B", b);
+  EXPECT_EQ(n, 2);
+  const auto text = os.str();
+  EXPECT_NE(text.find("2.000"), std::string::npos);  // ratio x: 4/2
+  EXPECT_NE(text.find("0.500"), std::string::npos);  // ratio y: 5/10
+  EXPECT_EQ(text.find("only_a"), std::string::npos);
+}

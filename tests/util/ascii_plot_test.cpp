@@ -1,0 +1,90 @@
+#include "util/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bu = balbench::util;
+
+TEST(AsciiPlot, RendersTitleLegendAndMarkers) {
+  bu::AsciiPlot plot({"a", "b", "c"}, {.width = 40,
+                                       .height = 8,
+                                       .log_y = false,
+                                       .y_label = "MB/s",
+                                       .title = "my plot"});
+  plot.add_series({"series1", '*', {1.0, 2.0, 3.0}});
+  const auto out = plot.to_string();
+  EXPECT_NE(out.find("my plot"), std::string::npos);
+  EXPECT_NE(out.find("series1"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("MB/s"), std::string::npos);
+}
+
+TEST(AsciiPlot, HandlesEmptyData) {
+  bu::AsciiPlot plot({"a"}, bu::AsciiPlot::Options{});
+  plot.add_series({"empty", 'x', {}});
+  const auto out = plot.to_string();
+  EXPECT_NE(out.find("no data"), std::string::npos);
+}
+
+TEST(AsciiPlot, NanValuesAreSkipped) {
+  bu::AsciiPlot::Options o;
+  o.width = 30;
+  o.height = 6;
+  bu::AsciiPlot plot({"a", "b", "c"}, o);
+  plot.add_series({"s", '#',
+                   {1.0, std::numeric_limits<double>::quiet_NaN(), 3.0}});
+  EXPECT_NO_THROW(plot.to_string());
+}
+
+TEST(AsciiPlot, LogScaleRejectsNonPositiveGracefully) {
+  bu::AsciiPlot::Options o;
+  o.width = 30;
+  o.height = 6;
+  o.log_y = true;
+  bu::AsciiPlot plot({"a", "b"}, o);
+  plot.add_series({"s", '#', {0.0, 100.0}});
+  const auto out = plot.to_string();
+  EXPECT_NE(out.find('#'), std::string::npos);  // the positive point plots
+}
+
+TEST(AsciiPlot, HighValueAppearsAboveLowValue) {
+  bu::AsciiPlot::Options o;
+  o.width = 21;
+  o.height = 10;
+  bu::AsciiPlot plot({"lo", "hi"}, o);
+  plot.add_series({"s", '#', {1.0, 100.0}});
+  const auto out = plot.to_string();
+  // The first '#' in reading order (top to bottom) is the high value,
+  // which belongs to the right column.
+  const auto first_hash = out.find('#');
+  ASSERT_NE(first_hash, std::string::npos);
+  const auto line_start = out.rfind('\n', first_hash);
+  EXPECT_GT(first_hash - line_start, 12u);  // right half of the canvas
+}
+
+TEST(AsciiBarChart, BarsScaleWithValues) {
+  bu::AsciiBarChart chart("bars", 40);
+  chart.add_bar("big", 100.0);
+  chart.add_bar("small", 25.0, "note");
+  const auto out = chart.to_string();
+  EXPECT_NE(out.find("bars"), std::string::npos);
+  EXPECT_NE(out.find("note"), std::string::npos);
+  // big gets ~40 hashes, small ~10.
+  const auto big_line = out.find("big");
+  const auto small_line = out.find("small");
+  const auto count = [&](std::size_t from) {
+    std::size_t n = 0;
+    for (std::size_t i = from; i < out.size() && out[i] != '\n'; ++i) {
+      if (out[i] == '#') ++n;
+    }
+    return n;
+  };
+  EXPECT_GT(count(big_line), 3 * count(small_line));
+}
+
+TEST(AsciiBarChart, ZeroValuesDoNotCrash) {
+  bu::AsciiBarChart chart("z", 20);
+  chart.add_bar("nothing", 0.0);
+  EXPECT_NO_THROW(chart.to_string());
+}

@@ -1,0 +1,79 @@
+#include "util/options.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bu = balbench::util;
+
+namespace {
+bool parse(bu::Options& o, std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return o.parse(static_cast<int>(args.size()), args.data());
+}
+}  // namespace
+
+TEST(Options, ParsesAllKinds) {
+  bool flag = false;
+  std::int64_t n = 4;
+  double x = 1.5;
+  std::string s = "abc";
+  bu::Options o("test");
+  o.add_flag("flag", &flag, "a flag");
+  o.add_int("n", &n, "an int");
+  o.add_double("x", &x, "a double");
+  o.add_string("s", &s, "a string");
+
+  EXPECT_TRUE(parse(o, {"--flag", "--n", "17", "--x=2.5", "--s", "hello"}));
+  EXPECT_TRUE(flag);
+  EXPECT_EQ(n, 17);
+  EXPECT_DOUBLE_EQ(x, 2.5);
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(Options, DefaultsSurviveEmptyArgv) {
+  std::int64_t n = 4;
+  bu::Options o("test");
+  o.add_int("n", &n, "an int");
+  EXPECT_TRUE(parse(o, {}));
+  EXPECT_EQ(n, 4);
+}
+
+TEST(Options, UnknownOptionThrows) {
+  bu::Options o("test");
+  EXPECT_THROW(parse(o, {"--nope"}), std::invalid_argument);
+}
+
+TEST(Options, MissingValueThrows) {
+  std::int64_t n = 0;
+  bu::Options o("test");
+  o.add_int("n", &n, "an int");
+  EXPECT_THROW(parse(o, {"--n"}), std::invalid_argument);
+}
+
+TEST(Options, PositionalArgThrows) {
+  bu::Options o("test");
+  EXPECT_THROW(parse(o, {"stray"}), std::invalid_argument);
+}
+
+TEST(Options, HelpReturnsFalseAndListsOptions) {
+  std::int64_t n = 0;
+  bu::Options o("my tool");
+  o.add_int("n", &n, "an int");
+  EXPECT_FALSE(parse(o, {"--help"}));
+  EXPECT_NE(o.help().find("--n"), std::string::npos);
+  EXPECT_NE(o.help().find("my tool"), std::string::npos);
+}
+
+TEST(Options, DuplicateRegistrationThrows) {
+  std::int64_t n = 0;
+  bu::Options o("test");
+  o.add_int("n", &n, "an int");
+  EXPECT_THROW(o.add_int("n", &n, "again"), std::logic_error);
+}
+
+TEST(Options, FlagWithExplicitValue) {
+  bool flag = true;
+  bu::Options o("test");
+  o.add_flag("flag", &flag, "a flag");
+  EXPECT_TRUE(parse(o, {"--flag=false"}));
+  EXPECT_FALSE(flag);
+}

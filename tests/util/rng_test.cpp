@@ -1,0 +1,64 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace bu = balbench::util;
+
+TEST(Rng, DeterministicForSeed) {
+  bu::Xoshiro256 a(42);
+  bu::Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  bu::Xoshiro256 a(1);
+  bu::Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, BelowIsInRange) {
+  bu::Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, UniformIsInUnitInterval) {
+  bu::Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  bu::Xoshiro256 rng(123);
+  auto perm = bu::random_permutation(37, rng);
+  ASSERT_EQ(perm.size(), 37u);
+  std::set<int> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 37u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 36);
+}
+
+TEST(Rng, PermutationDeterministicPerSeed) {
+  bu::Xoshiro256 a(5);
+  bu::Xoshiro256 b(5);
+  EXPECT_EQ(bu::random_permutation(64, a), bu::random_permutation(64, b));
+}
+
+TEST(Rng, PermutationActuallyShuffles) {
+  bu::Xoshiro256 rng(5);
+  auto perm = bu::random_permutation(64, rng);
+  std::vector<int> identity(64);
+  std::iota(identity.begin(), identity.end(), 0);
+  EXPECT_NE(perm, identity);
+}

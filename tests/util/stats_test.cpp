@@ -1,0 +1,100 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace bu = balbench::util;
+
+TEST(Stats, MeanBasics) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(bu::mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(bu::mean({}), 0.0);
+}
+
+TEST(Stats, LogavgIsGeometricMean) {
+  std::vector<double> xs{1.0, 100.0};
+  EXPECT_NEAR(bu::logavg(xs), 10.0, 1e-12);
+  std::vector<double> ys{8.0, 8.0, 8.0};
+  EXPECT_NEAR(bu::logavg(ys), 8.0, 1e-12);
+}
+
+TEST(Stats, LogavgEmptyIsZero) { EXPECT_DOUBLE_EQ(bu::logavg({}), 0.0); }
+
+TEST(Stats, LogavgClampsNonPositive) {
+  // A zero sample must not produce NaN/-inf; it is clamped to the floor
+  // and drags the average down hard.
+  std::vector<double> xs{0.0, 100.0};
+  const double v = bu::logavg(xs, 1e-12);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_LT(v, 1.0);
+}
+
+TEST(Stats, Logavg2MatchesPaperFinalStep) {
+  // b_eff = logavg(logavg_rings, logavg_random): two-value geometric mean.
+  EXPECT_NEAR(bu::logavg2(193.0, 50.0), std::sqrt(193.0 * 50.0), 1e-9);
+}
+
+TEST(Stats, LogavgIsBelowArithmeticMeanForSpreadData) {
+  std::vector<double> xs{10.0, 1000.0};
+  EXPECT_LT(bu::logavg(xs), bu::mean(xs));
+}
+
+TEST(Stats, MaxMinSum) {
+  std::vector<double> xs{3.0, -1.0, 7.5};
+  EXPECT_DOUBLE_EQ(bu::maximum(xs), 7.5);
+  EXPECT_DOUBLE_EQ(bu::minimum(xs), -1.0);
+  EXPECT_DOUBLE_EQ(bu::sum(xs), 9.5);
+  EXPECT_DOUBLE_EQ(bu::maximum({}), 0.0);
+}
+
+TEST(Stats, WeightedMeanAccessMethodWeights) {
+  // b_eff_io: 25 % initial write, 25 % rewrite, 50 % read.
+  std::vector<double> bw{100.0, 200.0, 400.0};
+  std::vector<double> w{0.25, 0.25, 0.5};
+  EXPECT_DOUBLE_EQ(bu::weighted_mean(bw, w), 0.25 * 100 + 0.25 * 200 + 0.5 * 400);
+}
+
+TEST(Stats, WeightedMeanZeroWeights) {
+  std::vector<double> bw{100.0};
+  std::vector<double> w{0.0};
+  EXPECT_DOUBLE_EQ(bu::weighted_mean(bw, w), 0.0);
+}
+
+TEST(Stats, AccumulatorTracksAll) {
+  bu::Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  acc.add(2.0);
+  acc.add(6.0);
+  acc.add(-2.0);
+  EXPECT_EQ(acc.count(), 3u);
+  EXPECT_DOUBLE_EQ(acc.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.min(), -2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 6.0);
+}
+
+// Property sweep: logavg lies between min and max, and is
+// scale-equivariant (logavg(c*x) = c*logavg(x)).
+class LogavgProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LogavgProperty, BoundedAndScaleEquivariant) {
+  const int seed = GetParam();
+  std::vector<double> xs;
+  double v = 1.0 + seed;
+  for (int i = 0; i < 10; ++i) {
+    v = std::fmod(v * 1.7 + 3.1, 97.0) + 0.5;
+    xs.push_back(v);
+  }
+  const double g = bu::logavg(xs);
+  EXPECT_GE(g, bu::minimum(xs) - 1e-9);
+  EXPECT_LE(g, bu::maximum(xs) + 1e-9);
+
+  std::vector<double> scaled;
+  for (double x : xs) scaled.push_back(4.0 * x);
+  EXPECT_NEAR(bu::logavg(scaled), 4.0 * g, 1e-9 * g);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LogavgProperty, ::testing::Range(0, 12));

@@ -1,0 +1,55 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bu = balbench::util;
+
+TEST(Table, RendersHeadersAndRows) {
+  bu::Table t({"System", "b_eff\nMByte/s"});
+  t.add_row({"Cray T3E", "19919"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("System"), std::string::npos);
+  EXPECT_NE(out.find("b_eff"), std::string::npos);
+  EXPECT_NE(out.find("MByte/s"), std::string::npos);
+  EXPECT_NE(out.find("19919"), std::string::npos);
+  EXPECT_NE(out.find("Cray T3E"), std::string::npos);
+}
+
+TEST(Table, SectionRows) {
+  bu::Table t({"a", "b"});
+  t.add_section("Distributed memory systems");
+  t.add_row({"1", "2"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("Distributed memory systems"), std::string::npos);
+}
+
+TEST(Table, MissingCellsRenderEmpty) {
+  bu::Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(Table, ColumnsAlign) {
+  bu::Table t({"n", "value"});
+  t.add_row({"1", "2"});
+  t.add_row({"100", "20000"});
+  const std::string out = t.to_string();
+  // Every line between the separators has equal length.
+  std::size_t expected = 0;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    auto end = out.find('\n', start);
+    if (end == std::string::npos) break;
+    const std::size_t len = end - start;
+    if (expected == 0) expected = len;
+    EXPECT_EQ(len, expected) << "line: " << out.substr(start, len);
+    start = end + 1;
+  }
+}
+
+TEST(TableFmt, Numbers) {
+  EXPECT_EQ(bu::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(bu::fmt(std::int64_t{123456}), "123456");
+  EXPECT_EQ(bu::fmt(42), "42");
+}

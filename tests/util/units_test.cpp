@@ -1,0 +1,71 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bu = balbench::util;
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(bu::format_bytes(1), "1 B");
+  EXPECT_EQ(bu::format_bytes(512), "512 B");
+  EXPECT_EQ(bu::format_bytes(1024), "1 kB");
+  EXPECT_EQ(bu::format_bytes(32 * 1024), "32 kB");
+  EXPECT_EQ(bu::format_bytes(bu::kMiB), "1 MB");
+  EXPECT_EQ(bu::format_bytes(8 * bu::kMiB), "8 MB");
+  EXPECT_EQ(bu::format_bytes(2 * bu::kGiB), "2 GB");
+  // Not an exact multiple -> bytes.
+  EXPECT_EQ(bu::format_bytes(1025), "1025 B");
+}
+
+TEST(Units, ChunkLabelsMarkNonWellformed) {
+  // The paper's Fig. 4 x-axis labels: "32k" and "32k+8".
+  EXPECT_EQ(bu::format_chunk_label(32 * 1024), "32 kB");
+  EXPECT_EQ(bu::format_chunk_label(32 * 1024 + 8), "32 kB+8");
+  EXPECT_EQ(bu::format_chunk_label(bu::kMiB + 8), "1 MB+8");
+  EXPECT_EQ(bu::format_chunk_label(1024), "1 kB");
+}
+
+TEST(Units, ParseBytesRoundTrip) {
+  EXPECT_EQ(bu::parse_bytes("1"), 1);
+  EXPECT_EQ(bu::parse_bytes("4k"), 4096);
+  EXPECT_EQ(bu::parse_bytes("4kB"), 4096);
+  EXPECT_EQ(bu::parse_bytes("1 MB"), bu::kMiB);
+  EXPECT_EQ(bu::parse_bytes("2g"), 2 * bu::kGiB);
+  EXPECT_EQ(bu::parse_bytes("0.5k"), 512);
+}
+
+TEST(Units, ParseBytesRejectsGarbage) {
+  EXPECT_THROW(bu::parse_bytes("abc"), std::invalid_argument);
+  EXPECT_THROW(bu::parse_bytes("4q"), std::invalid_argument);
+  EXPECT_THROW(bu::parse_bytes("4kx"), std::invalid_argument);
+}
+
+TEST(Units, Wellformed) {
+  EXPECT_TRUE(bu::is_wellformed(1));
+  EXPECT_TRUE(bu::is_wellformed(1024));
+  EXPECT_TRUE(bu::is_wellformed(bu::kMiB));
+  EXPECT_FALSE(bu::is_wellformed(0));
+  EXPECT_FALSE(bu::is_wellformed(1024 + 8));
+  EXPECT_FALSE(bu::is_wellformed(-4));
+}
+
+TEST(Units, FormatMbps) {
+  EXPECT_EQ(bu::format_mbps(19919.0 * bu::kMiB), "19919");
+  EXPECT_EQ(bu::format_mbps(39.4 * bu::kMiB, 1), "39.4");
+}
+
+TEST(Units, FormatSeconds) {
+  EXPECT_EQ(bu::format_seconds(3.2), "3.2 s");
+  EXPECT_EQ(bu::format_seconds(0.0032), "3.2 ms");
+  EXPECT_EQ(bu::format_seconds(60e-6), "60.0 us");
+  EXPECT_EQ(bu::format_seconds(900), "15.0 min");
+}
+
+// Property: format_bytes of powers of two always parses back exactly.
+class UnitsRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnitsRoundTrip, PowerOfTwoRoundTrips) {
+  const std::int64_t bytes = std::int64_t{1} << GetParam();
+  EXPECT_EQ(bu::parse_bytes(bu::format_bytes(bytes)), bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, UnitsRoundTrip, ::testing::Range(0, 33));
