@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_averaging.dir/ablation_averaging.cpp.o"
+  "CMakeFiles/ablation_averaging.dir/ablation_averaging.cpp.o.d"
+  "ablation_averaging"
+  "ablation_averaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_averaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_io_substrate.cpp" "bench/CMakeFiles/ablation_io_substrate.dir/ablation_io_substrate.cpp.o" "gcc" "bench/CMakeFiles/ablation_io_substrate.dir/ablation_io_substrate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/balbench_beff.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/balbench_beffio.dir/DependInfo.cmake"
+  "/root/repo/build/src/machines/CMakeFiles/balbench_machines.dir/DependInfo.cmake"
+  "/root/repo/build/src/pario/CMakeFiles/balbench_pario.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfsim/CMakeFiles/balbench_pfsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/parmsg/CMakeFiles/balbench_parmsg.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/balbench_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/balbench_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/balbench_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

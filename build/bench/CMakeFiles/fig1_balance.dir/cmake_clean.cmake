@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_balance.dir/fig1_balance.cpp.o"
+  "CMakeFiles/fig1_balance.dir/fig1_balance.cpp.o.d"
+  "fig1_balance"
+  "fig1_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

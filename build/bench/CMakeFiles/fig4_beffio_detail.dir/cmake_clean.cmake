@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_beffio_detail.dir/fig4_beffio_detail.cpp.o"
+  "CMakeFiles/fig4_beffio_detail.dir/fig4_beffio_detail.cpp.o.d"
+  "fig4_beffio_detail"
+  "fig4_beffio_detail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_beffio_detail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

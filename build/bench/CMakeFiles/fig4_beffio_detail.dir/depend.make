@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_beffio_detail.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_beffio_final.dir/fig5_beffio_final.cpp.o"
+  "CMakeFiles/fig5_beffio_final.dir/fig5_beffio_final.cpp.o.d"
+  "fig5_beffio_final"
+  "fig5_beffio_final.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_beffio_final.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

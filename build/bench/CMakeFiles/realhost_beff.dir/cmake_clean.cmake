@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realhost_beff.dir/realhost_beff.cpp.o"
+  "CMakeFiles/realhost_beff.dir/realhost_beff.cpp.o.d"
+  "realhost_beff"
+  "realhost_beff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realhost_beff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

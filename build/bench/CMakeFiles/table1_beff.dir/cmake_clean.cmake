@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_beff.dir/table1_beff.cpp.o"
+  "CMakeFiles/table1_beff.dir/table1_beff.cpp.o.d"
+  "table1_beff"
+  "table1_beff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_beff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

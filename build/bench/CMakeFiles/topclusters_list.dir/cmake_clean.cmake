@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topclusters_list.dir/topclusters_list.cpp.o"
+  "CMakeFiles/topclusters_list.dir/topclusters_list.cpp.o.d"
+  "topclusters_list"
+  "topclusters_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topclusters_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_machines.dir/compare_machines.cpp.o"
+  "CMakeFiles/compare_machines.dir/compare_machines.cpp.o.d"
+  "compare_machines"
+  "compare_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

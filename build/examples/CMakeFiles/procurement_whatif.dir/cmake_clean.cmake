@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procurement_whatif.dir/procurement_whatif.cpp.o"
+  "CMakeFiles/procurement_whatif.dir/procurement_whatif.cpp.o.d"
+  "procurement_whatif"
+  "procurement_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procurement_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

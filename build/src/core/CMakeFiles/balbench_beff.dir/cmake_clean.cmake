@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balbench_beff.dir/beff/beff.cpp.o"
+  "CMakeFiles/balbench_beff.dir/beff/beff.cpp.o.d"
+  "CMakeFiles/balbench_beff.dir/beff/patterns.cpp.o"
+  "CMakeFiles/balbench_beff.dir/beff/patterns.cpp.o.d"
+  "CMakeFiles/balbench_beff.dir/beff/sizes.cpp.o"
+  "CMakeFiles/balbench_beff.dir/beff/sizes.cpp.o.d"
+  "libbalbench_beff.a"
+  "libbalbench_beff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balbench_beff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balbench_beffio.dir/beffio/beffio.cpp.o"
+  "CMakeFiles/balbench_beffio.dir/beffio/beffio.cpp.o.d"
+  "CMakeFiles/balbench_beffio.dir/beffio/pattern_table.cpp.o"
+  "CMakeFiles/balbench_beffio.dir/beffio/pattern_table.cpp.o.d"
+  "libbalbench_beffio.a"
+  "libbalbench_beffio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balbench_beffio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

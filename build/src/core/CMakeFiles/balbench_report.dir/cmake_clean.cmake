@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balbench_report.dir/report/export.cpp.o"
+  "CMakeFiles/balbench_report.dir/report/export.cpp.o.d"
+  "libbalbench_report.a"
+  "libbalbench_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balbench_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for balbench_report.
+# This may be replaced when dependencies are built.

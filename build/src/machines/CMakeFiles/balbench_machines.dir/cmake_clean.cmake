@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balbench_machines.dir/machines.cpp.o"
+  "CMakeFiles/balbench_machines.dir/machines.cpp.o.d"
+  "libbalbench_machines.a"
+  "libbalbench_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balbench_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balbench_net.dir/flow.cpp.o"
+  "CMakeFiles/balbench_net.dir/flow.cpp.o.d"
+  "CMakeFiles/balbench_net.dir/topology.cpp.o"
+  "CMakeFiles/balbench_net.dir/topology.cpp.o.d"
+  "libbalbench_net.a"
+  "libbalbench_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balbench_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balbench_pario.dir/file.cpp.o"
+  "CMakeFiles/balbench_pario.dir/file.cpp.o.d"
+  "libbalbench_pario.a"
+  "libbalbench_pario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balbench_pario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

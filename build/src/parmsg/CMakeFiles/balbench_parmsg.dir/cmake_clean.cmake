@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balbench_parmsg.dir/cart.cpp.o"
+  "CMakeFiles/balbench_parmsg.dir/cart.cpp.o.d"
+  "CMakeFiles/balbench_parmsg.dir/comm.cpp.o"
+  "CMakeFiles/balbench_parmsg.dir/comm.cpp.o.d"
+  "CMakeFiles/balbench_parmsg.dir/sim_transport.cpp.o"
+  "CMakeFiles/balbench_parmsg.dir/sim_transport.cpp.o.d"
+  "CMakeFiles/balbench_parmsg.dir/thread_transport.cpp.o"
+  "CMakeFiles/balbench_parmsg.dir/thread_transport.cpp.o.d"
+  "libbalbench_parmsg.a"
+  "libbalbench_parmsg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balbench_parmsg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balbench_pfsim.dir/filesystem.cpp.o"
+  "CMakeFiles/balbench_pfsim.dir/filesystem.cpp.o.d"
+  "libbalbench_pfsim.a"
+  "libbalbench_pfsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balbench_pfsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balbench_simt.dir/engine.cpp.o"
+  "CMakeFiles/balbench_simt.dir/engine.cpp.o.d"
+  "CMakeFiles/balbench_simt.dir/fiber.cpp.o"
+  "CMakeFiles/balbench_simt.dir/fiber.cpp.o.d"
+  "CMakeFiles/balbench_simt.dir/trace.cpp.o"
+  "CMakeFiles/balbench_simt.dir/trace.cpp.o.d"
+  "libbalbench_simt.a"
+  "libbalbench_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balbench_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balbench_util.dir/ascii_plot.cpp.o"
+  "CMakeFiles/balbench_util.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/balbench_util.dir/options.cpp.o"
+  "CMakeFiles/balbench_util.dir/options.cpp.o.d"
+  "CMakeFiles/balbench_util.dir/stats.cpp.o"
+  "CMakeFiles/balbench_util.dir/stats.cpp.o.d"
+  "CMakeFiles/balbench_util.dir/table.cpp.o"
+  "CMakeFiles/balbench_util.dir/table.cpp.o.d"
+  "CMakeFiles/balbench_util.dir/units.cpp.o"
+  "CMakeFiles/balbench_util.dir/units.cpp.o.d"
+  "libbalbench_util.a"
+  "libbalbench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balbench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

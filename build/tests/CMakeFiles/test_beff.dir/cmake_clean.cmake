@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_beff.dir/beff/beff_test.cpp.o"
+  "CMakeFiles/test_beff.dir/beff/beff_test.cpp.o.d"
+  "CMakeFiles/test_beff.dir/beff/machine_sweep_test.cpp.o"
+  "CMakeFiles/test_beff.dir/beff/machine_sweep_test.cpp.o.d"
+  "CMakeFiles/test_beff.dir/beff/patterns_test.cpp.o"
+  "CMakeFiles/test_beff.dir/beff/patterns_test.cpp.o.d"
+  "CMakeFiles/test_beff.dir/beff/sizes_test.cpp.o"
+  "CMakeFiles/test_beff.dir/beff/sizes_test.cpp.o.d"
+  "test_beff"
+  "test_beff.pdb"
+  "test_beff[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_beff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

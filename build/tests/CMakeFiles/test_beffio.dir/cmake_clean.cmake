@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_beffio.dir/beffio/beffio_test.cpp.o"
+  "CMakeFiles/test_beffio.dir/beffio/beffio_test.cpp.o.d"
+  "CMakeFiles/test_beffio.dir/beffio/pattern_table_test.cpp.o"
+  "CMakeFiles/test_beffio.dir/beffio/pattern_table_test.cpp.o.d"
+  "test_beffio"
+  "test_beffio.pdb"
+  "test_beffio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_beffio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pario.dir/pario/file_test.cpp.o"
+  "CMakeFiles/test_pario.dir/pario/file_test.cpp.o.d"
+  "test_pario"
+  "test_pario.pdb"
+  "test_pario[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

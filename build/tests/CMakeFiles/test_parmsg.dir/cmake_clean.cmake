@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parmsg.dir/parmsg/cart_test.cpp.o"
+  "CMakeFiles/test_parmsg.dir/parmsg/cart_test.cpp.o.d"
+  "CMakeFiles/test_parmsg.dir/parmsg/comm_semantics_test.cpp.o"
+  "CMakeFiles/test_parmsg.dir/parmsg/comm_semantics_test.cpp.o.d"
+  "CMakeFiles/test_parmsg.dir/parmsg/differential_test.cpp.o"
+  "CMakeFiles/test_parmsg.dir/parmsg/differential_test.cpp.o.d"
+  "CMakeFiles/test_parmsg.dir/parmsg/sim_timing_test.cpp.o"
+  "CMakeFiles/test_parmsg.dir/parmsg/sim_timing_test.cpp.o.d"
+  "CMakeFiles/test_parmsg.dir/parmsg/thread_stress_test.cpp.o"
+  "CMakeFiles/test_parmsg.dir/parmsg/thread_stress_test.cpp.o.d"
+  "test_parmsg"
+  "test_parmsg.pdb"
+  "test_parmsg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parmsg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pfsim/filesystem_property_test.cpp" "tests/CMakeFiles/test_pfsim.dir/pfsim/filesystem_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_pfsim.dir/pfsim/filesystem_property_test.cpp.o.d"
+  "/root/repo/tests/pfsim/filesystem_test.cpp" "tests/CMakeFiles/test_pfsim.dir/pfsim/filesystem_test.cpp.o" "gcc" "tests/CMakeFiles/test_pfsim.dir/pfsim/filesystem_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parmsg/CMakeFiles/balbench_parmsg.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/balbench_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/balbench_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/balbench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfsim/CMakeFiles/balbench_pfsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pfsim.dir/pfsim/filesystem_property_test.cpp.o"
+  "CMakeFiles/test_pfsim.dir/pfsim/filesystem_property_test.cpp.o.d"
+  "CMakeFiles/test_pfsim.dir/pfsim/filesystem_test.cpp.o"
+  "CMakeFiles/test_pfsim.dir/pfsim/filesystem_test.cpp.o.d"
+  "test_pfsim"
+  "test_pfsim.pdb"
+  "test_pfsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pfsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

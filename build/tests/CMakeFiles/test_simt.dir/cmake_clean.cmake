@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simt.dir/simt/engine_test.cpp.o"
+  "CMakeFiles/test_simt.dir/simt/engine_test.cpp.o.d"
+  "CMakeFiles/test_simt.dir/simt/fiber_test.cpp.o"
+  "CMakeFiles/test_simt.dir/simt/fiber_test.cpp.o.d"
+  "CMakeFiles/test_simt.dir/simt/trace_test.cpp.o"
+  "CMakeFiles/test_simt.dir/simt/trace_test.cpp.o.d"
+  "test_simt"
+  "test_simt.pdb"
+  "test_simt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_simt[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_parmsg[1]_include.cmake")
+include("/root/repo/build/tests/test_beff[1]_include.cmake")
+include("/root/repo/build/tests/test_machines[1]_include.cmake")
+include("/root/repo/build/tests/test_pfsim[1]_include.cmake")
+include("/root/repo/build/tests/test_pario[1]_include.cmake")
+include("/root/repo/build/tests/test_beffio[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")
