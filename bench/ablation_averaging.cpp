@@ -12,6 +12,7 @@
 //   E. max over repetitions      vs. first repetition (noise floor --
 //      identical in our deterministic simulator, reported as a check)
 #include <iostream>
+#include <memory>
 
 #include "core/beff/beff.hpp"
 #include "machines/machines.hpp"
@@ -26,9 +27,13 @@ int main(int argc, char** argv) {
 
   std::int64_t procs = 64;
   std::string machine = "t3e";
-  util::Options options("ablation_averaging: what each b_eff design rule does");
+  std::int64_t jobs = 1;
+  util::Options options(
+      "ablation_averaging: what each b_eff design rule does "
+      "(paper Secs. 3-5.4)");
   options.add_int("procs", &procs, "number of processes");
   options.add_string("machine", &machine, "machine model short name");
+  options.add_jobs(&jobs, "the b_eff measurement cells");
   try {
     if (!options.parse(argc, argv)) return 0;
   } catch (const std::exception& e) {
@@ -40,11 +45,19 @@ int main(int argc, char** argv) {
   const int np = static_cast<int>(std::min<std::int64_t>(procs, spec.max_procs));
   std::fprintf(stderr, "[ablation] %s, %d procs...\n", spec.name.c_str(), np);
 
-  parmsg::SimTransport transport(spec.make_topology(np), spec.costs);
+  // Single configuration, so the parallelism lives one level down: the
+  // factory overload spreads the b_eff measurement cells over --jobs
+  // threads, each with its own simulator.
   beff::BeffOptions opt;
   opt.memory_per_proc = spec.memory_per_proc;
   opt.measure_analysis = false;
-  const auto r = beff::run_beff(transport, np, opt);
+  opt.jobs = static_cast<int>(jobs);
+  const auto r = beff::run_beff(
+      [&]() -> std::unique_ptr<parmsg::Transport> {
+        return std::make_unique<parmsg::SimTransport>(spec.make_topology(np),
+                                                      spec.costs);
+      },
+      np, opt);
 
   // Recompute variants from the protocol.
   std::vector<double> ring_avgs;

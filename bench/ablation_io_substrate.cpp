@@ -17,6 +17,7 @@
 #include "machines/machines.hpp"
 #include "parmsg/sim_transport.hpp"
 #include "util/options.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
@@ -25,9 +26,13 @@ int main(int argc, char** argv) {
 
   std::int64_t procs = 16;
   double t_minutes = 5.0;
-  util::Options options("ablation_io_substrate: I/O subsystem parameter study");
+  std::int64_t jobs = 1;
+  util::Options options(
+      "ablation_io_substrate: I/O subsystem parameter study "
+      "(paper Sec. 3.2 items 5-6)");
   options.add_int("procs", &procs, "number of processes");
   options.add_double("minutes", &t_minutes, "scheduled time T in minutes");
+  options.add_jobs(&jobs, "the variant sweep");
   try {
     if (!options.parse(argc, argv)) return 0;
   } catch (const std::exception& e) {
@@ -64,21 +69,27 @@ int main(int argc, char** argv) {
     io.shared_pointer_overhead /= 2;
   });
 
+  const auto results = util::parallel_map<beffio::BeffIoResult>(
+      static_cast<int>(jobs), variants.size(), [&](std::size_t i) {
+        const Variant& v = variants[i];
+        std::fprintf(stderr, "[ablation_io] %s...\n", v.name.c_str());
+        parmsg::SimTransport transport(machine.make_topology(np), machine.costs);
+        beffio::BeffIoOptions opt;
+        opt.scheduled_time = t_minutes * 60.0;
+        opt.memory_per_node = machine.memory_per_proc;
+        opt.file_prefix = v.name;
+        return beffio::run_beffio(transport, v.io, np, opt);
+      });
+
   util::Table table({"variant", "write\nMB/s", "read\nMB/s", "b_eff_io\nMB/s",
                      "vs baseline"});
-  double base = 0.0;
-  for (const auto& v : variants) {
-    std::fprintf(stderr, "[ablation_io] %s...\n", v.name.c_str());
-    parmsg::SimTransport transport(machine.make_topology(np), machine.costs);
-    beffio::BeffIoOptions opt;
-    opt.scheduled_time = t_minutes * 60.0;
-    opt.memory_per_node = machine.memory_per_proc;
-    opt.file_prefix = v.name;
-    const auto r = beffio::run_beffio(transport, v.io, np, opt);
-    if (base == 0.0) base = r.b_eff_io;
+  const double base = results.empty() ? 0.0 : results.front().b_eff_io;
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const auto& r = results[i];
     char rel[32];
     std::snprintf(rel, sizeof rel, "%+.0f%%", (r.b_eff_io / base - 1.0) * 100.0);
-    table.add_row({v.name, util::format_mbps(r.write().weighted_bandwidth(), 1),
+    table.add_row({variants[i].name,
+                   util::format_mbps(r.write().weighted_bandwidth(), 1),
                    util::format_mbps(r.read().weighted_bandwidth(), 1),
                    util::format_mbps(r.b_eff_io, 1), rel});
   }

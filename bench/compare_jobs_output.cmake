@@ -1,0 +1,27 @@
+# ctest helper: run BINARY with ARGS twice -- once with --jobs 1 and
+# once with --jobs ${JOBS} -- and fail unless stdout is byte-identical.
+# Enforces the acceptance criterion of the parallel sweep scheduler:
+# the worker count must never change a reported number.
+#
+#   cmake -DBINARY=<path> -DARGS="<args>" -DJOBS=<n> -P compare_jobs_output.cmake
+separate_arguments(args_list UNIX_COMMAND "${ARGS}")
+
+execute_process(COMMAND ${BINARY} ${args_list} --jobs 1
+  OUTPUT_VARIABLE out_serial RESULT_VARIABLE rc_serial ERROR_QUIET)
+if(NOT rc_serial EQUAL 0)
+  message(FATAL_ERROR "${BINARY} ${ARGS} --jobs 1 exited with ${rc_serial}")
+endif()
+
+execute_process(COMMAND ${BINARY} ${args_list} --jobs ${JOBS}
+  OUTPUT_VARIABLE out_parallel RESULT_VARIABLE rc_parallel ERROR_QUIET)
+if(NOT rc_parallel EQUAL 0)
+  message(FATAL_ERROR "${BINARY} ${ARGS} --jobs ${JOBS} exited with ${rc_parallel}")
+endif()
+
+if(NOT out_serial STREQUAL out_parallel)
+  message(FATAL_ERROR
+    "stdout of ${BINARY} ${ARGS} differs between --jobs 1 and --jobs ${JOBS}: "
+    "the parallel sweep broke byte-identical determinism")
+endif()
+string(LENGTH "${out_serial}" nbytes)
+message(STATUS "byte-identical stdout (${nbytes} bytes) at --jobs 1 and --jobs ${JOBS}")

@@ -13,6 +13,7 @@
 #include "parmsg/sim_transport.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/options.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
@@ -20,8 +21,10 @@ int main(int argc, char** argv) {
   using namespace balbench;
 
   bool quick = false;
+  std::int64_t jobs = 1;
   util::Options options("fig1_balance: balance factor b_eff / R_max (Fig. 1)");
   options.add_flag("quick", &quick, "use smaller T3E configuration");
+  options.add_jobs(&jobs, "the per-machine sweep");
   try {
     if (!options.parse(argc, argv)) return 0;
   } catch (const std::exception& e) {
@@ -42,20 +45,26 @@ int main(int argc, char** argv) {
   configs.push_back({machines::hp_v9000(), 7});
   configs.push_back({machines::sgi_sv1(), 15});
 
+  const auto results = util::parallel_map<beff::BeffResult>(
+      static_cast<int>(jobs), configs.size(), [&](std::size_t i) {
+        const auto& cfg = configs[i];
+        std::fprintf(stderr, "[fig1] %s, %d procs...\n",
+                     cfg.machine.name.c_str(), cfg.nprocs);
+        parmsg::SimTransport transport(cfg.machine.make_topology(cfg.nprocs),
+                                       cfg.machine.costs);
+        beff::BeffOptions opt;
+        opt.memory_per_proc = cfg.machine.memory_per_proc;
+        opt.measure_analysis = false;
+        return beff::run_beff(transport, cfg.nprocs, opt);
+      });
+
   util::Table table({"System", "procs", "b_eff\nMByte/s", "R_max\nGFlop/s",
                      "balance factor\nbytes/flop"});
   util::AsciiBarChart chart("Figure 1: balance factor (b_eff / R_max)");
 
-  for (const auto& cfg : configs) {
-    std::fprintf(stderr, "[fig1] %s, %d procs...\n", cfg.machine.name.c_str(),
-                 cfg.nprocs);
-    parmsg::SimTransport transport(cfg.machine.make_topology(cfg.nprocs),
-                                   cfg.machine.costs);
-    beff::BeffOptions opt;
-    opt.memory_per_proc = cfg.machine.memory_per_proc;
-    opt.measure_analysis = false;
-    const auto r = beff::run_beff(transport, cfg.nprocs, opt);
-
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto& cfg = configs[i];
+    const auto& r = results[i];
     const double rmax_flops =
         cfg.machine.rmax_gflops_per_proc * 1e9 * cfg.nprocs;
     const double balance = r.b_eff / rmax_flops;  // bytes per flop

@@ -15,6 +15,7 @@
 #include "parmsg/sim_transport.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/options.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
@@ -36,9 +37,11 @@ beffio::BeffIoResult run_one(const machines::MachineSpec& m, int nprocs,
 
 int main(int argc, char** argv) {
   bool quick = false;
+  std::int64_t jobs = 1;
   util::Options options(
       "fig3_beffio_scaling: b_eff_io over process counts and T (Fig. 3)");
   options.add_flag("quick", &quick, "fewer partitions / one T value");
+  options.add_jobs(&jobs, "the (machine, T, partition) sweep");
   try {
     if (!options.parse(argc, argv)) return 0;
   } catch (const std::exception& e) {
@@ -54,6 +57,33 @@ int main(int argc, char** argv) {
   std::vector<machines::MachineSpec> systems{machines::cray_t3e_900(),
                                              machines::ibm_sp()};
 
+  // Flatten the (machine, T, partition) space, run every valid point
+  // through the scheduler, then render in sweep order so stdout is
+  // byte-identical for every --jobs value.
+  struct Job {
+    const machines::MachineSpec* machine = nullptr;
+    double T = 0.0;
+    int nprocs = 0;
+    bool valid = false;
+  };
+  std::vector<Job> sweep;
+  for (const auto& m : systems) {
+    for (double T : times) {
+      for (int p : procs) {
+        sweep.push_back({&m, T, p, p <= m.max_procs});
+      }
+    }
+  }
+  const auto results = util::parallel_map<beffio::BeffIoResult>(
+      static_cast<int>(jobs), sweep.size(), [&](std::size_t i) {
+        const Job& job = sweep[i];
+        if (!job.valid) return beffio::BeffIoResult{};
+        std::fprintf(stderr, "[fig3] %s, %d procs, T=%.0fs...\n",
+                     job.machine->short_name.c_str(), job.nprocs, job.T);
+        return run_one(*job.machine, job.nprocs, job.T);
+      });
+
+  std::size_t next = 0;
   for (const auto& m : systems) {
     std::cout << "=== " << m.name << " -- " << m.io->name << " ===\n";
     util::Table table({"T", "procs", "write\nMB/s", "rewrite\nMB/s",
@@ -70,15 +100,15 @@ int main(int argc, char** argv) {
       util::Series series;
       series.name = "T=" + util::format_seconds(T);
       series.marker = marker++;
-      for (int p : procs) {
-        if (p > m.max_procs) {
+      for ([[maybe_unused]] int p : procs) {
+        const Job& job = sweep[next];
+        const auto& r = results[next];
+        ++next;
+        if (!job.valid) {
           series.values.push_back(std::numeric_limits<double>::quiet_NaN());
           continue;
         }
-        std::fprintf(stderr, "[fig3] %s, %d procs, T=%.0fs...\n",
-                     m.short_name.c_str(), p, T);
-        const auto r = run_one(m, p, T);
-        table.add_row({util::format_seconds(T), util::fmt(p),
+        table.add_row({util::format_seconds(job.T), util::fmt(job.nprocs),
                        util::format_mbps(r.write().weighted_bandwidth(), 1),
                        util::format_mbps(r.rewrite().weighted_bandwidth(), 1),
                        util::format_mbps(r.read().weighted_bandwidth(), 1),

@@ -23,6 +23,7 @@
 #include "parmsg/sim_transport.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/options.hpp"
+#include "util/parallel.hpp"
 #include "util/units.hpp"
 
 namespace {
@@ -79,6 +80,7 @@ int main(int argc, char** argv) {
   std::string only;
   std::int64_t nprocs = 0;
   double t_minutes = 10.0;
+  std::int64_t jobs = 1;
   util::Options options(
       "fig4_beffio_detail: per-pattern b_eff_io bandwidths (Fig. 4)");
   options.add_flag("quick", &quick, "smaller partitions");
@@ -86,6 +88,7 @@ int main(int argc, char** argv) {
   options.add_string("machine", &only, "single machine (sp t3e sr8000 sx5)");
   options.add_int("procs", &nprocs, "override the partition size");
   options.add_double("minutes", &t_minutes, "scheduled time T in minutes");
+  options.add_jobs(&jobs, "the per-machine sweep");
   try {
     if (!options.parse(argc, argv)) return 0;
   } catch (const std::exception& e) {
@@ -98,32 +101,42 @@ int main(int argc, char** argv) {
     int nprocs;
     std::int64_t mpart_cap;
   };
-  std::vector<Config> configs;
-  configs.push_back({machines::ibm_sp(), quick ? 16 : 64, 0});
-  configs.push_back({machines::cray_t3e_900(), quick ? 16 : 64, 0});
-  configs.push_back({machines::hitachi_sr8000(net::Placement::Sequential),
-                     quick ? 8 : 24, 0});
+  std::vector<Config> all_configs;
+  all_configs.push_back({machines::ibm_sp(), quick ? 16 : 64, 0});
+  all_configs.push_back({machines::cray_t3e_900(), quick ? 16 : 64, 0});
+  all_configs.push_back({machines::hitachi_sr8000(net::Placement::Sequential),
+                         quick ? 8 : 24, 0});
   // "On the SX-5, a reduced maximum chunk size was used" (Sec. 5.3).
-  configs.push_back({machines::nec_sx5(), 4, 2LL << 20});
+  all_configs.push_back({machines::nec_sx5(), 4, 2LL << 20});
 
-  for (const auto& cfg : configs) {
+  std::vector<Config> configs;
+  for (auto& cfg : all_configs) {
     if (!only.empty() && cfg.machine.short_name != only) continue;
-    const int np = nprocs > 0 ? static_cast<int>(nprocs) : cfg.nprocs;
-    std::fprintf(stderr, "[fig4] %s, %d procs, T=%.0f min...\n",
-                 cfg.machine.short_name.c_str(), np, t_minutes);
-    parmsg::SimTransport transport(cfg.machine.make_topology(np),
-                                   cfg.machine.costs);
-    beffio::BeffIoOptions opt;
-    opt.scheduled_time = t_minutes * 60.0;
-    opt.memory_per_node = cfg.machine.memory_per_proc;
-    opt.mpart_cap = cfg.mpart_cap;
-    opt.file_prefix = cfg.machine.short_name;
-    const auto r = beffio::run_beffio(transport, *cfg.machine.io, np, opt);
+    if (nprocs > 0) cfg.nprocs = static_cast<int>(nprocs);
+    configs.push_back(std::move(cfg));
+  }
 
-    std::cout << "==== " << cfg.machine.name << " (" << np << " procs, "
+  const auto results = util::parallel_map<beffio::BeffIoResult>(
+      static_cast<int>(jobs), configs.size(), [&](std::size_t i) {
+        const Config& cfg = configs[i];
+        std::fprintf(stderr, "[fig4] %s, %d procs, T=%.0f min...\n",
+                     cfg.machine.short_name.c_str(), cfg.nprocs, t_minutes);
+        parmsg::SimTransport transport(cfg.machine.make_topology(cfg.nprocs),
+                                       cfg.machine.costs);
+        beffio::BeffIoOptions opt;
+        opt.scheduled_time = t_minutes * 60.0;
+        opt.memory_per_node = cfg.machine.memory_per_proc;
+        opt.mpart_cap = cfg.mpart_cap;
+        opt.file_prefix = cfg.machine.short_name;
+        return beffio::run_beffio(transport, *cfg.machine.io, cfg.nprocs, opt);
+      });
+
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const Config& cfg = configs[i];
+    std::cout << "==== " << cfg.machine.name << " (" << cfg.nprocs << " procs, "
               << cfg.machine.io->name << ") ====\n\n";
-    render_detail(r, cfg.machine.short_name);
-    if (report) std::cout << beffio::beffio_report(r) << '\n';
+    render_detail(results[i], cfg.machine.short_name);
+    if (report) std::cout << beffio::beffio_report(results[i]) << '\n';
   }
   return 0;
 }

@@ -9,6 +9,7 @@
 #include "parmsg/sim_transport.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/options.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
@@ -17,9 +18,11 @@ int main(int argc, char** argv) {
 
   bool quick = false;
   double t_minutes = 15.0;
+  std::int64_t jobs = 1;
   util::Options options("fig5_beffio_final: final b_eff_io comparison (Fig. 5)");
   options.add_flag("quick", &quick, "fewer partition sizes");
   options.add_double("minutes", &t_minutes, "scheduled time T in minutes");
+  options.add_jobs(&jobs, "the (machine, partition) sweep");
   try {
     if (!options.parse(argc, argv)) return 0;
   } catch (const std::exception& e) {
@@ -44,40 +47,67 @@ int main(int argc, char** argv) {
                      0});
   configs.push_back({machines::nec_sx5(), std::vector<int>{2, 4}, 2LL << 20});
 
+  // Flatten the (machine, partition) sweep, run it through the
+  // scheduler, then reduce in sweep order -- stdout is byte-identical
+  // for every --jobs value.
+  struct Job {
+    const Config* config = nullptr;
+    int nprocs = 0;
+    bool first = false;
+  };
+  std::vector<Job> sweep;
+  for (const auto& cfg : configs) {
+    bool first = true;
+    for (int np : cfg.partitions) {
+      if (np > cfg.machine.max_procs) continue;
+      sweep.push_back({&cfg, np, first});
+      first = false;
+    }
+  }
+  const auto results = util::parallel_map<beffio::BeffIoResult>(
+      static_cast<int>(jobs), sweep.size(), [&](std::size_t i) {
+        const Job& job = sweep[i];
+        const Config& cfg = *job.config;
+        std::fprintf(stderr, "[fig5] %s, %d procs...\n",
+                     cfg.machine.short_name.c_str(), job.nprocs);
+        parmsg::SimTransport transport(cfg.machine.make_topology(job.nprocs),
+                                       cfg.machine.costs);
+        beffio::BeffIoOptions opt;
+        opt.scheduled_time = t_minutes * 60.0;
+        opt.memory_per_node = cfg.machine.memory_per_proc;
+        opt.mpart_cap = cfg.mpart_cap;
+        opt.file_prefix = cfg.machine.short_name;
+        return beffio::run_beffio(transport, *cfg.machine.io, job.nprocs, opt);
+      });
+
   util::Table table({"System", "procs", "write\nMB/s", "rewrite\nMB/s",
                      "read\nMB/s", "b_eff_io\nMB/s"});
   util::AsciiBarChart chart("Figure 5: b_eff_io (best partition per system), MB/s");
 
-  for (const auto& cfg : configs) {
-    double best = 0.0;
-    int best_np = 0;
-    bool first = true;
-    for (int np : cfg.partitions) {
-      if (np > cfg.machine.max_procs) continue;
-      std::fprintf(stderr, "[fig5] %s, %d procs...\n",
-                   cfg.machine.short_name.c_str(), np);
-      parmsg::SimTransport transport(cfg.machine.make_topology(np),
-                                     cfg.machine.costs);
-      beffio::BeffIoOptions opt;
-      opt.scheduled_time = t_minutes * 60.0;
-      opt.memory_per_node = cfg.machine.memory_per_proc;
-      opt.mpart_cap = cfg.mpart_cap;
-      opt.file_prefix = cfg.machine.short_name;
-      const auto r = beffio::run_beffio(transport, *cfg.machine.io, np, opt);
-      table.add_row({first ? cfg.machine.name : "", util::fmt(np),
-                     util::format_mbps(r.write().weighted_bandwidth(), 1),
-                     util::format_mbps(r.rewrite().weighted_bandwidth(), 1),
-                     util::format_mbps(r.read().weighted_bandwidth(), 1),
-                     util::format_mbps(r.b_eff_io, 1)});
-      if (r.b_eff_io > best) {
-        best = r.b_eff_io;
-        best_np = np;
-      }
-      first = false;
+  double best = 0.0;
+  int best_np = 0;
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const Job& job = sweep[i];
+    const auto& r = results[i];
+    if (job.first) {
+      best = 0.0;
+      best_np = 0;
     }
-    table.add_separator();
-    chart.add_bar(cfg.machine.name, best / (1024.0 * 1024.0),
-                  std::to_string(best_np) + " procs");
+    table.add_row({job.first ? job.config->machine.name : "",
+                   util::fmt(job.nprocs),
+                   util::format_mbps(r.write().weighted_bandwidth(), 1),
+                   util::format_mbps(r.rewrite().weighted_bandwidth(), 1),
+                   util::format_mbps(r.read().weighted_bandwidth(), 1),
+                   util::format_mbps(r.b_eff_io, 1)});
+    if (r.b_eff_io > best) {
+      best = r.b_eff_io;
+      best_np = job.nprocs;
+    }
+    if (i + 1 == sweep.size() || sweep[i + 1].first) {
+      table.add_separator();
+      chart.add_bar(job.config->machine.name, best / (1024.0 * 1024.0),
+                    std::to_string(best_np) + " procs");
+    }
   }
 
   std::cout << "Figure 5 data: b_eff_io for different numbers of processes\n"

@@ -7,6 +7,7 @@
 // Defaults are deliberately tiny: this container has one core, and the
 // full schedule would take minutes of wall time.
 #include <iostream>
+#include <memory>
 #include <thread>
 
 #include "core/beff/beff.hpp"
@@ -20,10 +21,17 @@ int main(int argc, char** argv) {
   std::int64_t procs = 2;
   std::int64_t lmax = 64 * 1024;
   std::int64_t looplength = 4;
-  util::Options options("realhost_beff: run b_eff on this host (threads)");
+  std::int64_t jobs = 1;
+  util::Options options(
+      "realhost_beff: Table 1's b_eff methodology on this host's real "
+      "threads (no paper table; a live counterpart to table1_beff)");
   options.add_int("procs", &procs, "thread ranks");
   options.add_int("lmax", &lmax, "maximum message size in bytes");
   options.add_int("looplength", &looplength, "starting looplength");
+  options.add_int("jobs", &jobs,
+                  "concurrent measurement cells; unlike the simulated benches,"
+                  " values > 1 overlap wall-clock timings on shared hardware"
+                  " and so perturb the (already noisy) numbers");
   try {
     if (!options.parse(argc, argv)) return 0;
   } catch (const std::exception& e) {
@@ -35,7 +43,6 @@ int main(int argc, char** argv) {
   std::cout << "host: " << hw << " hardware thread(s); running " << procs
             << " ranks over the thread transport\n";
 
-  parmsg::ThreadTransport transport(static_cast<int>(procs));
   beff::BeffOptions opt;
   opt.lmax_override = lmax;
   opt.memory_per_proc = lmax * 128;
@@ -43,7 +50,13 @@ int main(int argc, char** argv) {
   opt.dedupe_repetitions = true;     // keep the wall time small
   opt.start_looplength = static_cast<int>(looplength);
   opt.measure_analysis = false;
-  const auto r = beff::run_beff(transport, static_cast<int>(procs), opt);
+  opt.jobs = static_cast<int>(jobs);
+  const auto r = beff::run_beff(
+      [&]() -> std::unique_ptr<parmsg::Transport> {
+        return std::make_unique<parmsg::ThreadTransport>(
+            static_cast<int>(procs));
+      },
+      static_cast<int>(procs), opt);
 
   std::cout << "b_eff(host) = " << util::format_mbps(r.b_eff, 1)
             << " MByte/s over " << procs << " ranks ("

@@ -14,6 +14,7 @@
 #include "machines/machines.hpp"
 #include "parmsg/sim_transport.hpp"
 #include "util/options.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
@@ -24,6 +25,13 @@ using namespace balbench;
 struct Row {
   machines::MachineSpec machine;
   std::vector<int> proc_counts;
+};
+
+/// One (machine, process count) configuration of the sweep.
+struct Job {
+  const Row* row = nullptr;
+  int nprocs = 0;
+  bool first = false;  // first partition of its machine (gets analysis)
 };
 
 beff::BeffResult run_config(const machines::MachineSpec& m, int nprocs,
@@ -41,11 +49,14 @@ int main(int argc, char** argv) {
   bool quick = false;
   bool protocol = false;
   std::string only;
+  std::int64_t jobs = 1;
   util::Options options(
-      "table1_beff: reproduce Table 1 (effective bandwidth results)");
+      "table1_beff: reproduce Table 1 of the paper "
+      "(effective bandwidth results, simulated)");
   options.add_flag("quick", &quick, "skip the largest T3E configurations");
   options.add_flag("protocol", &protocol, "print the full b_eff protocol per run");
   options.add_string("machine", &only, "run a single machine (short name)");
+  options.add_jobs(&jobs, "the (machine, partition) sweep");
   try {
     if (!options.parse(argc, argv)) return 0;
   } catch (const std::exception& e) {
@@ -65,6 +76,26 @@ int main(int argc, char** argv) {
   rows.push_back({machines::hp_v9000(), {7}});
   rows.push_back({machines::sgi_sv1(), {15}});
 
+  // Flatten the sweep into independent jobs, run them through the
+  // scheduler (each in its own simulator), then render strictly in
+  // job order -- stdout is byte-identical for every --jobs value.
+  std::vector<Job> sweep;
+  for (const auto& row : rows) {
+    if (!only.empty() && row.machine.short_name != only) continue;
+    bool first = true;
+    for (int np : row.proc_counts) {
+      sweep.push_back({&row, np, first});
+      first = false;
+    }
+  }
+  const auto results = util::parallel_map<beff::BeffResult>(
+      static_cast<int>(jobs), sweep.size(), [&](std::size_t i) {
+        const Job& job = sweep[i];
+        std::fprintf(stderr, "[table1] %s, %d procs...\n",
+                     job.row->machine.name.c_str(), job.nprocs);
+        return run_config(job.row->machine, job.nprocs, /*analysis=*/job.first);
+      });
+
   util::Table table({"System", "number\nof pro-\ncessors", "b_eff\nMByte/s",
                      "b_eff\nper proc.\nMByte/s", "Lmax", "ping-\npong\nMByte/s",
                      "b_eff\nat Lmax\nMByte/s", "per proc.\nat Lmax\nMByte/s",
@@ -72,42 +103,36 @@ int main(int argc, char** argv) {
   bool section_dist = false;
   bool section_shared = false;
 
-  for (const auto& row : rows) {
-    if (!only.empty() && row.machine.short_name != only) continue;
-    if (!row.machine.shared_memory && !section_dist) {
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const Job& job = sweep[i];
+    const auto& r = results[i];
+    if (!job.row->machine.shared_memory && !section_dist) {
       table.add_section("Distributed memory systems");
       section_dist = true;
     }
-    if (row.machine.shared_memory && !section_shared) {
+    if (job.row->machine.shared_memory && !section_shared) {
       table.add_section("Shared memory systems");
       section_shared = true;
     }
-    bool first = true;
-    for (int np : row.proc_counts) {
-      std::fprintf(stderr, "[table1] %s, %d procs...\n",
-                   row.machine.name.c_str(), np);
-      const auto r = run_config(row.machine, np, /*analysis=*/first);
-      table.add_row({first ? row.machine.name : "", util::fmt(np),
-                     util::format_mbps(r.b_eff),
-                     util::format_mbps(r.per_proc()),
-                     util::format_bytes(r.lmax),
-                     first && r.analysis.pingpong_bw > 0
-                         ? util::format_mbps(r.analysis.pingpong_bw)
-                         : "",
-                     util::format_mbps(r.b_eff_at_lmax),
-                     util::format_mbps(r.per_proc_at_lmax()),
-                     util::format_mbps(r.per_proc_at_lmax_rings())});
-      if (first && (np >= 24)) {
-        // Coffee-cup statistic (paper Sec. 2.2): total memory over b_eff.
-        std::fprintf(stderr,
-                     "[table1]   total memory communicated in %s (coffee-cup)\n",
-                     util::format_seconds(
-                         r.seconds_for_total_memory(row.machine.memory_per_proc))
-                         .c_str());
-      }
-      if (protocol) std::cout << beff::protocol_report(r) << '\n';
-      first = false;
+    table.add_row({job.first ? job.row->machine.name : "", util::fmt(job.nprocs),
+                   util::format_mbps(r.b_eff),
+                   util::format_mbps(r.per_proc()),
+                   util::format_bytes(r.lmax),
+                   job.first && r.analysis.pingpong_bw > 0
+                       ? util::format_mbps(r.analysis.pingpong_bw)
+                       : "",
+                   util::format_mbps(r.b_eff_at_lmax),
+                   util::format_mbps(r.per_proc_at_lmax()),
+                   util::format_mbps(r.per_proc_at_lmax_rings())});
+    if (job.first && (job.nprocs >= 24)) {
+      // Coffee-cup statistic (paper Sec. 2.2): total memory over b_eff.
+      std::fprintf(stderr,
+                   "[table1]   total memory communicated in %s (coffee-cup)\n",
+                   util::format_seconds(r.seconds_for_total_memory(
+                                            job.row->machine.memory_per_proc))
+                       .c_str());
     }
+    if (protocol) std::cout << beff::protocol_report(r) << '\n';
   }
 
   std::cout << "Table 1. Effective Benchmark Results (simulated)\n";

@@ -12,6 +12,7 @@
 #include "machines/machines.hpp"
 #include "parmsg/sim_transport.hpp"
 #include "util/options.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
@@ -19,8 +20,12 @@ int main(int argc, char** argv) {
   using namespace balbench;
 
   bool quick = false;
-  util::Options options("topclusters_list: rank all systems by b_eff / b_eff_io");
+  std::int64_t jobs = 1;
+  util::Options options(
+      "topclusters_list: rank all systems by b_eff / b_eff_io "
+      "(paper Sec. 6 proposal)");
   options.add_flag("quick", &quick, "smaller partitions");
+  options.add_jobs(&jobs, "the per-machine sweep");
   try {
     if (!options.parse(argc, argv)) return 0;
   } catch (const std::exception& e) {
@@ -30,35 +35,42 @@ int main(int argc, char** argv) {
 
   struct Entry {
     std::string name;
-    int procs;
-    double beff;
-    double beffio;  // 0 when the machine has no I/O model
-    double balance;
+    int procs = 0;
+    double beff = 0.0;
+    double beffio = 0.0;  // 0 when the machine has no I/O model
+    double balance = 0.0;
   };
-  std::vector<Entry> entries;
 
+  std::vector<machines::MachineSpec> park;
   for (const auto& m : machines::all_machines()) {
     if (m.short_name == "sr8000rr") continue;  // same hardware as sr8000
-    const int np = std::min(m.max_procs, quick ? 16 : 64);
-    std::fprintf(stderr, "[topclusters] %s (%d procs)...\n", m.name.c_str(), np);
-    parmsg::SimTransport t(m.make_topology(np), m.costs);
-    beff::BeffOptions opt;
-    opt.memory_per_proc = m.memory_per_proc;
-    opt.measure_analysis = false;
-    const auto rb = beff::run_beff(t, np, opt);
-
-    double io_bw = 0.0;
-    if (m.io.has_value()) {
-      parmsg::SimTransport t2(m.make_topology(np), m.costs);
-      beffio::BeffIoOptions io_opt;
-      io_opt.scheduled_time = quick ? 60.0 : 300.0;
-      io_opt.memory_per_node = m.memory_per_proc;
-      io_opt.file_prefix = m.short_name;
-      io_bw = beffio::run_beffio(t2, *m.io, np, io_opt).b_eff_io;
-    }
-    entries.push_back({m.name, np, rb.b_eff, io_bw,
-                       rb.b_eff / (m.rmax_gflops_per_proc * 1e9 * np)});
+    park.push_back(m);
   }
+
+  auto entries = util::parallel_map<Entry>(
+      static_cast<int>(jobs), park.size(), [&](std::size_t i) {
+        const auto& m = park[i];
+        const int np = std::min(m.max_procs, quick ? 16 : 64);
+        std::fprintf(stderr, "[topclusters] %s (%d procs)...\n", m.name.c_str(),
+                     np);
+        parmsg::SimTransport t(m.make_topology(np), m.costs);
+        beff::BeffOptions opt;
+        opt.memory_per_proc = m.memory_per_proc;
+        opt.measure_analysis = false;
+        const auto rb = beff::run_beff(t, np, opt);
+
+        double io_bw = 0.0;
+        if (m.io.has_value()) {
+          parmsg::SimTransport t2(m.make_topology(np), m.costs);
+          beffio::BeffIoOptions io_opt;
+          io_opt.scheduled_time = quick ? 60.0 : 300.0;
+          io_opt.memory_per_node = m.memory_per_proc;
+          io_opt.file_prefix = m.short_name;
+          io_bw = beffio::run_beffio(t2, *m.io, np, io_opt).b_eff_io;
+        }
+        return Entry{m.name, np, rb.b_eff, io_bw,
+                     rb.b_eff / (m.rmax_gflops_per_proc * 1e9 * np)};
+      });
 
   std::sort(entries.begin(), entries.end(),
             [](const Entry& a, const Entry& b) { return a.beff > b.beff; });

@@ -15,6 +15,7 @@
 #include "machines/machines.hpp"
 #include "parmsg/sim_transport.hpp"
 #include "util/options.hpp"
+#include "util/parallel.hpp"
 #include "util/units.hpp"
 
 namespace {
@@ -36,11 +37,13 @@ int main(int argc, char** argv) {
   std::string b = "sr8000";
   std::int64_t procs = 24;
   std::string csv_dir;
+  std::int64_t jobs = 1;
   util::Options options("compare_machines: aligned b_eff comparison of two systems");
   options.add_string("a", &a, "first machine short name");
   options.add_string("b", &b, "second machine short name");
   options.add_int("procs", &procs, "process count (clamped per machine)");
   options.add_string("csv-dir", &csv_dir, "directory for full CSV protocols");
+  options.add_jobs(&jobs, "the two benchmark runs");
   try {
     if (!options.parse(argc, argv)) return 0;
   } catch (const std::exception& e) {
@@ -50,10 +53,15 @@ int main(int argc, char** argv) {
 
   const auto ma = machines::machine_by_name(a);
   const auto mb = machines::machine_by_name(b);
-  std::fprintf(stderr, "[compare] running %s...\n", ma.name.c_str());
-  const auto ra = run(ma, static_cast<int>(procs));
-  std::fprintf(stderr, "[compare] running %s...\n", mb.name.c_str());
-  const auto rb = run(mb, static_cast<int>(procs));
+  const std::vector<const machines::MachineSpec*> specs{&ma, &mb};
+  const auto results = util::parallel_map<beff::BeffResult>(
+      static_cast<int>(jobs), specs.size(), [&](std::size_t i) {
+        std::fprintf(stderr, "[compare] running %s...\n",
+                     specs[i]->name.c_str());
+        return run(*specs[i], static_cast<int>(procs));
+      });
+  const auto& ra = results[0];
+  const auto& rb = results[1];
 
   std::ostringstream sa;
   std::ostringstream sb;

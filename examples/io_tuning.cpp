@@ -17,6 +17,7 @@
 #include "machines/machines.hpp"
 #include "parmsg/sim_transport.hpp"
 #include "util/options.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
@@ -40,9 +41,11 @@ beffio::BeffIoResult run_variant(const machines::MachineSpec& m,
 int main(int argc, char** argv) {
   std::int64_t procs = 16;
   double t_minutes = 5.0;
+  std::int64_t jobs = 1;
   util::Options options("io_tuning: compare I/O subsystem variants with b_eff_io");
   options.add_int("procs", &procs, "number of processes");
   options.add_double("minutes", &t_minutes, "scheduled time T in minutes");
+  options.add_jobs(&jobs, "the variant sweep");
   try {
     if (!options.parse(argc, argv)) return 0;
   } catch (const std::exception& e) {
@@ -81,16 +84,21 @@ int main(int argc, char** argv) {
     variants.push_back({io.name, io});
   }
 
+  const auto results = util::parallel_map<beffio::BeffIoResult>(
+      static_cast<int>(jobs), variants.size(), [&](std::size_t i) {
+        std::fprintf(stderr, "[io_tuning] %s...\n", variants[i].name.c_str());
+        return run_variant(machine, variants[i].io, np, t_minutes * 60.0);
+      });
+
   util::Table table({"variant", "write\nMB/s", "rewrite\nMB/s", "read\nMB/s",
                      "b_eff_io\nMB/s", "vs baseline"});
-  double base = 0.0;
-  for (const auto& v : variants) {
-    std::fprintf(stderr, "[io_tuning] %s...\n", v.name.c_str());
-    const auto r = run_variant(machine, v.io, np, t_minutes * 60.0);
-    if (base == 0.0) base = r.b_eff_io;
+  const double base = results.empty() ? 0.0 : results.front().b_eff_io;
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const auto& r = results[i];
     char rel[32];
     std::snprintf(rel, sizeof rel, "%+.0f%%", (r.b_eff_io / base - 1.0) * 100.0);
-    table.add_row({v.name, util::format_mbps(r.write().weighted_bandwidth(), 1),
+    table.add_row({variants[i].name,
+                   util::format_mbps(r.write().weighted_bandwidth(), 1),
                    util::format_mbps(r.rewrite().weighted_bandwidth(), 1),
                    util::format_mbps(r.read().weighted_bandwidth(), 1),
                    util::format_mbps(r.b_eff_io, 1), rel});

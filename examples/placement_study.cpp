@@ -20,6 +20,7 @@
 #include "parmsg/sim_transport.hpp"
 #include "parmsg/thread_transport.hpp"
 #include "util/options.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
@@ -42,8 +43,10 @@ void ring_shift(parmsg::Comm& c, std::vector<int>& block) {
 
 int main(int argc, char** argv) {
   std::int64_t procs = 24;
+  std::int64_t jobs = 1;
   util::Options options("placement_study: SMP placement effects + real transport");
   options.add_int("procs", &procs, "number of processes (multiple of 8 ideal)");
+  options.add_jobs(&jobs, "the placement sweep");
   try {
     if (!options.parse(argc, argv)) return 0;
   } catch (const std::exception& e) {
@@ -55,17 +58,23 @@ int main(int argc, char** argv) {
   // --- Part 1: simulated placement comparison -------------------------
   std::cout << "Part 1: ring bandwidth vs process placement (SR 8000 model, "
             << np << " procs)\n\n";
+  const std::vector<net::Placement> placements{net::Placement::Sequential,
+                                               net::Placement::RoundRobin};
+  const auto results = util::parallel_map<beff::BeffResult>(
+      static_cast<int>(jobs), placements.size(), [&](std::size_t i) {
+        const auto m = machines::hitachi_sr8000(placements[i]);
+        parmsg::SimTransport transport(m.make_topology(np), m.costs);
+        beff::BeffOptions opt;
+        opt.memory_per_proc = m.memory_per_proc;
+        opt.measure_analysis = false;
+        return beff::run_beff(transport, np, opt);
+      });
   util::Table table({"placement", "b_eff\nMB/s", "per proc\nMB/s",
                      "per proc at Lmax\nring patterns"});
-  for (auto placement : {net::Placement::Sequential, net::Placement::RoundRobin}) {
-    const auto m = machines::hitachi_sr8000(placement);
-    parmsg::SimTransport transport(m.make_topology(np), m.costs);
-    beff::BeffOptions opt;
-    opt.memory_per_proc = m.memory_per_proc;
-    opt.measure_analysis = false;
-    const auto r = beff::run_beff(transport, np, opt);
-    table.add_row({placement == net::Placement::Sequential ? "sequential"
-                                                           : "round-robin",
+  for (std::size_t i = 0; i < placements.size(); ++i) {
+    const auto& r = results[i];
+    table.add_row({placements[i] == net::Placement::Sequential ? "sequential"
+                                                               : "round-robin",
                    util::format_mbps(r.b_eff),
                    util::format_mbps(r.per_proc(), 1),
                    util::format_mbps(r.per_proc_at_lmax_rings(), 1)});

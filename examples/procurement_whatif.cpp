@@ -17,6 +17,7 @@
 #include "parmsg/sim_transport.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/options.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
@@ -24,8 +25,10 @@ int main(int argc, char** argv) {
   using namespace balbench;
 
   std::int64_t procs = 64;
+  std::int64_t jobs = 1;
   util::Options options("procurement_whatif: sweep NIC bandwidth of an MPP");
   options.add_int("procs", &procs, "number of processes");
+  options.add_jobs(&jobs, "the NIC-bandwidth sweep");
   try {
     if (!options.parse(argc, argv)) return 0;
   } catch (const std::exception& e) {
@@ -35,40 +38,44 @@ int main(int argc, char** argv) {
   const int np = static_cast<int>(procs);
   const double rmax_flops = 0.675e9 * np;  // T3E-900 class compute
 
+  const std::vector<double> nic_mbs{165.0, 330.0, 660.0, 1320.0};
+  const auto results = util::parallel_map<beff::BeffResult>(
+      static_cast<int>(jobs), nic_mbs.size(), [&](std::size_t i) {
+        net::Torus3DParams p;
+        net::torus_dims_for(np, p.dims);
+        p.nic_bw = nic_mbs[i] * 1024 * 1024;
+        p.duplex_factor = 1.25;
+        p.link_bw = 360.0 * 1024 * 1024;  // the mesh is NOT upgraded
+        p.base_latency = 14e-6;           // neither is the software stack
+        parmsg::CommCosts costs;
+        costs.send_overhead = 2.5e-6;
+        costs.recv_overhead = 2.5e-6;
+        parmsg::SimTransport transport(net::make_torus3d(p), costs);
+
+        beff::BeffOptions opt;
+        opt.memory_per_proc = 128LL << 20;
+        return beff::run_beff(transport, np, opt);
+      });
+
   util::Table table({"NIC MB/s", "ping-pong\nMB/s", "b_eff\nMB/s",
                      "b_eff/proc\nMB/s", "balance\nbytes/flop",
                      "effective gain"});
-  double base_beff = 0.0;
+  const double base_beff = results.empty() ? 0.0 : results.front().b_eff;
 
   std::vector<std::string> labels;
   util::Series eff_series{"b_eff/proc", '*', {}};
   util::Series pp_series{"ping-pong", 'o', {}};
 
-  for (double nic_mb : {165.0, 330.0, 660.0, 1320.0}) {
-    net::Torus3DParams p;
-    net::torus_dims_for(np, p.dims);
-    p.nic_bw = nic_mb * 1024 * 1024;
-    p.duplex_factor = 1.25;
-    p.link_bw = 360.0 * 1024 * 1024;  // the mesh is NOT upgraded
-    p.base_latency = 14e-6;           // neither is the software stack
-    parmsg::CommCosts costs;
-    costs.send_overhead = 2.5e-6;
-    costs.recv_overhead = 2.5e-6;
-    parmsg::SimTransport transport(net::make_torus3d(p), costs);
-
-    beff::BeffOptions opt;
-    opt.memory_per_proc = 128LL << 20;
-    const auto r = beff::run_beff(transport, np, opt);
-    if (base_beff == 0.0) base_beff = r.b_eff;
-
+  for (std::size_t i = 0; i < nic_mbs.size(); ++i) {
+    const auto& r = results[i];
     char gain[32];
     std::snprintf(gain, sizeof gain, "%.2fx", r.b_eff / base_beff);
-    table.add_row({util::fmt(nic_mb, 0),
+    table.add_row({util::fmt(nic_mbs[i], 0),
                    util::format_mbps(r.analysis.pingpong_bw),
                    util::format_mbps(r.b_eff),
                    util::format_mbps(r.per_proc(), 1),
                    util::fmt(r.b_eff / rmax_flops, 3), gain});
-    labels.push_back(util::fmt(nic_mb, 0));
+    labels.push_back(util::fmt(nic_mbs[i], 0));
     eff_series.values.push_back(r.per_proc() / (1024.0 * 1024.0));
     pp_series.values.push_back(r.analysis.pingpong_bw / (1024.0 * 1024.0));
   }

@@ -6,9 +6,11 @@
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "core/beff/sizes.hpp"
 #include "parmsg/cart.hpp"
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -100,44 +102,34 @@ int adapt_looplength(int looplength, double loop_time, const BeffOptions& opt) {
   return std::clamp(next, 1, opt.start_looplength);
 }
 
-/// Measures one pattern across all sizes and methods; fills `out` on
-/// rank 0 (every rank computes identical values via allreduce_max).
-void measure_pattern(parmsg::Comm& c, const CommPattern& pat,
-                     const std::vector<std::int64_t>& sizes,
-                     const BeffOptions& opt, PatternMeasurement* out) {
+/// One measurement cell: a single (pattern, method) pair swept across
+/// all message sizes (the looplength adaptation chains through the
+/// sizes, so the size sweep stays inside the cell).  Fills `bw` and
+/// `looplen` (pre-sized to sizes.size()) on rank 0; every rank
+/// computes identical values via allreduce_max.
+void measure_pattern_method(parmsg::Comm& c, const CommPattern& pat,
+                            const std::vector<std::int64_t>& sizes,
+                            const BeffOptions& opt, Method method,
+                            std::vector<double>* bw_out,
+                            std::vector<int>* looplen_out) {
   const CommPattern* phase[] = {&pat};
   const int reps = opt.dedupe_repetitions ? 1 : opt.repetitions;
-  for (int m = 0; m < kNumMethods; ++m) {
-    int looplength = opt.start_looplength;
-    for (std::size_t si = 0; si < sizes.size(); ++si) {
-      const std::int64_t L = sizes[si];
-      double min_time = std::numeric_limits<double>::max();
-      for (int rep = 0; rep < reps; ++rep) {
-        min_time = std::min(
-            min_time, measure_loop(c, phase, L, static_cast<Method>(m),
-                                   looplength, opt.fast_forward));
-      }
-      const double bw = static_cast<double>(L) *
-                        static_cast<double>(pat.total_messages()) * looplength /
-                        min_time;
-      if (out != nullptr) {
-        auto& sm = out->sizes[si];
-        sm.size = L;
-        sm.method_bw[static_cast<std::size_t>(m)] = bw;
-        if (bw > sm.best_bw) {
-          sm.best_bw = bw;
-          sm.looplength = looplength;
-        }
-      }
-      looplength = adapt_looplength(looplength, min_time, opt);
+  int looplength = opt.start_looplength;
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    const std::int64_t L = sizes[si];
+    double min_time = std::numeric_limits<double>::max();
+    for (int rep = 0; rep < reps; ++rep) {
+      min_time = std::min(min_time, measure_loop(c, phase, L, method,
+                                                 looplength, opt.fast_forward));
     }
-  }
-  if (out != nullptr) {
-    std::vector<double> best;
-    best.reserve(out->sizes.size());
-    for (const auto& sm : out->sizes) best.push_back(sm.best_bw);
-    out->avg_bw = util::sum(best) / static_cast<double>(kNumMessageSizes);
-    out->bw_at_lmax = out->sizes.back().best_bw;
+    const double bw = static_cast<double>(L) *
+                      static_cast<double>(pat.total_messages()) * looplength /
+                      min_time;
+    if (bw_out != nullptr) {
+      (*bw_out)[si] = bw;
+      (*looplen_out)[si] = looplength;
+    }
+    looplength = adapt_looplength(looplength, min_time, opt);
   }
 }
 
@@ -216,77 +208,233 @@ CommPattern cart_dim_pattern(const std::vector<int>& dims, int dim, int nprocs) 
   return pat;
 }
 
-void measure_analysis(parmsg::Comm& c, int nprocs, std::int64_t lmax,
-                      const BeffOptions& opt, AnalysisResults* out) {
-  // Ping-pong between the first two MPI processes.
-  {
-    c.barrier();
-    const int looplength = 8;
-    double local = 0.0;
-    if (c.rank() == 0) {
+/// Ping-pong between the first two MPI processes at L_max.
+void measure_pingpong(parmsg::Comm& c, std::int64_t lmax, double* bw_out) {
+  c.barrier();
+  const int looplength = 8;
+  double local = 0.0;
+  if (c.rank() == 0) {
+    const double t0 = c.wtime();
+    for (int i = 0; i < looplength; ++i) {
+      c.send(1, nullptr, static_cast<std::size_t>(lmax), 9);
+      c.recv(1, nullptr, static_cast<std::size_t>(lmax), 9);
+    }
+    local = c.wtime() - t0;
+  } else if (c.rank() == 1) {
+    for (int i = 0; i < looplength; ++i) {
+      c.recv(0, nullptr, static_cast<std::size_t>(lmax), 9);
+      c.send(0, nullptr, static_cast<std::size_t>(lmax), 9);
+    }
+  }
+  const double t = c.allreduce_max(local);
+  // One message of L per half round trip.
+  const double bw = static_cast<double>(lmax) * 2.0 * looplength / t;
+  if (bw_out != nullptr) *bw_out = bw;
+}
+
+/// Result slot of one measurement cell.  Pattern cells fill `bw` and
+/// `looplength` (one entry per message size); analysis cells fill
+/// `analysis_bw`.  Every cell records its virtual duration.
+struct CellOutput {
+  std::vector<double> bw;
+  std::vector<int> looplength;
+  double analysis_bw = 0.0;
+  double seconds = 0.0;
+};
+
+using CellBody = std::function<void(parmsg::Comm&, CellOutput*)>;
+
+/// The full b_eff measurement space as a flat table of independent
+/// cells.  Construction builds every cell body and pre-sizes one
+/// result slot per cell; run_cell() executes one cell as its own
+/// transport session (any host thread, any order); finish() reduces
+/// the slots in index order.  Because each cell owns its engine and
+/// the reduction order is fixed, the result is byte-identical no
+/// matter how cells were scheduled.
+class CellSweep {
+ public:
+  CellSweep(int nprocs, const BeffOptions& opt)
+      : nprocs_(nprocs), options_(opt) {
+    result_.nprocs = nprocs;
+    result_.lmax = opt.lmax_override > 0 ? opt.lmax_override
+                                         : lmax_for_memory(opt.memory_per_proc);
+    result_.sizes = message_sizes(result_.lmax);
+
+    patterns_ = averaging_patterns(nprocs, opt.random_seed);
+    result_.patterns.resize(patterns_.size());
+    for (std::size_t i = 0; i < patterns_.size(); ++i) {
+      result_.patterns[i].name = patterns_[i].name;
+      result_.patterns[i].is_random = patterns_[i].is_random;
+      result_.patterns[i].sizes.resize(result_.sizes.size());
+    }
+
+    // Cells [0, 3*patterns): one per (pattern, method); the size sweep
+    // stays inside the cell because looplength adaptation chains
+    // through the sizes.
+    for (std::size_t pi = 0; pi < patterns_.size(); ++pi) {
+      for (int m = 0; m < kNumMethods; ++m) {
+        cells_.push_back([this, pi, m](parmsg::Comm& c, CellOutput* out) {
+          measure_pattern_method(c, patterns_[pi], result_.sizes, options_,
+                                 static_cast<Method>(m),
+                                 out != nullptr ? &out->bw : nullptr,
+                                 out != nullptr ? &out->looplength : nullptr);
+        });
+      }
+    }
+
+    analysis_base_ = cells_.size();
+    if (options_.measure_analysis) {
+      worst_cycle_ = worst_cycle_pattern(nprocs);
+      bisect_paired_ =
+          pairing_pattern(nprocs, /*interleaved=*/false, "bisection-paired");
+      bisect_interleaved_ =
+          pairing_pattern(nprocs, /*interleaved=*/true, "bisection-interleaved");
+      cart2d_dims_ = parmsg::dims_create(nprocs, 2);
+      cart3d_dims_ = parmsg::dims_create(nprocs, 3);
+      for (int d = 0; d < 2; ++d) {
+        cart2d_pats_.push_back(cart_dim_pattern(cart2d_dims_, d, nprocs));
+      }
+      for (int d = 0; d < 3; ++d) {
+        cart3d_pats_.push_back(cart_dim_pattern(cart3d_dims_, d, nprocs));
+      }
+
+      cells_.push_back([this](parmsg::Comm& c, CellOutput* out) {
+        measure_pingpong(c, result_.lmax,
+                         out != nullptr ? &out->analysis_bw : nullptr);
+      });
+      add_analysis_cell({&worst_cycle_});
+      add_analysis_cell({&bisect_paired_});
+      add_analysis_cell({&bisect_interleaved_});
+      for (const auto& p : cart2d_pats_) add_analysis_cell({&p});
+      add_analysis_cell({&cart2d_pats_[0], &cart2d_pats_[1]});
+      for (const auto& p : cart3d_pats_) add_analysis_cell({&p});
+      add_analysis_cell({&cart3d_pats_[0], &cart3d_pats_[1], &cart3d_pats_[2]});
+    }
+
+    slots_.resize(cells_.size());
+    for (std::size_t i = 0; i < analysis_base_; ++i) {
+      slots_[i].bw.resize(result_.sizes.size());
+      slots_[i].looplength.resize(result_.sizes.size());
+    }
+  }
+
+  CellSweep(const CellSweep&) = delete;  // cell bodies capture `this`
+
+  [[nodiscard]] std::size_t num_cells() const { return cells_.size(); }
+
+  /// Executes cell `i` as one fresh session of `transport`.  Safe to
+  /// call from concurrent threads as long as each thread uses its own
+  /// transport and no cell id is run twice.
+  void run_cell(std::size_t i, parmsg::Transport& transport) {
+    CellOutput& slot = slots_[i];
+    const CellBody& body = cells_[i];
+    transport.run(nprocs_, [&](parmsg::Comm& c) {
+      const bool is_root = c.rank() == 0;
       const double t0 = c.wtime();
-      for (int i = 0; i < looplength; ++i) {
-        c.send(1, nullptr, static_cast<std::size_t>(lmax), 9);
-        c.recv(1, nullptr, static_cast<std::size_t>(lmax), 9);
-      }
-      local = c.wtime() - t0;
-    } else if (c.rank() == 1) {
-      for (int i = 0; i < looplength; ++i) {
-        c.recv(0, nullptr, static_cast<std::size_t>(lmax), 9);
-        c.send(0, nullptr, static_cast<std::size_t>(lmax), 9);
-      }
-    }
-    const double t = c.allreduce_max(local);
-    // One message of L per half round trip.
-    const double bw = static_cast<double>(lmax) * 2.0 * looplength / t;
-    if (out != nullptr) out->pingpong_bw = bw;
+      body(c, is_root ? &slot : nullptr);
+      if (is_root) slot.seconds = c.wtime() - t0;
+    });
   }
 
-  {
-    const auto pat = worst_cycle_pattern(nprocs);
-    const CommPattern* ph[] = {&pat};
-    const double bw = measure_analysis_pattern(c, ph, lmax, opt);
-    if (out != nullptr) out->worst_cycle_bw = bw;
-  }
-  {
-    const auto pat = pairing_pattern(nprocs, /*interleaved=*/false, "bisection-paired");
-    const CommPattern* ph[] = {&pat};
-    const double bw = measure_analysis_pattern(c, ph, lmax, opt);
-    if (out != nullptr) out->bisection_paired_bw = bw;
-  }
-  {
-    const auto pat = pairing_pattern(nprocs, /*interleaved=*/true, "bisection-interleaved");
-    const CommPattern* ph[] = {&pat};
-    const double bw = measure_analysis_pattern(c, ph, lmax, opt);
-    if (out != nullptr) out->bisection_interleaved_bw = bw;
+  /// Ordered reduction over the slots (paper Sec. 4 aggregation).
+  /// Strictly index-ordered so floating-point results cannot depend on
+  /// the execution schedule.
+  BeffResult finish() {
+    for (std::size_t pi = 0; pi < patterns_.size(); ++pi) {
+      auto& pm = result_.patterns[pi];
+      for (std::size_t si = 0; si < result_.sizes.size(); ++si) {
+        auto& sm = pm.sizes[si];
+        sm.size = result_.sizes[si];
+        for (int m = 0; m < kNumMethods; ++m) {
+          const CellOutput& cell =
+              slots_[pi * static_cast<std::size_t>(kNumMethods) +
+                     static_cast<std::size_t>(m)];
+          const double bw = cell.bw[si];
+          sm.method_bw[static_cast<std::size_t>(m)] = bw;
+          if (bw > sm.best_bw) {
+            sm.best_bw = bw;
+            sm.looplength = cell.looplength[si];
+          }
+        }
+      }
+      std::vector<double> best;
+      best.reserve(pm.sizes.size());
+      for (const auto& sm : pm.sizes) best.push_back(sm.best_bw);
+      pm.avg_bw = util::sum(best) / static_cast<double>(kNumMessageSizes);
+      pm.bw_at_lmax = pm.sizes.back().best_bw;
+    }
+
+    if (options_.measure_analysis) {
+      auto& a = result_.analysis;
+      std::size_t id = analysis_base_;
+      a.pingpong_bw = slots_[id++].analysis_bw;
+      a.worst_cycle_bw = slots_[id++].analysis_bw;
+      a.bisection_paired_bw = slots_[id++].analysis_bw;
+      a.bisection_interleaved_bw = slots_[id++].analysis_bw;
+      a.cart2d_dims = cart2d_dims_;
+      for (std::size_t d = 0; d < cart2d_pats_.size(); ++d) {
+        a.cart2d_per_dim_bw.push_back(slots_[id++].analysis_bw);
+      }
+      a.cart2d_combined_bw = slots_[id++].analysis_bw;
+      a.cart3d_dims = cart3d_dims_;
+      for (std::size_t d = 0; d < cart3d_pats_.size(); ++d) {
+        a.cart3d_per_dim_bw.push_back(slots_[id++].analysis_bw);
+      }
+      a.cart3d_combined_bw = slots_[id++].analysis_bw;
+    }
+
+    double total_seconds = 0.0;
+    for (const auto& s : slots_) total_seconds += s.seconds;
+    result_.benchmark_seconds = total_seconds;
+
+    std::vector<double> ring_avgs;
+    std::vector<double> random_avgs;
+    std::vector<double> ring_lmax;
+    std::vector<double> random_lmax;
+    for (const auto& pm : result_.patterns) {
+      (pm.is_random ? random_avgs : ring_avgs).push_back(pm.avg_bw);
+      (pm.is_random ? random_lmax : ring_lmax).push_back(pm.bw_at_lmax);
+    }
+    result_.rings_logavg = util::logavg(ring_avgs);
+    result_.random_logavg = util::logavg(random_avgs);
+    result_.b_eff = util::logavg2(result_.rings_logavg, result_.random_logavg);
+    result_.rings_logavg_at_lmax = util::logavg(ring_lmax);
+    result_.random_logavg_at_lmax = util::logavg(random_lmax);
+    result_.b_eff_at_lmax = util::logavg2(result_.rings_logavg_at_lmax,
+                                          result_.random_logavg_at_lmax);
+    return std::move(result_);
   }
 
-  for (int ndims = 2; ndims <= 3; ++ndims) {
-    const auto dims = parmsg::dims_create(nprocs, ndims);
-    std::vector<CommPattern> dim_pats;
-    dim_pats.reserve(dims.size());
-    for (int d = 0; d < ndims; ++d) {
-      dim_pats.push_back(cart_dim_pattern(dims, d, nprocs));
-    }
-    std::vector<double> per_dim;
-    for (int d = 0; d < ndims; ++d) {
-      const CommPattern* ph[] = {&dim_pats[static_cast<std::size_t>(d)]};
-      per_dim.push_back(measure_analysis_pattern(c, ph, lmax, opt));
-    }
-    std::vector<const CommPattern*> all;
-    for (const auto& p : dim_pats) all.push_back(&p);
-    const double combined = measure_analysis_pattern(c, all, lmax, opt);
-    if (out != nullptr) {
-      if (ndims == 2) {
-        out->cart2d_dims = dims;
-        out->cart2d_per_dim_bw = per_dim;
-        out->cart2d_combined_bw = combined;
-      } else {
-        out->cart3d_dims = dims;
-        out->cart3d_per_dim_bw = per_dim;
-        out->cart3d_combined_bw = combined;
-      }
-    }
+ private:
+  void add_analysis_cell(std::vector<const CommPattern*> phases) {
+    cells_.push_back(
+        [this, phases = std::move(phases)](parmsg::Comm& c, CellOutput* out) {
+          const double bw =
+              measure_analysis_pattern(c, phases, result_.lmax, options_);
+          if (out != nullptr) out->analysis_bw = bw;
+        });
+  }
+
+  int nprocs_;
+  BeffOptions options_;
+  BeffResult result_;
+  std::vector<CommPattern> patterns_;
+  CommPattern worst_cycle_;
+  CommPattern bisect_paired_;
+  CommPattern bisect_interleaved_;
+  std::vector<int> cart2d_dims_;
+  std::vector<int> cart3d_dims_;
+  std::vector<CommPattern> cart2d_pats_;
+  std::vector<CommPattern> cart3d_pats_;
+  std::size_t analysis_base_ = 0;
+  std::vector<CellBody> cells_;
+  std::vector<CellOutput> slots_;
+};
+
+void validate_nprocs(int nprocs, int max_processes) {
+  if (nprocs < 2) throw std::invalid_argument("run_beff: need at least 2 processes");
+  if (nprocs > max_processes) {
+    throw std::invalid_argument("run_beff: nprocs exceeds transport capacity");
   }
 }
 
@@ -294,57 +442,30 @@ void measure_analysis(parmsg::Comm& c, int nprocs, std::int64_t lmax,
 
 BeffResult run_beff(parmsg::Transport& transport, int nprocs,
                     const BeffOptions& options) {
-  if (nprocs < 2) throw std::invalid_argument("run_beff: need at least 2 processes");
-  if (nprocs > transport.max_processes()) {
-    throw std::invalid_argument("run_beff: nprocs exceeds transport capacity");
+  validate_nprocs(nprocs, transport.max_processes());
+  CellSweep sweep(nprocs, options);
+  for (std::size_t i = 0; i < sweep.num_cells(); ++i) {
+    sweep.run_cell(i, transport);
   }
+  return sweep.finish();
+}
 
-  BeffResult result;
-  result.nprocs = nprocs;
-  result.lmax = options.lmax_override > 0
-                    ? options.lmax_override
-                    : lmax_for_memory(options.memory_per_proc);
-  result.sizes = message_sizes(result.lmax);
-
-  const auto patterns = averaging_patterns(nprocs, options.random_seed);
-  result.patterns.resize(patterns.size());
-  for (std::size_t i = 0; i < patterns.size(); ++i) {
-    result.patterns[i].name = patterns[i].name;
-    result.patterns[i].is_random = patterns[i].is_random;
-    result.patterns[i].sizes.resize(result.sizes.size());
+BeffResult run_beff(const TransportFactory& make_transport, int nprocs,
+                    const BeffOptions& options) {
+  const int jobs = util::resolve_jobs(options.jobs);
+  if (jobs <= 1) {
+    auto transport = make_transport();
+    return run_beff(*transport, nprocs, options);
   }
-
-  transport.run(nprocs, [&](parmsg::Comm& c) {
-    const bool is_root = c.rank() == 0;
-    const double t_begin = c.wtime();
-    for (std::size_t i = 0; i < patterns.size(); ++i) {
-      measure_pattern(c, patterns[i], result.sizes, options,
-                      is_root ? &result.patterns[i] : nullptr);
-    }
-    if (options.measure_analysis) {
-      measure_analysis(c, nprocs, result.lmax, options,
-                       is_root ? &result.analysis : nullptr);
-    }
-    if (is_root) result.benchmark_seconds = c.wtime() - t_begin;
+  auto probe = make_transport();
+  validate_nprocs(nprocs, probe->max_processes());
+  probe.reset();
+  CellSweep sweep(nprocs, options);
+  util::parallel_for(jobs, sweep.num_cells(), [&](std::size_t i) {
+    auto transport = make_transport();
+    sweep.run_cell(i, *transport);
   });
-
-  // --- Aggregation (paper Sec. 4). ---
-  std::vector<double> ring_avgs;
-  std::vector<double> random_avgs;
-  std::vector<double> ring_lmax;
-  std::vector<double> random_lmax;
-  for (const auto& pm : result.patterns) {
-    (pm.is_random ? random_avgs : ring_avgs).push_back(pm.avg_bw);
-    (pm.is_random ? random_lmax : ring_lmax).push_back(pm.bw_at_lmax);
-  }
-  result.rings_logavg = util::logavg(ring_avgs);
-  result.random_logavg = util::logavg(random_avgs);
-  result.b_eff = util::logavg2(result.rings_logavg, result.random_logavg);
-  result.rings_logavg_at_lmax = util::logavg(ring_lmax);
-  result.random_logavg_at_lmax = util::logavg(random_lmax);
-  result.b_eff_at_lmax =
-      util::logavg2(result.rings_logavg_at_lmax, result.random_logavg_at_lmax);
-  return result;
+  return sweep.finish();
 }
 
 std::string protocol_report(const BeffResult& r) {

@@ -17,10 +17,23 @@
 // either transport.  On the (deterministic) simulation transport,
 // loops are fast-forwarded: the body executes once and virtual time
 // advances by the remaining iterations -- see DESIGN.md Sec. 6.
+//
+// Execution model: the measurement space decomposes into independent
+// *cells* -- one per (pattern, method) with the 21 sizes swept inside
+// (the looplength adaptation chains through the sizes), plus one per
+// analysis pattern.  Every cell runs as its own transport session with
+// its own simt::Engine, so cells share no simulator state and may run
+// on concurrent host threads (BeffOptions::jobs with the factory
+// overload).  Results land in slots indexed by cell id and are reduced
+// in index order, which makes every reported number byte-identical for
+// every jobs value -- see DESIGN.md "Determinism under parallel
+// execution".
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -54,6 +67,11 @@ struct BeffOptions {
   /// Also measure the analysis-only patterns (ping-pong, worst-case
   /// cycle, bisections, Cartesian halos).
   bool measure_analysis = true;
+
+  /// Host worker threads for the cell sweep (factory overload only;
+  /// the single-transport overload is always serial).  <= 0 means
+  /// hardware concurrency.  Any value produces byte-identical results.
+  int jobs = 1;
 };
 
 /// Bandwidth of one pattern at one message size.
@@ -116,8 +134,21 @@ struct BeffResult {
   }
 };
 
+/// Makes one independent transport instance per measurement cell.
+/// Must be callable from concurrent threads; each returned transport
+/// is used by exactly one thread.
+using TransportFactory = std::function<std::unique_ptr<parmsg::Transport>()>;
+
 /// Run the full benchmark on `nprocs` processes of `transport`.
+/// Executes the measurement cells serially on the given transport
+/// (one session per cell); `options.jobs` is ignored.
 BeffResult run_beff(parmsg::Transport& transport, int nprocs,
+                    const BeffOptions& options);
+
+/// Run the full benchmark with `options.jobs` host threads; each cell
+/// constructs its own transport via `make_transport`.  Byte-identical
+/// to the serial overload for every jobs value.
+BeffResult run_beff(const TransportFactory& make_transport, int nprocs,
                     const BeffOptions& options);
 
 /// Detailed protocol report ("all measured patterns are reported in the

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "pario/file.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -38,7 +39,10 @@ double AccessMethodResult::weighted_bandwidth() const {
 
 namespace {
 
-/// Per-rank driver for one b_eff_io run.
+/// Per-rank driver for one b_eff_io measurement chain.  A chain is a
+/// dependency-closed subset of the (access method, pattern type)
+/// space; the chain runner calls measure_termination_cost() once per
+/// session, then run_type()/run_random_extension() in chain order.
 class Driver {
  public:
   Driver(parmsg::Comm& c, pario::IoContext& ctx, const BeffIoOptions& opt,
@@ -46,24 +50,15 @@ class Driver {
       : c_(c), ctx_(ctx), opt_(opt), table_(table), out_(out),
         root_(c.rank() == 0) {}
 
-  void run() {
-    measure_termination_cost();
-    const double t_begin = c_.wtime();
-    for (int m = 0; m < kNumAccessMethods; ++m) {
-      const auto method = static_cast<AccessMethod>(m);
-      for (int t = 0; t < kNumPatternTypes; ++t) {
-        run_type(method, static_cast<PatternType>(t));
-      }
-    }
-    if (opt_.include_random_type) {
-      for (int m = 0; m < kNumAccessMethods; ++m) {
-        run_random_extension(static_cast<AccessMethod>(m));
-      }
-    }
-    if (root_ && out_ != nullptr) {
-      out_->benchmark_seconds = c_.wtime() - t_begin;
-      out_->segment_bytes = segment_bytes_;
-    }
+  /// L_SEG fixed by the initial-write pass of type 3 (paper Sec. 5.4).
+  [[nodiscard]] std::int64_t segment_bytes() const { return segment_bytes_; }
+
+  void measure_termination_cost() {
+    // Warm-up plus a timed round.
+    termination_check(false);
+    const double t0 = c_.wtime();
+    termination_check(false);
+    t_check_ = c_.wtime() - t0;
   }
 
   // ---- Sec. 6 extension: random access patterns ----------------------
@@ -126,14 +121,6 @@ class Driver {
     return flag != 0;
   }
 
-  void measure_termination_cost() {
-    // Warm-up plus a timed round.
-    termination_check(false);
-    const double t0 = c_.wtime();
-    termination_check(false);
-    t_check_ = c_.wtime() - t0;
-  }
-
   // ---- time-driven pattern loop --------------------------------------
   // `do_calls(k)` performs k back-to-back I/O calls and returns the
   // bytes moved per rank; it may clamp k (file wrap) via max_calls.
@@ -188,6 +175,7 @@ class Driver {
   }
 
   // ---- one pattern type under one access method ----------------------
+ public:
   void run_type(AccessMethod method, PatternType type) {
     const auto patterns = patterns_of_type(table_, type);
     const int sum_u = total_time_units(table_);
@@ -273,6 +261,7 @@ class Driver {
     }
   }
 
+ private:
   pario::File open_for_type(PatternType type, pario::OpenMode mode) {
     const std::string base = opt_.file_prefix + "_t" +
                              std::to_string(static_cast<int>(type));
@@ -463,30 +452,33 @@ class Driver {
   std::int64_t segment_bytes_ = 0;
 };
 
-}  // namespace
+/// Per-chain outputs that would race if chains wrote them into the
+/// shared result directly; reduced in chain order by finish_beffio.
+struct ChainOutput {
+  double seconds = 0.0;
+  pfsim::FileSystem::Stats stats;
+};
 
-BeffIoResult run_beffio(parmsg::SimTransport& transport,
-                        const pfsim::IoSystemConfig& io_config, int nprocs,
-                        const BeffIoOptions& options) {
-  if (nprocs < 1 || nprocs > transport.max_processes()) {
-    throw std::invalid_argument("run_beffio: bad process count");
-  }
-  if (options.scheduled_time <= 0.0) {
-    throw std::invalid_argument("run_beffio: scheduled_time must be > 0");
-  }
+/// The dependency-closed measurement chains.  Chains 0/1 cover one
+/// file each (scatter, shared); chain 2 keeps the separate/segmented
+/// types together because types 3/4 take their repeat counts (and
+/// L_SEG) from type 2 of the same access method; chain 3 is the
+/// Sec. 6 random extension.  Within a chain the access methods run in
+/// order InitialWrite, Rewrite, Read so rewrite/read see the files the
+/// initial write created.  Chains share no files and no simulator
+/// state, so they may run concurrently.
+constexpr int kNumChains = 4;
 
-  BeffIoResult result;
-  result.nprocs = nprocs;
-  result.scheduled_time = options.scheduled_time;
-  result.mpart = mpart_for_memory(options.memory_per_node);
-  if (options.mpart_cap > 0) {
-    result.mpart = std::min(result.mpart, options.mpart_cap);
-  }
-  const auto table = pattern_table(result.mpart);
-  for (int m = 0; m < kNumAccessMethods; ++m) {
-    result.access[static_cast<std::size_t>(m)].method = static_cast<AccessMethod>(m);
-  }
-
+/// Executes chain `chain` as one fresh session of `transport` with its
+/// own engine and file system.  Chains write disjoint slots of
+/// `result` (chain 0 -> types[0], chain 1 -> types[1], chain 2 ->
+/// types[2..4] + segment_bytes, chain 3 -> random_extension), so
+/// concurrent chains never touch the same memory.
+void run_chain(parmsg::SimTransport& transport,
+               const pfsim::IoSystemConfig& io_config, int nprocs,
+               const BeffIoOptions& options,
+               const std::vector<IoPattern>& table, int chain,
+               BeffIoResult* result, ChainOutput* out) {
   std::unique_ptr<pario::IoContext> ctx;
   transport.run_with_setup(
       nprocs,
@@ -494,18 +486,124 @@ BeffIoResult run_beffio(parmsg::SimTransport& transport,
         ctx = std::make_unique<pario::IoContext>(engine, io_config, nprocs);
       },
       [&](parmsg::Comm& c) {
-        Driver driver(c, *ctx, options, table,
-                      c.rank() == 0 ? &result : nullptr);
-        driver.run();
+        const bool root = c.rank() == 0;
+        Driver driver(c, *ctx, options, table, root ? result : nullptr);
+        driver.measure_termination_cost();
+        const double t_begin = c.wtime();
+        for (int m = 0; m < kNumAccessMethods; ++m) {
+          const auto method = static_cast<AccessMethod>(m);
+          switch (chain) {
+            case 0:
+              driver.run_type(method, PatternType::ScatterCollective);
+              break;
+            case 1:
+              driver.run_type(method, PatternType::SharedCollective);
+              break;
+            case 2:
+              driver.run_type(method, PatternType::SeparateFiles);
+              driver.run_type(method, PatternType::SegmentedIndividual);
+              driver.run_type(method, PatternType::SegmentedCollective);
+              break;
+            case 3:
+              driver.run_random_extension(method);
+              break;
+          }
+        }
+        if (root) {
+          out->seconds = c.wtime() - t_begin;
+          if (chain == 2 && result != nullptr) {
+            result->segment_bytes = driver.segment_bytes();
+          }
+        }
       });
+  out->stats = ctx->fs().stats();
+}
 
-  result.fs_stats = ctx->fs().stats();
+/// Ordered reduction over the chain outputs plus the paper Sec. 5.1
+/// aggregation.  Strictly chain-ordered so floating-point sums cannot
+/// depend on the execution schedule.
+void finish_beffio(BeffIoResult* result, const std::vector<ChainOutput>& outs) {
+  for (const auto& o : outs) {
+    result->benchmark_seconds += o.seconds;
+    result->fs_stats.requests += o.stats.requests;
+    result->fs_stats.bytes_written += o.stats.bytes_written;
+    result->fs_stats.bytes_read += o.stats.bytes_read;
+    result->fs_stats.read_cache_hits += o.stats.read_cache_hits;
+    result->fs_stats.read_cache_misses += o.stats.read_cache_misses;
+    result->fs_stats.rmw_chunks += o.stats.rmw_chunks;
+    result->fs_stats.seeks += o.stats.seeks;
+  }
+  const double w = result->write().weighted_bandwidth();
+  const double rw = result->rewrite().weighted_bandwidth();
+  const double r = result->read().weighted_bandwidth();
+  result->b_eff_io = 0.25 * w + 0.25 * rw + 0.5 * r;
+}
 
-  // Final aggregation (paper Sec. 5.1).
-  const double w = result.write().weighted_bandwidth();
-  const double rw = result.rewrite().weighted_bandwidth();
-  const double r = result.read().weighted_bandwidth();
-  result.b_eff_io = 0.25 * w + 0.25 * rw + 0.5 * r;
+BeffIoResult make_result_header(int nprocs, const BeffIoOptions& options) {
+  if (options.scheduled_time <= 0.0) {
+    throw std::invalid_argument("run_beffio: scheduled_time must be > 0");
+  }
+  BeffIoResult result;
+  result.nprocs = nprocs;
+  result.scheduled_time = options.scheduled_time;
+  result.mpart = mpart_for_memory(options.memory_per_node);
+  if (options.mpart_cap > 0) {
+    result.mpart = std::min(result.mpart, options.mpart_cap);
+  }
+  for (int m = 0; m < kNumAccessMethods; ++m) {
+    result.access[static_cast<std::size_t>(m)].method =
+        static_cast<AccessMethod>(m);
+  }
+  return result;
+}
+
+void validate_nprocs(int nprocs, int max_processes) {
+  if (nprocs < 1 || nprocs > max_processes) {
+    throw std::invalid_argument("run_beffio: bad process count");
+  }
+}
+
+}  // namespace
+
+BeffIoResult run_beffio(parmsg::SimTransport& transport,
+                        const pfsim::IoSystemConfig& io_config, int nprocs,
+                        const BeffIoOptions& options) {
+  validate_nprocs(nprocs, transport.max_processes());
+  BeffIoResult result = make_result_header(nprocs, options);
+  const auto table = pattern_table(result.mpart);
+  const int nchains = options.include_random_type ? kNumChains : kNumChains - 1;
+  std::vector<ChainOutput> outs(static_cast<std::size_t>(nchains));
+  for (int chain = 0; chain < nchains; ++chain) {
+    run_chain(transport, io_config, nprocs, options, table, chain, &result,
+              &outs[static_cast<std::size_t>(chain)]);
+  }
+  finish_beffio(&result, outs);
+  return result;
+}
+
+BeffIoResult run_beffio(const SimTransportFactory& make_transport,
+                        const pfsim::IoSystemConfig& io_config, int nprocs,
+                        const BeffIoOptions& options) {
+  const int jobs = util::resolve_jobs(options.jobs);
+  if (jobs <= 1) {
+    auto transport = make_transport();
+    return run_beffio(*transport, io_config, nprocs, options);
+  }
+  auto probe = make_transport();
+  validate_nprocs(nprocs, probe->max_processes());
+  probe.reset();
+  BeffIoResult result = make_result_header(nprocs, options);
+  const auto table = pattern_table(result.mpart);
+  const int nchains = options.include_random_type ? kNumChains : kNumChains - 1;
+  std::vector<ChainOutput> outs(static_cast<std::size_t>(nchains));
+  util::parallel_for(jobs, static_cast<std::size_t>(nchains),
+                     [&](std::size_t chain) {
+                       auto transport = make_transport();
+                       run_chain(*transport, io_config, nprocs, options, table,
+                                 static_cast<int>(chain), &result,
+                                 &outs[chain]);
+                     });
+  finish_beffio(&result, outs);
   return result;
 }
 

@@ -20,10 +20,24 @@
 // Sec. 6: a few probe iterations, then macro-steps whose per-call
 // costs (client overhead, shared-pointer token sweeps, skipped
 // termination checks) are still charged.
+//
+// Execution model: the benchmark decomposes into independent *chains*
+// that honour the data dependencies above -- chain 0 = scatter type
+// under every access method, chain 1 = shared type, chain 2 = the
+// separate/segmented types (type-2 call counts and L_SEG feed types
+// 3/4 of the same method), chain 3 = the random extension.  Each
+// chain runs as its own transport session with its own engine and
+// file system, so chains may run on concurrent host threads
+// (BeffIoOptions::jobs with the factory overload); per-chain outputs
+// land in disjoint slots and are reduced in chain order, keeping
+// every reported number byte-identical for every jobs value -- see
+// DESIGN.md "Determinism under parallel execution".
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -70,6 +84,11 @@ struct BeffIoOptions {
   bool include_random_type = false;
   std::uint64_t random_seed = 2001;
   std::string file_prefix = "beffio";
+
+  /// Host worker threads for the chain sweep (factory overload only;
+  /// the single-transport overload is always serial).  <= 0 means
+  /// hardware concurrency.  Any value produces byte-identical results.
+  int jobs = 1;
 };
 
 /// Result of one pattern under one access method.
@@ -120,9 +139,24 @@ struct BeffIoResult {
   [[nodiscard]] const AccessMethodResult& read() const { return access[2]; }
 };
 
+/// Makes one independent transport instance per measurement chain.
+/// Must be callable from concurrent threads; each returned transport
+/// is used by exactly one thread.
+using SimTransportFactory =
+    std::function<std::unique_ptr<parmsg::SimTransport>()>;
+
 /// Run b_eff_io on `nprocs` ranks of the simulated machine with the
-/// given I/O subsystem.
+/// given I/O subsystem.  Executes the measurement chains serially on
+/// the given transport (one session per chain); `options.jobs` is
+/// ignored.
 BeffIoResult run_beffio(parmsg::SimTransport& transport,
+                        const pfsim::IoSystemConfig& io_config, int nprocs,
+                        const BeffIoOptions& options);
+
+/// Run b_eff_io with `options.jobs` host threads; each chain
+/// constructs its own transport via `make_transport`.  Byte-identical
+/// to the serial overload for every jobs value.
+BeffIoResult run_beffio(const SimTransportFactory& make_transport,
                         const pfsim::IoSystemConfig& io_config, int nprocs,
                         const BeffIoOptions& options);
 

@@ -38,6 +38,13 @@ void Options::add_string(const std::string& name, std::string* target,
   add(name, Spec{Spec::Kind::String, target, help, "'" + *target + "'"});
 }
 
+void Options::add_jobs(std::int64_t* target, const std::string& what) {
+  add_int("jobs", target,
+          "worker threads for " + what +
+              "; output is byte-identical for every value"
+              " (0 = all hardware threads, 1 = serial)");
+}
+
 bool Options::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];

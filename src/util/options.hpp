@@ -23,6 +23,13 @@ class Options {
   void add_double(const std::string& name, double* target, const std::string& help);
   void add_string(const std::string& name, std::string* target, const std::string& help);
 
+  /// Registers the standard `--jobs N` option: worker threads for the
+  /// parallel sweep scheduler (util/parallel.hpp).  `what` names the
+  /// sweep being parallelized (shown in --help).  The scheduler's
+  /// ordered reduction guarantees byte-identical output for every N;
+  /// 0 means "all hardware threads", 1 restores serial execution.
+  void add_jobs(std::int64_t* target, const std::string& what);
+
   /// Parses argv.  Returns false if --help was requested (help text is
   /// printed to stdout).  Throws std::invalid_argument on bad input.
   bool parse(int argc, const char* const* argv);

@@ -1,0 +1,190 @@
+#include "util/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+namespace balbench::util {
+
+int hardware_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int resolve_jobs(std::int64_t requested) {
+  if (requested <= 0) return hardware_jobs();
+  if (requested > 1024) return 1024;  // refuse absurd thread counts
+  return static_cast<int>(requested);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+struct ThreadPool::Impl {
+  struct Shard {
+    std::mutex mu;
+    std::deque<std::size_t> q;
+  };
+
+  explicit Impl(int workers) : shards(static_cast<std::size_t>(workers)) {}
+
+  // Batch state, valid while a parallel_for is in flight.
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> remaining{0};
+  std::atomic<std::uint64_t> steals{0};
+
+  // First-by-index exception of the current batch.
+  std::size_t error_index = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr error;
+
+  // Worker handshake: epoch bumps once per batch; workers wait for it.
+  std::mutex mu;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  std::uint64_t epoch = 0;
+  bool stop = false;
+
+  std::vector<Shard> shards;
+  std::vector<std::thread> threads;
+
+  bool try_pop_own(int me, std::size_t* out) {
+    Shard& s = shards[static_cast<std::size_t>(me)];
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.q.empty()) return false;
+    *out = s.q.front();
+    s.q.pop_front();
+    return true;
+  }
+
+  bool try_steal(int me, std::size_t* out) {
+    const int w = static_cast<int>(shards.size());
+    for (int d = 1; d < w; ++d) {
+      Shard& s = shards[static_cast<std::size_t>((me + d) % w)];
+      std::lock_guard<std::mutex> lock(s.mu);
+      if (s.q.empty()) continue;
+      *out = s.q.back();  // steal from the cold end
+      s.q.pop_back();
+      steals.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  void execute(std::size_t index) {
+    try {
+      (*body)(index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (index < error_index) {
+        error_index = index;
+        error = std::current_exception();
+      }
+    }
+    if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mu);
+      cv_done.notify_all();
+    }
+  }
+
+  void drain(int me) {
+    std::size_t index;
+    while (try_pop_own(me, &index) || try_steal(me, &index)) execute(index);
+  }
+
+  void worker(int me) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv_work.wait(lock, [&] { return stop || epoch != seen; });
+        if (stop) return;
+        seen = epoch;
+      }
+      drain(me);
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int workers)
+    : impl_(new Impl(workers < 1 ? 1 : workers)),
+      workers_(workers < 1 ? 1 : workers) {
+  // Worker 0 is the calling thread; only spawn helpers beyond it.
+  for (int w = 1; w < workers_; ++w) {
+    impl_->threads.emplace_back([this, w] { impl_->worker(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->cv_work.notify_all();
+  for (auto& t : impl_->threads) t.join();
+  delete impl_;
+}
+
+std::uint64_t ThreadPool::steals() const {
+  return impl_->steals.load(std::memory_order_relaxed);
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (workers_ == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Seed each shard with a contiguous block of indices.
+  const auto w = static_cast<std::size_t>(workers_);
+  const std::size_t block = (n + w - 1) / w;
+  for (std::size_t s = 0; s < w; ++s) {
+    const std::size_t lo = s * block;
+    const std::size_t hi = std::min(n, lo + block);
+    std::lock_guard<std::mutex> lock(impl_->shards[s].mu);
+    for (std::size_t i = lo; i < hi; ++i) impl_->shards[s].q.push_back(i);
+  }
+
+  impl_->body = &body;
+  impl_->error_index = std::numeric_limits<std::size_t>::max();
+  impl_->error = nullptr;
+  impl_->remaining.store(n, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    ++impl_->epoch;
+  }
+  impl_->cv_work.notify_all();
+
+  // The calling thread works shard 0, then helps drain stragglers.
+  impl_->drain(0);
+
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  impl_->cv_done.wait(lock, [&] {
+    return impl_->remaining.load(std::memory_order_acquire) == 0;
+  });
+  impl_->body = nullptr;
+  if (impl_->error) {
+    auto err = impl_->error;
+    impl_->error = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void parallel_for(int jobs, std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  if (jobs <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  ThreadPool pool(static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(jobs), n)));
+  pool.parallel_for(n, body);
+}
+
+}  // namespace balbench::util

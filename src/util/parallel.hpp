@@ -1,0 +1,96 @@
+// Work-stealing parallel sweep scheduler.
+//
+// The benchmark suite is a large space of *independent simulation
+// cells* (pattern x size x method for b_eff, pattern-type chains for
+// b_eff_io, machine x partition for the bench drivers).  Every cell is
+// a pure function of its inputs -- the simt engine consults no wall
+// clock and breaks ties deterministically -- so cells may execute on
+// any host thread in any order without changing a single reported
+// number, PROVIDED that
+//
+//   1. no two cells share mutable state (each cell constructs its own
+//      simt::Engine / transport), and
+//   2. results are collected into pre-sized slots indexed by cell id
+//      and reduced in index order afterwards (ordered reduction).
+//
+// ThreadPool implements classic work stealing: each worker owns a
+// deque seeded with a contiguous block of cell indices; it pops work
+// from the front of its own deque and, when empty, steals from the
+// *back* of a victim's deque.  Blocks keep neighbouring (similar-cost)
+// cells on one worker; stealing rebalances the inevitably uneven tail
+// (a 512-process T3E cell costs orders of magnitude more than a
+// 2-process SX-5 cell).
+//
+// Exceptions: every cell runs to completion regardless of failures
+// elsewhere; the exception of the *lowest-indexed* failing cell is
+// rethrown from parallel_for, so error reporting is as deterministic
+// as the results.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace balbench::util {
+
+/// Number of hardware threads, at least 1.
+int hardware_jobs();
+
+/// Resolve a user-supplied --jobs value: <= 0 means "use the hardware
+/// concurrency", anything else is taken literally.
+int resolve_jobs(std::int64_t requested);
+
+class ThreadPool {
+ public:
+  /// Creates `workers` worker threads (clamped to >= 1).  A pool of
+  /// one worker executes everything inline on the calling thread --
+  /// `--jobs 1` is exactly the serial program.
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs body(0) .. body(n-1), distributing indices over the workers
+  /// with work stealing.  Blocks until all n calls completed.  If any
+  /// call throws, the exception of the lowest failing index is
+  /// rethrown after the batch drained.  Reentrant calls (parallel_for
+  /// from inside a body) are not supported.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  [[nodiscard]] int workers() const { return workers_; }
+  /// Indices executed by a thread other than the one whose deque they
+  /// were seeded into (diagnostic; 0 in serial pools).
+  [[nodiscard]] std::uint64_t steals() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  int workers_;
+};
+
+/// One-shot convenience: run body(0..n-1) on `jobs` threads.
+void parallel_for(int jobs, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+/// Fill a pre-sized slot vector -- out[i] = fn(i) -- in parallel.  The
+/// returned vector is indexed by cell id, so any subsequent reduction
+/// that walks it front to back is independent of execution order.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(int jobs, std::size_t n, Fn&& fn) {
+  std::vector<T> out(n);
+  parallel_for(jobs, n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+/// Deterministic ordered reduction over slot-indexed results: combines
+/// slots strictly in index order, so the result is byte-identical for
+/// every worker count (floating-point addition is not associative --
+/// reduction order must never depend on completion order).
+template <typename T, typename R, typename Fn>
+R ordered_reduce(const std::vector<T>& slots, R init, Fn&& combine) {
+  R acc = std::move(init);
+  for (const T& v : slots) acc = combine(std::move(acc), v);
+  return acc;
+}
+
+}  // namespace balbench::util

@@ -1,0 +1,142 @@
+// The central claim of the parallel sweep scheduler: `--jobs N` cannot
+// change a single reported number.  These tests run reduced b_eff and
+// b_eff_io configurations serially and on several worker counts and
+// require byte-identical protocols and exports -- EXPECT_EQ on doubles
+// and string equality on the rendered reports, never EXPECT_NEAR.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/beff/beff.hpp"
+#include "core/beffio/beffio.hpp"
+#include "core/report/export.hpp"
+#include "machines/machines.hpp"
+#include "parmsg/sim_transport.hpp"
+
+namespace bb = balbench::beff;
+namespace bio = balbench::beffio;
+namespace bm = balbench::machines;
+namespace bp = balbench::parmsg;
+namespace br = balbench::report;
+
+namespace {
+
+bb::BeffResult run_beff_with_jobs(int jobs) {
+  const auto spec = bm::hitachi_sr2201();
+  const int np = 8;
+  bb::BeffOptions opt;
+  opt.memory_per_proc = spec.memory_per_proc;
+  opt.lmax_override = 64 * 1024;  // reduced sweep, same code paths
+  opt.measure_analysis = true;
+  opt.jobs = jobs;
+  return bb::run_beff(
+      [&]() -> std::unique_ptr<bp::Transport> {
+        return std::make_unique<bp::SimTransport>(spec.make_topology(np),
+                                                  spec.costs);
+      },
+      np, opt);
+}
+
+bio::BeffIoResult run_beffio_with_jobs(int jobs) {
+  const auto spec = bm::cray_t3e_900();
+  const int np = 4;
+  bio::BeffIoOptions opt;
+  opt.scheduled_time = 30.0;  // reduced T, same code paths
+  opt.memory_per_node = spec.memory_per_proc;
+  opt.include_random_type = true;
+  opt.jobs = jobs;
+  return bio::run_beffio(
+      [&] {
+        return std::make_unique<bp::SimTransport>(spec.make_topology(np),
+                                                  spec.costs);
+      },
+      *spec.io, np, opt);
+}
+
+std::string beff_exports(const bb::BeffResult& r) {
+  std::ostringstream os;
+  br::write_beff_csv(os, "det-test", r);
+  br::write_beff_summary(os, "det-test", r);
+  return os.str();
+}
+
+std::string beffio_exports(const bio::BeffIoResult& r) {
+  std::ostringstream os;
+  br::write_beffio_csv(os, "det-test", r);
+  br::write_beffio_summary(os, "det-test", r);
+  return os.str();
+}
+
+}  // namespace
+
+TEST(ParallelDeterminism, BeffFactorySerialMatchesSingleTransport) {
+  // The factory overload at jobs=1 must agree byte-for-byte with the
+  // plain single-transport overload (fresh transport per cell is
+  // equivalent to reusing one: SimRun state is rebuilt per session).
+  const auto spec = bm::hitachi_sr2201();
+  const int np = 8;
+  bb::BeffOptions opt;
+  opt.memory_per_proc = spec.memory_per_proc;
+  opt.lmax_override = 64 * 1024;
+  opt.jobs = 1;
+  bp::SimTransport t(spec.make_topology(np), spec.costs);
+  const auto serial = bb::run_beff(t, np, opt);
+  const auto factory = run_beff_with_jobs(1);
+  EXPECT_EQ(bb::protocol_report(serial), bb::protocol_report(factory));
+  EXPECT_EQ(beff_exports(serial), beff_exports(factory));
+  EXPECT_EQ(serial.b_eff, factory.b_eff);
+  EXPECT_EQ(serial.benchmark_seconds, factory.benchmark_seconds);
+}
+
+TEST(ParallelDeterminism, BeffJobsDoNotChangeProtocolOrExports) {
+  const auto r1 = run_beff_with_jobs(1);
+  const std::string proto1 = bb::protocol_report(r1);
+  const std::string exports1 = beff_exports(r1);
+  for (int jobs : {2, 4}) {
+    const auto rn = run_beff_with_jobs(jobs);
+    EXPECT_EQ(proto1, bb::protocol_report(rn)) << "jobs=" << jobs;
+    EXPECT_EQ(exports1, beff_exports(rn)) << "jobs=" << jobs;
+    EXPECT_EQ(r1.b_eff, rn.b_eff) << "jobs=" << jobs;
+    EXPECT_EQ(r1.b_eff_at_lmax, rn.b_eff_at_lmax) << "jobs=" << jobs;
+    EXPECT_EQ(r1.benchmark_seconds, rn.benchmark_seconds) << "jobs=" << jobs;
+    EXPECT_EQ(r1.analysis.pingpong_bw, rn.analysis.pingpong_bw)
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelDeterminism, BeffIoFactorySerialMatchesSingleTransport) {
+  const auto spec = bm::cray_t3e_900();
+  const int np = 4;
+  bio::BeffIoOptions opt;
+  opt.scheduled_time = 30.0;
+  opt.memory_per_node = spec.memory_per_proc;
+  opt.include_random_type = true;
+  opt.jobs = 1;
+  bp::SimTransport t(spec.make_topology(np), spec.costs);
+  const auto serial = bio::run_beffio(t, *spec.io, np, opt);
+  const auto factory = run_beffio_with_jobs(1);
+  EXPECT_EQ(bio::beffio_report(serial), bio::beffio_report(factory));
+  EXPECT_EQ(beffio_exports(serial), beffio_exports(factory));
+  EXPECT_EQ(serial.b_eff_io, factory.b_eff_io);
+}
+
+TEST(ParallelDeterminism, BeffIoJobsDoNotChangeProtocolOrExports) {
+  const auto r1 = run_beffio_with_jobs(1);
+  const std::string proto1 = bio::beffio_report(r1);
+  const std::string exports1 = beffio_exports(r1);
+  for (int jobs : {2, 4}) {
+    const auto rn = run_beffio_with_jobs(jobs);
+    EXPECT_EQ(proto1, bio::beffio_report(rn)) << "jobs=" << jobs;
+    EXPECT_EQ(exports1, beffio_exports(rn)) << "jobs=" << jobs;
+    EXPECT_EQ(r1.b_eff_io, rn.b_eff_io) << "jobs=" << jobs;
+    EXPECT_EQ(r1.benchmark_seconds, rn.benchmark_seconds) << "jobs=" << jobs;
+    EXPECT_EQ(r1.segment_bytes, rn.segment_bytes) << "jobs=" << jobs;
+    EXPECT_EQ(r1.fs_stats.seeks, rn.fs_stats.seeks) << "jobs=" << jobs;
+    for (int m = 0; m < bio::kNumAccessMethods; ++m) {
+      EXPECT_EQ(r1.random_extension[m], rn.random_extension[m])
+          << "jobs=" << jobs << " method=" << m;
+    }
+  }
+}

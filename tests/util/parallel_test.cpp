@@ -1,0 +1,129 @@
+// Tests for the work-stealing sweep scheduler (util/parallel.hpp):
+// coverage, slot-indexed collection, ordered reduction determinism,
+// and exception propagation.
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace bu = balbench::util;
+
+TEST(Parallel, HardwareJobsIsPositive) {
+  EXPECT_GE(bu::hardware_jobs(), 1);
+}
+
+TEST(Parallel, ResolveJobs) {
+  EXPECT_EQ(bu::resolve_jobs(1), 1);
+  EXPECT_EQ(bu::resolve_jobs(7), 7);
+  EXPECT_EQ(bu::resolve_jobs(0), bu::hardware_jobs());
+  EXPECT_EQ(bu::resolve_jobs(-5), bu::hardware_jobs());
+  EXPECT_EQ(bu::resolve_jobs(1 << 20), 1024);  // sanity cap
+}
+
+TEST(Parallel, ParallelForCoversEveryIndexExactlyOnce) {
+  const std::size_t n = 257;  // not a multiple of any worker count
+  for (int jobs : {1, 2, 4, 13}) {
+    std::vector<std::atomic<int>> hits(n);
+    bu::parallel_for(jobs, n, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "jobs=" << jobs << " index=" << i;
+    }
+  }
+}
+
+TEST(Parallel, EmptyRangeRunsNothing) {
+  std::atomic<int> calls{0};
+  bu::parallel_for(4, 0, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(Parallel, SerialPoolRunsInlineOnCaller) {
+  const auto caller = std::this_thread::get_id();
+  bool all_inline = true;
+  bu::parallel_for(1, 16, [&](std::size_t) {
+    if (std::this_thread::get_id() != caller) all_inline = false;
+  });
+  EXPECT_TRUE(all_inline);
+}
+
+TEST(Parallel, PoolIsReusableAcrossBatches) {
+  bu::ThreadPool pool(3);
+  EXPECT_EQ(pool.workers(), 3);
+  for (int batch = 0; batch < 4; ++batch) {
+    std::atomic<std::uint64_t> sum{0};
+    pool.parallel_for(100, [&](std::size_t i) { sum.fetch_add(i + 1); });
+    EXPECT_EQ(sum.load(), 5050u) << "batch " << batch;
+  }
+}
+
+TEST(Parallel, ParallelMapFillsSlotsByIndex) {
+  const auto squares = bu::parallel_map<std::int64_t>(
+      4, 50, [](std::size_t i) { return static_cast<std::int64_t>(i * i); });
+  ASSERT_EQ(squares.size(), 50u);
+  for (std::size_t i = 0; i < squares.size(); ++i) {
+    EXPECT_EQ(squares[i], static_cast<std::int64_t>(i * i));
+  }
+}
+
+TEST(Parallel, OrderedReduceIsByteIdenticalForAnyJobs) {
+  // Floating-point addition is not associative, so determinism requires
+  // reducing the slots strictly in index order.  Slot values span many
+  // magnitudes to make any reordering visible in the bits.
+  const std::size_t n = 301;
+  auto fill = [&](int jobs) {
+    return bu::parallel_map<double>(jobs, n, [](std::size_t i) {
+      return std::ldexp(1.0 + 0.1 * static_cast<double>(i % 7),
+                        static_cast<int>(i % 64) - 32);
+    });
+  };
+  const auto serial = fill(1);
+  double expect = 0.0;
+  for (double v : serial) expect += v;
+  for (int jobs : {2, 4, 8}) {
+    const auto slots = fill(jobs);
+    const double sum =
+        bu::ordered_reduce(slots, 0.0, [](double a, double v) { return a + v; });
+    EXPECT_EQ(sum, expect) << "jobs=" << jobs;  // bitwise, not NEAR
+  }
+}
+
+TEST(Parallel, ExceptionFromLowestIndexWins) {
+  for (int jobs : {1, 4}) {
+    try {
+      bu::parallel_for(jobs, 64, [&](std::size_t i) {
+        if (i == 7 || i == 3 || i == 50) {
+          throw std::runtime_error("cell " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected throw (jobs=" << jobs << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "cell 3") << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(Parallel, LaterCellsStillRunAfterThrow) {
+  // An exception aborts the sweep result, but already-queued work may
+  // still run; what matters is that the pool drains and stays usable.
+  bu::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(
+                   32, [](std::size_t i) {
+                     if (i == 0) throw std::logic_error("boom");
+                   }),
+               std::logic_error);
+  std::atomic<int> ok{0};
+  pool.parallel_for(32, [&](std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 32);
+}
+
+TEST(Parallel, StealsCounterStaysZeroWhenSerial) {
+  bu::ThreadPool pool(1);
+  pool.parallel_for(10, [](std::size_t) {});
+  EXPECT_EQ(pool.steals(), 0u);
+}
