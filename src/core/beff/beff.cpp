@@ -240,6 +240,7 @@ struct CellOutput {
   std::vector<int> looplength;
   double analysis_bw = 0.0;
   double seconds = 0.0;
+  obs::MetricsSnapshot metrics;  // filled when collect_metrics is on
 };
 
 using CellBody = std::function<void(parmsg::Comm&, CellOutput*)>;
@@ -279,6 +280,8 @@ class CellSweep {
                                  out != nullptr ? &out->bw : nullptr,
                                  out != nullptr ? &out->looplength : nullptr);
         });
+        labels_.push_back(patterns_[pi].name + '/' +
+                          method_name(static_cast<Method>(m)));
       }
     }
 
@@ -302,6 +305,7 @@ class CellSweep {
         measure_pingpong(c, result_.lmax,
                          out != nullptr ? &out->analysis_bw : nullptr);
       });
+      labels_.push_back("ping-pong");
       add_analysis_cell({&worst_cycle_});
       add_analysis_cell({&bisect_paired_});
       add_analysis_cell({&bisect_interleaved_});
@@ -328,12 +332,23 @@ class CellSweep {
   void run_cell(std::size_t i, parmsg::Transport& transport) {
     CellOutput& slot = slots_[i];
     const CellBody& body = cells_[i];
+    // Per-cell registry: the cell owns the only reference, so metric
+    // increments never contend across host threads, and the snapshot
+    // lands in this cell's slot for the ordered merge in finish().
+    obs::Registry registry;
+    if (options_.collect_metrics) transport.attach_metrics(&registry);
+    transport.label_next_session("cell " + std::to_string(i) + ": " +
+                                 labels_[i]);
     transport.run(nprocs_, [&](parmsg::Comm& c) {
       const bool is_root = c.rank() == 0;
       const double t0 = c.wtime();
       body(c, is_root ? &slot : nullptr);
       if (is_root) slot.seconds = c.wtime() - t0;
     });
+    if (options_.collect_metrics) {
+      transport.attach_metrics(nullptr);
+      slot.metrics = registry.snapshot();
+    }
   }
 
   /// Ordered reduction over the slots (paper Sec. 4 aggregation).
@@ -387,6 +402,12 @@ class CellSweep {
     for (const auto& s : slots_) total_seconds += s.seconds;
     result_.benchmark_seconds = total_seconds;
 
+    if (options_.collect_metrics) {
+      // Strictly cell-index-ordered merge: floating-point sums must not
+      // depend on which host thread finished first.
+      for (const auto& s : slots_) result_.metrics.merge(s.metrics);
+    }
+
     std::vector<double> ring_avgs;
     std::vector<double> random_avgs;
     std::vector<double> ring_lmax;
@@ -407,6 +428,12 @@ class CellSweep {
 
  private:
   void add_analysis_cell(std::vector<const CommPattern*> phases) {
+    std::string label;
+    for (const CommPattern* p : phases) {
+      if (!label.empty()) label += '+';
+      label += p->name;
+    }
+    labels_.push_back(std::move(label));
     cells_.push_back(
         [this, phases = std::move(phases)](parmsg::Comm& c, CellOutput* out) {
           const double bw =
@@ -428,6 +455,7 @@ class CellSweep {
   std::vector<CommPattern> cart3d_pats_;
   std::size_t analysis_base_ = 0;
   std::vector<CellBody> cells_;
+  std::vector<std::string> labels_;  // session label per cell, same index
   std::vector<CellOutput> slots_;
 };
 

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "core/beff/patterns.hpp"
+#include "obs/metrics.hpp"
 #include "parmsg/comm.hpp"
 
 namespace balbench::beff {
@@ -72,6 +73,13 @@ struct BeffOptions {
   /// the single-transport overload is always serial).  <= 0 means
   /// hardware concurrency.  Any value produces byte-identical results.
   int jobs = 1;
+
+  /// Collect obs metrics: each cell runs with its own obs::Registry
+  /// attached to its transport, and the per-cell snapshots are merged
+  /// in cell-index order into BeffResult::metrics.  Because every
+  /// recorded quantity is simulated (DESIGN.md Sec. 10.2) the merged
+  /// snapshot is byte-identical for every jobs value.
+  bool collect_metrics = false;
 };
 
 /// Bandwidth of one pattern at one message size.
@@ -122,6 +130,10 @@ struct BeffResult {
   /// Virtual duration of the whole benchmark (the paper budgets
   /// 3-5 minutes of machine time).
   double benchmark_seconds = 0.0;
+
+  /// Merged per-cell metric snapshots (parmsg.* / simt.* taxonomy);
+  /// empty unless BeffOptions::collect_metrics was set.
+  obs::MetricsSnapshot metrics;
 
   [[nodiscard]] double per_proc() const { return b_eff / nprocs; }
   [[nodiscard]] double per_proc_at_lmax() const { return b_eff_at_lmax / nprocs; }

@@ -457,7 +457,18 @@ class Driver {
 struct ChainOutput {
   double seconds = 0.0;
   pfsim::FileSystem::Stats stats;
+  obs::MetricsSnapshot metrics;  // filled when collect_metrics is on
 };
+
+const char* chain_name(int chain) {
+  switch (chain) {
+    case 0: return "scatter";
+    case 1: return "shared";
+    case 2: return "separate+segmented";
+    case 3: return "random-extension";
+  }
+  return "?";
+}
 
 /// The dependency-closed measurement chains.  Chains 0/1 cover one
 /// file each (scatter, shared); chain 2 keeps the separate/segmented
@@ -480,10 +491,17 @@ void run_chain(parmsg::SimTransport& transport,
                const std::vector<IoPattern>& table, int chain,
                BeffIoResult* result, ChainOutput* out) {
   std::unique_ptr<pario::IoContext> ctx;
+  // Per-chain registry (see CellSweep::run_cell): the chain owns the
+  // only reference, and its snapshot is merged in chain order later.
+  obs::Registry registry;
+  if (options.collect_metrics) transport.attach_metrics(&registry);
+  transport.label_next_session("chain " + std::to_string(chain) + ": " +
+                               chain_name(chain));
   transport.run_with_setup(
       nprocs,
       [&](simt::Engine& engine) {
         ctx = std::make_unique<pario::IoContext>(engine, io_config, nprocs);
+        if (options.collect_metrics) ctx->fs().set_metrics(&registry);
       },
       [&](parmsg::Comm& c) {
         const bool root = c.rank() == 0;
@@ -517,6 +535,10 @@ void run_chain(parmsg::SimTransport& transport,
         }
       });
   out->stats = ctx->fs().stats();
+  if (options.collect_metrics) {
+    transport.attach_metrics(nullptr);
+    out->metrics = registry.snapshot();
+  }
 }
 
 /// Ordered reduction over the chain outputs plus the paper Sec. 5.1
@@ -532,6 +554,7 @@ void finish_beffio(BeffIoResult* result, const std::vector<ChainOutput>& outs) {
     result->fs_stats.read_cache_misses += o.stats.read_cache_misses;
     result->fs_stats.rmw_chunks += o.stats.rmw_chunks;
     result->fs_stats.seeks += o.stats.seeks;
+    result->metrics.merge(o.metrics);  // chain-ordered, deterministic
   }
   const double w = result->write().weighted_bandwidth();
   const double rw = result->rewrite().weighted_bandwidth();

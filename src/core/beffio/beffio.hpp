@@ -89,6 +89,12 @@ struct BeffIoOptions {
   /// the single-transport overload is always serial).  <= 0 means
   /// hardware concurrency.  Any value produces byte-identical results.
   int jobs = 1;
+
+  /// Collect obs metrics: each chain runs with its own obs::Registry
+  /// attached to its transport and file system, and the per-chain
+  /// snapshots are merged in chain order into BeffIoResult::metrics.
+  /// Deterministic for every jobs value (DESIGN.md Sec. 10.2).
+  bool collect_metrics = false;
 };
 
 /// Result of one pattern under one access method.
@@ -133,6 +139,10 @@ struct BeffIoResult {
   double benchmark_seconds = 0.0;  // virtual duration of the whole run
   std::int64_t segment_bytes = 0;  // L_SEG used by types 3/4
   pfsim::FileSystem::Stats fs_stats;
+
+  /// Merged per-chain metric snapshots (parmsg.* / pario.* / pfsim.* /
+  /// simt.* taxonomy); empty unless BeffIoOptions::collect_metrics.
+  obs::MetricsSnapshot metrics;
 
   [[nodiscard]] const AccessMethodResult& write() const { return access[0]; }
   [[nodiscard]] const AccessMethodResult& rewrite() const { return access[1]; }

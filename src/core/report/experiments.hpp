@@ -1,0 +1,120 @@
+// The self-regenerating experiments pipeline (DESIGN.md Sec. 10.4).
+//
+// One function runs the *entire* sweep behind EXPERIMENTS.md -- every
+// (machine, partition) b_eff configuration of Table 1/Fig. 1 and every
+// (machine, T, partition) b_eff_io configuration of Figs. 3-5, plus the
+// Sec. 5.4 termination-check microbenchmark -- and returns the results
+// in one structured value.  Two writers consume it:
+//
+//   * write_run_record()      -- a JSON run record (schema
+//                                "balbench-run-record/1"): config hash,
+//                                git revision, per-cell bandwidths and
+//                                the merged obs metric snapshots;
+//   * render_experiments_md() -- the full EXPERIMENTS.md document, every
+//                                measured number recomputed, each table
+//                                marked with the generating command and
+//                                the config hash.
+//
+// Determinism contract: both outputs are pure functions of (scope,
+// code); the host-side `jobs` knob never changes a byte (asserted at
+// --jobs 1/2/4 in tests/report/run_record_test.cpp and by the
+// `doc_drift_guard` ctest, which re-renders the committed
+// EXPERIMENTS.md).  All bandwidths in the record are bytes per VIRTUAL
+// second; all durations are virtual seconds (DESIGN.md Sec. 10.2).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/beff/beff.hpp"
+#include "core/beffio/beffio.hpp"
+
+namespace balbench::report {
+
+/// Sweep size.  Doc is the configuration that regenerates the
+/// committed EXPERIMENTS.md (full Table 1 partitions, ~2.5 min on one
+/// core); Quick is a small subset used by the byte-identity tests.
+enum class Scope { Quick, Doc };
+const char* scope_name(Scope s);
+
+/// Table 1 reference values from the paper, in MByte/s as printed
+/// there.  0 = the paper's table has no such row/cell; pingpong -1 =
+/// the row exists but the paper leaves the ping-pong cell empty.
+struct PaperBeffRow {
+  double b_eff = 0.0;
+  double per_proc = 0.0;
+  double at_lmax_per_proc = 0.0;
+  double ring_per_proc = 0.0;
+  double pingpong = 0.0;
+};
+
+/// One b_eff configuration of the sweep plus its result.
+struct BeffRun {
+  std::string key;      // machines::machine_by_name() key
+  std::string display;  // row label, e.g. "Cray T3E/900"
+  int nprocs = 0;
+  bool first = false;   // first partition of its machine (analysis cells on)
+  bool in_table = false;  // appears as a Table 1 row
+  PaperBeffRow paper;
+  std::int64_t memory_per_proc = 0;
+  double rmax_gflops_per_proc = 0.0;
+  beff::BeffResult r;
+};
+
+/// One b_eff_io configuration of the sweep plus its result.
+struct IoRun {
+  std::string key;
+  std::string display;
+  std::string figure;   // "fig3" | "fig4" | "fig5"
+  int nprocs = 0;
+  double scheduled_seconds = 0.0;
+  std::int64_t mpart_cap = 0;  // 0 = uncapped
+  beffio::BeffIoResult r;
+};
+
+struct ExperimentsData {
+  Scope scope = Scope::Quick;
+  std::vector<BeffRun> beff;
+  std::vector<IoRun> io;
+  /// Simulated barrier+bcast on 32 T3E PEs (paper Sec. 5.4), seconds.
+  double termination_check_seconds = 0.0;
+  /// Per-call overhead of a small I/O access on the T3E, seconds.
+  double io_call_seconds = 0.0;
+};
+
+/// Runs the whole sweep with `jobs` host worker threads (outer
+/// parallelism over configurations; each simulation itself is serial).
+/// Metrics collection is always on; every result is byte-identical for
+/// every jobs value.
+ExperimentsData run_experiments(Scope scope, int jobs);
+
+/// FNV-1a (64-bit, hex) over the canonical description of the sweep
+/// configuration -- machines, partitions, scheduled times, seeds and
+/// aggregation constants.  Stamped into both outputs so a record can
+/// be matched to the configuration that produced it.
+std::string config_hash(Scope scope);
+
+/// `git rev-parse --short HEAD`, or "unknown" outside a work tree.
+/// Provenance only: it goes into the JSON record, never the rendered
+/// document (whose bytes must not depend on repository state).
+std::string git_revision();
+
+/// JSON run record, schema "balbench-run-record/1" (DESIGN.md
+/// Sec. 10.4): provenance, per-run headline bandwidths (bytes per
+/// virtual second), per-pattern/-type cell bandwidths, and the merged
+/// obs::MetricsSnapshot of every run.
+void write_run_record(std::ostream& os, const ExperimentsData& data,
+                      const std::string& cfg_hash, const std::string& git_rev);
+
+/// Renders the complete EXPERIMENTS.md.  Every measured number in the
+/// document is recomputed from `data`; paper reference values and the
+/// comparison markers come from a fixed rule (within 10 % = check mark,
+/// within 50 % = approx, otherwise the ratio is printed).  Sections
+/// whose configurations are absent from `data` (Quick scope) are
+/// omitted bullet-by-bullet, never approximated.
+void render_experiments_md(std::ostream& os, const ExperimentsData& data,
+                           const std::string& cfg_hash);
+
+}  // namespace balbench::report

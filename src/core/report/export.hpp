@@ -10,6 +10,14 @@
 //
 // Plus a comparison helper that aligns two exported runs and reports
 // per-measurement ratios -- the "comparison page" workflow.
+//
+// Units (DESIGN.md Sec. 10.1 convention): every bandwidth column or
+// key ends in `_Bps` and means *bytes per virtual second*; `_bytes`
+// columns are simulated payload bytes; `seconds` columns are virtual
+// (simulated) seconds.  Wall-clock never appears in an export, so all
+// outputs are byte-identical for every --jobs value (DESIGN.md
+// Sec. 9); the structured JSON sibling of these exports is the run
+// record of core/report/experiments.hpp (Sec. 10.4).
 #pragma once
 
 #include <map>
@@ -23,26 +31,37 @@ namespace balbench::report {
 
 /// CSV of every (pattern, message size) cell of a b_eff protocol:
 ///   machine,nprocs,pattern,kind,size_bytes,method,bandwidth_Bps
+/// with size_bytes the message size of the cell and bandwidth_Bps the
+/// best-of-methods cell bandwidth in bytes per virtual second.
 void write_beff_csv(std::ostream& os, const std::string& machine,
                     const beff::BeffResult& result);
 
 /// CSV of every (access method, pattern) cell of a b_eff_io protocol:
 ///   machine,nprocs,access,type,pattern_no,chunk_l,mem_L,wellformed,
 ///   calls,bytes,seconds,bandwidth_Bps
+/// chunk_l/mem_L are the pattern's contiguous-chunk and memory-buffer
+/// sizes in bytes; bytes/seconds are the simulated totals of the
+/// pattern's timed loop (virtual seconds), bandwidth_Bps their ratio.
 void write_beffio_csv(std::ostream& os, const std::string& machine,
                       const beffio::BeffIoResult& result);
 
 /// Headline key=value summary of a b_eff run (skampi-style block).
+/// Bandwidth keys (`b_eff_Bps`, `per_proc_Bps`, ...) are bytes per
+/// virtual second; `lmax_bytes` is L_max in bytes.
 void write_beff_summary(std::ostream& os, const std::string& machine,
                         const beff::BeffResult& result);
+/// Same for a b_eff_io run: `b_eff_io_Bps` and the per-access-method
+/// keys are bytes per virtual second of the weighted timed loops.
 void write_beffio_summary(std::ostream& os, const std::string& machine,
                           const beffio::BeffIoResult& result);
 
-/// Parsed summary block: key -> numeric value.
+/// Parsed summary block: key -> numeric value (units as written by the
+/// `write_*_summary` emitters, i.e. encoded in the key suffix).
 std::map<std::string, double> parse_summary(const std::string& text);
 
 /// Align two summaries and render a ratio table (b / a) for every key
-/// both share; returns the number of compared keys.
+/// both share; returns the number of compared keys.  Ratios are
+/// unitless, so summaries from different machines compare directly.
 int compare_summaries(std::ostream& os, const std::string& name_a,
                       const std::map<std::string, double>& a,
                       const std::string& name_b,

@@ -1,0 +1,120 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+
+namespace balbench::obs {
+
+namespace {
+
+/// Trace-event names must be useful at span granularity: prefer the
+/// explicit label, fall back to the legend meaning, then to the raw
+/// category char.
+std::string span_name(const simt::TraceSpan& s,
+                      const std::map<char, std::string>& legend) {
+  if (!s.label.empty()) return s.label;
+  auto it = legend.find(s.category);
+  if (it != legend.end()) return it->second;
+  return std::string(1, s.category);
+}
+
+}  // namespace
+
+std::size_t write_chrome_trace(std::ostream& os, const simt::Tracer& tracer,
+                               const Registry* registry,
+                               const ChromeTraceOptions& options) {
+  const auto& spans = tracer.spans();
+  const auto& legend = tracer.legend();
+
+  // Effective session table: pid i+1 covers spans [first_span of i,
+  // first_span of i+1).  A tracer without sessions gets one implicit
+  // session covering everything.
+  std::vector<simt::TraceSession> sessions(tracer.sessions());
+  if (sessions.empty()) {
+    sessions.push_back(simt::TraceSession{0, options.default_session});
+  } else if (sessions.front().first_span > 0) {
+    // Spans recorded before the first begin_session() keep pid 1.
+    sessions.insert(sessions.begin(),
+                    simt::TraceSession{0, options.default_session});
+  }
+
+  JsonWriter w(os, 1);
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+
+  // Process-name metadata, one per session.
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    w.begin_object();
+    w.field("name", "process_name");
+    w.field("ph", "M");
+    w.field("pid", static_cast<std::int64_t>(i + 1));
+    w.key("args").begin_object();
+    w.field("name", sessions[i].label);
+    w.end_object();
+    w.end_object();
+  }
+
+  std::size_t written = 0;
+  std::size_t dropped = 0;
+  std::size_t session_idx = 0;
+  for (std::size_t si = 0; si < spans.size(); ++si) {
+    while (session_idx + 1 < sessions.size() &&
+           si >= sessions[session_idx + 1].first_span) {
+      ++session_idx;
+    }
+    if (options.max_events > 0 && written >= options.max_events) {
+      ++dropped;
+      continue;
+    }
+    const simt::TraceSpan& s = spans[si];
+    w.begin_object();
+    w.field("name", span_name(s, legend));
+    auto it = legend.find(s.category);
+    w.field("cat", it != legend.end() ? it->second : std::string(1, s.category));
+    w.field("ph", "X");
+    w.field("ts", s.start * 1e6);           // virtual seconds -> trace us
+    w.field("dur", (s.end - s.start) * 1e6);
+    w.field("pid", static_cast<std::int64_t>(session_idx + 1));
+    w.field("tid", static_cast<std::int64_t>(s.process));
+    w.end_object();
+    ++written;
+  }
+
+  std::size_t dropped_samples = 0;
+  if (registry != nullptr) {
+    // Registry sections are begun at the same points as tracer
+    // sessions (the transport starts both per run), so section k maps
+    // to pid k; samples recorded before any section join pid 1.
+    for (const MetricSample& m : registry->samples()) {
+      const auto pid = static_cast<std::int64_t>(std::clamp<std::size_t>(
+          static_cast<std::size_t>(m.section), 1, sessions.size()));
+      w.begin_object();
+      w.field("name", m.name);
+      w.field("ph", "C");
+      w.field("ts", m.time * 1e6);
+      w.field("pid", pid);
+      w.key("args").begin_object();
+      w.field("value", m.value);
+      w.end_object();
+      w.end_object();
+    }
+    dropped_samples = registry->dropped_samples();
+  }
+  w.end_array();
+
+  w.key("otherData").begin_object();
+  w.field("clock", "virtual (1 trace us = 1 simulated us)");
+  w.field("spans_dropped_by_tracer",
+          static_cast<std::uint64_t>(tracer.dropped()));
+  w.field("spans_dropped_by_exporter", static_cast<std::uint64_t>(dropped));
+  w.field("samples_dropped_by_registry",
+          static_cast<std::uint64_t>(dropped_samples));
+  w.end_object();
+  w.end_object();
+  os << '\n';
+  return written;
+}
+
+}  // namespace balbench::obs

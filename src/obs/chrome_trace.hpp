@@ -1,0 +1,47 @@
+// Chrome trace_event exporter (DESIGN.md Sec. 10.3).
+//
+// Converts simt::Tracer spans plus obs::Registry metric samples into
+// the Chrome trace_event JSON object format, loadable in
+// chrome://tracing and https://ui.perfetto.dev:
+//
+//   * every tracer session becomes one trace "process" (pid), named by
+//     the session label (a b_eff measurement cell, a b_eff_io chain);
+//   * every simulated rank becomes a "thread" (tid) within its pid;
+//   * every span becomes a complete event (ph "X") whose category is
+//     the tracer legend entry ("compute", "collective", "msg-wait",
+//     "io-write", "io-read");
+//   * every registry sample becomes a counter event (ph "C") attached
+//     to the session that was active when it was recorded.
+//
+// Times: the simulator's virtual seconds are written as trace
+// microseconds (ts/dur fields), so one trace second on screen is one
+// simulated second -- wall-clock never appears.  The export is
+// deterministic: same simulation, byte-identical trace.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "simt/trace.hpp"
+
+namespace balbench::obs {
+
+struct ChromeTraceOptions {
+  /// Label for spans recorded before the first begin_session() (or for
+  /// tracers that never started one).
+  std::string default_session = "run";
+  /// Emit at most this many span events (0 = unlimited); the drop
+  /// count is reported in the trace's otherData block.  Metric samples
+  /// are never dropped by the exporter.
+  std::size_t max_events = 0;
+};
+
+/// Writes the trace_event JSON for `tracer` (and, when non-null, the
+/// counter samples of `registry`) to `os`.  Returns the number of span
+/// events written.
+std::size_t write_chrome_trace(std::ostream& os, const simt::Tracer& tracer,
+                               const Registry* registry = nullptr,
+                               const ChromeTraceOptions& options = {});
+
+}  // namespace balbench::obs

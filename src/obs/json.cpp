@@ -1,0 +1,187 @@
+#include "obs/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace balbench::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\f': out += "\\f"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  if (ec != std::errc{}) return "null";
+  std::string s(buf, ptr);
+  // A bare integer like "3" is valid JSON but loses the "this was a
+  // double" signal for readers; normalize exponent-free integral forms
+  // to "3.0" so records parse back into doubles unambiguously.
+  if (s.find('.') == std::string::npos && s.find('e') == std::string::npos &&
+      s.find("inf") == std::string::npos) {
+    s += ".0";
+  }
+  return s;
+}
+
+JsonWriter::JsonWriter(std::ostream& os, int indent)
+    : os_(os), indent_(indent) {
+  stack_.push_back({Ctx::Top});
+}
+
+JsonWriter::~JsonWriter() {
+  // Unbalanced writers are a programming error, but destructors must
+  // not throw; the written stream is simply left truncated.
+}
+
+void JsonWriter::newline() {
+  if (indent_ <= 0) return;
+  os_ << '\n';
+  for (std::size_t i = 1; i < stack_.size(); ++i) {
+    for (int j = 0; j < indent_; ++j) os_ << ' ';
+  }
+}
+
+void JsonWriter::before_value() {
+  if (done_) throw std::logic_error("JsonWriter: document already complete");
+  Level& top = stack_.back();
+  switch (top.ctx) {
+    case Ctx::Top:
+      break;
+    case Ctx::Object:
+      if (!top.key_pending) {
+        throw std::logic_error("JsonWriter: value without key in object");
+      }
+      top.key_pending = false;
+      return;  // key() already handled separators
+    case Ctx::Array:
+      if (top.has_items) os_ << ',';
+      newline();
+      break;
+  }
+  top.has_items = true;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (done_) throw std::logic_error("JsonWriter: document already complete");
+  Level& top = stack_.back();
+  if (top.ctx != Ctx::Object) {
+    throw std::logic_error("JsonWriter: key outside object");
+  }
+  if (top.key_pending) throw std::logic_error("JsonWriter: key after key");
+  if (top.has_items) os_ << ',';
+  newline();
+  os_ << '"' << json_escape(k) << "\":";
+  if (indent_ > 0) os_ << ' ';
+  top.has_items = true;
+  top.key_pending = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  stack_.push_back({Ctx::Object});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  Level& top = stack_.back();
+  if (top.ctx != Ctx::Object || top.key_pending) {
+    throw std::logic_error("JsonWriter: unbalanced end_object");
+  }
+  const bool had_items = top.has_items;
+  stack_.pop_back();
+  if (had_items) newline();
+  os_ << '}';
+  if (stack_.size() == 1) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  stack_.push_back({Ctx::Array});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  Level& top = stack_.back();
+  if (top.ctx != Ctx::Array) {
+    throw std::logic_error("JsonWriter: unbalanced end_array");
+  }
+  const bool had_items = top.has_items;
+  stack_.pop_back();
+  if (had_items) newline();
+  os_ << ']';
+  if (stack_.size() == 1) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  os_ << '"' << json_escape(v) << '"';
+  if (stack_.size() == 1) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  os_ << json_double(v);
+  if (stack_.size() == 1) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  os_ << v;
+  if (stack_.size() == 1) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  os_ << v;
+  if (stack_.size() == 1) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+  if (stack_.size() == 1) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  os_ << "null";
+  if (stack_.size() == 1) done_ = true;
+  return *this;
+}
+
+}  // namespace balbench::obs

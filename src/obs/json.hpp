@@ -1,0 +1,81 @@
+// Minimal streaming JSON writer with deterministic formatting.
+//
+// Run records, Chrome traces and the regenerated EXPERIMENTS.md tables
+// are all byte-compared across --jobs values and across runs, so the
+// serialization itself must be deterministic: keys are emitted in the
+// order the caller writes them (callers iterate std::map), doubles use
+// the shortest round-trip form (std::to_chars), and escaping follows
+// RFC 8259 (the two mandatory escapes plus \uXXXX for control
+// characters -- unit-tested in tests/obs/json_test.cpp).
+//
+// The writer is purely syntactic: it never reorders, deduplicates or
+// validates keys.  Nesting errors (value without a key inside an
+// object, unbalanced end calls) throw std::logic_error.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace balbench::obs {
+
+/// JSON string escaping per RFC 8259: `"` and `\` are escaped, control
+/// characters below 0x20 become \b \t \n \f \r or \u00XX.  Everything
+/// else (including multi-byte UTF-8 sequences) passes through.
+std::string json_escape(std::string_view s);
+
+/// Shortest round-trip decimal form of a double ("0.1", not
+/// "0.100000000000000006"); infinities and NaN (not valid JSON) are
+/// emitted as null.
+std::string json_double(double v);
+
+class JsonWriter {
+ public:
+  /// `indent` spaces per nesting level; 0 writes compact single-line
+  /// JSON (the record and trace formats use indent 1 for diffability).
+  explicit JsonWriter(std::ostream& os, int indent = 1);
+  ~JsonWriter();
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits the key of the next value; valid only inside an object.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+ private:
+  enum class Ctx { Top, Object, Array };
+  void before_value();
+  void newline();
+
+  std::ostream& os_;
+  int indent_;
+  struct Level {
+    Ctx ctx;
+    bool has_items = false;
+    bool key_pending = false;
+  };
+  std::vector<Level> stack_;
+  bool done_ = false;
+};
+
+}  // namespace balbench::obs

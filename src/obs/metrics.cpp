@@ -1,0 +1,160 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace balbench::obs {
+
+int Histogram::bucket_index(double v) {
+  if (!(v > 0.0)) return 0;  // non-positive and NaN -> underflow bucket
+  if (v < kMinValue) return 1;
+  // frexp gives v = m * 2^e with m in [0.5, 1): the exponent alone
+  // determines the power-of-two bucket, no log() rounding issues.
+  int e_v = 0;
+  int e_min = 0;
+  std::frexp(v, &e_v);
+  std::frexp(kMinValue, &e_min);
+  const int idx = 1 + (e_v - e_min);
+  return std::min(idx, kNumBuckets - 1);
+}
+
+double Histogram::bucket_lower_bound(int i) {
+  if (i <= 0) return 0.0;
+  if (i == 1) return kMinValue;
+  // Reconstruct the power-of-two boundary that bucket_index assigns:
+  // bucket i >= 2 starts where the exponent exceeds kMinValue's by i-1.
+  int e_min = 0;
+  std::frexp(kMinValue, &e_min);
+  return std::ldexp(0.5, e_min + i - 1);
+}
+
+void Histogram::observe(double v) {
+  buckets_[static_cast<std::size_t>(bucket_index(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  if (v > 0.0) sum_.fetch_add(v, std::memory_order_relaxed);
+  double cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+Registry::Slot& Registry::slot(const std::string& name, Kind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = names_.find(name);
+  if (it == names_.end()) {
+    Slot s;
+    s.kind = kind;
+    switch (kind) {
+      case Kind::Counter: s.counter = std::make_unique<Counter>(); break;
+      case Kind::Sum: s.sum = std::make_unique<Sum>(); break;
+      case Kind::Gauge: s.gauge = std::make_unique<Gauge>(); break;
+      case Kind::Histogram: s.histogram = std::make_unique<Histogram>(); break;
+    }
+    it = names_.emplace(name, std::move(s)).first;
+  } else if (it->second.kind != kind) {
+    throw std::logic_error("obs::Registry: metric '" + name +
+                           "' already registered with a different type");
+  }
+  return it->second;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  return *slot(name, Kind::Counter).counter;
+}
+Sum& Registry::sum(const std::string& name) {
+  return *slot(name, Kind::Sum).sum;
+}
+Gauge& Registry::gauge(const std::string& name) {
+  return *slot(name, Kind::Gauge).gauge;
+}
+Histogram& Registry::histogram(const std::string& name) {
+  return *slot(name, Kind::Histogram).histogram;
+}
+
+void Registry::sample(const std::string& name, double time, double value) {
+  if (!sampling()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (samples_.size() >= max_samples_) {
+    dropped_samples_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  samples_.push_back(MetricSample{section_.load(std::memory_order_relaxed),
+                                  time, value, name});
+}
+
+void Registry::begin_section() {
+  section_.fetch_add(1, std::memory_order_relaxed);
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, s] : names_) {
+    switch (s.kind) {
+      case Kind::Counter:
+        out.counters[name] = s.counter->value();
+        break;
+      case Kind::Sum:
+        out.sums[name] = s.sum->value();
+        break;
+      case Kind::Gauge:
+        out.gauges[name] = s.gauge->value();
+        break;
+      case Kind::Histogram: {
+        HistogramData h;
+        h.count = s.histogram->count();
+        h.sum = s.histogram->sum();
+        h.max = s.histogram->max();
+        for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+          const std::uint64_t c = s.histogram->bucket(i);
+          if (c > 0) h.buckets.emplace_back(i, c);
+        }
+        out.histograms[name] = std::move(h);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<MetricSample> Registry::samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [k, v] : other.counters) counters[k] += v;
+  for (const auto& [k, v] : other.sums) sums[k] += v;
+  for (const auto& [k, v] : other.gauges) {
+    auto [it, inserted] = gauges.emplace(k, v);
+    if (!inserted) it->second = std::max(it->second, v);
+  }
+  for (const auto& [k, v] : other.histograms) {
+    HistogramData& h = histograms[k];
+    h.count += v.count;
+    h.sum += v.sum;
+    h.max = std::max(h.max, v.max);
+    // Merge the sparse bucket lists (both are ascending in index).
+    std::vector<std::pair<int, std::uint64_t>> merged;
+    merged.reserve(h.buckets.size() + v.buckets.size());
+    auto a = h.buckets.begin();
+    auto b = v.buckets.begin();
+    while (a != h.buckets.end() || b != v.buckets.end()) {
+      if (b == v.buckets.end() ||
+          (a != h.buckets.end() && a->first < b->first)) {
+        merged.push_back(*a++);
+      } else if (a == h.buckets.end() || b->first < a->first) {
+        merged.push_back(*b++);
+      } else {
+        merged.emplace_back(a->first, a->second + b->second);
+        ++a;
+        ++b;
+      }
+    }
+    h.buckets = std::move(merged);
+  }
+}
+
+}  // namespace balbench::obs

@@ -129,6 +129,15 @@ void File::submit_blocking(const pfsim::FileSystem::Request& req) {
   if (auto* tracer = sim.tracer()) {
     tracer->record(t0, sim.wtime(), comm_->rank(), req.write ? 'W' : 'R');
   }
+  if (auto* m = sim.metrics()) {
+    // Units: simulated bytes; `pario.call_seconds` observes the
+    // *virtual* wall time of one blocking library call (includes queue
+    // wait at the servers, not just transfer).
+    m->counter("pario.calls").add(static_cast<std::uint64_t>(req.chunks));
+    m->counter(req.write ? "pario.bytes_written" : "pario.bytes_read")
+        .add(static_cast<std::uint64_t>(req.bytes));
+    m->histogram("pario.call_seconds").observe(sim.wtime() - t0);
+  }
 }
 
 void File::write(std::int64_t bytes, std::int64_t chunks) {
@@ -355,6 +364,7 @@ void File::sync() {
     proc.wake();
   });
   while (!done) proc.block();
+  if (auto* m = sim.metrics()) m->counter("pario.syncs").add(1);
   if (collective_) comm_->barrier();
 }
 

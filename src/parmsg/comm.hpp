@@ -27,6 +27,10 @@
 #include <string>
 #include <vector>
 
+namespace balbench::obs {
+class Registry;
+}  // namespace balbench::obs
+
 namespace balbench::parmsg {
 
 /// Per-call software costs charged by the simulation transport.
@@ -138,6 +142,17 @@ class Transport {
   [[nodiscard]] virtual int max_processes() const = 0;
 
   virtual void run(int nprocs, const std::function<void(Comm&)>& body) = 0;
+
+  /// Attaches a metrics registry: subsequent runs record transport and
+  /// subsystem metrics into it (obs taxonomy, DESIGN.md Sec. 10.1);
+  /// nullptr detaches.  Default: observability not supported, no-op.
+  virtual void attach_metrics(obs::Registry* /*registry*/) {}
+  /// The attached registry, or nullptr.
+  [[nodiscard]] virtual obs::Registry* metrics() const { return nullptr; }
+
+  /// Labels the next run() for trace/metrics sessions (e.g. the sweep
+  /// cell name); consumed by the next run.  No-op by default.
+  virtual void label_next_session(const std::string& /*label*/) {}
 
   [[nodiscard]] virtual std::string describe() const = 0;
 };

@@ -77,10 +77,42 @@ struct SimRun {
     box.arrived[{src, tag}].push_back(std::move(arrival));
   }
 
+  /// Metric handles resolved once per run (registration takes the
+  /// registry mutex; the per-call increments are wait-free atomics).
+  /// All quantities are virtual-time / simulated -- safe for run
+  /// records under the determinism invariant of DESIGN.md Sec. 10.2.
+  struct Metrics {
+    obs::Counter* msgs_sent = nullptr;        // parmsg.msgs_sent
+    obs::Counter* bytes_sent = nullptr;       // parmsg.bytes_sent (simulated bytes)
+    obs::Counter* barriers = nullptr;         // parmsg.barrier_calls
+    obs::Counter* bcasts = nullptr;           // parmsg.bcast_calls
+    obs::Counter* reduces = nullptr;          // parmsg.allreduce_calls
+    obs::Counter* alltoallvs = nullptr;       // parmsg.alltoallv_calls
+    obs::Histogram* wait_seconds = nullptr;    // parmsg.wait_seconds (virtual)
+    obs::Histogram* barrier_seconds = nullptr; // parmsg.barrier_seconds (virtual)
+    obs::Sum* compute_seconds = nullptr;       // parmsg.compute_seconds (virtual)
+  };
+
+  void attach_metrics(obs::Registry* r) {
+    registry = r;
+    if (r == nullptr) return;
+    metrics.msgs_sent = &r->counter("parmsg.msgs_sent");
+    metrics.bytes_sent = &r->counter("parmsg.bytes_sent");
+    metrics.barriers = &r->counter("parmsg.barrier_calls");
+    metrics.bcasts = &r->counter("parmsg.bcast_calls");
+    metrics.reduces = &r->counter("parmsg.allreduce_calls");
+    metrics.alltoallvs = &r->counter("parmsg.alltoallv_calls");
+    metrics.wait_seconds = &r->histogram("parmsg.wait_seconds");
+    metrics.barrier_seconds = &r->histogram("parmsg.barrier_seconds");
+    metrics.compute_seconds = &r->sum("parmsg.compute_seconds");
+  }
+
   simt::Engine engine;
   const CommCosts& costs;
   int nprocs;
   simt::Tracer* tracer = nullptr;
+  obs::Registry* registry = nullptr;
+  Metrics metrics;
   net::FlowNetwork flows;
   std::vector<Mailbox> mailboxes;
 
@@ -107,12 +139,16 @@ int SimComm::size() const { return run_.nprocs; }
 double SimComm::wtime() { return run_.engine.now(); }
 simt::Engine& SimComm::engine() { return run_.engine; }
 simt::Tracer* SimComm::tracer() const { return run_.tracer; }
+obs::Registry* SimComm::metrics() const { return run_.registry; }
 
 void SimComm::advance(double dt) {
   const double t0 = run_.engine.now();
   proc_.sleep(dt);
   if (run_.tracer != nullptr) {
     run_.tracer->record(t0, run_.engine.now(), rank_, 'c');
+  }
+  if (run_.metrics.compute_seconds != nullptr) {
+    run_.metrics.compute_seconds->add(run_.engine.now() - t0);
   }
 }
 
@@ -121,6 +157,10 @@ Request SimComm::isend(int dst, const void* buf, std::size_t n, int tag) {
     throw std::out_of_range("isend: bad destination rank");
   }
   proc_.sleep(run_.costs.send_overhead);
+  if (run_.metrics.msgs_sent != nullptr) {
+    run_.metrics.msgs_sent->add(1);
+    run_.metrics.bytes_sent->add(n);
+  }
 
   SimRun::Arrival arrival;
   arrival.n = n;
@@ -178,8 +218,13 @@ void SimComm::wait(Request& req) {
     st->sim_waiter = nullptr;
     blocked = true;
   }
-  if (blocked && run_.tracer != nullptr) {
-    run_.tracer->record(t0, run_.engine.now(), rank_, 'w');
+  if (blocked) {
+    if (run_.tracer != nullptr) {
+      run_.tracer->record(t0, run_.engine.now(), rank_, 'w');
+    }
+    if (run_.metrics.wait_seconds != nullptr) {
+      run_.metrics.wait_seconds->observe(run_.engine.now() - t0);
+    }
   }
 }
 
@@ -200,9 +245,14 @@ void SimComm::barrier() {
   if (run_.tracer != nullptr) {
     run_.tracer->record(t_enter, run_.engine.now(), rank_, 'b');
   }
+  if (run_.metrics.barriers != nullptr) {
+    run_.metrics.barriers->add(1);
+    run_.metrics.barrier_seconds->observe(run_.engine.now() - t_enter);
+  }
 }
 
 void SimComm::bcast(void* buf, std::size_t n, int root) {
+  if (run_.metrics.bcasts != nullptr) run_.metrics.bcasts->add(1);
   auto& st = run_.bcast_state;
   if (st.arrived == 0) {
     run_.bcast_sinks.clear();
@@ -239,6 +289,7 @@ void SimComm::bcast(void* buf, std::size_t n, int root) {
 }
 
 double SimComm::allreduce(double x, bool want_max) {
+  if (run_.metrics.reduces != nullptr) run_.metrics.reduces->add(1);
   auto& st = run_.reduce_state;
   if (st.arrived == 0) run_.reduce_contrib.clear();
   st.waiting.push_back(&proc_);
@@ -272,6 +323,7 @@ void SimComm::alltoallv(const void* sendbuf, std::span<const std::size_t> scount
                         std::span<const std::size_t> rdispls) {
   // Vector-argument scan: MPI_Alltoallv implementations walk count and
   // displacement arrays of length P on every call.
+  if (run_.metrics.alltoallvs != nullptr) run_.metrics.alltoallvs->add(1);
   proc_.sleep(run_.costs.alltoallv_base +
               run_.costs.alltoallv_per_rank * static_cast<double>(run_.nprocs));
   alltoallv_generic(sendbuf, scounts, sdispls, recvbuf, rcounts, rdispls);
@@ -305,6 +357,14 @@ void SimTransport::set_tracer(std::shared_ptr<simt::Tracer> tracer) {
   }
 }
 
+void SimTransport::attach_metrics(obs::Registry* registry) {
+  metrics_ = registry;
+}
+
+void SimTransport::label_next_session(const std::string& label) {
+  next_session_label_ = label;
+}
+
 void SimTransport::run_with_setup(int nprocs,
                                   const std::function<void(simt::Engine&)>& setup,
                                   const std::function<void(Comm&)>& body) {
@@ -314,6 +374,14 @@ void SimTransport::run_with_setup(int nprocs,
   }
   SimRun run(*topology_, costs_, nprocs);
   run.tracer = tracer_.get();
+  run.attach_metrics(metrics_);
+  // One tracer session and one registry sample section per run, with
+  // the same label: the trace exporter pairs them up by index so 'C'
+  // counter events land in the right Chrome process.
+  const std::string session_label = std::move(next_session_label_);
+  next_session_label_.clear();
+  if (run.tracer != nullptr) run.tracer->begin_session(session_label);
+  if (metrics_ != nullptr) metrics_->begin_section();
   if (setup) setup(run.engine);
   for (int r = 0; r < nprocs; ++r) {
     run.comms.push_back(nullptr);  // placeholder; filled when spawning
@@ -327,6 +395,14 @@ void SimTransport::run_with_setup(int nprocs,
   }
   run.engine.run();
   last_virtual_time_ = run.engine.now();
+  if (metrics_ != nullptr) {
+    // Engine totals are sampled once at session end rather than
+    // incremented inline: the engine must not depend on obs.  All
+    // three are deterministic functions of the simulated configuration.
+    metrics_->counter("simt.events_fired").add(run.engine.events_fired());
+    metrics_->counter("simt.context_switches").add(run.engine.context_switches());
+    metrics_->sum("simt.virtual_seconds").add(run.engine.now());
+  }
 }
 
 std::string SimTransport::describe() const {

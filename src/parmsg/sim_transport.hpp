@@ -9,8 +9,10 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "net/flow.hpp"
+#include "obs/metrics.hpp"
 #include "simt/trace.hpp"
 #include "net/topology.hpp"
 #include "parmsg/comm.hpp"
@@ -46,6 +48,19 @@ class SimTransport final : public Transport {
   void set_tracer(std::shared_ptr<simt::Tracer> tracer);
   [[nodiscard]] simt::Tracer* tracer() const { return tracer_.get(); }
 
+  /// Attach a metrics registry (not owned; must outlive the runs):
+  /// subsequent runs count messages, simulated bytes and collective
+  /// calls, fill the virtual-time wait/barrier histograms, and add the
+  /// engine's event/switch totals at session end -- the parmsg/simt
+  /// rows of the metric taxonomy (DESIGN.md Sec. 10.1).  Zero overhead
+  /// beyond a null check when detached (the default).
+  void attach_metrics(obs::Registry* registry) override;
+  [[nodiscard]] obs::Registry* metrics() const override { return metrics_; }
+
+  /// Names the next run's tracer session / metrics section, e.g.
+  /// "cell 17: ring-2/Sendrecv".  Consumed by that run.
+  void label_next_session(const std::string& label) override;
+
   [[nodiscard]] const net::Topology& topology() const { return *topology_; }
   [[nodiscard]] const CommCosts& costs() const { return costs_; }
 
@@ -56,6 +71,8 @@ class SimTransport final : public Transport {
   CommCosts costs_;
   double last_virtual_time_ = 0.0;
   std::shared_ptr<simt::Tracer> tracer_;
+  obs::Registry* metrics_ = nullptr;
+  std::string next_session_label_;
 };
 
 /// Comm implementation used by SimTransport.  Exposed so that
@@ -86,6 +103,9 @@ class SimComm final : public Comm {
   [[nodiscard]] simt::Process& process() { return proc_; }
   /// Attached tracer, or nullptr (subsystems record I/O spans here).
   [[nodiscard]] simt::Tracer* tracer() const;
+  /// Attached metrics registry, or nullptr (subsystems -- pario --
+  /// record their byte counts and call histograms here).
+  [[nodiscard]] obs::Registry* metrics() const;
   /// Advance this rank's virtual time by `dt` (models CPU-busy work).
   void advance(double dt) override;
 

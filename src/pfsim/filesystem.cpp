@@ -9,6 +9,7 @@
 
 #include "net/flow.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
 
 namespace balbench::pfsim {
 
@@ -89,6 +90,35 @@ FileSystem::FileSystem(simt::Engine& engine, IoSystemConfig config, int num_clie
 }
 
 FileSystem::~FileSystem() = default;
+
+void FileSystem::set_metrics(obs::Registry* registry) {
+  registry_ = registry;
+  if (registry == nullptr) {
+    m_requests_ = m_bytes_written_ = m_bytes_read_ = nullptr;
+    m_cache_hits_ = m_cache_misses_ = m_rmw_chunks_ = nullptr;
+    m_seeks_ = nullptr;
+    m_backlog_ = nullptr;
+    return;
+  }
+  m_requests_ = &registry->counter("pfsim.requests");
+  m_bytes_written_ = &registry->counter("pfsim.bytes_written");
+  m_bytes_read_ = &registry->counter("pfsim.bytes_read");
+  m_cache_hits_ = &registry->counter("pfsim.read_cache_hit_chunks");
+  m_cache_misses_ = &registry->counter("pfsim.read_cache_miss_chunks");
+  m_rmw_chunks_ = &registry->counter("pfsim.rmw_chunks");
+  m_seeks_ = &registry->sum("pfsim.seeks");
+  m_backlog_ = &registry->gauge("pfsim.backlog_seconds");
+}
+
+void FileSystem::note_backlog() {
+  if (m_backlog_ == nullptr) return;
+  double backlog = 0.0;
+  for (const ServerState& s : servers_) {
+    backlog = std::max(backlog, s.busy_until - engine_.now());
+  }
+  m_backlog_->set_max(backlog);
+  registry_->sample("pfsim.backlog_seconds", engine_.now(), backlog);
+}
 
 FileId FileSystem::open(const std::string& name) {
   for (std::size_t i = 0; i < files_.size(); ++i) {
@@ -193,9 +223,13 @@ double FileSystem::disk_work(ServerState& /*server*/, const Request& req,
     extra_bytes += rmw_events * config_.block_size;
     work += 0.25 * config_.disk.seek_time * static_cast<double>(rmw_events);
     stats_.rmw_chunks += rmw_events;
+    if (m_rmw_chunks_ != nullptr) {
+      m_rmw_chunks_->add(static_cast<std::uint64_t>(rmw_events));
+    }
   }
 
   stats_.seeks += seeks;
+  if (m_seeks_ != nullptr) m_seeks_->add(seeks);
   work += seeks * config_.disk.seek_time;
   work += static_cast<double>(server_bytes + extra_bytes) / rate;
   work += static_cast<double>(std::max<std::int64_t>(1, (server_bytes + unit - 1) / unit)) *
@@ -233,6 +267,11 @@ void FileSystem::submit(const Request& req, std::function<void()> done) {
 
   ++stats_.requests;
   (req.write ? stats_.bytes_written : stats_.bytes_read) += req.bytes;
+  if (m_requests_ != nullptr) {
+    m_requests_->add(1);
+    (req.write ? m_bytes_written_ : m_bytes_read_)
+        ->add(static_cast<std::uint64_t>(req.bytes));
+  }
 
   std::vector<std::int64_t> per_server;
   split_by_server(req.offset, req.bytes, per_server);
@@ -287,6 +326,7 @@ void FileSystem::submit(const Request& req, std::function<void()> done) {
             const double done_at =
                 bypass ? server.busy_until
                        : std::max(now, server.busy_until - cache_allowance);
+            note_backlog();
             finish_part(done_at);
           });
     }
@@ -305,6 +345,10 @@ void FileSystem::submit(const Request& req, std::function<void()> done) {
   const bool hit = !bypass && window > 0 && req.offset + req.bytes <= file.tail_end &&
                    req.offset >= file.tail_end - window;
   (hit ? stats_.read_cache_hits : stats_.read_cache_misses) += req.chunks;
+  if (m_cache_hits_ != nullptr) {
+    (hit ? m_cache_hits_ : m_cache_misses_)
+        ->add(static_cast<std::uint64_t>(req.chunks));
+  }
 
   for (int s = 0; s < config_.num_servers; ++s) {
     const std::int64_t b = per_server[static_cast<std::size_t>(s)];
@@ -324,6 +368,7 @@ void FileSystem::submit(const Request& req, std::function<void()> done) {
     } else {
       const double w = disk_work(server, req, b, contiguous, false);
       server.busy_until = std::max(server.busy_until, engine_.now()) + w;
+      note_backlog();
       start_network(server.busy_until);
     }
   }

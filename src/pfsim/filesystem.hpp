@@ -39,6 +39,13 @@ class Topology;
 class FlowNetwork;
 }  // namespace balbench::net
 
+namespace balbench::obs {
+class Counter;
+class Gauge;
+class Registry;
+class Sum;
+}  // namespace balbench::obs
+
 namespace balbench::pfsim {
 
 using FileId = int;
@@ -100,6 +107,14 @@ class FileSystem {
   [[nodiscard]] const Stats& stats() const { return stats_; }
   void reset_stats() { stats_ = Stats{}; }
 
+  /// Attaches a metrics registry (not owned; nullptr detaches): every
+  /// Stats increment is mirrored into `pfsim.*` metrics, and the disk
+  /// backlog (deepest server queue, in virtual seconds) feeds the
+  /// `pfsim.backlog_seconds` gauge plus -- when the registry has
+  /// sampling enabled -- timestamped samples for the Chrome trace.
+  /// All quantities are simulated, so run records stay deterministic.
+  void set_metrics(obs::Registry* registry);
+
  private:
   struct FileState;
   struct ServerState;
@@ -120,10 +135,24 @@ class FileSystem {
   std::unique_ptr<net::Topology> fabric_;
   std::unique_ptr<net::FlowNetwork> flows_;
 
+  /// Records the current deepest server backlog into the gauge/samples.
+  void note_backlog();
+
   std::vector<std::unique_ptr<FileState>> files_;
   std::vector<ServerState> servers_;
   std::int64_t global_clock_ = 0;  // cumulative traffic bytes (cache aging)
   Stats stats_;
+
+  // Metric handles resolved once in set_metrics (see obs/metrics.hpp).
+  obs::Registry* registry_ = nullptr;
+  obs::Counter* m_requests_ = nullptr;
+  obs::Counter* m_bytes_written_ = nullptr;
+  obs::Counter* m_bytes_read_ = nullptr;
+  obs::Counter* m_cache_hits_ = nullptr;
+  obs::Counter* m_cache_misses_ = nullptr;
+  obs::Counter* m_rmw_chunks_ = nullptr;
+  obs::Sum* m_seeks_ = nullptr;
+  obs::Gauge* m_backlog_ = nullptr;
 };
 
 }  // namespace balbench::pfsim

@@ -15,8 +15,13 @@ void Tracer::record(double start, double end, int process, char category,
   spans_.push_back(TraceSpan{start, end, process, category, std::move(label)});
 }
 
+void Tracer::begin_session(std::string label) {
+  sessions_.push_back(TraceSession{spans_.size(), std::move(label)});
+}
+
 void Tracer::clear() {
   spans_.clear();
+  sessions_.clear();
   dropped_ = 0;
 }
 

@@ -37,6 +37,8 @@ struct ThreadPool::Impl {
   const std::function<void(std::size_t)>* body = nullptr;
   std::atomic<std::size_t> remaining{0};
   std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::uint64_t> executed{0};
+  std::atomic<std::uint64_t> batches{0};
 
   // First-by-index exception of the current batch.
   std::size_t error_index = std::numeric_limits<std::size_t>::max();
@@ -76,6 +78,7 @@ struct ThreadPool::Impl {
   }
 
   void execute(std::size_t index) {
+    executed.fetch_add(1, std::memory_order_relaxed);
     try {
       (*body)(index);
     } catch (...) {
@@ -133,10 +136,20 @@ std::uint64_t ThreadPool::steals() const {
   return impl_->steals.load(std::memory_order_relaxed);
 }
 
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  s.tasks_executed = impl_->executed.load(std::memory_order_relaxed);
+  s.steals = impl_->steals.load(std::memory_order_relaxed);
+  s.batches = impl_->batches.load(std::memory_order_relaxed);
+  return s;
+}
+
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
+  impl_->batches.fetch_add(1, std::memory_order_relaxed);
   if (workers_ == 1 || n == 1) {
+    impl_->executed.fetch_add(n, std::memory_order_relaxed);
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }

@@ -62,6 +62,18 @@ class ThreadPool {
   /// were seeded into (diagnostic; 0 in serial pools).
   [[nodiscard]] std::uint64_t steals() const;
 
+  /// Host-side execution statistics.  These describe how the *host*
+  /// scheduled the work (they vary with --jobs, machine load and luck),
+  /// so per the determinism invariant of DESIGN.md Sec. 10.2 they must
+  /// never flow into an obs::Registry that feeds a run record --
+  /// balbench-report prints them to stderr only.
+  struct Stats {
+    std::uint64_t tasks_executed = 0;  // body() invocations completed
+    std::uint64_t steals = 0;          // cross-worker migrations
+    std::uint64_t batches = 0;         // parallel_for calls served
+  };
+  [[nodiscard]] Stats stats() const;
+
  private:
   struct Impl;
   Impl* impl_;

@@ -1,0 +1,187 @@
+// Tests for the Chrome trace_event exporter: event structure, session
+// -> pid mapping, escaping, and an end-to-end run over the simulation
+// transport (every span category of a real run must reach the trace).
+#include "obs/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "net/topology.hpp"
+#include "obs/metrics.hpp"
+#include "parmsg/sim_transport.hpp"
+#include "simt/trace.hpp"
+
+namespace balbench::obs {
+namespace {
+
+int count_occurrences(const std::string& haystack, const std::string& needle) {
+  int n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+/// Structural sanity without a JSON parser: balanced delimiters outside
+/// string literals.
+void expect_balanced(const std::string& json) {
+  int braces = 0, brackets = 0;
+  bool in_string = false, escaped = false;
+  for (char c : json) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++braces; break;
+      case '}': --braces; break;
+      case '[': ++brackets; break;
+      case ']': --brackets; break;
+      default: break;
+    }
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(ChromeTrace, SessionsBecomeProcesses) {
+  simt::Tracer tracer;
+  tracer.describe('c', "compute");
+  tracer.begin_session("cell 0: ring-1/Sendrecv");
+  tracer.record(0.0, 1e-6, 0, 'c');
+  tracer.begin_session("cell 1: ring-1/Alltoallv");
+  tracer.record(0.0, 2e-6, 1, 'c');
+
+  std::ostringstream os;
+  const std::size_t written = write_chrome_trace(os, tracer);
+  const std::string json = os.str();
+  EXPECT_EQ(written, 2u);
+  expect_balanced(json);
+  EXPECT_EQ(count_occurrences(json, "\"process_name\""), 2);
+  EXPECT_NE(json.find("\"cell 0: ring-1/Sendrecv\""), std::string::npos);
+  EXPECT_NE(json.find("\"cell 1: ring-1/Alltoallv\""), std::string::npos);
+  // The second session's span carries pid 2.
+  EXPECT_NE(json.find("\"pid\": 2"), std::string::npos);
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"X\""), 2);
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"M\""), 2);
+}
+
+TEST(ChromeTrace, VirtualSecondsBecomeTraceMicroseconds) {
+  simt::Tracer tracer;
+  tracer.begin_session("s");
+  tracer.record(0.25, 0.5, 3, 'w');
+  std::ostringstream os;
+  write_chrome_trace(os, tracer);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"ts\": 250000.0"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 250000.0"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 3"), std::string::npos);
+}
+
+TEST(ChromeTrace, LegendSuppliesCategories) {
+  simt::Tracer tracer;
+  tracer.describe('b', "collective");
+  tracer.begin_session("s");
+  tracer.record(0.0, 1e-6, 0, 'b');
+  tracer.record(1e-6, 2e-6, 0, 'z');  // no legend entry: raw char
+  std::ostringstream os;
+  write_chrome_trace(os, tracer);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"cat\": \"collective\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"z\""), std::string::npos);
+}
+
+TEST(ChromeTrace, RegistrySamplesBecomeCounterEvents) {
+  simt::Tracer tracer;
+  tracer.begin_session("chain 0: scatter");
+  tracer.record(0.0, 1e-6, 0, 'W');
+  Registry reg;
+  reg.enable_sampling(true);
+  reg.begin_section();
+  reg.sample("pfsim.backlog_seconds", 0.25, 0.125);
+
+  std::ostringstream os;
+  write_chrome_trace(os, tracer, &reg);
+  const std::string json = os.str();
+  expect_balanced(json);
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"pfsim.backlog_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\": 0.125"), std::string::npos);
+}
+
+TEST(ChromeTrace, EscapesSessionLabels) {
+  simt::Tracer tracer;
+  tracer.begin_session("label with \"quotes\"\nand newline");
+  tracer.record(0.0, 1e-6, 0, 'c');
+  std::ostringstream os;
+  write_chrome_trace(os, tracer);
+  const std::string json = os.str();
+  expect_balanced(json);
+  EXPECT_NE(json.find("\\\"quotes\\\"\\nand newline"), std::string::npos);
+}
+
+TEST(ChromeTrace, MaxEventsCapReportsDrops) {
+  simt::Tracer tracer;
+  tracer.begin_session("s");
+  for (int i = 0; i < 10; ++i) tracer.record(i * 1e-6, (i + 1) * 1e-6, 0, 'c');
+  ChromeTraceOptions opt;
+  opt.max_events = 4;
+  std::ostringstream os;
+  const std::size_t written = write_chrome_trace(os, tracer, nullptr, opt);
+  EXPECT_EQ(written, 4u);
+  EXPECT_NE(os.str().find("\"spans_dropped_by_exporter\": 6"),
+            std::string::npos);
+}
+
+TEST(ChromeTrace, EndToEndSimulationRun) {
+  // A real transport run must produce compute ('c' via advance),
+  // collective ('b') and message-wait ('w') spans, all reaching the
+  // trace with their legend categories.
+  net::CrossbarParams p;
+  p.processes = 4;
+  parmsg::SimTransport transport(net::make_crossbar(p), parmsg::CommCosts{});
+  auto tracer = std::make_shared<simt::Tracer>();
+  transport.set_tracer(tracer);
+  transport.label_next_session("trace test run");
+  transport.run(4, [](parmsg::Comm& c) {
+    c.advance(1e-6);
+    c.barrier();
+    char buf[64] = {};
+    if (c.rank() == 0) {
+      auto req = c.isend(1, buf, sizeof buf, /*tag=*/7);
+      c.wait(req);
+    } else if (c.rank() == 1) {
+      auto req = c.irecv(0, buf, sizeof buf, /*tag=*/7);
+      c.wait(req);
+    }
+    c.barrier();
+  });
+
+  std::ostringstream os;
+  const std::size_t written = write_chrome_trace(os, *tracer);
+  const std::string json = os.str();
+  EXPECT_GT(written, 0u);
+  expect_balanced(json);
+  EXPECT_NE(json.find("\"trace test run\""), std::string::npos);
+  for (const char* cat : {"compute", "collective"}) {
+    EXPECT_NE(json.find("\"cat\": \"" + std::string(cat) + "\""),
+              std::string::npos)
+        << cat;
+  }
+}
+
+}  // namespace
+}  // namespace balbench::obs

@@ -1,0 +1,108 @@
+// Unit tests for the deterministic JSON writer: RFC 8259 escaping,
+// shortest round-trip doubles, nesting discipline.
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace balbench::obs {
+namespace {
+
+TEST(JsonEscape, MandatoryEscapes) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+}
+
+TEST(JsonEscape, ControlCharacters) {
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape("a\tb"), "a\\tb");
+  EXPECT_EQ(json_escape("a\rb"), "a\\rb");
+  EXPECT_EQ(json_escape("a\bb"), "a\\bb");
+  EXPECT_EQ(json_escape("a\fb"), "a\\fb");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+  EXPECT_EQ(json_escape(std::string(1, '\x1f')), "\\u001f");
+}
+
+TEST(JsonEscape, Utf8PassesThrough) {
+  EXPECT_EQ(json_escape("µs → café"), "µs → café");
+}
+
+TEST(JsonDouble, ShortestRoundTrip) {
+  EXPECT_EQ(json_double(0.1), "0.1");
+  EXPECT_EQ(json_double(0.5), "0.5");
+  EXPECT_EQ(json_double(-2.25), "-2.25");
+}
+
+TEST(JsonDouble, IntegralValuesKeepDoubleness) {
+  EXPECT_EQ(json_double(0.0), "0.0");
+  EXPECT_EQ(json_double(3.0), "3.0");
+  EXPECT_EQ(json_double(-7.0), "-7.0");
+}
+
+TEST(JsonDouble, NonFiniteBecomesNull) {
+  EXPECT_EQ(json_double(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_double(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_double(std::numeric_limits<double>::quiet_NaN()), "null");
+}
+
+TEST(JsonWriter, CompactObject) {
+  std::ostringstream os;
+  JsonWriter w(os, /*indent=*/0);
+  w.begin_object();
+  w.field("name", "b_eff");
+  w.field("nprocs", 64);
+  w.field("bw", 1.5);
+  w.field("ok", true);
+  w.key("tags").begin_array().value("a").value("b").end_array();
+  w.end_object();
+  EXPECT_EQ(os.str(),
+            "{\"name\":\"b_eff\",\"nprocs\":64,\"bw\":1.5,\"ok\":true,"
+            "\"tags\":[\"a\",\"b\"]}");
+}
+
+TEST(JsonWriter, IndentedLayoutIsStable) {
+  std::ostringstream os;
+  JsonWriter w(os, /*indent=*/1);
+  w.begin_object();
+  w.key("a").begin_object();
+  w.field("b", 1);
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(os.str(), "{\n \"a\": {\n  \"b\": 1\n }\n}");
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.begin_object();
+  w.key("o").begin_object().end_object();
+  w.key("a").begin_array().end_array();
+  w.end_object();
+  EXPECT_EQ(os.str(), "{\"o\":{},\"a\":[]}");
+}
+
+TEST(JsonWriter, NestingErrorsThrow) {
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.begin_object();
+  EXPECT_THROW(w.value(1), std::logic_error);  // value without key
+  w.key("k");
+  EXPECT_THROW(w.key("k2"), std::logic_error);  // key after key
+  w.value(1);
+  EXPECT_THROW(w.end_array(), std::logic_error);  // mismatched close
+}
+
+TEST(JsonWriter, EscapesKeysAndValues) {
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.begin_object();
+  w.field("cell \"17\"", "ring\n2");
+  w.end_object();
+  EXPECT_EQ(os.str(), "{\"cell \\\"17\\\"\":\"ring\\n2\"}");
+}
+
+}  // namespace
+}  // namespace balbench::obs

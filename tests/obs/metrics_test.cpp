@@ -1,0 +1,169 @@
+// Unit tests for the obs metrics registry: histogram bucketing
+// (DESIGN.md Sec. 10.1), registry typing, snapshot/merge rules
+// (Sec. 10.2) and the sampling gate.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace balbench::obs {
+namespace {
+
+TEST(Histogram, UnderflowBucketCollectsNonPositive) {
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(-1.0), 0);
+  // Positive values below the resolution floor clamp into bucket 1;
+  // the underflow bucket is reserved for non-positive observations.
+  EXPECT_EQ(Histogram::bucket_index(Histogram::kMinValue / 2), 1);
+}
+
+TEST(Histogram, BucketLowerBoundsRoundTrip) {
+  EXPECT_EQ(Histogram::bucket_lower_bound(0), 0.0);
+  for (int i = 1; i < Histogram::kNumBuckets; ++i) {
+    const double lo = Histogram::bucket_lower_bound(i);
+    EXPECT_EQ(Histogram::bucket_index(lo), i) << "lower bound of bucket " << i;
+    // Just below the lower bound falls into the previous bucket
+    // (bucket 1 also absorbs the positive sub-kMinValue range).
+    if (i >= 2) {
+      EXPECT_EQ(Histogram::bucket_index(lo * 0.999), i - 1) << "bucket " << i;
+    }
+  }
+}
+
+TEST(Histogram, BucketIndexIsMonotonic) {
+  int prev = 0;
+  for (double v = Histogram::kMinValue / 4; v < 1e15; v *= 1.7) {
+    const int i = Histogram::bucket_index(v);
+    EXPECT_GE(i, prev);
+    EXPECT_LT(i, Histogram::kNumBuckets);
+    prev = i;
+  }
+  // The top bucket absorbs out-of-range observations.
+  EXPECT_EQ(Histogram::bucket_index(1e300), Histogram::kNumBuckets - 1);
+}
+
+TEST(Histogram, ObserveTracksMoments) {
+  Histogram h;
+  h.observe(1e-6);
+  h.observe(2e-6);
+  h.observe(4e-6);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 7e-6);
+  EXPECT_DOUBLE_EQ(h.max(), 4e-6);
+  std::uint64_t total = 0;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) total += h.bucket(i);
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(Registry, KindMismatchThrows) {
+  Registry reg;
+  reg.counter("parmsg.msgs_sent").add(1);
+  EXPECT_THROW(reg.gauge("parmsg.msgs_sent"), std::logic_error);
+  EXPECT_THROW(reg.histogram("parmsg.msgs_sent"), std::logic_error);
+  reg.histogram("parmsg.wait_seconds").observe(0.5);
+  EXPECT_THROW(reg.counter("parmsg.wait_seconds"), std::logic_error);
+}
+
+TEST(Registry, HandlesAreStable) {
+  Registry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(2);
+  b.add(3);
+  EXPECT_EQ(reg.counter("x").value(), 5u);
+}
+
+TEST(Registry, SnapshotCapturesAllKinds) {
+  Registry reg;
+  reg.counter("c").add(7);
+  reg.sum("s").add(1.5);
+  reg.gauge("g").set_max(3.0);
+  reg.gauge("g").set_max(2.0);  // keeps the max
+  reg.histogram("h").observe(1e-3);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("c"), 7u);
+  EXPECT_DOUBLE_EQ(snap.sums.at("s"), 1.5);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g"), 3.0);
+  EXPECT_EQ(snap.histograms.at("h").count, 1u);
+  EXPECT_FALSE(snap.empty());
+}
+
+TEST(MetricsSnapshot, MergeFollowsPerKindRules) {
+  Registry a, b;
+  a.counter("n").add(2);
+  b.counter("n").add(3);
+  b.counter("only_b").add(1);
+  a.sum("s").add(0.25);
+  b.sum("s").add(0.5);
+  a.gauge("g").set(4.0);
+  b.gauge("g").set(2.0);
+  a.histogram("h").observe(1e-6);
+  a.histogram("h").observe(1e-6);
+  b.histogram("h").observe(1e-3);
+
+  MetricsSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.counters.at("n"), 5u);      // counters add
+  EXPECT_EQ(merged.counters.at("only_b"), 1u);
+  EXPECT_DOUBLE_EQ(merged.sums.at("s"), 0.75);  // sums add
+  EXPECT_DOUBLE_EQ(merged.gauges.at("g"), 4.0);  // gauges keep the max
+  const HistogramData& h = merged.histograms.at("h");  // bucketwise add
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_DOUBLE_EQ(h.max, 1e-3);
+  std::uint64_t total = 0;
+  for (const auto& [index, count] : h.buckets) total += count;
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(Registry, SamplingIsGated) {
+  Registry reg;
+  reg.sample("pfsim.backlog_seconds", 0.5, 1.0);  // dropped: gate off
+  EXPECT_TRUE(reg.samples().empty());
+
+  reg.enable_sampling(true);
+  reg.begin_section();
+  reg.sample("pfsim.backlog_seconds", 0.5, 1.0);
+  reg.begin_section();
+  reg.sample("pfsim.backlog_seconds", 0.25, 2.0);
+  const auto samples = reg.samples();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].section, 1);
+  EXPECT_EQ(samples[1].section, 2);
+  EXPECT_DOUBLE_EQ(samples[1].value, 2.0);
+  EXPECT_EQ(reg.dropped_samples(), 0u);
+}
+
+TEST(Registry, SampleCapDropsExcess) {
+  Registry reg(/*max_samples=*/4);
+  reg.enable_sampling(true);
+  for (int i = 0; i < 10; ++i) reg.sample("m", i * 0.1, 1.0);
+  EXPECT_EQ(reg.samples().size(), 4u);
+  EXPECT_EQ(reg.dropped_samples(), 6u);
+}
+
+TEST(Registry, ConcurrentIncrementsAreLossless) {
+  Registry reg;
+  Counter& c = reg.counter("n");
+  Sum& s = reg.sum("s");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add(1);
+        s.add(1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(s.value(), static_cast<double>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace balbench::obs

@@ -1,0 +1,96 @@
+// Byte-identity of the report pipeline outputs under host parallelism:
+// the JSON run record and the rendered EXPERIMENTS tables must be
+// byte-for-byte identical at --jobs 1, 2 and 4 (DESIGN.md Sec. 10.2).
+// Uses the Quick scope; the full Doc scope is covered by the
+// doc_drift_guard ctest.
+#include "core/report/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace balbench::report {
+namespace {
+
+struct Rendered {
+  std::string record;
+  std::string markdown;
+};
+
+Rendered render(int jobs) {
+  const ExperimentsData data = run_experiments(Scope::Quick, jobs);
+  const std::string hash = config_hash(Scope::Quick);
+  Rendered out;
+  {
+    std::ostringstream os;
+    // A fixed git_rev: the test compares across jobs, not revisions.
+    write_run_record(os, data, hash, "test-rev");
+    out.record = os.str();
+  }
+  {
+    std::ostringstream os;
+    render_experiments_md(os, data, hash);
+    out.markdown = os.str();
+  }
+  return out;
+}
+
+class RunRecordJobs : public ::testing::Test {
+ protected:
+  static const Rendered& baseline() {
+    static const Rendered r = render(1);
+    return r;
+  }
+};
+
+TEST_F(RunRecordJobs, RecordContainsSchemaAndMetrics) {
+  const std::string& record = baseline().record;
+  EXPECT_NE(record.find("\"schema\": \"balbench-run-record/1\""),
+            std::string::npos);
+  EXPECT_NE(record.find("\"scope\": \"quick\""), std::string::npos);
+  EXPECT_NE(record.find("\"config_hash\": \"" + config_hash(Scope::Quick) +
+                        "\""),
+            std::string::npos);
+  EXPECT_NE(record.find("\"git_rev\": \"test-rev\""), std::string::npos);
+  // Instrumentation from every layer made it into the merged snapshots.
+  for (const char* metric :
+       {"parmsg.msgs_sent", "parmsg.bytes_sent", "parmsg.wait_seconds",
+        "simt.events_fired", "pario.bytes_written", "pfsim.requests"}) {
+    EXPECT_NE(record.find(metric), std::string::npos) << metric;
+  }
+  // Host-side quantities must never leak into a run record.
+  for (const char* banned : {"steals", "wall", "thread"}) {
+    EXPECT_EQ(record.find(banned), std::string::npos) << banned;
+  }
+}
+
+TEST_F(RunRecordJobs, MarkdownContainsStampedTables) {
+  const std::string& md = baseline().markdown;
+  EXPECT_NE(md.find("# EXPERIMENTS"), std::string::npos);
+  EXPECT_NE(md.find("balbench-report --scope quick"), std::string::npos);
+  EXPECT_NE(md.find("config " + config_hash(Scope::Quick)), std::string::npos);
+  EXPECT_NE(md.find("## Table 1"), std::string::npos);
+}
+
+TEST_F(RunRecordJobs, Jobs2IsByteIdentical) {
+  const Rendered r = render(2);
+  EXPECT_EQ(r.record, baseline().record);
+  EXPECT_EQ(r.markdown, baseline().markdown);
+}
+
+TEST_F(RunRecordJobs, Jobs4IsByteIdentical) {
+  const Rendered r = render(4);
+  EXPECT_EQ(r.record, baseline().record);
+  EXPECT_EQ(r.markdown, baseline().markdown);
+}
+
+TEST(ConfigHash, StableAndScopeSensitive) {
+  EXPECT_EQ(config_hash(Scope::Quick), config_hash(Scope::Quick));
+  EXPECT_EQ(config_hash(Scope::Doc), config_hash(Scope::Doc));
+  EXPECT_NE(config_hash(Scope::Quick), config_hash(Scope::Doc));
+  EXPECT_EQ(config_hash(Scope::Doc).size(), 16u);  // 64-bit FNV-1a, hex
+}
+
+}  // namespace
+}  // namespace balbench::report

@@ -1,0 +1,214 @@
+// balbench-report: the observability / reporting front end.
+//
+// Runs the experiments sweep behind EXPERIMENTS.md (report::
+// run_experiments) and emits any combination of:
+//
+//   --record FILE     JSON run record ("balbench-run-record/1"): config
+//                     hash, git revision, per-cell bandwidths, merged
+//                     obs metric snapshots.
+//   --markdown FILE   the regenerated EXPERIMENTS.md.
+//   --check-doc FILE  regenerate in memory and byte-compare against
+//                     FILE; exit 1 and report the first differing line
+//                     on drift.  This is the `doc_drift_guard` ctest.
+//
+// or, independently of the sweep:
+//
+//   --trace FILE      run b_eff (and, where the machine has an I/O
+//                     subsystem, a short b_eff_io) on --machine/--procs
+//                     with a tracer and a sampling metrics registry
+//                     attached, and write a Chrome trace_event JSON
+//                     loadable in chrome://tracing / ui.perfetto.dev.
+//
+// "-" as FILE writes to stdout.  All sweep outputs are byte-identical
+// for every --jobs value (DESIGN.md Sec. 10.2).
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/beff/beff.hpp"
+#include "core/beffio/beffio.hpp"
+#include "core/report/experiments.hpp"
+#include "machines/machines.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "parmsg/sim_transport.hpp"
+#include "simt/trace.hpp"
+#include "util/options.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+using namespace balbench;
+
+/// Writes `text` to `path` ("-" = stdout).  Returns false on I/O error.
+bool spill(const std::string& path, const std::string& text) {
+  if (path == "-") {
+    std::cout << text;
+    return static_cast<bool>(std::cout);
+  }
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+  return static_cast<bool>(out);
+}
+
+int check_doc(const std::string& path, const std::string& rendered) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "balbench-report: cannot read " << path << '\n';
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string committed = buf.str();
+  if (committed == rendered) {
+    std::cerr << "balbench-report: " << path << " is up to date\n";
+    return 0;
+  }
+  // Report the first differing line so the failure is actionable.
+  std::istringstream a(committed), b(rendered);
+  std::string la, lb;
+  int line = 0;
+  for (;;) {
+    ++line;
+    const bool ga = static_cast<bool>(std::getline(a, la));
+    const bool gb = static_cast<bool>(std::getline(b, lb));
+    if (!ga && !gb) break;
+    if (la != lb || ga != gb) {
+      std::cerr << "balbench-report: " << path << " drifted at line " << line
+                << ":\n  committed: " << (ga ? la : "<eof>")
+                << "\n  generated: " << (gb ? lb : "<eof>") << '\n';
+      break;
+    }
+  }
+  std::cerr << "balbench-report: regenerate with\n  balbench-report --scope "
+               "doc --markdown "
+            << path << '\n';
+  return 1;
+}
+
+int write_trace(const std::string& path, const std::string& machine_name,
+                int nprocs) {
+  auto m = machines::machine_by_name(machine_name);
+  parmsg::SimTransport transport(m.make_topology(nprocs), m.costs);
+
+  auto tracer = std::make_shared<simt::Tracer>(std::size_t{1} << 22);
+  obs::Registry registry;
+  registry.enable_sampling(true);
+  transport.set_tracer(tracer);
+  transport.attach_metrics(&registry);
+
+  std::fprintf(stderr, "[trace] b_eff %s, %d procs...\n", machine_name.c_str(),
+               nprocs);
+  beff::BeffOptions beff_opt;
+  beff_opt.memory_per_proc = m.memory_per_proc;
+  beff_opt.measure_analysis = false;
+  beff::run_beff(transport, nprocs, beff_opt);
+
+  if (m.io.has_value()) {
+    // A short b_eff_io run so the trace also shows io-read/io-write
+    // spans; T is far below the official schedule on purpose -- the
+    // trace documents activity structure, not bandwidth numbers.
+    std::fprintf(stderr, "[trace] b_eff_io %s, %d procs...\n",
+                 machine_name.c_str(), nprocs);
+    beffio::BeffIoOptions io_opt;
+    io_opt.scheduled_time = 60.0;
+    io_opt.memory_per_node = m.memory_per_proc;
+    io_opt.file_prefix = m.short_name;
+    beffio::run_beffio(transport, *m.io, nprocs, io_opt);
+  }
+
+  std::ostringstream out;
+  const std::size_t events = obs::write_chrome_trace(out, *tracer, &registry);
+  if (!spill(path, out.str())) {
+    std::cerr << "balbench-report: cannot write " << path << '\n';
+    return 1;
+  }
+  std::fprintf(stderr,
+               "[trace] %zu span events, %zu sessions -> %s "
+               "(open in chrome://tracing or https://ui.perfetto.dev)\n",
+               events, tracer->sessions().size(), path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scope_arg = "doc";
+  std::string record_path;
+  std::string markdown_path;
+  std::string check_path;
+  std::string trace_path;
+  std::string machine = "t3e";
+  std::int64_t procs = 64;
+  std::int64_t jobs = 1;
+  util::Options options(
+      "balbench-report: run the experiments sweep and emit JSON run "
+      "records, the regenerated EXPERIMENTS.md, or Chrome traces");
+  options.add_string("scope", &scope_arg, "sweep size: quick | doc");
+  options.add_string("record", &record_path, "write the JSON run record here");
+  options.add_string("markdown", &markdown_path,
+                     "write the regenerated EXPERIMENTS.md here");
+  options.add_string("check-doc", &check_path,
+                     "byte-compare the regenerated document against this file");
+  options.add_string("trace", &trace_path,
+                     "write a Chrome trace of one run (no sweep)");
+  options.add_string("machine", &machine, "machine for --trace (short name)");
+  options.add_int("procs", &procs, "partition size for --trace");
+  options.add_jobs(&jobs, "the experiments sweep");
+  try {
+    if (!options.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
+  }
+
+  try {
+    if (!trace_path.empty()) {
+      return write_trace(trace_path, machine, static_cast<int>(procs));
+    }
+
+    report::Scope scope;
+    if (scope_arg == "quick") {
+      scope = report::Scope::Quick;
+    } else if (scope_arg == "doc") {
+      scope = report::Scope::Doc;
+    } else {
+      std::cerr << "balbench-report: unknown --scope '" << scope_arg
+                << "' (quick | doc)\n";
+      return 2;
+    }
+    if (record_path.empty() && markdown_path.empty() && check_path.empty()) {
+      markdown_path.assign(1, '-');  // default: render the document to stdout
+    }
+
+    const auto data =
+        report::run_experiments(scope, util::resolve_jobs(jobs));
+    const std::string hash = report::config_hash(scope);
+
+    if (!record_path.empty()) {
+      std::ostringstream out;
+      report::write_run_record(out, data, hash, report::git_revision());
+      if (!spill(record_path, out.str())) {
+        std::cerr << "balbench-report: cannot write " << record_path << '\n';
+        return 1;
+      }
+    }
+    std::string rendered;
+    if (!markdown_path.empty() || !check_path.empty()) {
+      std::ostringstream out;
+      report::render_experiments_md(out, data, hash);
+      rendered = out.str();
+    }
+    if (!markdown_path.empty() && !spill(markdown_path, rendered)) {
+      std::cerr << "balbench-report: cannot write " << markdown_path << '\n';
+      return 1;
+    }
+    if (!check_path.empty()) return check_doc(check_path, rendered);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "balbench-report: " << e.what() << '\n';
+    return 1;
+  }
+}
