@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "core/beff/sizes.hpp"
+#include "obs/prof.hpp"
 #include "parmsg/cart.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
@@ -330,6 +331,9 @@ class CellSweep {
   /// call from concurrent threads as long as each thread uses its own
   /// transport and no cell id is run twice.
   void run_cell(std::size_t i, parmsg::Transport& transport) {
+    // Host wall-clock scope (observe-only, DESIGN.md Sec. 10.2): no-op
+    // unless a profiler is attached; never feeds the result.
+    obs::prof::Scope prof_scope("beff", labels_[i]);
     CellOutput& slot = slots_[i];
     const CellBody& body = cells_[i];
     // Per-cell registry: the cell owns the only reference, so metric

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/prof.hpp"
 #include "pario/file.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -490,6 +491,9 @@ void run_chain(parmsg::SimTransport& transport,
                const BeffIoOptions& options,
                const std::vector<IoPattern>& table, int chain,
                BeffIoResult* result, ChainOutput* out) {
+  // Host wall-clock scope (observe-only, DESIGN.md Sec. 10.2): no-op
+  // unless a profiler is attached; never feeds the result.
+  obs::prof::Scope prof_scope("beffio", chain_name(chain));
   std::unique_ptr<pario::IoContext> ctx;
   // Per-chain registry (see CellSweep::run_cell): the chain owns the
   // only reference, and its snapshot is merged in chain order later.

@@ -9,14 +9,19 @@
 
 #include "machines/machines.hpp"
 #include "obs/json.hpp"
+#include "obs/prof.hpp"
 #include "parmsg/sim_transport.hpp"
+#include "util/hash.hpp"
 #include "util/parallel.hpp"
+#include "util/wallclock.hpp"
 
 namespace balbench::report {
 
 namespace {
 
 constexpr double kMiB = 1024.0 * 1024.0;
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Sweep specification
@@ -101,6 +106,8 @@ std::vector<IoRun> io_specs(Scope scope) {
   add("fig4", "sx5", "SX-5", 4, 600.0, 2LL << 20);
   return v;
 }
+
+namespace {
 
 // ---------------------------------------------------------------------------
 // Formatting helpers for the rendered document
@@ -243,7 +250,25 @@ const char* scope_name(Scope s) {
 // Sweep execution
 // ---------------------------------------------------------------------------
 
-ExperimentsData run_experiments(Scope scope, int jobs) {
+namespace {
+
+/// Verbose progress lines go to stderr only, so the byte-identity
+/// contract on stdout/record/document outputs holds with or without
+/// them.  One fprintf per line (atomic on POSIX) keeps concurrent
+/// cells from interleaving mid-line.
+double log_cell_start(const std::string& what) {
+  std::fprintf(stderr, "[report] start  %s\n", what.c_str());
+  return util::wall_now();
+}
+
+void log_cell_finish(const std::string& what, double t0) {
+  std::fprintf(stderr, "[report] finish %s (%.2fs wall)\n", what.c_str(),
+               util::wall_now() - t0);
+}
+
+}  // namespace
+
+ExperimentsData run_experiments(Scope scope, int jobs, bool verbose) {
   ExperimentsData data;
   data.scope = scope;
   data.beff = beff_specs(scope);
@@ -261,20 +286,26 @@ ExperimentsData run_experiments(Scope scope, int jobs) {
       auto m = machines::machine_by_name(run.key);
       run.memory_per_proc = m.memory_per_proc;
       run.rmax_gflops_per_proc = m.rmax_gflops_per_proc;
-      std::fprintf(stderr, "[report] b_eff %s, %d procs...\n", run.key.c_str(),
-                   run.nprocs);
+      const std::string what =
+          "b_eff " + run.key + ", " + std::to_string(run.nprocs) + " procs";
+      const double t0 = verbose ? log_cell_start(what) : 0.0;
+      obs::prof::Scope prof_scope("cell", what);
       parmsg::SimTransport transport(m.make_topology(run.nprocs), m.costs);
       beff::BeffOptions opt;
       opt.memory_per_proc = m.memory_per_proc;
       opt.measure_analysis = run.first;
       opt.collect_metrics = true;
       run.r = beff::run_beff(transport, run.nprocs, opt);
+      if (verbose) log_cell_finish(what, t0);
     } else if (i < n_beff + n_io) {
       IoRun& run = data.io[i - n_beff];
       auto m = machines::machine_by_name(run.key);
-      std::fprintf(stderr, "[report] b_eff_io %s/%s, %d procs, T=%.0fs...\n",
-                   run.figure.c_str(), run.key.c_str(), run.nprocs,
-                   run.scheduled_seconds);
+      char t_buf[32];
+      std::snprintf(t_buf, sizeof t_buf, "T=%.0fs", run.scheduled_seconds);
+      const std::string what = "b_eff_io " + run.figure + "/" + run.key + ", " +
+                               std::to_string(run.nprocs) + " procs, " + t_buf;
+      const double t0 = verbose ? log_cell_start(what) : 0.0;
+      obs::prof::Scope prof_scope("cell", what);
       parmsg::SimTransport transport(m.make_topology(run.nprocs), m.costs);
       beffio::BeffIoOptions opt;
       opt.scheduled_time = run.scheduled_seconds;
@@ -283,9 +314,13 @@ ExperimentsData run_experiments(Scope scope, int jobs) {
       opt.file_prefix = m.short_name;
       opt.collect_metrics = true;
       run.r = beffio::run_beffio(transport, *m.io, run.nprocs, opt);
+      if (verbose) log_cell_finish(what, t0);
     } else {
       // Paper Sec. 5.4: barrier + broadcast on 32 T3E PEs versus the
       // per-call cost of a small I/O access.
+      const std::string what = "termination-check t3e, 32 procs";
+      const double wall0 = verbose ? log_cell_start(what) : 0.0;
+      obs::prof::Scope prof_scope("cell", what);
       auto m = machines::cray_t3e_900();
       parmsg::SimTransport transport(m.make_topology(32), m.costs);
       transport.run(32, [&](parmsg::Comm& c) {
@@ -296,6 +331,7 @@ ExperimentsData run_experiments(Scope scope, int jobs) {
         if (c.rank() == 0) data.termination_check_seconds = c.wtime() - t0;
       });
       data.io_call_seconds = m.io->request_overhead;
+      if (verbose) log_cell_finish(what, wall0);
     }
   });
   return data;
@@ -327,16 +363,10 @@ std::string describe_config(Scope scope) {
 }  // namespace
 
 std::string config_hash(Scope scope) {
-  // FNV-1a, 64 bit.
-  const std::string text = describe_config(scope);
-  std::uint64_t h = 1469598103934665603ULL;
-  for (unsigned char c : text) {
-    h ^= c;
-    h *= 1099511628211ULL;
-  }
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(h));
-  return buf;
+  // util::fnv1a_hex uses the same FNV-1a 64-bit constants and 16-digit
+  // hex form this function always produced, so hashes stamped into
+  // committed records and EXPERIMENTS.md stay valid.
+  return util::fnv1a_hex(describe_config(scope));
 }
 
 std::string git_revision() {

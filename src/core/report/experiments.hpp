@@ -84,11 +84,22 @@ struct ExperimentsData {
   double io_call_seconds = 0.0;
 };
 
+/// The sweep specification itself: every b_eff (machine, partition)
+/// cell and every b_eff_io (machine, T, partition) cell of `scope`,
+/// with empty results.  Exposed so other drivers (balbench-perf) can
+/// enumerate, subset or label the exact cells the pipeline runs; the
+/// returned order is the pipeline's execution-slot order.
+std::vector<BeffRun> beff_specs(Scope scope);
+std::vector<IoRun> io_specs(Scope scope);
+
 /// Runs the whole sweep with `jobs` host worker threads (outer
 /// parallelism over configurations; each simulation itself is serial).
 /// Metrics collection is always on; every result is byte-identical for
-/// every jobs value.
-ExperimentsData run_experiments(Scope scope, int jobs);
+/// every jobs value.  `verbose` logs per-cell start/finish lines with
+/// host wall times to stderr -- stderr only, so it can never perturb
+/// the byte-compared outputs (asserted by the doc_drift_guard ctest,
+/// which runs with --verbose on).
+ExperimentsData run_experiments(Scope scope, int jobs, bool verbose = false);
 
 /// FNV-1a (64-bit, hex) over the canonical description of the sweep
 /// configuration -- machines, partitions, scheduled times, seeds and

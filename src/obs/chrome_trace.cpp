@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/json.hpp"
+#include "obs/prof.hpp"
 
 namespace balbench::obs {
 
@@ -102,10 +103,39 @@ std::size_t write_chrome_trace(std::ostream& os, const simt::Tracer& tracer,
     }
     dropped_samples = registry->dropped_samples();
   }
+
+  std::size_t wall_spans = 0;
+  if (options.wall_profiler != nullptr) {
+    w.begin_object();
+    w.field("name", "process_name");
+    w.field("ph", "M");
+    w.field("pid", kWallTracePid);
+    w.key("args").begin_object();
+    w.field("name", "wall-clock (host)");
+    w.end_object();
+    w.end_object();
+    for (const auto& s : options.wall_profiler->spans()) {
+      w.begin_object();
+      w.field("name", s.label.empty() ? std::string(s.category) : s.label);
+      w.field("cat", s.category);
+      w.field("ph", "X");
+      w.field("ts", s.start * 1e6);  // host seconds -> trace us
+      w.field("dur", s.dur * 1e6);
+      w.field("pid", kWallTracePid);
+      w.field("tid", static_cast<std::int64_t>(s.thread));
+      w.end_object();
+      ++wall_spans;
+    }
+  }
   w.end_array();
 
   w.key("otherData").begin_object();
   w.field("clock", "virtual (1 trace us = 1 simulated us)");
+  if (options.wall_profiler != nullptr) {
+    w.field("wall_clock",
+            "pid 1000000 spans are host steady_clock us (observe-only)");
+    w.field("wall_spans", static_cast<std::uint64_t>(wall_spans));
+  }
   w.field("spans_dropped_by_tracer",
           static_cast<std::uint64_t>(tracer.dropped()));
   w.field("spans_dropped_by_exporter", static_cast<std::uint64_t>(dropped));

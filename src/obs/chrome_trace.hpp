@@ -17,6 +17,13 @@
 // microseconds (ts/dur fields), so one trace second on screen is one
 // simulated second -- wall-clock never appears.  The export is
 // deterministic: same simulation, byte-identical trace.
+// A wall-clock profiler (obs/prof.hpp) can ride along on a dedicated
+// "wall-clock (host)" process (pid 1000000, far above any session
+// pid), so the host cost of the harness is viewable side by side with
+// the virtual timeline in one Perfetto window.  Wall spans use host
+// microseconds on the same ts axis; they are observe-only and make the
+// trace non-reproducible, which is why they only appear when a
+// profiler is passed in explicitly.
 #pragma once
 
 #include <ostream>
@@ -27,6 +34,10 @@
 
 namespace balbench::obs {
 
+namespace prof {
+class Profiler;
+}  // namespace prof
+
 struct ChromeTraceOptions {
   /// Label for spans recorded before the first begin_session() (or for
   /// tracers that never started one).
@@ -35,7 +46,16 @@ struct ChromeTraceOptions {
   /// count is reported in the trace's otherData block.  Metric samples
   /// are never dropped by the exporter.
   std::size_t max_events = 0;
+  /// When set, this profiler's wall-clock spans are appended on the
+  /// separate "wall" pid (see the header comment).  The trace is then
+  /// no longer byte-reproducible across runs.
+  const prof::Profiler* wall_profiler = nullptr;
 };
+
+/// pid of the wall-clock timeline when ChromeTraceOptions::
+/// wall_profiler is set; sessions use pids 1..N, so the gap keeps the
+/// two namespaces visibly apart in trace viewers.
+inline constexpr std::int64_t kWallTracePid = 1000000;
 
 /// Writes the trace_event JSON for `tracer` (and, when non-null, the
 /// counter samples of `registry`) to `os`.  Returns the number of span

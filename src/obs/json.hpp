@@ -14,6 +14,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -77,5 +79,54 @@ class JsonWriter {
   std::vector<Level> stack_;
   bool done_ = false;
 };
+
+/// Parsed JSON value -- the read side of the records this repo writes
+/// (perf baselines for the balbench-perf regression gate, schema
+/// validation of emitted files).  Strict RFC 8259 subset: no comments,
+/// no trailing commas, objects keep one value per key (last wins) in
+/// std::map order.  All numbers parse as double, which round-trips the
+/// writer's json_double output exactly.
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::Null; }
+
+  /// Typed accessors throw std::runtime_error on a kind mismatch, so
+  /// schema errors in a baseline surface as one catchable message.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& as_array() const;
+  [[nodiscard]] const std::map<std::string, JsonValue>& as_object() const;
+
+  /// Object member lookup; throws if not an object or the key is
+  /// absent.  `find` returns nullptr instead of throwing.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool v);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_array(std::vector<JsonValue> v);
+  static JsonValue make_object(std::map<std::string, JsonValue> v);
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed,
+/// trailing garbage is an error).  Throws std::runtime_error with a
+/// byte offset on malformed input.
+JsonValue parse_json(std::string_view text);
 
 }  // namespace balbench::obs

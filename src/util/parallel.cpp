@@ -8,7 +8,21 @@
 #include <mutex>
 #include <thread>
 
+#include "util/wallclock.hpp"
+
 namespace balbench::util {
+
+namespace {
+std::atomic<PoolObserver*> g_pool_observer{nullptr};
+}  // namespace
+
+void set_pool_observer(PoolObserver* observer) {
+  g_pool_observer.store(observer, std::memory_order_release);
+}
+
+PoolObserver* pool_observer() {
+  return g_pool_observer.load(std::memory_order_acquire);
+}
 
 int hardware_jobs() {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -35,6 +49,8 @@ struct ThreadPool::Impl {
 
   // Batch state, valid while a parallel_for is in flight.
   const std::function<void(std::size_t)>* body = nullptr;
+  PoolObserver* observer = nullptr;  // re-read from the global per batch
+  std::uint64_t batch_id = 0;
   std::atomic<std::size_t> remaining{0};
   std::atomic<std::uint64_t> steals{0};
   std::atomic<std::uint64_t> executed{0};
@@ -77,8 +93,12 @@ struct ThreadPool::Impl {
     return false;
   }
 
-  void execute(std::size_t index) {
+  void execute(std::size_t index, int me, bool stolen) {
     executed.fetch_add(1, std::memory_order_relaxed);
+    // Telemetry is emitted before the remaining-count decrement so the
+    // on_task callback always happens-before parallel_for returns.
+    PoolObserver* obs = observer;
+    const double t0 = obs != nullptr ? wall_now() : 0.0;
     try {
       (*body)(index);
     } catch (...) {
@@ -88,6 +108,7 @@ struct ThreadPool::Impl {
         error = std::current_exception();
       }
     }
+    if (obs != nullptr) obs->on_task(batch_id, index, me, stolen, t0, wall_now());
     if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard<std::mutex> lock(mu);
       cv_done.notify_all();
@@ -96,7 +117,15 @@ struct ThreadPool::Impl {
 
   void drain(int me) {
     std::size_t index;
-    while (try_pop_own(me, &index) || try_steal(me, &index)) execute(index);
+    for (;;) {
+      if (try_pop_own(me, &index)) {
+        execute(index, me, /*stolen=*/false);
+      } else if (try_steal(me, &index)) {
+        execute(index, me, /*stolen=*/true);
+      } else {
+        return;
+      }
+    }
   }
 
   void worker(int me) {
@@ -147,12 +176,38 @@ ThreadPool::Stats ThreadPool::stats() const {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
-  impl_->batches.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t batch =
+      impl_->batches.fetch_add(1, std::memory_order_relaxed) + 1;
+  PoolObserver* obs = pool_observer();
   if (workers_ == 1 || n == 1) {
     impl_->executed.fetch_add(n, std::memory_order_relaxed);
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    if (obs == nullptr) {
+      for (std::size_t i = 0; i < n; ++i) body(i);
+      return;
+    }
+    obs->on_batch_begin(batch, n, 1, wall_now());
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t0 = wall_now();
+      body(i);
+      obs->on_task(batch, i, 0, false, t0, wall_now());
+    }
+    obs->on_batch_end(batch, wall_now());
     return;
   }
+
+  // Publish the batch state *before* seeding the shards: a worker that
+  // wakes late for the previous epoch may pop a freshly seeded index
+  // right away, and the shard mutex it takes to do so must already
+  // order these writes before its read (the seeding loop below is the
+  // release point).  This also keeps `remaining` from being
+  // decremented below zero by such an early pop.
+  impl_->body = &body;
+  impl_->observer = obs;
+  impl_->batch_id = batch;
+  impl_->error_index = std::numeric_limits<std::size_t>::max();
+  impl_->error = nullptr;
+  impl_->remaining.store(n, std::memory_order_release);
+  if (obs != nullptr) obs->on_batch_begin(batch, n, workers_, wall_now());
 
   // Seed each shard with a contiguous block of indices.
   const auto w = static_cast<std::size_t>(workers_);
@@ -164,10 +219,6 @@ void ThreadPool::parallel_for(std::size_t n,
     for (std::size_t i = lo; i < hi; ++i) impl_->shards[s].q.push_back(i);
   }
 
-  impl_->body = &body;
-  impl_->error_index = std::numeric_limits<std::size_t>::max();
-  impl_->error = nullptr;
-  impl_->remaining.store(n, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
     ++impl_->epoch;
@@ -181,7 +232,10 @@ void ThreadPool::parallel_for(std::size_t n,
   impl_->cv_done.wait(lock, [&] {
     return impl_->remaining.load(std::memory_order_acquire) == 0;
   });
+  lock.unlock();
+  if (obs != nullptr) obs->on_batch_end(batch, wall_now());
   impl_->body = nullptr;
+  impl_->observer = nullptr;
   if (impl_->error) {
     auto err = impl_->error;
     impl_->error = nullptr;
@@ -191,12 +245,15 @@ void ThreadPool::parallel_for(std::size_t n,
 
 void parallel_for(int jobs, std::size_t n,
                   const std::function<void(std::size_t)>& body) {
-  if (jobs <= 1 || n <= 1) {
+  if ((jobs <= 1 || n <= 1) && pool_observer() == nullptr) {
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
-  ThreadPool pool(static_cast<int>(
-      std::min<std::size_t>(static_cast<std::size_t>(jobs), n)));
+  // With an observer attached even the serial case goes through a pool
+  // of one so that --jobs 1 sweeps still produce batch/task telemetry
+  // (the one-worker pool runs inline on the caller; Sec. 9 still holds).
+  ThreadPool pool(static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(jobs < 1 ? 1 : jobs), n == 0 ? 1 : n)));
   pool.parallel_for(n, body);
 }
 

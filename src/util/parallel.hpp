@@ -33,6 +33,54 @@
 
 namespace balbench::util {
 
+/// Host-side scheduler telemetry sink (wall-clock observability,
+/// DESIGN.md Sec. 11).  Everything delivered here is host-side --
+/// wall-clock seconds from util::wall_now(), worker ids, steal flags
+/// -- and per the determinism invariant of Sec. 10.2 none of it may
+/// ever flow into a run record or any byte-compared output; observers
+/// report to stderr or to wall-profile files only.  obs::prof::Profiler
+/// is the canonical implementation.
+///
+/// Threading: on_batch_begin/on_batch_end fire on the thread calling
+/// parallel_for; on_task/on_drain fire concurrently from worker
+/// threads.  Implementations must be thread-safe.  An attached
+/// observer must outlive every ThreadPool that ran while it was
+/// attached (the pool destructor joins its workers, so destroying the
+/// pool first is always safe; the transient pools of the free
+/// parallel_for are joined before it returns).
+class PoolObserver {
+ public:
+  virtual ~PoolObserver() = default;
+  /// A parallel_for batch of `n` tasks is starting on `workers` workers.
+  virtual void on_batch_begin(std::uint64_t batch, std::size_t n, int workers,
+                              double start_seconds) {
+    (void)batch, (void)n, (void)workers, (void)start_seconds;
+  }
+  virtual void on_batch_end(std::uint64_t batch, double end_seconds) {
+    (void)batch, (void)end_seconds;
+  }
+  /// body(index) ran on `worker` from start to end; `stolen` means it
+  /// executed outside the shard it was seeded into.  Emitted strictly
+  /// before the task is counted as complete, so every on_task call
+  /// happens-before the owning parallel_for returns -- idle and
+  /// queue-wait time are therefore derivable as
+  /// workers x batch wall - sum(task durations) without any further
+  /// callback racing batch completion.
+  virtual void on_task(std::uint64_t batch, std::size_t index, int worker,
+                       bool stolen, double start_seconds, double end_seconds) {
+    (void)batch, (void)index, (void)worker, (void)stolen;
+    (void)start_seconds, (void)end_seconds;
+  }
+};
+
+/// Attaches the process-wide scheduler observer (nullptr detaches).
+/// Pools re-read the pointer at every parallel_for, so attaching
+/// before a sweep instruments even long-lived pools.  Detached is the
+/// default and costs one relaxed atomic load per batch -- task bodies
+/// pay nothing.
+void set_pool_observer(PoolObserver* observer);
+[[nodiscard]] PoolObserver* pool_observer();
+
 /// Number of hardware threads, at least 1.
 int hardware_jobs();
 

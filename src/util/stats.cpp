@@ -3,7 +3,26 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/rng.hpp"
+
 namespace balbench::util {
+
+namespace {
+
+/// Median of a scratch vector, destroying its order.
+double median_inplace(std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  const double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  const double lo = *std::max_element(
+      v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
 
 double mean(std::span<const double> xs) {
   if (xs.empty()) return 0.0;
@@ -49,6 +68,54 @@ double weighted_mean(std::span<const double> xs, std::span<const double> ws) {
     sw += ws[i];
   }
   return sw > 0.0 ? sxw / sw : 0.0;
+}
+
+double median(std::span<const double> xs) {
+  std::vector<double> v(xs.begin(), xs.end());
+  return median_inplace(v);
+}
+
+double mad(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  const double med = median(xs);
+  std::vector<double> dev;
+  dev.reserve(xs.size());
+  for (double x : xs) dev.push_back(std::fabs(x - med));
+  return median_inplace(dev);
+}
+
+RobustSummary robust_summary(std::span<const double> xs, int resamples,
+                             std::uint64_t seed) {
+  RobustSummary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.median = median(xs);
+  s.mad = mad(xs);
+  s.min = minimum(xs);
+  s.max = maximum(xs);
+  if (xs.size() == 1 || resamples < 2) {
+    s.ci_lo = s.min;
+    s.ci_hi = s.max;
+    return s;
+  }
+  Xoshiro256 rng(seed);
+  std::vector<double> draw(xs.size());
+  std::vector<double> medians;
+  medians.reserve(static_cast<std::size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    for (double& d : draw) d = xs[rng.below(xs.size())];
+    medians.push_back(median_inplace(draw));
+  }
+  std::sort(medians.begin(), medians.end());
+  // Nearest-rank percentiles of the bootstrap distribution.
+  const auto rank = [&](double p) {
+    const auto i = static_cast<std::size_t>(
+        p * static_cast<double>(medians.size() - 1) + 0.5);
+    return medians[std::min(i, medians.size() - 1)];
+  };
+  s.ci_lo = rank(0.025);
+  s.ci_hi = rank(0.975);
+  return s;
 }
 
 void Accumulator::add(double x) {

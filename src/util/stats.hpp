@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -41,6 +42,37 @@ double sum(std::span<const double> xs);
 /// Used by b_eff_io: pattern types averaged with double weight for the
 /// scatter type, access methods with weights 25/25/50.
 double weighted_mean(std::span<const double> xs, std::span<const double> ws);
+
+/// Median of `xs` (the mean of the middle pair for even counts).
+/// Returns 0 for empty input.
+double median(std::span<const double> xs);
+
+/// Median absolute deviation: median(|x_i - median(xs)|).  The raw
+/// MAD, no 1.4826 normal-consistency factor -- balbench-perf reports
+/// it as a robust spread in the sample's own units.  0 for empty input.
+double mad(std::span<const double> xs);
+
+/// Robust repeated-measurement summary for wall-clock samples
+/// (balbench-perf, DESIGN.md Sec. 11).  Hunold & Carpen-Amarie ("MPI
+/// Benchmarking Revisited", PAPERS.md) show min/mean-of-N timing is
+/// untrustworthy under noise; the harness therefore reports the median
+/// with its MAD and a bootstrap confidence interval instead.
+struct RobustSummary {
+  std::size_t count = 0;
+  double median = 0.0;
+  double mad = 0.0;
+  double ci_lo = 0.0;  ///< 95 % percentile-bootstrap CI of the median
+  double ci_hi = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Percentile bootstrap of the median: `resamples` resamples with
+/// replacement, 2.5th/97.5th percentiles of the resampled medians.
+/// Deterministic for a given seed (Xoshiro256), so re-running the
+/// analysis over the same samples reproduces the same interval.
+RobustSummary robust_summary(std::span<const double> xs, int resamples = 2000,
+                             std::uint64_t seed = 2001);
 
 /// Online min/max/mean/sum accumulator for measurement loops.
 class Accumulator {

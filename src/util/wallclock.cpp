@@ -1,0 +1,21 @@
+#include "util/wallclock.hpp"
+
+#include <chrono>
+
+namespace balbench::util {
+
+double wall_now() {
+  using clock = std::chrono::steady_clock;
+  // Thread-safe magic-static: the first caller fixes the epoch.
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration<double>(clock::now() - epoch).count();
+}
+
+void wall_spin(double seconds) {
+  const double until = wall_now() + seconds;
+  while (wall_now() < until) {
+    // spin: steady_clock reads only, no syscall sleep jitter
+  }
+}
+
+}  // namespace balbench::util

@@ -104,5 +104,69 @@ TEST(JsonWriter, EscapesKeysAndValues) {
   EXPECT_EQ(os.str(), "{\"cell \\\"17\\\"\":\"ring\\n2\"}");
 }
 
+
+// ---------------------------------------------------------------------------
+// Parser (the read side: perf baselines, schema validation)
+// ---------------------------------------------------------------------------
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  std::ostringstream os;
+  JsonWriter w(os, 1);
+  w.begin_object();
+  w.field("schema", "balbench-perf-record/1");
+  w.field("n", std::int64_t{42});
+  w.field("x", 0.1);
+  w.field("ok", true);
+  w.key("xs").begin_array().value(1.5).value(-2.0).end_array();
+  w.key("nested").begin_object().field("k", "v\n").end_object();
+  w.end_object();
+
+  const JsonValue doc = parse_json(os.str());
+  EXPECT_EQ(doc.at("schema").as_string(), "balbench-perf-record/1");
+  EXPECT_EQ(doc.at("n").as_number(), 42.0);
+  EXPECT_EQ(doc.at("x").as_number(), 0.1);  // exact: shortest round trip
+  EXPECT_TRUE(doc.at("ok").as_bool());
+  ASSERT_EQ(doc.at("xs").as_array().size(), 2u);
+  EXPECT_EQ(doc.at("xs").as_array()[1].as_number(), -2.0);
+  EXPECT_EQ(doc.at("nested").at("k").as_string(), "v\n");
+}
+
+TEST(JsonParse, LiteralsAndNumbers) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_FALSE(parse_json("false").as_bool());
+  EXPECT_EQ(parse_json("-1.5e3").as_number(), -1500.0);
+  EXPECT_EQ(parse_json("[ ]").as_array().size(), 0u);
+  EXPECT_EQ(parse_json("{ }").as_object().size(), 0u);
+}
+
+TEST(JsonParse, StringEscapesIncludingUnicode) {
+  EXPECT_EQ(parse_json("\"a\\n\\t\\\"b\\\\\"").as_string(), "a\n\t\"b\\");
+  EXPECT_EQ(parse_json("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(parse_json("\"\\u00e9\"").as_string(), "\xc3\xa9");  // e-acute as UTF-8
+}
+
+TEST(JsonParse, MalformedInputThrowsWithOffset) {
+  EXPECT_THROW(parse_json(""), std::runtime_error);
+  EXPECT_THROW(parse_json("{\"a\":1,}"), std::runtime_error);   // trailing comma
+  EXPECT_THROW(parse_json("[1 2]"), std::runtime_error);      // missing comma
+  EXPECT_THROW(parse_json("{\"a\" 1}"), std::runtime_error);   // missing colon
+  EXPECT_THROW(parse_json("1 garbage"), std::runtime_error);  // trailing junk
+  EXPECT_THROW(parse_json("\"unterminated"), std::runtime_error);
+  try {
+    parse_json("[1, nope]");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("byte"), std::string::npos);
+  }
+}
+
+TEST(JsonParse, KindMismatchThrows) {
+  const JsonValue doc = parse_json("{\"a\": [1]}");
+  EXPECT_THROW((void)doc.at("a").as_object(), std::runtime_error);
+  EXPECT_THROW((void)doc.at("missing"), std::runtime_error);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_NE(doc.find("a"), nullptr);
+}
+
 }  // namespace
 }  // namespace balbench::obs

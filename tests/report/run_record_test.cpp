@@ -9,6 +9,9 @@
 
 #include <sstream>
 #include <string>
+#include <string_view>
+
+#include "obs/prof.hpp"
 
 namespace balbench::report {
 namespace {
@@ -83,6 +86,24 @@ TEST_F(RunRecordJobs, Jobs4IsByteIdentical) {
   const Rendered r = render(4);
   EXPECT_EQ(r.record, baseline().record);
   EXPECT_EQ(r.markdown, baseline().markdown);
+}
+
+TEST_F(RunRecordJobs, ProfilerAttachedIsByteIdentical) {
+  // Wall-clock observation must be invisible in the outputs (DESIGN.md
+  // Sec. 11): with a profiler attached the sweep produces the same
+  // bytes, while the profiler itself sees every cell and pool task.
+  obs::prof::Profiler profiler;
+  obs::prof::attach(&profiler);
+  const Rendered r = render(3);
+  obs::prof::attach(nullptr);
+  EXPECT_EQ(r.record, baseline().record);
+  EXPECT_EQ(r.markdown, baseline().markdown);
+  EXPECT_GT(profiler.scheduler().tasks, 0u);
+  bool saw_cell = false;
+  for (const auto& s : profiler.spans()) {
+    if (std::string_view(s.category) == "cell") saw_cell = true;
+  }
+  EXPECT_TRUE(saw_cell);
 }
 
 TEST(ConfigHash, StableAndScopeSensitive) {

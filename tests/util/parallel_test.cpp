@@ -127,3 +127,120 @@ TEST(Parallel, StealsCounterStaysZeroWhenSerial) {
   pool.parallel_for(10, [](std::size_t) {});
   EXPECT_EQ(pool.steals(), 0u);
 }
+
+// ---------------------------------------------------------------------------
+// Steal-path contention (run under the `tsan` preset: these shapes are
+// designed to maximize deque contention, which is exactly where a
+// missing fence in the steal path would surface as a data race).
+// ---------------------------------------------------------------------------
+
+TEST(ParallelContention, ManyTinyCellsUnderHeavyStealing) {
+  // ~20k near-empty cells across 8 workers: each worker drains its own
+  // block almost instantly and then lives on steals, hammering every
+  // victim deque's back end concurrently.
+  const std::size_t n = 20000;
+  std::vector<std::int8_t> hit(n, 0);
+  std::atomic<std::uint64_t> sum{0};
+  bu::ThreadPool pool(8);
+  pool.parallel_for(n, [&](std::size_t i) {
+    hit[i] = 1;
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hit[i], 1) << i;
+  EXPECT_EQ(sum.load(), static_cast<std::uint64_t>(n) * (n - 1) / 2);
+}
+
+TEST(ParallelContention, JobsFarExceedCells) {
+  // 16 workers fighting over 3 cells: most workers wake, find nothing
+  // to pop or steal, and must park again without corrupting the epoch
+  // handshake.  Repeat to catch a racy wake-up path.
+  bu::ThreadPool pool(16);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> ran{0};
+    pool.parallel_for(3, [&](std::size_t) { ran.fetch_add(1); });
+    ASSERT_EQ(ran.load(), 3) << "round " << round;
+  }
+}
+
+TEST(ParallelContention, CellsFarExceedJobsWithUnevenCost) {
+  // 2 workers, 4096 cells with a few heavyweight outliers: the worker
+  // stuck on an outlier forces the other to steal nearly everything.
+  const std::size_t n = 4096;
+  std::vector<double> out(n, 0.0);
+  bu::ThreadPool pool(2);
+  pool.parallel_for(n, [&](std::size_t i) {
+    double acc = 0.0;
+    const int spin = (i % 1000 == 0) ? 20000 : 1;
+    for (int k = 0; k < spin; ++k) acc += std::sqrt(static_cast<double>(k + i));
+    out[i] = acc;
+  });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_GT(out[i], 0.0) << i;
+}
+
+namespace {
+
+/// Counts observer callbacks; the assertions below pin the contract
+/// that obs::prof::Profiler relies on (every task reported exactly
+/// once, before parallel_for returns).
+class CountingObserver final : public bu::PoolObserver {
+ public:
+  void on_batch_begin(std::uint64_t, std::size_t n, int workers,
+                      double) override {
+    begins.fetch_add(1);
+    last_n = n;
+    last_workers = workers;
+  }
+  void on_batch_end(std::uint64_t, double) override { ends.fetch_add(1); }
+  void on_task(std::uint64_t, std::size_t index, int worker, bool stolen,
+               double start, double end) override {
+    tasks.fetch_add(1);
+    if (stolen) stolen_tasks.fetch_add(1);
+    index_sum.fetch_add(index);
+    if (worker < 0 || start > end) bad.fetch_add(1);
+  }
+  std::atomic<int> begins{0}, ends{0};
+  std::atomic<std::uint64_t> tasks{0}, stolen_tasks{0}, index_sum{0}, bad{0};
+  std::size_t last_n = 0;
+  int last_workers = 0;
+};
+
+}  // namespace
+
+TEST(ParallelObserver, EveryTaskReportedExactlyOnce) {
+  CountingObserver obs;
+  bu::set_pool_observer(&obs);
+  const std::size_t n = 5000;
+  bu::ThreadPool pool(4);
+  pool.parallel_for(n, [](std::size_t) {});
+  bu::set_pool_observer(nullptr);
+  EXPECT_EQ(obs.begins.load(), 1);
+  EXPECT_EQ(obs.ends.load(), 1);
+  EXPECT_EQ(obs.tasks.load(), n);  // on_task happens-before return
+  EXPECT_EQ(obs.index_sum.load(), static_cast<std::uint64_t>(n) * (n - 1) / 2);
+  EXPECT_EQ(obs.bad.load(), 0u);
+  EXPECT_EQ(obs.last_n, n);
+  EXPECT_EQ(obs.last_workers, 4);
+}
+
+TEST(ParallelObserver, FreeFunctionRoutesSerialWorkThroughObserver) {
+  // The free parallel_for's serial fast path must not bypass telemetry
+  // when an observer is attached (--jobs 1 profiling would lose cells).
+  CountingObserver obs;
+  bu::set_pool_observer(&obs);
+  bu::parallel_for(1, 17, [](std::size_t) {});
+  bu::set_pool_observer(nullptr);
+  EXPECT_EQ(obs.begins.load(), 1);
+  EXPECT_EQ(obs.ends.load(), 1);
+  EXPECT_EQ(obs.tasks.load(), 17u);
+  EXPECT_EQ(obs.stolen_tasks.load(), 0u);
+}
+
+TEST(ParallelObserver, DetachedByDefaultAndAfterReset) {
+  EXPECT_EQ(bu::pool_observer(), nullptr);
+  CountingObserver obs;
+  bu::set_pool_observer(&obs);
+  EXPECT_EQ(bu::pool_observer(), &obs);
+  bu::set_pool_observer(nullptr);
+  bu::parallel_for(2, 8, [](std::size_t) {});
+  EXPECT_EQ(obs.tasks.load(), 0u);  // nothing observed once detached
+}

@@ -98,3 +98,81 @@ TEST_P(LogavgProperty, BoundedAndScaleEquivariant) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LogavgProperty, ::testing::Range(0, 12));
+
+// ---------------------------------------------------------------------------
+// Robust statistics (median/MAD/bootstrap CI -- the balbench-perf gate)
+// ---------------------------------------------------------------------------
+
+TEST(Stats, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(bu::median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(bu::median(std::vector<double>{4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(bu::median(std::vector<double>{7.0}), 7.0);
+  EXPECT_DOUBLE_EQ(bu::median(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, MedianIgnoresOneWildOutlier) {
+  // The whole reason the perf gate uses medians: one 100x-slow sample
+  // (page cache miss, scheduler hiccup) must not move the estimate.
+  EXPECT_DOUBLE_EQ(bu::median(std::vector<double>{1.0, 1.1, 0.9, 1.0, 100.0}), 1.0);
+}
+
+TEST(Stats, MadBasics) {
+  // xs = {1,2,3,4,100}: median 3, |x - 3| = {2,1,0,1,97}, MAD = 1.
+  EXPECT_DOUBLE_EQ(bu::mad(std::vector<double>{1.0, 2.0, 3.0, 4.0, 100.0}), 1.0);
+  EXPECT_DOUBLE_EQ(bu::mad(std::vector<double>{5.0, 5.0, 5.0}), 0.0);
+}
+
+TEST(Stats, RobustSummaryIsDeterministic) {
+  // Fixed seed, fixed resample count: two calls must agree bitwise, or
+  // the perf gate's pass/fail could depend on the run.
+  const std::vector<double> xs{1.0, 1.2, 0.9, 1.1, 1.05, 0.95, 1.15};
+  const auto a = bu::robust_summary(xs);
+  const auto b = bu::robust_summary(xs);
+  EXPECT_EQ(a.median, b.median);
+  EXPECT_EQ(a.mad, b.mad);
+  EXPECT_EQ(a.ci_lo, b.ci_lo);
+  EXPECT_EQ(a.ci_hi, b.ci_hi);
+}
+
+TEST(Stats, RobustSummaryProperties) {
+  const std::vector<double> xs{1.0, 1.2, 0.9, 1.1, 1.05};
+  const auto s = bu::robust_summary(xs);
+  EXPECT_EQ(s.count, xs.size());
+  EXPECT_DOUBLE_EQ(s.median, 1.05);
+  EXPECT_DOUBLE_EQ(s.min, 0.9);
+  EXPECT_DOUBLE_EQ(s.max, 1.2);
+  // The CI brackets the median and stays inside the sample range (a
+  // bootstrap of the median can never leave the observed values).
+  EXPECT_LE(s.ci_lo, s.median);
+  EXPECT_GE(s.ci_hi, s.median);
+  EXPECT_GE(s.ci_lo, s.min);
+  EXPECT_LE(s.ci_hi, s.max);
+}
+
+TEST(Stats, RobustSummaryTightDataGivesTightCI) {
+  // Identical samples: the bootstrap cannot invent spread.
+  const auto s = bu::robust_summary(std::vector<double>{2.0, 2.0, 2.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.ci_lo, 2.0);
+  EXPECT_DOUBLE_EQ(s.ci_hi, 2.0);
+  EXPECT_DOUBLE_EQ(s.mad, 0.0);
+}
+
+TEST(Stats, RobustSummarySingleSampleFallsBackToRange) {
+  const auto s = bu::robust_summary(std::vector<double>{3.5});
+  EXPECT_DOUBLE_EQ(s.median, 3.5);
+  EXPECT_DOUBLE_EQ(s.ci_lo, 3.5);
+  EXPECT_DOUBLE_EQ(s.ci_hi, 3.5);
+}
+
+TEST(Stats, RobustSummarySeparatesClearlyDifferentPopulations) {
+  // The gate's discriminating power: a 3x shift with small noise must
+  // produce disjoint CIs (this is exactly the perf_gate_smoke setup).
+  std::vector<double> fast, slow;
+  for (int i = 0; i < 5; ++i) {
+    fast.push_back(1.0 + 0.01 * i);
+    slow.push_back(3.0 + 0.01 * i);
+  }
+  const auto f = bu::robust_summary(fast);
+  const auto s = bu::robust_summary(slow);
+  EXPECT_GT(s.ci_lo, f.ci_hi * 1.1);  // regression rule fires
+}

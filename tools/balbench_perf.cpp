@@ -1,0 +1,597 @@
+// balbench-perf: wall-clock performance tracking with a statistically
+// sound regression gate (DESIGN.md Sec. 11).
+//
+// Runs a configurable suite of host-timed cells -- substrate
+// microbenchmarks, the quick-scope EXPERIMENTS sweep cells, and
+// fixed-duration calibration spins -- several times each and emits a
+// perf record ("balbench-perf-record/1" JSON): raw samples plus
+// median, MAD and a bootstrap 95 % confidence interval of the median
+// per cell, stamped with the suite's config hash and the git revision.
+//
+//   --suite S         comma-separated subset of micro,sweep,calib
+//                     (or "all"); default all
+//   --repeat N        recorded samples per cell (default 5)
+//   --warmup N        unrecorded warm-up runs per cell (default 1)
+//   --out FILE        where to write the record (default
+//                     BENCH_PERF.json, "-" = stdout)
+//   --baseline FILE   compare against an earlier record and exit 1 on
+//                     regression (see below)
+//   --threshold X     regression slack as a fraction (default 0.10)
+//   --validate FILE   schema-check an existing record and exit (no
+//                     cells are run)
+//   --handicap ID=F   artificially slow every sample of cell ID by
+//                     factor F (busy-spin); exists so the gate itself
+//                     is testable end to end
+//   --wall-profile F  wall-clock profile of the run (obs/prof.hpp)
+//
+// Median/MAD/bootstrap follow the robust-statistics advice for noisy
+// benchmark environments (Hunold & Carpen-Amarie): the median of a
+// handful of repetitions is far more stable than the mean, and a
+// percentile-bootstrap CI of the median gives an honest "could this
+// just be noise?" band without any normality assumption.
+//
+// The regression rule is CI overlap, not point comparison: cell ID
+// regressed iff current ci_lo > baseline ci_hi * (1 + threshold),
+// i.e. even the optimistic edge of the current run is slower than the
+// pessimistic edge of the baseline plus slack.  A noisy cell widens
+// its own CI and therefore gates itself less aggressively -- the gate
+// never flags what it cannot statistically distinguish.
+//
+// Cells always run serially (timing!), and every number here is HOST
+// wall-clock: per DESIGN.md Sec. 10.2 nothing in this record may ever
+// feed a benchmark result or byte-compared output.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/beff/beff.hpp"
+#include "core/beff/patterns.hpp"
+#include "core/beffio/beffio.hpp"
+#include "core/beffio/pattern_table.hpp"
+#include "core/report/experiments.hpp"
+#include "machines/machines.hpp"
+#include "net/flow.hpp"
+#include "net/topology.hpp"
+#include "obs/json.hpp"
+#include "obs/prof.hpp"
+#include "parmsg/sim_transport.hpp"
+#include "simt/engine.hpp"
+#include "simt/fiber.hpp"
+#include "util/hash.hpp"
+#include "util/options.hpp"
+#include "util/stats.hpp"
+#include "util/wallclock.hpp"
+
+namespace {
+
+using namespace balbench;
+
+/// Sink that keeps cell bodies from being optimized away.
+volatile double g_sink = 0.0;
+
+// ---------------------------------------------------------------------------
+// Cell suites
+// ---------------------------------------------------------------------------
+
+struct Cell {
+  std::string id;     // "suite.name[...]", unique across the run
+  std::string suite;  // "micro" | "sweep" | "calib"
+  std::function<void()> body;
+};
+
+/// Substrate microbenchmarks, mirroring bench/micro_core.cpp but sized
+/// as one-shot cells (each body is one recorded sample).
+std::vector<Cell> micro_cells() {
+  std::vector<Cell> v;
+  auto add = [&](const char* name, std::function<void()> body) {
+    v.push_back(Cell{std::string("micro.") + name, "micro", std::move(body)});
+  };
+  add("fiber_switch", [] {
+    simt::Fiber fiber([] {
+      for (;;) simt::Fiber::suspend();
+    });
+    for (int i = 0; i < 100000; ++i) fiber.resume();
+  });
+  add("engine_dispatch", [] {
+    for (int rep = 0; rep < 8; ++rep) {
+      simt::Engine engine;
+      for (int i = 0; i < 16384; ++i) {
+        engine.schedule_at(static_cast<double>(i), [] {});
+      }
+      engine.run();
+      g_sink = engine.now();
+    }
+  });
+  add("flow_resolve_ring", [] {
+    constexpr int nprocs = 64;
+    net::Torus3DParams p;
+    net::torus_dims_for(nprocs, p.dims);
+    auto topo = net::make_torus3d(p);
+    simt::Engine engine;
+    net::FlowNetwork flows(*topo, engine);
+    for (int i = 0; i < nprocs; ++i) {
+      flows.start_flow(i, (i + 1) % nprocs, 1 << 20, [](simt::Time) {});
+      flows.start_flow(i, (i + nprocs - 1) % nprocs, 1 << 20,
+                       [](simt::Time) {});
+    }
+    engine.run();
+    g_sink = static_cast<double>(flows.resolves());
+  });
+  add("sim_barrier", [] {
+    constexpr int nprocs = 32;
+    net::CrossbarParams p;
+    p.processes = nprocs;
+    parmsg::SimTransport t(net::make_crossbar(p), parmsg::CommCosts{});
+    t.run(nprocs, [](parmsg::Comm& c) {
+      for (int i = 0; i < 10; ++i) c.barrier();
+    });
+  });
+  add("pattern_table", [] {
+    for (int rep = 0; rep < 4; ++rep) {
+      auto table = beffio::pattern_table(8LL << 20);
+      g_sink = static_cast<double>(table.size());
+    }
+  });
+  add("beff_small", [] {
+    auto m = machines::nec_sx5();
+    parmsg::SimTransport t(m.make_topology(4), m.costs);
+    beff::BeffOptions opt;
+    opt.memory_per_proc = m.memory_per_proc;
+    opt.measure_analysis = false;
+    auto r = beff::run_beff(t, 4, opt);
+    g_sink = r.b_eff;
+  });
+  return v;
+}
+
+/// The quick-scope EXPERIMENTS sweep cells, one timed cell per
+/// configuration.  Enumerated from report::beff_specs/io_specs so this
+/// suite tracks the pipeline's real cell set automatically.
+std::vector<Cell> sweep_cells() {
+  std::vector<Cell> v;
+  for (const auto& spec : report::beff_specs(report::Scope::Quick)) {
+    Cell c;
+    c.id = "sweep.beff." + spec.key + ".np" + std::to_string(spec.nprocs);
+    c.suite = "sweep";
+    const std::string key = spec.key;
+    const int nprocs = spec.nprocs;
+    const bool first = spec.first;
+    c.body = [key, nprocs, first] {
+      auto m = machines::machine_by_name(key);
+      parmsg::SimTransport t(m.make_topology(nprocs), m.costs);
+      beff::BeffOptions opt;
+      opt.memory_per_proc = m.memory_per_proc;
+      opt.measure_analysis = first;
+      opt.collect_metrics = true;
+      auto r = beff::run_beff(t, nprocs, opt);
+      g_sink = r.b_eff;
+    };
+    v.push_back(std::move(c));
+  }
+  for (const auto& spec : report::io_specs(report::Scope::Quick)) {
+    Cell c;
+    c.id = "sweep.beffio." + spec.figure + "." + spec.key + ".np" +
+           std::to_string(spec.nprocs);
+    c.suite = "sweep";
+    const std::string key = spec.key;
+    const int nprocs = spec.nprocs;
+    const double scheduled = spec.scheduled_seconds;
+    const std::int64_t cap = spec.mpart_cap;
+    c.body = [key, nprocs, scheduled, cap] {
+      auto m = machines::machine_by_name(key);
+      parmsg::SimTransport t(m.make_topology(nprocs), m.costs);
+      beffio::BeffIoOptions opt;
+      opt.scheduled_time = scheduled;
+      opt.memory_per_node = m.memory_per_proc;
+      opt.mpart_cap = cap;
+      opt.file_prefix = m.short_name;
+      opt.collect_metrics = true;
+      auto r = beffio::run_beffio(t, *m.io, nprocs, opt);
+      g_sink = r.b_eff_io;
+    };
+    v.push_back(std::move(c));
+  }
+  return v;
+}
+
+/// Fixed-duration busy-spins.  Their true cost is known by
+/// construction, which makes them the stable cells the perf-gate smoke
+/// test keys on (a real workload's wall time can swing with machine
+/// load; a calibrated spin cannot, short of clock trouble).
+std::vector<Cell> calib_cells() {
+  std::vector<Cell> v;
+  v.push_back(Cell{"calib.spin_1ms", "calib", [] { util::wall_spin(0.001); }});
+  v.push_back(Cell{"calib.spin_5ms", "calib", [] { util::wall_spin(0.005); }});
+  return v;
+}
+
+/// Parses "--suite micro,calib" (or "all") into the cell list, in
+/// fixed micro -> sweep -> calib order regardless of spelling order.
+std::vector<Cell> select_cells(const std::string& suites, std::string* error) {
+  bool micro = false, sweep = false, calib = false;
+  std::stringstream in(suites);
+  std::string part;
+  while (std::getline(in, part, ',')) {
+    if (part == "all") {
+      micro = sweep = calib = true;
+    } else if (part == "micro") {
+      micro = true;
+    } else if (part == "sweep") {
+      sweep = true;
+    } else if (part == "calib") {
+      calib = true;
+    } else if (!part.empty()) {
+      *error = "unknown suite '" + part + "' (micro | sweep | calib | all)";
+      return {};
+    }
+  }
+  std::vector<Cell> v;
+  if (micro) {
+    auto c = micro_cells();
+    std::move(c.begin(), c.end(), std::back_inserter(v));
+  }
+  if (sweep) {
+    auto c = sweep_cells();
+    std::move(c.begin(), c.end(), std::back_inserter(v));
+  }
+  if (calib) {
+    auto c = calib_cells();
+    std::move(c.begin(), c.end(), std::back_inserter(v));
+  }
+  if (v.empty() && error->empty()) *error = "no suites selected";
+  return v;
+}
+
+/// FNV-1a over the canonical cell list, so a baseline from a different
+/// suite composition is flagged instead of silently part-compared.
+std::string perf_config_hash(const std::vector<Cell>& cells) {
+  std::string text = "balbench-perf/1\n";
+  for (const auto& c : cells) text += "cell " + c.id + "\n";
+  return util::fnv1a_hex(text);
+}
+
+// ---------------------------------------------------------------------------
+// Measurement
+// ---------------------------------------------------------------------------
+
+struct CellResult {
+  std::string id;
+  std::string suite;
+  std::vector<double> samples;  // seconds, in run order
+  util::RobustSummary stats;
+};
+
+/// One "ID=FACTOR" handicap parsed from the command line.
+struct Handicap {
+  std::string id;
+  double factor = 1.0;
+};
+
+bool parse_handicap(const std::string& arg, Handicap* out, std::string* error) {
+  const auto eq = arg.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    *error = "--handicap wants ID=FACTOR, got '" + arg + "'";
+    return false;
+  }
+  out->id = arg.substr(0, eq);
+  try {
+    out->factor = std::stod(arg.substr(eq + 1));
+  } catch (const std::exception&) {
+    out->factor = 0.0;
+  }
+  if (out->factor < 1.0) {
+    *error = "--handicap factor must be >= 1, got '" + arg + "'";
+    return false;
+  }
+  return true;
+}
+
+CellResult run_cell(const Cell& cell, int repeat, int warmup, double handicap,
+                    bool verbose) {
+  CellResult r;
+  r.id = cell.id;
+  r.suite = cell.suite;
+  for (int i = 0; i < warmup; ++i) cell.body();
+  for (int i = 0; i < repeat; ++i) {
+    const double t0 = util::wall_now();
+    {
+      obs::prof::Scope scope("perf", cell.id);
+      cell.body();
+      // The handicap spins for (factor - 1) x the body's own time
+      // INSIDE the sample window, so a handicapped cell really is
+      // slower end to end -- the gate test exercises the same
+      // measurement path as a genuine regression.
+      if (handicap > 1.0) {
+        util::wall_spin((util::wall_now() - t0) * (handicap - 1.0));
+      }
+    }
+    r.samples.push_back(util::wall_now() - t0);
+  }
+  r.stats = util::robust_summary(r.samples);
+  if (verbose) {
+    std::fprintf(stderr, "[perf] %-32s median %.6fs  MAD %.6fs  CI95 [%.6f, %.6f]\n",
+                 cell.id.c_str(), r.stats.median, r.stats.mad, r.stats.ci_lo,
+                 r.stats.ci_hi);
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Record I/O
+// ---------------------------------------------------------------------------
+
+void write_perf_record(std::ostream& os, const std::vector<CellResult>& results,
+                       const std::string& suites, int repeat, int warmup,
+                       const std::string& cfg_hash, const std::string& git_rev) {
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.field("schema", "balbench-perf-record/1");
+  w.field("suite", suites);
+  w.field("repeat", repeat);
+  w.field("warmup", warmup);
+  w.field("config_hash", cfg_hash);
+  w.key("provenance").begin_object();
+  w.field("generator", "balbench-perf");
+  w.field("git_rev", git_rev);
+  w.end_object();
+  w.key("cells").begin_array();
+  for (const auto& r : results) {
+    w.begin_object();
+    w.field("id", r.id);
+    w.field("suite", r.suite);
+    w.key("samples_seconds").begin_array();
+    for (double s : r.samples) w.value(s);
+    w.end_array();
+    w.field("median_seconds", r.stats.median);
+    w.field("mad_seconds", r.stats.mad);
+    w.field("ci95_lo_seconds", r.stats.ci_lo);
+    w.field("ci95_hi_seconds", r.stats.ci_hi);
+    w.field("min_seconds", r.stats.min);
+    w.field("max_seconds", r.stats.max);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+/// What the gate needs from a record on disk.
+struct BaselineCell {
+  std::string id;
+  double median = 0.0;
+  double ci_lo = 0.0;
+  double ci_hi = 0.0;
+};
+
+struct Baseline {
+  std::string config_hash;
+  std::vector<BaselineCell> cells;
+};
+
+/// Parses + schema-checks a perf record; throws std::runtime_error
+/// with a pointed message on any violation (shared by --baseline and
+/// --validate, so "validates" and "is comparable" are the same thing).
+Baseline load_record(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const obs::JsonValue doc = obs::parse_json(buf.str());
+  const std::string& schema = doc.at("schema").as_string();
+  if (schema != "balbench-perf-record/1") {
+    throw std::runtime_error(path + ": schema is '" + schema +
+                             "', want 'balbench-perf-record/1'");
+  }
+  Baseline b;
+  b.config_hash = doc.at("config_hash").as_string();
+  for (const auto& cell : doc.at("cells").as_array()) {
+    BaselineCell c;
+    c.id = cell.at("id").as_string();
+    c.median = cell.at("median_seconds").as_number();
+    c.ci_lo = cell.at("ci95_lo_seconds").as_number();
+    c.ci_hi = cell.at("ci95_hi_seconds").as_number();
+    const auto& samples = cell.at("samples_seconds").as_array();
+    if (samples.empty()) {
+      throw std::runtime_error(path + ": cell " + c.id + " has no samples");
+    }
+    for (const auto& s : samples) (void)s.as_number();
+    if (!(c.ci_lo <= c.median && c.median <= c.ci_hi)) {
+      throw std::runtime_error(path + ": cell " + c.id +
+                               " has an inconsistent CI (lo <= median <= hi "
+                               "violated)");
+    }
+    b.cells.push_back(std::move(c));
+  }
+  if (b.cells.empty()) throw std::runtime_error(path + ": no cells");
+  return b;
+}
+
+/// The gate.  Returns the number of regressed cells; prints one
+/// verdict line per compared cell.
+int compare(const Baseline& base, const std::vector<CellResult>& cur,
+            const std::string& cur_hash, double threshold) {
+  if (base.config_hash != cur_hash) {
+    std::fprintf(stderr,
+                 "[perf] note: baseline config_hash %s != current %s "
+                 "(different suite composition); comparing shared cells only\n",
+                 base.config_hash.c_str(), cur_hash.c_str());
+  }
+  int regressions = 0;
+  std::size_t compared = 0;
+  for (const auto& c : cur) {
+    const BaselineCell* b = nullptr;
+    for (const auto& bc : base.cells) {
+      if (bc.id == c.id) {
+        b = &bc;
+        break;
+      }
+    }
+    if (b == nullptr) {
+      std::fprintf(stderr, "[perf] %-32s not in baseline (new cell, skipped)\n",
+                   c.id.c_str());
+      continue;
+    }
+    ++compared;
+    const double limit = b->ci_hi * (1.0 + threshold);
+    const char* verdict = "ok";
+    if (c.stats.ci_lo > limit) {
+      verdict = "REGRESSION";
+      ++regressions;
+    } else if (c.stats.ci_hi < b->ci_lo) {
+      verdict = "improved";
+    }
+    std::fprintf(stderr,
+                 "[perf] %-32s median %.6fs CI [%.6f, %.6f] vs baseline "
+                 "%.6fs CI [%.6f, %.6f]: %s\n",
+                 c.id.c_str(), c.stats.median, c.stats.ci_lo, c.stats.ci_hi,
+                 b->median, b->ci_lo, b->ci_hi, verdict);
+  }
+  for (const auto& bc : base.cells) {
+    const bool present = std::any_of(cur.begin(), cur.end(),
+                                     [&](const CellResult& c) { return c.id == bc.id; });
+    if (!present) {
+      std::fprintf(stderr, "[perf] %-32s in baseline but not run (skipped)\n",
+                   bc.id.c_str());
+    }
+  }
+  std::fprintf(stderr, "[perf] compared %zu cells, %d regression%s "
+               "(threshold %.0f%%)\n",
+               compared, regressions, regressions == 1 ? "" : "s",
+               100.0 * threshold);
+  return regressions;
+}
+
+bool spill(const std::string& path, const std::string& text) {
+  if (path == "-") {
+    std::cout << text;
+    return static_cast<bool>(std::cout);
+  }
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string suites = "all";
+  std::int64_t repeat = 5;
+  std::int64_t warmup = 1;
+  std::string out_path = "BENCH_PERF.json";
+  std::string baseline_path;
+  double threshold = 0.10;
+  std::string validate_path;
+  std::string handicap_arg;
+  std::string wall_profile_path;
+  bool verbose = false;
+  util::Options options(
+      "balbench-perf: run host-timed benchmark cells, emit a "
+      "balbench-perf-record/1 JSON (median/MAD/bootstrap CI per cell), "
+      "and optionally gate against a baseline record");
+  options.add_string("suite", &suites,
+                     "comma-separated suites: micro | sweep | calib | all");
+  options.add_int("repeat", &repeat, "recorded samples per cell");
+  options.add_int("warmup", &warmup, "unrecorded warm-up runs per cell");
+  options.add_string("out", &out_path, "output record path (- = stdout)");
+  options.add_string("baseline", &baseline_path,
+                     "compare against this record; exit 1 on regression");
+  options.add_double("threshold", &threshold,
+                     "regression slack (fraction of the baseline CI edge)");
+  options.add_string("validate", &validate_path,
+                     "schema-check this record and exit (runs nothing)");
+  options.add_string("handicap", &handicap_arg,
+                     "slow one cell by ID=FACTOR (gate self-test hook)");
+  options.add_string("wall-profile", &wall_profile_path,
+                     "write a wall-clock profile of this run here");
+  options.add_flag("verbose", &verbose, "per-cell statistics on stderr");
+  try {
+    if (!options.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
+  }
+
+  try {
+    if (!validate_path.empty()) {
+      const Baseline b = load_record(validate_path);
+      std::fprintf(stderr,
+                   "[perf] %s: valid balbench-perf-record/1, %zu cells, "
+                   "config_hash %s\n",
+                   validate_path.c_str(), b.cells.size(),
+                   b.config_hash.c_str());
+      return 0;
+    }
+
+    if (repeat < 1 || warmup < 0 || threshold < 0.0) {
+      std::cerr << "balbench-perf: need --repeat >= 1, --warmup >= 0, "
+                   "--threshold >= 0\n";
+      return 2;
+    }
+    std::string error;
+    const std::vector<Cell> cells = select_cells(suites, &error);
+    if (cells.empty()) {
+      std::cerr << "balbench-perf: " << error << '\n';
+      return 2;
+    }
+    Handicap handicap;
+    if (!handicap_arg.empty() &&
+        !parse_handicap(handicap_arg, &handicap, &error)) {
+      std::cerr << "balbench-perf: " << error << '\n';
+      return 2;
+    }
+
+    std::unique_ptr<obs::prof::Profiler> profiler;
+    if (!wall_profile_path.empty()) {
+      profiler = std::make_unique<obs::prof::Profiler>();
+      obs::prof::attach(profiler.get());
+    }
+
+    std::vector<CellResult> results;
+    results.reserve(cells.size());
+    for (const auto& cell : cells) {
+      const double factor = cell.id == handicap.id ? handicap.factor : 1.0;
+      results.push_back(run_cell(cell, static_cast<int>(repeat),
+                                 static_cast<int>(warmup), factor, verbose));
+    }
+
+    if (profiler != nullptr) {
+      obs::prof::attach(nullptr);
+      std::ostringstream out;
+      obs::prof::write_profile(out, *profiler);
+      if (!spill(wall_profile_path, out.str())) {
+        std::cerr << "balbench-perf: cannot write " << wall_profile_path
+                  << '\n';
+      }
+      obs::prof::write_summary(std::cerr, *profiler);
+    }
+
+    const std::string cfg_hash = perf_config_hash(cells);
+    std::ostringstream record;
+    write_perf_record(record, results, suites, static_cast<int>(repeat),
+                      static_cast<int>(warmup), cfg_hash,
+                      report::git_revision());
+    if (!spill(out_path, record.str())) {
+      std::cerr << "balbench-perf: cannot write " << out_path << '\n';
+      return 1;
+    }
+    std::fprintf(stderr, "[perf] %zu cells x %lld samples -> %s\n",
+                 results.size(), static_cast<long long>(repeat),
+                 out_path.c_str());
+
+    if (!baseline_path.empty()) {
+      const Baseline base = load_record(baseline_path);
+      if (compare(base, results, cfg_hash, threshold) > 0) return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "balbench-perf: " << e.what() << '\n';
+    return 1;
+  }
+}

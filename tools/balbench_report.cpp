@@ -19,6 +19,15 @@
 //                     attached, and write a Chrome trace_event JSON
 //                     loadable in chrome://tracing / ui.perfetto.dev.
 //
+// Observe-only extras (stderr / side files, never the byte-compared
+// outputs):
+//
+//   --verbose           per-cell start/finish progress with wall times
+//   --wall-profile FILE wall-clock profile of the harness itself
+//                       ("balbench-wall-profile/1", DESIGN.md Sec. 11);
+//                       with --trace the wall spans also land on the
+//                       trace's dedicated "wall" pid.
+//
 // "-" as FILE writes to stdout.  All sweep outputs are byte-identical
 // for every --jobs value (DESIGN.md Sec. 10.2).
 #include <fstream>
@@ -33,6 +42,7 @@
 #include "machines/machines.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "parmsg/sim_transport.hpp"
 #include "simt/trace.hpp"
 #include "util/options.hpp"
@@ -120,7 +130,13 @@ int write_trace(const std::string& path, const std::string& machine_name,
   }
 
   std::ostringstream out;
-  const std::size_t events = obs::write_chrome_trace(out, *tracer, &registry);
+  obs::ChromeTraceOptions trace_opt;
+  // When profiling is on, the harness's own wall-clock spans ride along
+  // on the dedicated "wall" pid so host cost and virtual timeline are
+  // viewable side by side in one Perfetto window.
+  trace_opt.wall_profiler = obs::prof::current();
+  const std::size_t events =
+      obs::write_chrome_trace(out, *tracer, &registry, trace_opt);
   if (!spill(path, out.str())) {
     std::cerr << "balbench-report: cannot write " << path << '\n';
     return 1;
@@ -131,6 +147,38 @@ int write_trace(const std::string& path, const std::string& machine_name,
                events, tracer->sessions().size(), path.c_str());
   return 0;
 }
+
+/// Owns the optional wall-clock profiler for the whole invocation:
+/// attach on construction, then detach + export on destruction, which
+/// runs after every transient ThreadPool is gone (the profiler must
+/// outlive them, see obs/prof.hpp).  Export failures only warn --
+/// profiles are observe-only and must never change the exit code.
+class ProfileSession {
+ public:
+  ProfileSession(bool enabled, std::string path) : path_(std::move(path)) {
+    if (!enabled) return;
+    profiler_ = std::make_unique<obs::prof::Profiler>();
+    obs::prof::attach(profiler_.get());
+  }
+  ~ProfileSession() {
+    if (profiler_ == nullptr) return;
+    obs::prof::attach(nullptr);
+    if (!path_.empty()) {
+      std::ostringstream out;
+      obs::prof::write_profile(out, *profiler_);
+      if (!spill(path_, out.str())) {
+        std::cerr << "balbench-report: cannot write " << path_ << '\n';
+      }
+    }
+    obs::prof::write_summary(std::cerr, *profiler_);
+  }
+  ProfileSession(const ProfileSession&) = delete;
+  ProfileSession& operator=(const ProfileSession&) = delete;
+
+ private:
+  std::unique_ptr<obs::prof::Profiler> profiler_;
+  std::string path_;
+};
 
 }  // namespace
 
@@ -143,6 +191,15 @@ int main(int argc, char** argv) {
   std::string machine = "t3e";
   std::int64_t procs = 64;
   std::int64_t jobs = 1;
+  bool verbose = false;
+  std::string wall_profile_path;
+  // The `profile` CMake preset builds with BALBENCH_PROFILE, which
+  // turns wall-clock profiling on by default (summary to stderr).
+#ifdef BALBENCH_PROFILE
+  constexpr bool kProfileDefault = true;
+#else
+  constexpr bool kProfileDefault = false;
+#endif
   util::Options options(
       "balbench-report: run the experiments sweep and emit JSON run "
       "records, the regenerated EXPERIMENTS.md, or Chrome traces");
@@ -157,12 +214,21 @@ int main(int argc, char** argv) {
   options.add_string("machine", &machine, "machine for --trace (short name)");
   options.add_int("procs", &procs, "partition size for --trace");
   options.add_jobs(&jobs, "the experiments sweep");
+  options.add_flag("verbose", &verbose,
+                   "log per-cell start/finish lines with wall times to stderr "
+                   "(never perturbs stdout or file outputs)");
+  options.add_string("wall-profile", &wall_profile_path,
+                     "write a wall-clock profile of this invocation "
+                     "(balbench-wall-profile/1 JSON) here");
   try {
     if (!options.parse(argc, argv)) return 0;
   } catch (const std::exception& e) {
     std::cerr << e.what() << '\n';
     return 2;
   }
+
+  ProfileSession profile(kProfileDefault || !wall_profile_path.empty(),
+                         wall_profile_path);
 
   try {
     if (!trace_path.empty()) {
@@ -184,7 +250,7 @@ int main(int argc, char** argv) {
     }
 
     const auto data =
-        report::run_experiments(scope, util::resolve_jobs(jobs));
+        report::run_experiments(scope, util::resolve_jobs(jobs), verbose);
     const std::string hash = report::config_hash(scope);
 
     if (!record_path.empty()) {
