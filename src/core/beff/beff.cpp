@@ -11,6 +11,7 @@
 #include "core/beff/sizes.hpp"
 #include "obs/prof.hpp"
 #include "parmsg/cart.hpp"
+#include "robust/fault.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -321,6 +322,7 @@ class CellSweep {
       slots_[i].bw.resize(result_.sizes.size());
       slots_[i].looplength.resize(result_.sizes.size());
     }
+    if (options_.fault_plan != nullptr) statuses_.resize(cells_.size());
   }
 
   CellSweep(const CellSweep&) = delete;  // cell bodies capture `this`
@@ -329,8 +331,38 @@ class CellSweep {
 
   /// Executes cell `i` as one fresh session of `transport`.  Safe to
   /// call from concurrent threads as long as each thread uses its own
-  /// transport and no cell id is run twice.
+  /// transport and no cell id is run twice.  With a fault plan active
+  /// the cell runs under the plan's retry policy (DESIGN.md Sec. 12.2)
+  /// and its outcome lands in statuses_[i].
   void run_cell(std::size_t i, parmsg::Transport& transport) {
+    if (options_.fault_plan == nullptr) {
+      run_cell_once(i, transport);
+      return;
+    }
+    transport.set_fault_plan(options_.fault_plan);
+    statuses_[i] = robust::run_with_retry(
+        options_.fault_plan->retry,
+        [&](int attempt) {
+          transport.set_fault_attempt(attempt);
+          run_cell_once(i, transport);
+        },
+        [&] { reset_slot(i); });
+    transport.set_fault_plan(nullptr);
+  }
+
+  /// Restores slot `i` to its pre-run state (pre-sized, zeroed) so a
+  /// retry attempt or a final failure never leaks partial results into
+  /// the ordered reduction.
+  void reset_slot(std::size_t i) {
+    CellOutput& slot = slots_[i];
+    slot = CellOutput{};
+    if (i < analysis_base_) {
+      slot.bw.resize(result_.sizes.size());
+      slot.looplength.resize(result_.sizes.size());
+    }
+  }
+
+  void run_cell_once(std::size_t i, parmsg::Transport& transport) {
     // Host wall-clock scope (observe-only, DESIGN.md Sec. 10.2): no-op
     // unless a profiler is attached; never feeds the result.
     obs::prof::Scope prof_scope("beff", labels_[i]);
@@ -343,12 +375,19 @@ class CellSweep {
     if (options_.collect_metrics) transport.attach_metrics(&registry);
     transport.label_next_session("cell " + std::to_string(i) + ": " +
                                  labels_[i]);
-    transport.run(nprocs_, [&](parmsg::Comm& c) {
-      const bool is_root = c.rank() == 0;
-      const double t0 = c.wtime();
-      body(c, is_root ? &slot : nullptr);
-      if (is_root) slot.seconds = c.wtime() - t0;
-    });
+    try {
+      transport.run(nprocs_, [&](parmsg::Comm& c) {
+        const bool is_root = c.rank() == 0;
+        const double t0 = c.wtime();
+        body(c, is_root ? &slot : nullptr);
+        if (is_root) slot.seconds = c.wtime() - t0;
+      });
+    } catch (...) {
+      // The registry dies with this attempt; never leave the transport
+      // pointing at it (the retry layer reuses the transport).
+      if (options_.collect_metrics) transport.attach_metrics(nullptr);
+      throw;
+    }
     if (options_.collect_metrics) {
       transport.attach_metrics(nullptr);
       slot.metrics = registry.snapshot();
@@ -406,6 +445,11 @@ class CellSweep {
     for (const auto& s : slots_) total_seconds += s.seconds;
     result_.benchmark_seconds = total_seconds;
 
+    if (options_.fault_plan != nullptr) {
+      result_.cell_status = std::move(statuses_);
+      result_.cell_labels = labels_;
+    }
+
     if (options_.collect_metrics) {
       // Strictly cell-index-ordered merge: floating-point sums must not
       // depend on which host thread finished first.
@@ -461,6 +505,7 @@ class CellSweep {
   std::vector<CellBody> cells_;
   std::vector<std::string> labels_;  // session label per cell, same index
   std::vector<CellOutput> slots_;
+  std::vector<robust::CellStatus> statuses_;  // sized only with a fault plan
 };
 
 void validate_nprocs(int nprocs, int max_processes) {

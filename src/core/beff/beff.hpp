@@ -40,6 +40,7 @@
 #include "core/beff/patterns.hpp"
 #include "obs/metrics.hpp"
 #include "parmsg/comm.hpp"
+#include "robust/retry.hpp"
 
 namespace balbench::beff {
 
@@ -80,6 +81,15 @@ struct BeffOptions {
   /// recorded quantity is simulated (DESIGN.md Sec. 10.2) the merged
   /// snapshot is byte-identical for every jobs value.
   bool collect_metrics = false;
+
+  /// Deterministic fault plan (robust subsystem; not owned, must
+  /// outlive the run).  When set, every cell runs under the plan's
+  /// retry policy: a throwing cell is retried with a reset slot, a
+  /// cell that exhausts the budget keeps a zeroed slot and the sweep
+  /// completes; per-cell outcomes land in BeffResult::cell_status.
+  /// nullptr (default) leaves the execution path byte-identical to the
+  /// pre-fault code.
+  const robust::FaultPlan* fault_plan = nullptr;
 };
 
 /// Bandwidth of one pattern at one message size.
@@ -134,6 +144,23 @@ struct BeffResult {
   /// Merged per-cell metric snapshots (parmsg.* / simt.* taxonomy);
   /// empty unless BeffOptions::collect_metrics was set.
   obs::MetricsSnapshot metrics;
+
+  /// Per-cell retry outcomes and session labels, indexed by cell id;
+  /// empty unless BeffOptions::fault_plan was set (so fault-free
+  /// results -- and everything serialized from them -- are unchanged).
+  std::vector<robust::CellStatus> cell_status;
+  std::vector<std::string> cell_labels;
+
+  /// Worst outcome over cell_status (Ok when faults were disabled).
+  [[nodiscard]] robust::Outcome worst_outcome() const {
+    robust::Outcome worst = robust::Outcome::Ok;
+    for (const auto& s : cell_status) {
+      if (static_cast<int>(s.outcome) > static_cast<int>(worst)) {
+        worst = s.outcome;
+      }
+    }
+    return worst;
+  }
 
   [[nodiscard]] double per_proc() const { return b_eff / nprocs; }
   [[nodiscard]] double per_proc_at_lmax() const { return b_eff_at_lmax / nprocs; }

@@ -9,6 +9,7 @@
 
 #include "obs/prof.hpp"
 #include "pario/file.hpp"
+#include "robust/fault.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -486,11 +487,11 @@ constexpr int kNumChains = 4;
 /// `result` (chain 0 -> types[0], chain 1 -> types[1], chain 2 ->
 /// types[2..4] + segment_bytes, chain 3 -> random_extension), so
 /// concurrent chains never touch the same memory.
-void run_chain(parmsg::SimTransport& transport,
-               const pfsim::IoSystemConfig& io_config, int nprocs,
-               const BeffIoOptions& options,
-               const std::vector<IoPattern>& table, int chain,
-               BeffIoResult* result, ChainOutput* out) {
+void run_chain_once(parmsg::SimTransport& transport,
+                    const pfsim::IoSystemConfig& io_config, int nprocs,
+                    const BeffIoOptions& options,
+                    const std::vector<IoPattern>& table, int chain,
+                    BeffIoResult* result, ChainOutput* out) {
   // Host wall-clock scope (observe-only, DESIGN.md Sec. 10.2): no-op
   // unless a profiler is attached; never feeds the result.
   obs::prof::Scope prof_scope("beffio", chain_name(chain));
@@ -501,13 +502,7 @@ void run_chain(parmsg::SimTransport& transport,
   if (options.collect_metrics) transport.attach_metrics(&registry);
   transport.label_next_session("chain " + std::to_string(chain) + ": " +
                                chain_name(chain));
-  transport.run_with_setup(
-      nprocs,
-      [&](simt::Engine& engine) {
-        ctx = std::make_unique<pario::IoContext>(engine, io_config, nprocs);
-        if (options.collect_metrics) ctx->fs().set_metrics(&registry);
-      },
-      [&](parmsg::Comm& c) {
+  auto body = [&](parmsg::Comm& c) {
         const bool root = c.rank() == 0;
         Driver driver(c, *ctx, options, table, root ? result : nullptr);
         driver.measure_termination_cost();
@@ -537,11 +532,102 @@ void run_chain(parmsg::SimTransport& transport,
             result->segment_bytes = driver.segment_bytes();
           }
         }
-      });
+  };
+  try {
+    transport.run_with_setup(
+        nprocs,
+        [&](simt::Engine& engine) {
+          ctx = std::make_unique<pario::IoContext>(engine, io_config, nprocs);
+          if (options.collect_metrics) ctx->fs().set_metrics(&registry);
+          // Fault wiring: the transport creates its session injector
+          // before calling setup(), so this is the one spot where the
+          // chain's file system can pick it up (nullptr when faults
+          // are off -- zero behavioral change).
+          ctx->fs().set_fault_injector(transport.session_injector());
+        },
+        body);
+  } catch (...) {
+    // The retry layer reuses this transport for the next attempt;
+    // never leave it pointing at this frame's registry.
+    if (options.collect_metrics) transport.attach_metrics(nullptr);
+    throw;
+  }
   out->stats = ctx->fs().stats();
   if (options.collect_metrics) {
     transport.attach_metrics(nullptr);
     out->metrics = registry.snapshot();
+  }
+}
+
+/// Resets the `result` slots chain `chain` writes (the disjoint-slot
+/// map in run_chain_once's contract) so a retry attempt starts from
+/// the same state the first attempt saw.  A chain that exhausts its
+/// retry budget keeps these zeroed slots: its bandwidth contributions
+/// read as 0 and the aggregation stays finite.
+void reset_chain_slots(BeffIoResult* result, int chain) {
+  switch (chain) {
+    case 0:
+    case 1:
+      for (auto& am : result->access) {
+        auto& slot = am.types[static_cast<std::size_t>(chain)];
+        slot = TypeAccessResult{};
+        slot.type = static_cast<PatternType>(chain);
+      }
+      break;
+    case 2:
+      for (auto& am : result->access) {
+        for (int t = 2; t < kNumPatternTypes; ++t) {
+          auto& slot = am.types[static_cast<std::size_t>(t)];
+          slot = TypeAccessResult{};
+          slot.type = static_cast<PatternType>(t);
+        }
+      }
+      result->segment_bytes = 0;
+      break;
+    case 3:
+      result->random_extension = {};
+      break;
+  }
+}
+
+/// run_chain_once under the fault plan's retry policy (straight call
+/// when faults are off).  `status` receives the chain's outcome and
+/// may be nullptr only when options.fault_plan is nullptr.
+void run_chain(parmsg::SimTransport& transport,
+               const pfsim::IoSystemConfig& io_config, int nprocs,
+               const BeffIoOptions& options,
+               const std::vector<IoPattern>& table, int chain,
+               BeffIoResult* result, ChainOutput* out,
+               robust::CellStatus* status) {
+  if (options.fault_plan == nullptr) {
+    run_chain_once(transport, io_config, nprocs, options, table, chain, result,
+                   out);
+    return;
+  }
+  transport.set_fault_plan(options.fault_plan);
+  *status = robust::run_with_retry(
+      options.fault_plan->retry,
+      [&](int attempt) {
+        transport.set_fault_attempt(attempt);
+        run_chain_once(transport, io_config, nprocs, options, table, chain,
+                       result, out);
+      },
+      [&] {
+        *out = ChainOutput{};
+        reset_chain_slots(result, chain);
+      });
+  transport.set_fault_plan(nullptr);
+}
+
+/// Moves per-chain retry outcomes into the result (fault runs only, so
+/// fault-free results keep the exact pre-fault field contents).
+void attach_chain_status(BeffIoResult* result,
+                         std::vector<robust::CellStatus>&& statuses,
+                         int nchains) {
+  result->chain_status = std::move(statuses);
+  for (int chain = 0; chain < nchains; ++chain) {
+    result->chain_labels.push_back("chain " + std::to_string(chain) + ": " +
+                                   chain_name(chain));
   }
 }
 
@@ -600,11 +686,21 @@ BeffIoResult run_beffio(parmsg::SimTransport& transport,
   const auto table = pattern_table(result.mpart);
   const int nchains = options.include_random_type ? kNumChains : kNumChains - 1;
   std::vector<ChainOutput> outs(static_cast<std::size_t>(nchains));
+  std::vector<robust::CellStatus> statuses;
+  if (options.fault_plan != nullptr) {
+    statuses.resize(static_cast<std::size_t>(nchains));
+  }
   for (int chain = 0; chain < nchains; ++chain) {
     run_chain(transport, io_config, nprocs, options, table, chain, &result,
-              &outs[static_cast<std::size_t>(chain)]);
+              &outs[static_cast<std::size_t>(chain)],
+              options.fault_plan != nullptr
+                  ? &statuses[static_cast<std::size_t>(chain)]
+                  : nullptr);
   }
   finish_beffio(&result, outs);
+  if (options.fault_plan != nullptr) {
+    attach_chain_status(&result, std::move(statuses), nchains);
+  }
   return result;
 }
 
@@ -623,14 +719,23 @@ BeffIoResult run_beffio(const SimTransportFactory& make_transport,
   const auto table = pattern_table(result.mpart);
   const int nchains = options.include_random_type ? kNumChains : kNumChains - 1;
   std::vector<ChainOutput> outs(static_cast<std::size_t>(nchains));
+  std::vector<robust::CellStatus> statuses;
+  if (options.fault_plan != nullptr) {
+    statuses.resize(static_cast<std::size_t>(nchains));
+  }
   util::parallel_for(jobs, static_cast<std::size_t>(nchains),
                      [&](std::size_t chain) {
                        auto transport = make_transport();
                        run_chain(*transport, io_config, nprocs, options, table,
-                                 static_cast<int>(chain), &result,
-                                 &outs[chain]);
+                                 static_cast<int>(chain), &result, &outs[chain],
+                                 options.fault_plan != nullptr
+                                     ? &statuses[chain]
+                                     : nullptr);
                      });
   finish_beffio(&result, outs);
+  if (options.fault_plan != nullptr) {
+    attach_chain_status(&result, std::move(statuses), nchains);
+  }
   return result;
 }
 

@@ -46,6 +46,7 @@
 #include "parmsg/sim_transport.hpp"
 #include "pfsim/config.hpp"
 #include "pfsim/filesystem.hpp"
+#include "robust/retry.hpp"
 
 namespace balbench::beffio {
 
@@ -95,6 +96,15 @@ struct BeffIoOptions {
   /// snapshots are merged in chain order into BeffIoResult::metrics.
   /// Deterministic for every jobs value (DESIGN.md Sec. 10.2).
   bool collect_metrics = false;
+
+  /// Deterministic fault plan (robust subsystem; not owned, must
+  /// outlive the run).  When set, every chain runs under the plan's
+  /// retry policy: a throwing chain is retried with its result slots
+  /// reset, a chain that exhausts the budget keeps zeroed slots and
+  /// the sweep completes; per-chain outcomes land in
+  /// BeffIoResult::chain_status.  nullptr (default) leaves the
+  /// execution path byte-identical to the pre-fault code.
+  const robust::FaultPlan* fault_plan = nullptr;
 };
 
 /// Result of one pattern under one access method.
@@ -143,6 +153,23 @@ struct BeffIoResult {
   /// Merged per-chain metric snapshots (parmsg.* / pario.* / pfsim.* /
   /// simt.* taxonomy); empty unless BeffIoOptions::collect_metrics.
   obs::MetricsSnapshot metrics;
+
+  /// Per-chain retry outcomes and session labels, indexed by chain id;
+  /// empty unless BeffIoOptions::fault_plan was set (so fault-free
+  /// results -- and everything serialized from them -- are unchanged).
+  std::vector<robust::CellStatus> chain_status;
+  std::vector<std::string> chain_labels;
+
+  /// Worst outcome over chain_status (Ok when faults were disabled).
+  [[nodiscard]] robust::Outcome worst_outcome() const {
+    robust::Outcome worst = robust::Outcome::Ok;
+    for (const auto& s : chain_status) {
+      if (static_cast<int>(s.outcome) > static_cast<int>(worst)) {
+        worst = s.outcome;
+      }
+    }
+    return worst;
+  }
 
   [[nodiscard]] const AccessMethodResult& write() const { return access[0]; }
   [[nodiscard]] const AccessMethodResult& rewrite() const { return access[1]; }

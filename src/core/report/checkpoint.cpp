@@ -1,0 +1,521 @@
+#include "core/report/checkpoint.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "util/atomic_write.hpp"
+
+namespace balbench::report {
+
+namespace {
+
+// JsonValue stores every number as double; all journal integers are
+// simulated counts far below 2^53, where this conversion is exact.
+std::int64_t as_i64(const obs::JsonValue& v) {
+  return std::llround(v.as_number());
+}
+std::uint64_t as_u64(const obs::JsonValue& v) {
+  return static_cast<std::uint64_t>(std::llround(v.as_number()));
+}
+int as_int(const obs::JsonValue& v) {
+  return static_cast<int>(std::llround(v.as_number()));
+}
+
+void write_metrics(obs::JsonWriter& w, const obs::MetricsSnapshot& m) {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [k, v] : m.counters) w.field(k, v);
+  w.end_object();
+  w.key("sums").begin_object();
+  for (const auto& [k, v] : m.sums) w.field(k, v);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [k, v] : m.gauges) w.field(k, v);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [k, h] : m.histograms) {
+    w.key(k).begin_object();
+    w.field("count", h.count).field("sum", h.sum).field("max", h.max);
+    w.key("buckets").begin_array();
+    for (const auto& [index, count] : h.buckets) {
+      w.begin_array().value(index).value(count).end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+obs::MetricsSnapshot read_metrics(const obs::JsonValue& v) {
+  obs::MetricsSnapshot m;
+  for (const auto& [k, e] : v.at("counters").as_object()) {
+    m.counters[k] = as_u64(e);
+  }
+  for (const auto& [k, e] : v.at("sums").as_object()) m.sums[k] = e.as_number();
+  for (const auto& [k, e] : v.at("gauges").as_object()) {
+    m.gauges[k] = e.as_number();
+  }
+  for (const auto& [k, e] : v.at("histograms").as_object()) {
+    obs::HistogramData h;
+    h.count = as_u64(e.at("count"));
+    h.sum = e.at("sum").as_number();
+    h.max = e.at("max").as_number();
+    for (const auto& b : e.at("buckets").as_array()) {
+      const auto& pair = b.as_array();
+      h.buckets.emplace_back(as_int(pair.at(0)), as_u64(pair.at(1)));
+    }
+    m.histograms[k] = std::move(h);
+  }
+  return m;
+}
+
+robust::Outcome outcome_from_name(const std::string& s) {
+  if (s == "ok") return robust::Outcome::Ok;
+  if (s == "degraded") return robust::Outcome::Degraded;
+  if (s == "failed") return robust::Outcome::Failed;
+  throw std::runtime_error("checkpoint: unknown outcome '" + s + "'");
+}
+
+void write_status(obs::JsonWriter& w,
+                  const std::vector<robust::CellStatus>& statuses) {
+  w.begin_array();
+  for (const auto& s : statuses) {
+    w.begin_object();
+    w.field("outcome", robust::outcome_name(s.outcome));
+    w.field("attempts", s.attempts);
+    w.field("backoff_s", s.backoff_s);
+    w.field("error", s.error);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+std::vector<robust::CellStatus> read_status(const obs::JsonValue& v) {
+  std::vector<robust::CellStatus> out;
+  for (const auto& e : v.as_array()) {
+    robust::CellStatus s;
+    s.outcome = outcome_from_name(e.at("outcome").as_string());
+    s.attempts = as_int(e.at("attempts"));
+    s.backoff_s = e.at("backoff_s").as_number();
+    s.error = e.at("error").as_string();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void write_strings(obs::JsonWriter& w, const std::vector<std::string>& v) {
+  w.begin_array();
+  for (const auto& s : v) w.value(s);
+  w.end_array();
+}
+
+std::vector<std::string> read_strings(const obs::JsonValue& v) {
+  std::vector<std::string> out;
+  for (const auto& e : v.as_array()) out.push_back(e.as_string());
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// b_eff result round-trip
+// ---------------------------------------------------------------------------
+
+void write_beff_result(obs::JsonWriter& w, const beff::BeffResult& r) {
+  w.begin_object();
+  w.field("kind", "beff");
+  w.field("nprocs", r.nprocs);
+  w.field("lmax", r.lmax);
+  w.key("sizes").begin_array();
+  for (const auto s : r.sizes) w.value(s);
+  w.end_array();
+  w.key("patterns").begin_array();
+  for (const auto& p : r.patterns) {
+    w.begin_object();
+    w.field("name", p.name);
+    w.field("is_random", p.is_random);
+    w.key("sizes").begin_array();
+    for (const auto& s : p.sizes) {
+      w.begin_object();
+      w.field("size", s.size);
+      w.key("method_bw").begin_array();
+      for (const double b : s.method_bw) w.value(b);
+      w.end_array();
+      w.field("best_bw", s.best_bw);
+      w.field("looplength", s.looplength);
+      w.end_object();
+    }
+    w.end_array();
+    w.field("avg_bw", p.avg_bw);
+    w.field("bw_at_lmax", p.bw_at_lmax);
+    w.end_object();
+  }
+  w.end_array();
+  w.field("b_eff", r.b_eff);
+  w.field("rings_logavg", r.rings_logavg);
+  w.field("random_logavg", r.random_logavg);
+  w.field("b_eff_at_lmax", r.b_eff_at_lmax);
+  w.field("rings_logavg_at_lmax", r.rings_logavg_at_lmax);
+  w.field("random_logavg_at_lmax", r.random_logavg_at_lmax);
+  w.key("analysis").begin_object();
+  w.field("pingpong_bw", r.analysis.pingpong_bw);
+  w.field("worst_cycle_bw", r.analysis.worst_cycle_bw);
+  w.field("bisection_paired_bw", r.analysis.bisection_paired_bw);
+  w.field("bisection_interleaved_bw", r.analysis.bisection_interleaved_bw);
+  w.key("cart2d_dims").begin_array();
+  for (const int d : r.analysis.cart2d_dims) w.value(d);
+  w.end_array();
+  w.key("cart2d_per_dim_bw").begin_array();
+  for (const double b : r.analysis.cart2d_per_dim_bw) w.value(b);
+  w.end_array();
+  w.field("cart2d_combined_bw", r.analysis.cart2d_combined_bw);
+  w.key("cart3d_dims").begin_array();
+  for (const int d : r.analysis.cart3d_dims) w.value(d);
+  w.end_array();
+  w.key("cart3d_per_dim_bw").begin_array();
+  for (const double b : r.analysis.cart3d_per_dim_bw) w.value(b);
+  w.end_array();
+  w.field("cart3d_combined_bw", r.analysis.cart3d_combined_bw);
+  w.end_object();
+  w.field("benchmark_seconds", r.benchmark_seconds);
+  w.key("metrics");
+  write_metrics(w, r.metrics);
+  w.key("cell_status");
+  write_status(w, r.cell_status);
+  w.key("cell_labels");
+  write_strings(w, r.cell_labels);
+  w.end_object();
+}
+
+beff::BeffResult read_beff_result(const obs::JsonValue& v) {
+  beff::BeffResult r;
+  r.nprocs = as_int(v.at("nprocs"));
+  r.lmax = as_i64(v.at("lmax"));
+  for (const auto& e : v.at("sizes").as_array()) r.sizes.push_back(as_i64(e));
+  for (const auto& pe : v.at("patterns").as_array()) {
+    beff::PatternMeasurement p;
+    p.name = pe.at("name").as_string();
+    p.is_random = pe.at("is_random").as_bool();
+    for (const auto& se : pe.at("sizes").as_array()) {
+      beff::SizeMeasurement s;
+      s.size = as_i64(se.at("size"));
+      const auto& bw = se.at("method_bw").as_array();
+      if (bw.size() != static_cast<std::size_t>(beff::kNumMethods)) {
+        throw std::runtime_error("checkpoint: bad method_bw arity");
+      }
+      for (int m = 0; m < beff::kNumMethods; ++m) {
+        s.method_bw[static_cast<std::size_t>(m)] =
+            bw[static_cast<std::size_t>(m)].as_number();
+      }
+      s.best_bw = se.at("best_bw").as_number();
+      s.looplength = as_int(se.at("looplength"));
+      p.sizes.push_back(std::move(s));
+    }
+    p.avg_bw = pe.at("avg_bw").as_number();
+    p.bw_at_lmax = pe.at("bw_at_lmax").as_number();
+    r.patterns.push_back(std::move(p));
+  }
+  r.b_eff = v.at("b_eff").as_number();
+  r.rings_logavg = v.at("rings_logavg").as_number();
+  r.random_logavg = v.at("random_logavg").as_number();
+  r.b_eff_at_lmax = v.at("b_eff_at_lmax").as_number();
+  r.rings_logavg_at_lmax = v.at("rings_logavg_at_lmax").as_number();
+  r.random_logavg_at_lmax = v.at("random_logavg_at_lmax").as_number();
+  const obs::JsonValue& a = v.at("analysis");
+  r.analysis.pingpong_bw = a.at("pingpong_bw").as_number();
+  r.analysis.worst_cycle_bw = a.at("worst_cycle_bw").as_number();
+  r.analysis.bisection_paired_bw = a.at("bisection_paired_bw").as_number();
+  r.analysis.bisection_interleaved_bw =
+      a.at("bisection_interleaved_bw").as_number();
+  for (const auto& e : a.at("cart2d_dims").as_array()) {
+    r.analysis.cart2d_dims.push_back(as_int(e));
+  }
+  for (const auto& e : a.at("cart2d_per_dim_bw").as_array()) {
+    r.analysis.cart2d_per_dim_bw.push_back(e.as_number());
+  }
+  r.analysis.cart2d_combined_bw = a.at("cart2d_combined_bw").as_number();
+  for (const auto& e : a.at("cart3d_dims").as_array()) {
+    r.analysis.cart3d_dims.push_back(as_int(e));
+  }
+  for (const auto& e : a.at("cart3d_per_dim_bw").as_array()) {
+    r.analysis.cart3d_per_dim_bw.push_back(e.as_number());
+  }
+  r.analysis.cart3d_combined_bw = a.at("cart3d_combined_bw").as_number();
+  r.benchmark_seconds = v.at("benchmark_seconds").as_number();
+  r.metrics = read_metrics(v.at("metrics"));
+  r.cell_status = read_status(v.at("cell_status"));
+  r.cell_labels = read_strings(v.at("cell_labels"));
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// b_eff_io result round-trip
+// ---------------------------------------------------------------------------
+
+void write_beffio_result(obs::JsonWriter& w, const beffio::BeffIoResult& r) {
+  w.begin_object();
+  w.field("kind", "beffio");
+  w.field("nprocs", r.nprocs);
+  w.field("scheduled_time", r.scheduled_time);
+  w.field("mpart", r.mpart);
+  w.key("access").begin_array();
+  for (const auto& am : r.access) {
+    w.begin_object();
+    w.field("method", static_cast<int>(am.method));
+    w.key("types").begin_array();
+    for (const auto& tr : am.types) {
+      w.begin_object();
+      w.field("type", static_cast<int>(tr.type));
+      w.key("patterns").begin_array();
+      for (const auto& pr : tr.patterns) {
+        w.begin_object();
+        w.field("number", pr.pattern.number);
+        w.field("ptype", static_cast<int>(pr.pattern.type));
+        w.field("l", pr.pattern.l);
+        w.field("L", pr.pattern.L);
+        w.field("time_units", pr.pattern.time_units);
+        w.field("fill_up", pr.pattern.fill_up);
+        w.field("bytes", pr.bytes);
+        w.field("seconds", pr.seconds);
+        w.field("calls", pr.calls);
+        w.end_object();
+      }
+      w.end_array();
+      w.field("bytes", tr.bytes);
+      w.field("seconds", tr.seconds);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.field("b_eff_io", r.b_eff_io);
+  w.key("random_extension").begin_array();
+  for (const double b : r.random_extension) w.value(b);
+  w.end_array();
+  w.field("benchmark_seconds", r.benchmark_seconds);
+  w.field("segment_bytes", r.segment_bytes);
+  w.key("fs_stats").begin_object();
+  w.field("requests", r.fs_stats.requests);
+  w.field("bytes_written", r.fs_stats.bytes_written);
+  w.field("bytes_read", r.fs_stats.bytes_read);
+  w.field("read_cache_hits", r.fs_stats.read_cache_hits);
+  w.field("read_cache_misses", r.fs_stats.read_cache_misses);
+  w.field("rmw_chunks", r.fs_stats.rmw_chunks);
+  w.field("seeks", r.fs_stats.seeks);
+  w.end_object();
+  w.key("metrics");
+  write_metrics(w, r.metrics);
+  w.key("chain_status");
+  write_status(w, r.chain_status);
+  w.key("chain_labels");
+  write_strings(w, r.chain_labels);
+  w.end_object();
+}
+
+beffio::BeffIoResult read_beffio_result(const obs::JsonValue& v) {
+  beffio::BeffIoResult r;
+  r.nprocs = as_int(v.at("nprocs"));
+  r.scheduled_time = v.at("scheduled_time").as_number();
+  r.mpart = as_i64(v.at("mpart"));
+  const auto& access = v.at("access").as_array();
+  if (access.size() != static_cast<std::size_t>(beffio::kNumAccessMethods)) {
+    throw std::runtime_error("checkpoint: bad access arity");
+  }
+  for (std::size_t m = 0; m < access.size(); ++m) {
+    auto& am = r.access[m];
+    am.method = static_cast<beffio::AccessMethod>(as_int(access[m].at("method")));
+    const auto& types = access[m].at("types").as_array();
+    if (types.size() != static_cast<std::size_t>(beffio::kNumPatternTypes)) {
+      throw std::runtime_error("checkpoint: bad types arity");
+    }
+    for (std::size_t t = 0; t < types.size(); ++t) {
+      auto& tr = am.types[t];
+      tr.type = static_cast<beffio::PatternType>(as_int(types[t].at("type")));
+      for (const auto& pe : types[t].at("patterns").as_array()) {
+        beffio::PatternAccessResult pr;
+        pr.pattern.number = as_int(pe.at("number"));
+        pr.pattern.type = static_cast<beffio::PatternType>(as_int(pe.at("ptype")));
+        pr.pattern.l = as_i64(pe.at("l"));
+        pr.pattern.L = as_i64(pe.at("L"));
+        pr.pattern.time_units = as_int(pe.at("time_units"));
+        pr.pattern.fill_up = pe.at("fill_up").as_bool();
+        pr.bytes = as_i64(pe.at("bytes"));
+        pr.seconds = pe.at("seconds").as_number();
+        pr.calls = as_i64(pe.at("calls"));
+        tr.patterns.push_back(std::move(pr));
+      }
+      tr.bytes = as_i64(types[t].at("bytes"));
+      tr.seconds = types[t].at("seconds").as_number();
+    }
+  }
+  r.b_eff_io = v.at("b_eff_io").as_number();
+  const auto& random = v.at("random_extension").as_array();
+  if (random.size() != static_cast<std::size_t>(beffio::kNumAccessMethods)) {
+    throw std::runtime_error("checkpoint: bad random_extension arity");
+  }
+  for (std::size_t m = 0; m < random.size(); ++m) {
+    r.random_extension[m] = random[m].as_number();
+  }
+  r.benchmark_seconds = v.at("benchmark_seconds").as_number();
+  r.segment_bytes = as_i64(v.at("segment_bytes"));
+  const obs::JsonValue& fs = v.at("fs_stats");
+  r.fs_stats.requests = as_i64(fs.at("requests"));
+  r.fs_stats.bytes_written = as_i64(fs.at("bytes_written"));
+  r.fs_stats.bytes_read = as_i64(fs.at("bytes_read"));
+  r.fs_stats.read_cache_hits = as_i64(fs.at("read_cache_hits"));
+  r.fs_stats.read_cache_misses = as_i64(fs.at("read_cache_misses"));
+  r.fs_stats.rmw_chunks = as_i64(fs.at("rmw_chunks"));
+  r.fs_stats.seeks = fs.at("seeks").as_number();
+  r.metrics = read_metrics(v.at("metrics"));
+  r.chain_status = read_status(v.at("chain_status"));
+  r.chain_labels = read_strings(v.at("chain_labels"));
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Journal
+// ---------------------------------------------------------------------------
+
+Checkpoint::Checkpoint(std::string path, std::string config_key, bool resume)
+    : path_(std::move(path)), config_key_(std::move(config_key)) {
+  if (!resume) return;
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "[checkpoint] %s: no journal, starting fresh\n",
+                 path_.c_str());
+    return;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    const obs::JsonValue doc = obs::parse_json(buf.str());
+    if (doc.at("schema").as_string() != "balbench-checkpoint/1") {
+      throw std::runtime_error("schema is not balbench-checkpoint/1");
+    }
+    if (doc.at("config").as_string() != config_key_) {
+      std::fprintf(stderr,
+                   "[checkpoint] %s: written for a different configuration, "
+                   "discarding journal\n",
+                   path_.c_str());
+      return;
+    }
+    for (const auto& [task, payload] : doc.at("tasks").as_object()) {
+      // Round-trip through the typed structs so the stored form is
+      // canonical again and a malformed payload is rejected here, not
+      // mid-sweep.
+      const std::string& kind = payload.at("kind").as_string();
+      std::ostringstream out;
+      {
+        obs::JsonWriter w(out, 0);
+        if (kind == "beff") {
+          write_beff_result(w, read_beff_result(payload));
+        } else if (kind == "beffio") {
+          write_beffio_result(w, read_beffio_result(payload));
+        } else {
+          throw std::runtime_error("unknown task kind '" + kind + "'");
+        }
+      }
+      payloads_[task] = out.str();
+    }
+    std::fprintf(stderr, "[checkpoint] %s: resuming, %zu task%s completed\n",
+                 path_.c_str(), payloads_.size(),
+                 payloads_.size() == 1 ? "" : "s");
+  } catch (const std::exception& e) {
+    payloads_.clear();
+    std::fprintf(stderr,
+                 "[checkpoint] %s: unusable journal (%s), starting fresh\n",
+                 path_.c_str(), e.what());
+  }
+}
+
+bool Checkpoint::has(const std::string& task) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return payloads_.count(task) != 0;
+}
+
+bool Checkpoint::load_beff(const std::string& task,
+                           beff::BeffResult* out) const {
+  std::string payload;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = payloads_.find(task);
+    if (it == payloads_.end()) return false;
+    payload = it->second;
+  }
+  const obs::JsonValue v = obs::parse_json(payload);
+  if (v.at("kind").as_string() != "beff") return false;
+  *out = read_beff_result(v);
+  return true;
+}
+
+bool Checkpoint::load_io(const std::string& task,
+                         beffio::BeffIoResult* out) const {
+  std::string payload;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = payloads_.find(task);
+    if (it == payloads_.end()) return false;
+    payload = it->second;
+  }
+  const obs::JsonValue v = obs::parse_json(payload);
+  if (v.at("kind").as_string() != "beffio") return false;
+  *out = read_beffio_result(v);
+  return true;
+}
+
+void Checkpoint::record_beff(const std::string& task,
+                             const beff::BeffResult& r) {
+  std::ostringstream out;
+  {
+    obs::JsonWriter w(out, 0);
+    write_beff_result(w, r);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  payloads_[task] = out.str();
+  ++recorded_;
+  persist_locked();
+}
+
+void Checkpoint::record_io(const std::string& task,
+                           const beffio::BeffIoResult& r) {
+  std::ostringstream out;
+  {
+    obs::JsonWriter w(out, 0);
+    write_beffio_result(w, r);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  payloads_[task] = out.str();
+  ++recorded_;
+  persist_locked();
+}
+
+std::size_t Checkpoint::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_;
+}
+
+void Checkpoint::persist_locked() {
+  std::string text =
+      "{\"schema\":\"balbench-checkpoint/1\",\"config\":\"" +
+      obs::json_escape(config_key_) + "\",\"tasks\":{";
+  bool first = true;
+  for (const auto& [task, payload] : payloads_) {
+    if (!first) text += ',';
+    first = false;
+    text += '"';
+    text += obs::json_escape(task);
+    text += "\":";
+    text += payload;
+  }
+  text += "}}\n";
+  util::atomic_write(path_, text);
+}
+
+}  // namespace balbench::report

@@ -1,0 +1,90 @@
+// Crash-safe checkpoint journal for the experiments sweep (DESIGN.md
+// Sec. 12.3).
+//
+// The journal is one JSON document, schema "balbench-checkpoint/1":
+//
+//   { "schema": "balbench-checkpoint/1",
+//     "config": "<config hash + fault-plan description>",
+//     "tasks": { "<task key>": { "kind": "beff"|"beffio", ... }, ... } }
+//
+// Every completed sweep task is serialized in full -- every measured
+// number, the merged metrics snapshot, and (under a fault plan) the
+// per-cell retry outcomes -- so a resumed sweep replays the task from
+// the journal instead of re-simulating it and produces byte-identical
+// final outputs (asserted by the robust_kill_resume ctest, which
+// SIGKILLs a sweep mid-flight and byte-compares the resumed record
+// against an uninterrupted run).
+//
+// Crash safety comes from util::atomic_write: the journal is rewritten
+// tmp+fsync+rename after every completed task, so a crash at any
+// instant leaves either the previous or the new journal, never a torn
+// file.  A journal whose "config" key does not match the current sweep
+// (different scope, edited fault spec, different code revision of the
+// spec list) is discarded on resume rather than replayed into the
+// wrong configuration.
+//
+// Serialization is lossless for every value the results can hold in
+// practice: doubles round-trip through obs::json_double's shortest
+// form, integers are exact below 2^53 (the JSON number range; all
+// simulated counts are far below it).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "core/beff/beff.hpp"
+#include "core/beffio/beffio.hpp"
+#include "obs/json.hpp"
+
+namespace balbench::report {
+
+/// Lossless JSON round-trip of one benchmark result.  Exposed for the
+/// round-trip unit tests; the journal is the real consumer.
+void write_beff_result(obs::JsonWriter& w, const beff::BeffResult& r);
+beff::BeffResult read_beff_result(const obs::JsonValue& v);
+void write_beffio_result(obs::JsonWriter& w, const beffio::BeffIoResult& r);
+beffio::BeffIoResult read_beffio_result(const obs::JsonValue& v);
+
+class Checkpoint {
+ public:
+  /// Binds the journal to `path` for a sweep identified by
+  /// `config_key`.  With `resume` set, an existing journal is loaded
+  /// and its completed tasks become replayable; a missing, malformed
+  /// or configuration-mismatched journal starts empty (with a stderr
+  /// note -- resuming silently into the wrong config would be worse
+  /// than re-running).  Without `resume`, any existing journal is
+  /// ignored and overwritten by the first record_*() call.
+  Checkpoint(std::string path, std::string config_key, bool resume);
+
+  /// True if `task` was loaded from the journal (replayable).
+  [[nodiscard]] bool has(const std::string& task) const;
+
+  /// Replays a completed task into `out`; false if the journal has no
+  /// such task (or it was recorded with the other kind).
+  bool load_beff(const std::string& task, beff::BeffResult* out) const;
+  bool load_io(const std::string& task, beffio::BeffIoResult* out) const;
+
+  /// Records a completed task and atomically rewrites the journal.
+  /// Thread-safe: concurrent sweep workers serialize on one mutex, so
+  /// the on-disk journal always holds a prefix-consistent task set.
+  void record_beff(const std::string& task, const beff::BeffResult& r);
+  void record_io(const std::string& task, const beffio::BeffIoResult& r);
+
+  /// Tasks recorded by THIS process (excludes replayed ones); the
+  /// --kill-after test hook counts these.
+  [[nodiscard]] std::size_t recorded() const;
+
+ private:
+  void persist_locked();
+
+  std::string path_;
+  std::string config_key_;
+  mutable std::mutex mutex_;
+  /// task key -> canonical serialized payload ("kind" discriminated).
+  std::map<std::string, std::string> payloads_;
+  std::size_t recorded_ = 0;
+};
+
+}  // namespace balbench::report

@@ -2,15 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdint>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 
+#include "core/report/checkpoint.hpp"
 #include "machines/machines.hpp"
 #include "obs/json.hpp"
 #include "obs/prof.hpp"
 #include "parmsg/sim_transport.hpp"
+#include "robust/fault.hpp"
 #include "util/hash.hpp"
 #include "util/parallel.hpp"
 #include "util/wallclock.hpp"
@@ -240,6 +244,30 @@ void write_metrics(obs::JsonWriter& w, const obs::MetricsSnapshot& m) {
   w.end_object();
 }
 
+/// Emits "status" (worst outcome) plus the not-ok cells of one run.
+/// No-op when the run has no statuses (faults off), preserving the
+/// pre-fault record bytes.
+void write_status_fields(obs::JsonWriter& w,
+                         const std::vector<robust::CellStatus>& statuses,
+                         const std::vector<std::string>& labels,
+                         robust::Outcome worst) {
+  if (statuses.empty()) return;
+  w.field("status", robust::outcome_name(worst));
+  w.key("cells").begin_array();
+  for (std::size_t i = 0; i < statuses.size(); ++i) {
+    const auto& s = statuses[i];
+    if (s.outcome == robust::Outcome::Ok) continue;
+    w.begin_object();
+    w.field("label", i < labels.size() ? labels[i] : std::to_string(i));
+    w.field("status", robust::outcome_name(s.outcome));
+    w.field("attempts", s.attempts);
+    w.field("backoff_s", s.backoff_s);
+    w.field("error", s.error);
+    w.end_object();
+  }
+  w.end_array();
+}
+
 }  // namespace
 
 const char* scope_name(Scope s) {
@@ -269,10 +297,53 @@ void log_cell_finish(const std::string& what, double t0) {
 }  // namespace
 
 ExperimentsData run_experiments(Scope scope, int jobs, bool verbose) {
+  ExperimentOptions options;
+  options.scope = scope;
+  options.jobs = jobs;
+  options.verbose = verbose;
+  return run_experiments(options);
+}
+
+namespace {
+
+/// --kill-after N: die the way a crash would (no unwinding, no
+/// journal flush beyond what record_*() already persisted).  The
+/// robust_kill_resume ctest then proves a resumed sweep is
+/// byte-identical to an uninterrupted one.
+void maybe_kill(const Checkpoint* ck, int kill_after) {
+  if (ck == nullptr || kill_after <= 0) return;
+  if (ck->recorded() >= static_cast<std::size_t>(kill_after)) {
+    std::fprintf(stderr, "[checkpoint] --kill-after %d reached, raising "
+                 "SIGKILL\n", kill_after);
+    std::raise(SIGKILL);
+  }
+}
+
+}  // namespace
+
+ExperimentsData run_experiments(const ExperimentOptions& options) {
+  const Scope scope = options.scope;
+  const int jobs = options.jobs;
+  const bool verbose = options.verbose;
   ExperimentsData data;
   data.scope = scope;
   data.beff = beff_specs(scope);
   data.io = io_specs(scope);
+  if (options.fault_plan != nullptr) data.faults = options.fault_plan->describe();
+
+  // The journal key pins everything that changes a task's bytes: the
+  // sweep configuration hash AND the fault plan (same seed => same
+  // injected schedule => same results; a different spec must not be
+  // replayed into this run).
+  std::unique_ptr<Checkpoint> ck;
+  if (!options.checkpoint_path.empty()) {
+    std::string key = config_hash(scope);
+    if (options.fault_plan != nullptr) {
+      key += "+faults:" + options.fault_plan->describe();
+    }
+    ck = std::make_unique<Checkpoint>(options.checkpoint_path, std::move(key),
+                                      options.resume);
+  }
 
   // One flat task list: every b_eff partition, every b_eff_io run and
   // the termination-check micro measurement are independent
@@ -288,6 +359,14 @@ ExperimentsData run_experiments(Scope scope, int jobs, bool verbose) {
       run.rmax_gflops_per_proc = m.rmax_gflops_per_proc;
       const std::string what =
           "b_eff " + run.key + ", " + std::to_string(run.nprocs) + " procs";
+      const std::string task = "beff/" + std::to_string(i);
+      if (ck != nullptr && ck->load_beff(task, &run.r)) {
+        if (verbose) {
+          std::fprintf(stderr, "[report] replay %s (checkpoint)\n",
+                       what.c_str());
+        }
+        return;
+      }
       const double t0 = verbose ? log_cell_start(what) : 0.0;
       obs::prof::Scope prof_scope("cell", what);
       parmsg::SimTransport transport(m.make_topology(run.nprocs), m.costs);
@@ -295,8 +374,13 @@ ExperimentsData run_experiments(Scope scope, int jobs, bool verbose) {
       opt.memory_per_proc = m.memory_per_proc;
       opt.measure_analysis = run.first;
       opt.collect_metrics = true;
+      opt.fault_plan = options.fault_plan;
       run.r = beff::run_beff(transport, run.nprocs, opt);
       if (verbose) log_cell_finish(what, t0);
+      if (ck != nullptr) {
+        ck->record_beff(task, run.r);
+        maybe_kill(ck.get(), options.kill_after);
+      }
     } else if (i < n_beff + n_io) {
       IoRun& run = data.io[i - n_beff];
       auto m = machines::machine_by_name(run.key);
@@ -304,6 +388,14 @@ ExperimentsData run_experiments(Scope scope, int jobs, bool verbose) {
       std::snprintf(t_buf, sizeof t_buf, "T=%.0fs", run.scheduled_seconds);
       const std::string what = "b_eff_io " + run.figure + "/" + run.key + ", " +
                                std::to_string(run.nprocs) + " procs, " + t_buf;
+      const std::string task = "io/" + std::to_string(i - n_beff);
+      if (ck != nullptr && ck->load_io(task, &run.r)) {
+        if (verbose) {
+          std::fprintf(stderr, "[report] replay %s (checkpoint)\n",
+                       what.c_str());
+        }
+        return;
+      }
       const double t0 = verbose ? log_cell_start(what) : 0.0;
       obs::prof::Scope prof_scope("cell", what);
       parmsg::SimTransport transport(m.make_topology(run.nprocs), m.costs);
@@ -313,8 +405,13 @@ ExperimentsData run_experiments(Scope scope, int jobs, bool verbose) {
       opt.mpart_cap = run.mpart_cap;
       opt.file_prefix = m.short_name;
       opt.collect_metrics = true;
+      opt.fault_plan = options.fault_plan;
       run.r = beffio::run_beffio(transport, *m.io, run.nprocs, opt);
       if (verbose) log_cell_finish(what, t0);
+      if (ck != nullptr) {
+        ck->record_io(task, run.r);
+        maybe_kill(ck.get(), options.kill_after);
+      }
     } else {
       // Paper Sec. 5.4: barrier + broadcast on 32 T3E PEs versus the
       // per-call cost of a small I/O access.
@@ -394,6 +491,10 @@ void write_run_record(std::ostream& os, const ExperimentsData& data,
   w.field("schema", "balbench-run-record/1");
   w.field("scope", scope_name(data.scope));
   w.field("config_hash", cfg_hash);
+  // Fault-plan header and per-run "status" fields exist only when a
+  // plan was active, so fault-free records keep their exact pre-fault
+  // byte stream (DESIGN.md Sec. 12.1).
+  if (!data.faults.empty()) w.field("faults", data.faults);
   w.key("provenance").begin_object();
   w.field("generator", "balbench-report");
   w.field("git_rev", git_rev);
@@ -412,6 +513,8 @@ void write_run_record(std::ostream& os, const ExperimentsData& data,
     w.field("per_proc_at_lmax_Bps", b.r.per_proc_at_lmax());
     w.field("per_proc_at_lmax_rings_Bps", b.r.per_proc_at_lmax_rings());
     w.field("benchmark_virtual_seconds", b.r.benchmark_seconds);
+    write_status_fields(w, b.r.cell_status, b.r.cell_labels,
+                        b.r.worst_outcome());
     if (b.first) {
       w.key("analysis").begin_object();
       w.field("pingpong_Bps", b.r.analysis.pingpong_bw);
@@ -447,6 +550,8 @@ void write_run_record(std::ostream& os, const ExperimentsData& data,
     w.field("segment_bytes", r.r.segment_bytes);
     w.field("b_eff_io_Bps", r.r.b_eff_io);
     w.field("benchmark_virtual_seconds", r.r.benchmark_seconds);
+    write_status_fields(w, r.r.chain_status, r.r.chain_labels,
+                        r.r.worst_outcome());
     w.key("access").begin_array();
     for (const auto& am : r.r.access) {
       w.begin_object();

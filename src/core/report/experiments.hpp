@@ -82,6 +82,10 @@ struct ExperimentsData {
   double termination_check_seconds = 0.0;
   /// Per-call overhead of a small I/O access on the T3E, seconds.
   double io_call_seconds = 0.0;
+  /// FaultPlan::describe() of the active fault plan; empty when faults
+  /// are off, so fault-free run records keep their exact pre-fault
+  /// byte stream (DESIGN.md Sec. 12.1).
+  std::string faults;
 };
 
 /// The sweep specification itself: every b_eff (machine, partition)
@@ -92,6 +96,28 @@ struct ExperimentsData {
 std::vector<BeffRun> beff_specs(Scope scope);
 std::vector<IoRun> io_specs(Scope scope);
 
+/// Knobs of one sweep invocation beyond the scope itself (robustness
+/// layer, DESIGN.md Sec. 12).
+struct ExperimentOptions {
+  Scope scope = Scope::Quick;
+  int jobs = 1;
+  bool verbose = false;
+  /// Deterministic fault plan (not owned, must outlive the call).
+  /// Forwarded into every benchmark driver; per-cell retry outcomes
+  /// land in the results and the run record.  nullptr = faults off.
+  const robust::FaultPlan* fault_plan = nullptr;
+  /// Path of a "balbench-checkpoint/1" journal; empty = no journal.
+  /// The journal is atomically rewritten after every completed task.
+  std::string checkpoint_path;
+  /// Replay tasks already completed in the journal instead of
+  /// re-simulating them; the final outputs are byte-identical to an
+  /// uninterrupted run (the robust_kill_resume ctest proves it).
+  bool resume = false;
+  /// Test hook: raise SIGKILL after this many NEWLY checkpointed tasks
+  /// (0 = never), simulating a mid-flight crash for the resume test.
+  int kill_after = 0;
+};
+
 /// Runs the whole sweep with `jobs` host worker threads (outer
 /// parallelism over configurations; each simulation itself is serial).
 /// Metrics collection is always on; every result is byte-identical for
@@ -100,6 +126,12 @@ std::vector<IoRun> io_specs(Scope scope);
 /// the byte-compared outputs (asserted by the doc_drift_guard ctest,
 /// which runs with --verbose on).
 ExperimentsData run_experiments(Scope scope, int jobs, bool verbose = false);
+
+/// Same sweep with the robustness knobs (fault injection, crash-safe
+/// checkpointing, resume).  The termination-check micro task is always
+/// recomputed, never journaled or fault-injected: it is cheap and
+/// feeds only informational fields.
+ExperimentsData run_experiments(const ExperimentOptions& options);
 
 /// FNV-1a (64-bit, hex) over the canonical description of the sweep
 /// configuration -- machines, partitions, scheduled times, seeds and

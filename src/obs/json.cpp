@@ -263,8 +263,14 @@ JsonValue JsonValue::make_object(std::map<std::string, JsonValue> v) {
 namespace {
 
 /// Recursive-descent RFC 8259 parser over a string_view cursor.
+/// Nesting depth is capped at kMaxDepth: the parser recurses once per
+/// container level, so a hostile or corrupt input of the form
+/// "[[[[..." would otherwise overflow the stack instead of reporting
+/// a parse error.
 class Parser {
  public:
+  static constexpr int kMaxDepth = 256;
+
   explicit Parser(std::string_view text) : text_(text) {}
 
   JsonValue parse_document() {
@@ -323,12 +329,20 @@ class Parser {
     }
   }
 
+  void enter_container() {
+    if (++depth_ > kMaxDepth) {
+      fail("nesting depth exceeds " + std::to_string(kMaxDepth));
+    }
+  }
+
   JsonValue parse_object() {
+    enter_container();
     expect('{');
     std::map<std::string, JsonValue> members;
     skip_ws();
     if (peek() == '}') {
       ++pos_;
+      --depth_;
       return JsonValue::make_object(std::move(members));
     }
     for (;;) {
@@ -343,16 +357,19 @@ class Parser {
         continue;
       }
       expect('}');
+      --depth_;
       return JsonValue::make_object(std::move(members));
     }
   }
 
   JsonValue parse_array() {
+    enter_container();
     expect('[');
     std::vector<JsonValue> items;
     skip_ws();
     if (peek() == ']') {
       ++pos_;
+      --depth_;
       return JsonValue::make_array(std::move(items));
     }
     for (;;) {
@@ -363,6 +380,7 @@ class Parser {
         continue;
       }
       expect(']');
+      --depth_;
       return JsonValue::make_array(std::move(items));
     }
   }
@@ -451,6 +469,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

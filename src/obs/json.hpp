@@ -126,7 +126,10 @@ class JsonValue {
 
 /// Parses one complete JSON document (trailing whitespace allowed,
 /// trailing garbage is an error).  Throws std::runtime_error with a
-/// byte offset on malformed input.
+/// byte offset on malformed input.  Container nesting deeper than 256
+/// levels is rejected with a parse error rather than recursing into a
+/// stack overflow (baseline files are attacker-adjacent inputs: a
+/// corrupt download must not crash the perf gate).
 JsonValue parse_json(std::string_view text);
 
 }  // namespace balbench::obs

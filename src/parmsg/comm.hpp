@@ -31,6 +31,11 @@ namespace balbench::obs {
 class Registry;
 }  // namespace balbench::obs
 
+namespace balbench::robust {
+struct FaultPlan;
+class SessionInjector;
+}  // namespace balbench::robust
+
 namespace balbench::parmsg {
 
 /// Per-call software costs charged by the simulation transport.
@@ -153,6 +158,22 @@ class Transport {
   /// Labels the next run() for trace/metrics sessions (e.g. the sweep
   /// cell name); consumed by the next run.  No-op by default.
   virtual void label_next_session(const std::string& /*label*/) {}
+
+  /// Fault-injection wiring (robust subsystem, DESIGN.md Sec. 12.1).
+  /// The plan is not owned and must outlive the runs; nullptr (the
+  /// default) disables injection entirely -- transports must take no
+  /// fault-related action at all in that case, preserving byte-
+  /// identical output.  Defaults: faults not supported, no-op.
+  virtual void set_fault_plan(const robust::FaultPlan* /*plan*/) {}
+  /// 1-based retry attempt number folded into the next session's
+  /// injector seed, so attempt k replays the same schedule everywhere.
+  virtual void set_fault_attempt(int /*attempt*/) {}
+  /// The injector of the session currently in flight (valid between a
+  /// run's setup callback and its return), or nullptr.  Co-simulated
+  /// subsystems (pfsim) pick it up here.
+  [[nodiscard]] virtual robust::SessionInjector* session_injector() const {
+    return nullptr;
+  }
 
   [[nodiscard]] virtual std::string describe() const = 0;
 };

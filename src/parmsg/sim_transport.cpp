@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "parmsg/request_state.hpp"
+#include "robust/fault.hpp"
 
 namespace balbench::parmsg {
 
@@ -110,6 +111,7 @@ struct SimRun {
   simt::Engine engine;
   const CommCosts& costs;
   int nprocs;
+  robust::SessionInjector* injector = nullptr;  // owned by the transport
   simt::Tracer* tracer = nullptr;
   obs::Registry* registry = nullptr;
   Metrics metrics;
@@ -171,11 +173,31 @@ Request SimComm::isend(int dst, const void* buf, std::size_t n, int tag) {
   auto req = std::make_shared<detail::RequestState>();
   SimRun* run = &run_;
   const int src = rank_;
-  run_.flows.start_flow(
-      rank_, dst, static_cast<double>(n),
-      [run, dst, src, tag, arrival = std::move(arrival)](simt::Time) mutable {
-        run->deliver(dst, src, tag, std::move(arrival));
-      });
+
+  // Fault injection (robust subsystem): a stalled message starts its
+  // flow late, a degraded link stretches the flow by inflating its
+  // byte count (1/factor).  One next_send() decision per isend, drawn
+  // in deterministic fiber order; without an injector this block
+  // compiles down to the original direct start_flow.
+  double flow_bytes = static_cast<double>(n);
+  double stall_s = 0.0;
+  if (run_.injector != nullptr) {
+    const auto fault = run_.injector->next_send();
+    stall_s = fault.stall_s;
+    if (fault.degrade_factor < 1.0) flow_bytes /= fault.degrade_factor;
+  }
+  auto deliver = [run, dst, src, tag,
+                  arrival = std::move(arrival)](simt::Time) mutable {
+    run->deliver(dst, src, tag, std::move(arrival));
+  };
+  if (stall_s > 0.0) {
+    run_.engine.schedule_after(
+        stall_s, [run, src, dst, flow_bytes, deliver = std::move(deliver)]() mutable {
+          run->flows.start_flow(src, dst, flow_bytes, std::move(deliver));
+        });
+  } else {
+    run_.flows.start_flow(rank_, dst, flow_bytes, std::move(deliver));
+  }
   // The send buffer was captured, so the send completes locally as
   // soon as the call overhead has been charged (buffered-send
   // semantics); pattern timing is carried by the matching receives.
@@ -365,6 +387,19 @@ void SimTransport::label_next_session(const std::string& label) {
   next_session_label_ = label;
 }
 
+void SimTransport::set_fault_plan(const robust::FaultPlan* plan) {
+  fault_plan_ = plan;
+  fault_attempt_ = 1;
+}
+
+void SimTransport::set_fault_attempt(int attempt) {
+  fault_attempt_ = attempt < 1 ? 1 : attempt;
+}
+
+robust::SessionInjector* SimTransport::session_injector() const {
+  return injector_.get();
+}
+
 void SimTransport::run_with_setup(int nprocs,
                                   const std::function<void(simt::Engine&)>& setup,
                                   const std::function<void(Comm&)>& body) {
@@ -382,6 +417,17 @@ void SimTransport::run_with_setup(int nprocs,
   next_session_label_.clear();
   if (run.tracer != nullptr) run.tracer->begin_session(session_label);
   if (metrics_ != nullptr) metrics_->begin_section();
+  // Fault wiring must precede setup(): co-simulated subsystems fetch
+  // the injector via session_injector() from their setup callback.
+  injector_.reset();
+  if (fault_plan_ != nullptr) {
+    injector_ = std::make_unique<robust::SessionInjector>(
+        *fault_plan_, session_label, fault_attempt_);
+    run.injector = injector_.get();
+    if (fault_plan_->retry.timeout_s > 0.0) {
+      run.engine.set_deadline(fault_plan_->retry.timeout_s);
+    }
+  }
   if (setup) setup(run.engine);
   for (int r = 0; r < nprocs; ++r) {
     run.comms.push_back(nullptr);  // placeholder; filled when spawning
@@ -402,6 +448,11 @@ void SimTransport::run_with_setup(int nprocs,
     metrics_->counter("simt.events_fired").add(run.engine.events_fired());
     metrics_->counter("simt.context_switches").add(run.engine.context_switches());
     metrics_->sum("simt.virtual_seconds").add(run.engine.now());
+    // Only ever registered when a fault plan is active, so fault-free
+    // records keep their exact pre-fault metric key set.
+    if (run.injector != nullptr) {
+      metrics_->counter("robust.faults_injected").add(run.injector->injected_count());
+    }
   }
 }
 

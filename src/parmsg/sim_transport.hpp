@@ -61,6 +61,15 @@ class SimTransport final : public Transport {
   /// "cell 17: ring-2/Sendrecv".  Consumed by that run.
   void label_next_session(const std::string& label) override;
 
+  /// Deterministic fault injection: with a plan attached, every run
+  /// seeds a robust::SessionInjector from (plan seed, session label,
+  /// attempt) and consults it per send; the plan's timeout becomes the
+  /// engine's virtual-time deadline.  With no plan (default) the run
+  /// path is byte-for-byte the pre-fault code.
+  void set_fault_plan(const robust::FaultPlan* plan) override;
+  void set_fault_attempt(int attempt) override;
+  [[nodiscard]] robust::SessionInjector* session_injector() const override;
+
   [[nodiscard]] const net::Topology& topology() const { return *topology_; }
   [[nodiscard]] const CommCosts& costs() const { return costs_; }
 
@@ -73,6 +82,9 @@ class SimTransport final : public Transport {
   std::shared_ptr<simt::Tracer> tracer_;
   obs::Registry* metrics_ = nullptr;
   std::string next_session_label_;
+  const robust::FaultPlan* fault_plan_ = nullptr;
+  int fault_attempt_ = 1;
+  std::unique_ptr<robust::SessionInjector> injector_;  // live during a run
 };
 
 /// Comm implementation used by SimTransport.  Exposed so that

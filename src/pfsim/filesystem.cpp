@@ -10,6 +10,7 @@
 #include "net/flow.hpp"
 #include "net/topology.hpp"
 #include "obs/metrics.hpp"
+#include "robust/fault.hpp"
 
 namespace balbench::pfsim {
 
@@ -248,6 +249,27 @@ void FileSystem::submit(const Request& req, std::function<void()> done) {
   if (req.bytes <= 0 || req.chunks <= 0) {
     throw std::invalid_argument("FileSystem::submit: bytes and chunks must be > 0");
   }
+
+  // Fault injection (robust subsystem): one decision per request, in
+  // the deterministic fiber order of the session.  A transient error
+  // throws *before* any filesystem state changes, so a retried attempt
+  // starts from a consistent stream/cache picture; a latency spike
+  // rides on the completion callback.
+  if (injector_ != nullptr) {
+    const auto fault = injector_->next_io();
+    if (fault.error) {
+      throw robust::InjectedFault(
+          "injected transient I/O error (client " + std::to_string(req.client) +
+          ", " + (req.write ? "write" : "read") + " of " +
+          std::to_string(req.bytes) + " bytes)");
+    }
+    if (fault.spike_s > 0.0) {
+      done = [this, spike = fault.spike_s, inner = std::move(done)]() mutable {
+        engine_.schedule_after(spike, std::move(inner));
+      };
+    }
+  }
+
   FileState& file = *files_[fidx];
 
   // Stream contiguity: does this request continue the client's last

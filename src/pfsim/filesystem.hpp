@@ -46,6 +46,10 @@ class Registry;
 class Sum;
 }  // namespace balbench::obs
 
+namespace balbench::robust {
+class SessionInjector;
+}  // namespace balbench::robust
+
 namespace balbench::pfsim {
 
 using FileId = int;
@@ -115,6 +119,17 @@ class FileSystem {
   /// All quantities are simulated, so run records stay deterministic.
   void set_metrics(obs::Registry* registry);
 
+  /// Attaches the current session's fault injector (not owned; nullptr
+  /// detaches -- the default, with zero behavioral change).  With an
+  /// injector attached, submit() consults it once per request: an
+  /// injected transient error throws robust::InjectedFault from the
+  /// calling rank's fiber before any filesystem state changes; an
+  /// injected latency spike delays the request's completion callback
+  /// by the plan's spike length in virtual time.
+  void set_fault_injector(robust::SessionInjector* injector) {
+    injector_ = injector;
+  }
+
  private:
   struct FileState;
   struct ServerState;
@@ -142,6 +157,7 @@ class FileSystem {
   std::vector<ServerState> servers_;
   std::int64_t global_clock_ = 0;  // cumulative traffic bytes (cache aging)
   Stats stats_;
+  robust::SessionInjector* injector_ = nullptr;
 
   // Metric handles resolved once in set_metrics (see obs/metrics.hpp).
   obs::Registry* registry_ = nullptr;

@@ -1,0 +1,181 @@
+#include "robust/fault.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+
+#include "util/hash.hpp"
+
+namespace balbench::robust {
+
+double RetryPolicy::backoff_for(int attempt) const {
+  const double raw = backoff_base_s * std::ldexp(1.0, attempt - 1);
+  return std::min(backoff_cap_s, raw);
+}
+
+const char* outcome_name(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::Ok: return "ok";
+    case Outcome::Degraded: return "degraded";
+    case Outcome::Failed: return "failed";
+  }
+  return "ok";
+}
+
+namespace {
+
+[[noreturn]] void bad_spec(std::string_view token, const std::string& why) {
+  throw std::invalid_argument("bad --faults token '" + std::string(token) +
+                              "': " + why);
+}
+
+double parse_double(std::string_view token, std::string_view value) {
+  double out = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    bad_spec(token, "expected a number");
+  }
+  return out;
+}
+
+std::uint64_t parse_u64(std::string_view token, std::string_view value) {
+  std::uint64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    bad_spec(token, "expected a non-negative integer");
+  }
+  return out;
+}
+
+double parse_prob(std::string_view token, std::string_view value) {
+  const double p = parse_double(token, value);
+  if (p < 0.0 || p > 1.0) bad_spec(token, "probability must be in [0, 1]");
+  return p;
+}
+
+double parse_seconds(std::string_view token, std::string_view value) {
+  const double s = parse_double(token, value);
+  if (!(s >= 0.0)) bad_spec(token, "seconds must be >= 0");
+  return s;
+}
+
+/// Shortest round-trip decimal form (mirrors obs::json_double, which
+/// this library must not depend on).
+std::string num(double v) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  return ec == std::errc{} ? std::string(buf, ptr) : std::string("0");
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string_view token = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) {
+      if (comma == spec.size()) break;
+      bad_spec(token, "empty token");
+    }
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos) bad_spec(token, "expected key=value");
+    const std::string_view key = token.substr(0, eq);
+    const std::string_view value = token.substr(eq + 1);
+
+    if (key == "seed") {
+      plan.seed = parse_u64(token, value);
+    } else if (key == "link") {
+      plan.link_degrade_prob = parse_prob(token, value);
+    } else if (key == "degrade") {
+      plan.degrade_factor = parse_double(token, value);
+      if (!(plan.degrade_factor > 0.0) || plan.degrade_factor > 1.0) {
+        bad_spec(token, "degrade factor must be in (0, 1]");
+      }
+    } else if (key == "stall") {
+      plan.stall_prob = parse_prob(token, value);
+    } else if (key == "stall-s") {
+      plan.stall_s = parse_seconds(token, value);
+    } else if (key == "io") {
+      plan.io_error_prob = parse_prob(token, value);
+    } else if (key == "io-spike") {
+      plan.io_spike_prob = parse_prob(token, value);
+    } else if (key == "spike-s") {
+      plan.spike_s = parse_seconds(token, value);
+    } else if (key == "timeout") {
+      plan.retry.timeout_s = parse_seconds(token, value);
+    } else if (key == "retries") {
+      const std::uint64_t n = parse_u64(token, value);
+      if (n < 1 || n > 1000) bad_spec(token, "retries must be in [1, 1000]");
+      plan.retry.max_attempts = static_cast<int>(n);
+    } else if (key == "backoff") {
+      plan.retry.backoff_base_s = parse_seconds(token, value);
+    } else if (key == "backoff-cap") {
+      plan.retry.backoff_cap_s = parse_seconds(token, value);
+    } else {
+      bad_spec(token, "unknown key");
+    }
+    if (comma == spec.size()) break;
+  }
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  std::string out;
+  out += "seed=" + std::to_string(seed);
+  out += ",link=" + num(link_degrade_prob);
+  out += ",degrade=" + num(degrade_factor);
+  out += ",stall=" + num(stall_prob);
+  out += ",stall-s=" + num(stall_s);
+  out += ",io=" + num(io_error_prob);
+  out += ",io-spike=" + num(io_spike_prob);
+  out += ",spike-s=" + num(spike_s);
+  out += ",timeout=" + num(retry.timeout_s);
+  out += ",retries=" + std::to_string(retry.max_attempts);
+  out += ",backoff=" + num(retry.backoff_base_s);
+  out += ",backoff-cap=" + num(retry.backoff_cap_s);
+  return out;
+}
+
+SessionInjector::SessionInjector(const FaultPlan& plan,
+                                 std::string_view session_label, int attempt)
+    : plan_(plan),
+      // Mix (seed, label, attempt) through FNV-1a so each session
+      // attempt gets an independent but fully reproducible stream.
+      rng_(util::fnv1a(std::to_string(plan.seed) + "|" +
+                       std::string(session_label) + "|" +
+                       std::to_string(attempt))) {}
+
+SessionInjector::SendFault SessionInjector::next_send() {
+  SendFault f;
+  if (plan_.stall_prob > 0.0 && rng_.uniform() < plan_.stall_prob) {
+    f.stall_s = plan_.stall_s;
+    ++injected_;
+  }
+  if (plan_.link_degrade_prob > 0.0 &&
+      rng_.uniform() < plan_.link_degrade_prob) {
+    f.degrade_factor = plan_.degrade_factor;
+    ++injected_;
+  }
+  return f;
+}
+
+SessionInjector::IoFault SessionInjector::next_io() {
+  IoFault f;
+  if (plan_.io_error_prob > 0.0 && rng_.uniform() < plan_.io_error_prob) {
+    f.error = true;
+    ++injected_;
+    return f;  // a failed request has no completion to spike
+  }
+  if (plan_.io_spike_prob > 0.0 && rng_.uniform() < plan_.io_spike_prob) {
+    f.spike_s = plan_.spike_s;
+    ++injected_;
+  }
+  return f;
+}
+
+}  // namespace balbench::robust

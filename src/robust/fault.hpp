@@ -1,0 +1,112 @@
+// Deterministic fault injection (DESIGN.md Sec. 12.1).
+//
+// A FaultPlan describes *which* transient faults to inject (link
+// degradation, message stalls, I/O errors, I/O latency spikes) and
+// with what probability; a SessionInjector turns the plan into a
+// concrete, reproducible schedule for one simulation session.
+//
+// Determinism contract: the injector's RNG is seeded from
+// (plan seed, session label, attempt number), and every injection
+// decision is drawn in the deterministic call order of the session's
+// fibers (one host thread per session, FIFO engine scheduling).  The
+// injected schedule is therefore a pure function of the plan and the
+// session -- the same --faults spec produces byte-identical degraded
+// records for any --jobs N, and retry attempt k sees the *same*
+// faults on every machine.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "robust/retry.hpp"
+#include "util/rng.hpp"
+
+namespace balbench::robust {
+
+/// Thrown synchronously by an injected transient fault (today: I/O
+/// errors out of pfsim::FileSystem::submit).  The retry layer treats
+/// it like any other cell failure; the distinct type exists so tests
+/// and logs can tell an injected fault from a genuine bug.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Parsed form of the --faults <spec> CLI grammar: comma-separated
+/// key=value pairs, e.g.
+///
+///   --faults seed=7,io=0.05,io-spike=0.1,spike-s=0.01,retries=4
+///
+/// Keys: seed=N (RNG seed, default 2001), link=P (per-message link
+/// degradation probability), degrade=F (bandwidth factor of a degraded
+/// message, 0 < F <= 1), stall=P (per-message stall probability),
+/// stall-s=T (stall length, virtual s), io=P (per-request transient
+/// I/O error probability), io-spike=P (per-request latency-spike
+/// probability), spike-s=T (spike length, virtual s), timeout=S
+/// (per-cell virtual-time deadline, 0 = none), retries=N (attempt
+/// budget per cell), backoff=S / backoff-cap=S (exponential backoff
+/// bookkeeping, see RetryPolicy).
+struct FaultPlan {
+  std::uint64_t seed = 2001;
+  double link_degrade_prob = 0.0;
+  double degrade_factor = 0.5;
+  double stall_prob = 0.0;
+  double stall_s = 0.001;
+  double io_error_prob = 0.0;
+  double io_spike_prob = 0.0;
+  double spike_s = 0.005;
+  RetryPolicy retry;
+
+  [[nodiscard]] bool injects_messages() const {
+    return link_degrade_prob > 0.0 || stall_prob > 0.0;
+  }
+  [[nodiscard]] bool injects_io() const {
+    return io_error_prob > 0.0 || io_spike_prob > 0.0;
+  }
+
+  /// Parses the CLI grammar above.  Throws std::invalid_argument with
+  /// the offending token on unknown keys, malformed numbers or
+  /// out-of-range values.
+  static FaultPlan parse(std::string_view spec);
+
+  /// Canonical spec string (every key, fixed order, shortest
+  /// round-trip numbers) -- stamped into run records and hashed into
+  /// the checkpoint config hash so a journal can never be resumed
+  /// under a different fault plan.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// One session attempt's deterministic fault source.  Construct one
+/// per (session, attempt); the transports consult it once per send /
+/// per I/O request in fiber order.
+class SessionInjector {
+ public:
+  SessionInjector(const FaultPlan& plan, std::string_view session_label,
+                  int attempt);
+
+  /// Decision for the next message send (parmsg::SimComm::isend).
+  struct SendFault {
+    double stall_s = 0.0;         // delay before the flow starts
+    double degrade_factor = 1.0;  // effective-bandwidth multiplier
+  };
+  SendFault next_send();
+
+  /// Decision for the next I/O request (pfsim::FileSystem::submit).
+  struct IoFault {
+    bool error = false;    // throw InjectedFault instead of submitting
+    double spike_s = 0.0;  // extra completion latency
+  };
+  IoFault next_io();
+
+  /// Number of individual faults injected so far this attempt.
+  [[nodiscard]] std::uint64_t injected_count() const { return injected_; }
+
+ private:
+  const FaultPlan& plan_;
+  util::Xoshiro256 rng_;
+  std::uint64_t injected_ = 0;
+};
+
+}  // namespace balbench::robust

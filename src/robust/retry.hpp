@@ -1,0 +1,72 @@
+// Retry with capped exponential backoff, and per-cell outcomes.
+//
+// A sweep cell (b_eff pattern cell, b_eff_io chain) that throws is
+// retried up to a budget; a cell that eventually succeeds is
+// "degraded", a cell that exhausts the budget is "failed" and its
+// slot stays zeroed so the sweep completes instead of aborting
+// (DESIGN.md Sec. 12.2).  Backoff is *bookkeeping*: the simulation
+// has no wall clock to sleep on, so the would-have-waited seconds are
+// accumulated into the cell's status for the record, never into any
+// benchmark number.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace balbench::robust {
+
+struct RetryPolicy {
+  int max_attempts = 3;          // total attempts per cell (>= 1)
+  double backoff_base_s = 0.25;  // delay before the first retry
+  double backoff_cap_s = 8.0;    // exponential growth saturates here
+  double timeout_s = 0.0;        // per-attempt virtual-time deadline, 0 = none
+
+  /// Backoff after failed attempt `attempt` (1-based):
+  /// min(cap, base * 2^(attempt-1)).
+  [[nodiscard]] double backoff_for(int attempt) const;
+};
+
+enum class Outcome {
+  Ok,        // succeeded on the first attempt
+  Degraded,  // succeeded after at least one retry
+  Failed,    // exhausted the attempt budget; slot zeroed
+};
+
+/// Record-schema name of an outcome: "ok" | "degraded" | "failed".
+const char* outcome_name(Outcome outcome);
+
+struct CellStatus {
+  Outcome outcome = Outcome::Ok;
+  int attempts = 1;        // attempts actually consumed
+  double backoff_s = 0.0;  // total backoff bookkeeping (virtual s)
+  std::string error;       // last failure message (empty when Ok)
+};
+
+/// Runs `attempt(k)` (k = 1-based attempt number) under `policy`.
+/// `reset()` is invoked before every retry and after final failure so
+/// partially written result slots never leak into the reduction.
+/// Exceptions from the last attempt are swallowed into the returned
+/// status -- the caller's sweep continues regardless.
+template <typename AttemptFn, typename ResetFn>
+CellStatus run_with_retry(const RetryPolicy& policy, AttemptFn&& attempt,
+                          ResetFn&& reset) {
+  CellStatus status;
+  const int budget = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  for (int k = 1; k <= budget; ++k) {
+    status.attempts = k;
+    if (k > 1) reset();
+    try {
+      attempt(k);
+      status.outcome = k == 1 ? Outcome::Ok : Outcome::Degraded;
+      return status;
+    } catch (const std::exception& e) {
+      status.error = e.what();
+      if (k < budget) status.backoff_s += policy.backoff_for(k);
+    }
+  }
+  status.outcome = Outcome::Failed;
+  reset();
+  return status;
+}
+
+}  // namespace balbench::robust

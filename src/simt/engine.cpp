@@ -13,8 +13,19 @@ void Process::sleep(Time dt) {
 
 Time Process::block() {
   assert(Fiber::current() == fiber_.get() && "block() outside own fiber");
+  // Abort check on entry *and* after resume: a process woken by
+  // Engine::start_abort must unwind instead of continuing its protocol
+  // against peers that no longer exist.
+  if (engine_->aborted()) {
+    throw AbortError("process id=" + std::to_string(id_) +
+                     " unwound by session abort");
+  }
   blocked_ = true;
   Fiber::suspend();
+  if (engine_->aborted()) {
+    throw AbortError("process id=" + std::to_string(id_) +
+                     " unwound by session abort");
+  }
   return engine_->now();
 }
 
@@ -52,6 +63,27 @@ void Engine::make_runnable(Process& p) {
   run_queue_.push(&p);
 }
 
+void Engine::start_abort(std::exception_ptr error) {
+  if (!aborted_) {
+    aborted_ = true;
+    abort_error_ = std::move(error);
+  }
+  // Wake every blocked process; each resumes inside block(), observes
+  // aborted_ and unwinds via AbortError.  wake() enqueues them on the
+  // run queue, so the drain loop in progress keeps resuming fibers
+  // until all stacks are released.
+  for (const auto& p : processes_) {
+    if (p->blocked_) p->wake();
+  }
+}
+
+bool Engine::has_unfinished_process() const {
+  for (const auto& p : processes_) {
+    if (!p->finished()) return true;
+  }
+  return false;
+}
+
 void Engine::drain_run_queue() {
   while (!run_queue_.empty()) {
     Process* p = run_queue_.front();
@@ -60,7 +92,14 @@ void Engine::drain_run_queue() {
     if (p->finished()) continue;
     ++switches_;
     p->fiber_->resume();
-    p->fiber_->rethrow_if_failed();
+    try {
+      p->fiber_->rethrow_if_failed();
+    } catch (const AbortError&) {
+      // Secondary: this fiber was unwound by an abort already in
+      // progress; the original cause is held in abort_error_.
+    } catch (...) {
+      start_abort(std::current_exception());
+    }
   }
 }
 
@@ -68,7 +107,7 @@ void Engine::run() {
   assert(!running_ && "Engine::run is not reentrant");
   running_ = true;
   drain_run_queue();
-  while (!events_.empty()) {
+  while (!events_.empty() && !aborted_) {
     Event ev = std::move(const_cast<Event&>(events_.top()));
     events_.pop();
     if (std::find(cancelled_.begin(), cancelled_.end(), ev.seq) !=
@@ -77,6 +116,16 @@ void Engine::run() {
                        cancelled_.end());
       continue;
     }
+    if (ev.time > deadline_ && has_unfinished_process()) {
+      // Per-cell timeout: the clock stops *at* the deadline (never at
+      // the overdue event's time) and the run aborts cooperatively.
+      now_ = deadline_;
+      start_abort(std::make_exception_ptr(AbortError(
+          "virtual-time deadline of " + std::to_string(deadline_) +
+          " s exceeded with unfinished processes")));
+      drain_run_queue();
+      break;
+    }
     assert(ev.time >= now_);
     now_ = ev.time;
     ++events_fired_;
@@ -84,6 +133,12 @@ void Engine::run() {
     drain_run_queue();
   }
   running_ = false;
+
+  if (aborted_) {
+    // Every fiber has unwound by now (drain_run_queue resumed each
+    // woken process until it threw); surface the original cause.
+    std::rethrow_exception(abort_error_);
+  }
 
   for (const auto& p : processes_) {
     if (!p->finished()) {

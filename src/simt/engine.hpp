@@ -13,7 +13,9 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <queue>
 #include <stdexcept>
@@ -64,6 +66,16 @@ class DeadlockError : public std::runtime_error {
   explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown out of Process::block() in every process of an aborting
+/// simulation so each fiber unwinds its own stack cleanly (running
+/// destructors, releasing buffers) instead of being abandoned
+/// mid-suspend.  Engine::run() rethrows the *original* abort cause;
+/// the per-fiber AbortErrors are secondary and never escape.
+class AbortError : public std::runtime_error {
+ public:
+  explicit AbortError(const std::string& what) : std::runtime_error(what) {}
+};
+
 class Engine {
  public:
   Engine() = default;
@@ -91,8 +103,23 @@ class Engine {
 
   /// Run until all processes finished and the event queue is empty.
   /// Throws DeadlockError if processes remain blocked with no pending
-  /// events, and rethrows the first exception escaping a process.
+  /// events.  If a process throws, the engine *aborts cooperatively*:
+  /// every other live process is woken and unwinds via AbortError, and
+  /// the first (original) exception is rethrown once all fiber stacks
+  /// have been released -- a failed session never leaks fiber state.
   void run();
+
+  /// Virtual-time deadline for this run.  Once the next event would
+  /// fire strictly after `t` while unfinished processes remain, the
+  /// engine stops at `t` and aborts with an AbortError (the retry
+  /// layer's per-cell timeout, DESIGN.md Sec. 12.2).  Implemented as a
+  /// check in the event loop, not as a scheduled event, so setting an
+  /// unreachable deadline leaves the event sequence -- and therefore
+  /// every reported number -- untouched.  Default: no deadline.
+  void set_deadline(Time t) { deadline_ = t; }
+
+  /// True once an abort started; Process::block() throws from then on.
+  [[nodiscard]] bool aborted() const { return aborted_; }
 
   /// Number of processes spawned so far.
   [[nodiscard]] std::size_t process_count() const { return processes_.size(); }
@@ -116,8 +143,13 @@ class Engine {
 
   void make_runnable(Process& p);
   void drain_run_queue();
+  void start_abort(std::exception_ptr error);
+  [[nodiscard]] bool has_unfinished_process() const;
 
   Time now_ = 0.0;
+  Time deadline_ = std::numeric_limits<Time>::infinity();
+  bool aborted_ = false;
+  std::exception_ptr abort_error_;
   std::uint64_t next_seq_ = 1;
   std::uint64_t events_fired_ = 0;
   std::uint64_t switches_ = 0;

@@ -54,11 +54,18 @@ class Fiber {
 
   Fn fn_;
   std::unique_ptr<char[]> stack_;
+  std::size_t stack_size_ = 0;
   ucontext_t context_{};
   ucontext_t return_context_{};
   bool started_ = false;
   bool finished_ = false;
   std::exception_ptr error_;
+  // AddressSanitizer fiber-switch bookkeeping (see fiber.cpp); unused
+  // -- and zero-cost -- in non-ASan builds.
+  void* asan_fiber_fake_ = nullptr;    // fiber's fake stack while suspended
+  void* asan_resumer_fake_ = nullptr;  // resumer's fake stack while inside
+  const void* asan_resumer_bottom_ = nullptr;
+  std::size_t asan_resumer_size_ = 0;
 };
 
 }  // namespace balbench::simt

@@ -1,0 +1,24 @@
+// Crash-safe whole-file writes: tmp + fsync + rename.
+//
+// Every JSON artifact this repo emits (run records, perf records,
+// Chrome traces, wall profiles, checkpoint journals) is either byte-
+// compared by tests or read back by a later invocation, so a Ctrl-C or
+// SIGKILL mid-write must never leave a truncated file behind.  The
+// bytes land in a temporary file in the target's directory, are
+// fsync'd, and the temporary is rename(2)d over the target -- readers
+// observe either the old complete file or the new complete file,
+// never a prefix (DESIGN.md Sec. 12.3).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace balbench::util {
+
+/// Atomically replaces `path` with `content`.  The temporary file is
+/// created next to `path` (rename is only atomic within one
+/// filesystem) and removed on failure.  Throws std::runtime_error
+/// with errno context if any syscall fails.
+void atomic_write(const std::string& path, std::string_view content);
+
+}  // namespace balbench::util

@@ -93,21 +93,49 @@ struct ThreadPool::Impl {
     return false;
   }
 
+  void record_error(std::size_t index) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (index < error_index) {
+      error_index = index;
+      error = std::current_exception();
+    }
+  }
+
+  /// Runs body(index), consulting the observer's on_task_failure hook
+  /// on every throw; the hook may demand an in-place re-run.  A
+  /// declined (or hookless) failure is recorded for the lowest-index
+  /// rethrow and the worker moves on -- a task exception never tears
+  /// down the pool.
+  void run_body_with_retry(std::size_t index, int me, PoolObserver* obs) {
+    for (int attempt = 1;; ++attempt) {
+      try {
+        (*body)(index);
+        return;
+      } catch (const std::exception& e) {
+        if (obs != nullptr &&
+            obs->on_task_failure(batch_id, index, me, attempt, e.what())) {
+          continue;
+        }
+        record_error(index);
+        return;
+      } catch (...) {
+        if (obs != nullptr && obs->on_task_failure(batch_id, index, me, attempt,
+                                                   "unknown exception")) {
+          continue;
+        }
+        record_error(index);
+        return;
+      }
+    }
+  }
+
   void execute(std::size_t index, int me, bool stolen) {
     executed.fetch_add(1, std::memory_order_relaxed);
     // Telemetry is emitted before the remaining-count decrement so the
     // on_task callback always happens-before parallel_for returns.
     PoolObserver* obs = observer;
     const double t0 = obs != nullptr ? wall_now() : 0.0;
-    try {
-      (*body)(index);
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(mu);
-      if (index < error_index) {
-        error_index = index;
-        error = std::current_exception();
-      }
-    }
+    run_body_with_retry(index, me, obs);
     if (obs != nullptr) obs->on_task(batch_id, index, me, stolen, t0, wall_now());
     if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard<std::mutex> lock(mu);
@@ -188,7 +216,21 @@ void ThreadPool::parallel_for(std::size_t n,
     obs->on_batch_begin(batch, n, 1, wall_now());
     for (std::size_t i = 0; i < n; ++i) {
       const double t0 = wall_now();
-      body(i);
+      // Same failure hook as the threaded path; a declined retry
+      // propagates immediately (serial order makes the first failure
+      // the lowest index by construction).
+      for (int attempt = 1;; ++attempt) {
+        try {
+          body(i);
+          break;
+        } catch (const std::exception& e) {
+          if (!obs->on_task_failure(batch, i, 0, attempt, e.what())) throw;
+        } catch (...) {
+          if (!obs->on_task_failure(batch, i, 0, attempt, "unknown exception")) {
+            throw;
+          }
+        }
+      }
       obs->on_task(batch, i, 0, false, t0, wall_now());
     }
     obs->on_batch_end(batch, wall_now());

@@ -71,6 +71,18 @@ class PoolObserver {
     (void)batch, (void)index, (void)worker, (void)stolen;
     (void)start_seconds, (void)end_seconds;
   }
+  /// body(index) threw on `worker`; `attempt` counts from 1 and `what`
+  /// carries the exception message.  Return true to re-run the task in
+  /// place on the same worker (the pool itself never tears down on a
+  /// task exception either way); return false to let the batch record
+  /// the failure and continue draining.  The default declines the
+  /// retry, preserving the lowest-index-rethrow contract.  Fires
+  /// concurrently from worker threads like on_task.
+  virtual bool on_task_failure(std::uint64_t batch, std::size_t index,
+                               int worker, int attempt, const char* what) {
+    (void)batch, (void)index, (void)worker, (void)attempt, (void)what;
+    return false;
+  }
 };
 
 /// Attaches the process-wide scheduler observer (nullptr detaches).

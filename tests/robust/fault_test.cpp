@@ -1,0 +1,214 @@
+// Unit tests for the deterministic fault-injection engine and the
+// retry layer (DESIGN.md Sec. 12.1 / 12.2): the --faults grammar, the
+// (seed, session, attempt) determinism contract of SessionInjector,
+// and the Ok/Degraded/Failed outcome semantics of run_with_retry.
+#include "robust/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace br = balbench::robust;
+
+// ---------------------------------------------------------------------------
+// FaultPlan::parse / describe
+
+TEST(FaultPlan, EmptySpecYieldsDefaults) {
+  const auto plan = br::FaultPlan::parse("");
+  EXPECT_EQ(plan.seed, 2001u);
+  EXPECT_DOUBLE_EQ(plan.link_degrade_prob, 0.0);
+  EXPECT_DOUBLE_EQ(plan.io_error_prob, 0.0);
+  EXPECT_EQ(plan.retry.max_attempts, 3);
+  EXPECT_FALSE(plan.injects_messages());
+  EXPECT_FALSE(plan.injects_io());
+}
+
+TEST(FaultPlan, ParsesEveryKey) {
+  const auto plan = br::FaultPlan::parse(
+      "seed=7,link=0.25,degrade=0.5,stall=0.1,stall-s=0.002,"
+      "io=0.05,io-spike=0.2,spike-s=0.01,timeout=30,retries=5,"
+      "backoff=0.125,backoff-cap=4");
+  EXPECT_EQ(plan.seed, 7u);
+  EXPECT_DOUBLE_EQ(plan.link_degrade_prob, 0.25);
+  EXPECT_DOUBLE_EQ(plan.degrade_factor, 0.5);
+  EXPECT_DOUBLE_EQ(plan.stall_prob, 0.1);
+  EXPECT_DOUBLE_EQ(plan.stall_s, 0.002);
+  EXPECT_DOUBLE_EQ(plan.io_error_prob, 0.05);
+  EXPECT_DOUBLE_EQ(plan.io_spike_prob, 0.2);
+  EXPECT_DOUBLE_EQ(plan.spike_s, 0.01);
+  EXPECT_DOUBLE_EQ(plan.retry.timeout_s, 30.0);
+  EXPECT_EQ(plan.retry.max_attempts, 5);
+  EXPECT_DOUBLE_EQ(plan.retry.backoff_base_s, 0.125);
+  EXPECT_DOUBLE_EQ(plan.retry.backoff_cap_s, 4.0);
+  EXPECT_TRUE(plan.injects_messages());
+  EXPECT_TRUE(plan.injects_io());
+}
+
+TEST(FaultPlan, DescribeRoundTrips) {
+  const auto plan = br::FaultPlan::parse("seed=42,io=0.125,retries=2");
+  const std::string canonical = plan.describe();
+  const auto reparsed = br::FaultPlan::parse(canonical);
+  // The canonical form is a fixed point: parse(describe(p)) describes
+  // identically -- this is what makes it usable as a checkpoint
+  // config-hash component.
+  EXPECT_EQ(reparsed.describe(), canonical);
+  EXPECT_EQ(reparsed.seed, 42u);
+  EXPECT_DOUBLE_EQ(reparsed.io_error_prob, 0.125);
+  EXPECT_EQ(reparsed.retry.max_attempts, 2);
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  // Each bad token must surface in the exception message so the CLI
+  // error points at the exact offender.
+  const std::vector<std::string> bad = {
+      "frobnicate=1",  // unknown key
+      "io",            // no '='
+      "io=potato",     // not a number
+      "io=1.5",        // probability out of range
+      "link=-0.1",     // negative probability
+      "degrade=0",     // factor must be > 0
+      "degrade=1.5",   // factor must be <= 1
+      "retries=0",     // at least one attempt
+      "stall-s=-1",    // negative seconds
+      "seed=-3",       // seed is unsigned
+      "io=0.1,,link=0.1",  // empty token mid-spec
+  };
+  for (const auto& spec : bad) {
+    EXPECT_THROW((void)br::FaultPlan::parse(spec), std::invalid_argument)
+        << "spec accepted: " << spec;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SessionInjector determinism
+
+namespace {
+
+std::vector<br::SessionInjector::SendFault> draw_sends(
+    const br::FaultPlan& plan, const std::string& label, int attempt, int n) {
+  br::SessionInjector inj(plan, label, attempt);
+  std::vector<br::SessionInjector::SendFault> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(inj.next_send());
+  return out;
+}
+
+bool same_schedule(const std::vector<br::SessionInjector::SendFault>& a,
+                   const std::vector<br::SessionInjector::SendFault>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].stall_s != b[i].stall_s) return false;
+    if (a[i].degrade_factor != b[i].degrade_factor) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+TEST(SessionInjector, SameSessionSameAttemptSameSchedule) {
+  const auto plan = br::FaultPlan::parse("seed=11,link=0.3,stall=0.2");
+  const auto a = draw_sends(plan, "cell 4: ring-2d", 1, 500);
+  const auto b = draw_sends(plan, "cell 4: ring-2d", 1, 500);
+  EXPECT_TRUE(same_schedule(a, b));
+}
+
+TEST(SessionInjector, DifferentAttemptDifferentSchedule) {
+  const auto plan = br::FaultPlan::parse("seed=11,link=0.3,stall=0.2");
+  const auto a = draw_sends(plan, "cell 4: ring-2d", 1, 500);
+  const auto b = draw_sends(plan, "cell 4: ring-2d", 2, 500);
+  EXPECT_FALSE(same_schedule(a, b));
+}
+
+TEST(SessionInjector, DifferentSessionDifferentSchedule) {
+  const auto plan = br::FaultPlan::parse("seed=11,link=0.3,stall=0.2");
+  const auto a = draw_sends(plan, "cell 4: ring-2d", 1, 500);
+  const auto b = draw_sends(plan, "cell 5: ring-3d", 1, 500);
+  EXPECT_FALSE(same_schedule(a, b));
+}
+
+TEST(SessionInjector, InjectsRoughlyAtTheConfiguredRate) {
+  const auto plan = br::FaultPlan::parse("seed=3,link=0.25,degrade=0.5");
+  br::SessionInjector inj(plan, "rate", 1);
+  int degraded = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    if (inj.next_send().degrade_factor < 1.0) ++degraded;
+  }
+  // 4000 Bernoulli(0.25) draws: [800, 1200] is > 8 sigma wide.
+  EXPECT_GT(degraded, 800);
+  EXPECT_LT(degraded, 1200);
+  EXPECT_EQ(inj.injected_count(), static_cast<std::uint64_t>(degraded));
+}
+
+TEST(SessionInjector, ErroredIoRequestDrawsNoSpike) {
+  // An io error returns immediately: the spike probability must not
+  // consume an RNG draw, or the downstream schedule would shift.
+  const auto plan = br::FaultPlan::parse("seed=9,io=1,io-spike=1");
+  br::SessionInjector inj(plan, "io", 1);
+  const auto f = inj.next_io();
+  EXPECT_TRUE(f.error);
+  EXPECT_DOUBLE_EQ(f.spike_s, 0.0);
+  EXPECT_EQ(inj.injected_count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// RetryPolicy / run_with_retry
+
+TEST(RetryPolicy, BackoffDoublesAndSaturates) {
+  br::RetryPolicy policy;
+  policy.backoff_base_s = 0.25;
+  policy.backoff_cap_s = 1.0;
+  EXPECT_DOUBLE_EQ(policy.backoff_for(1), 0.25);
+  EXPECT_DOUBLE_EQ(policy.backoff_for(2), 0.5);
+  EXPECT_DOUBLE_EQ(policy.backoff_for(3), 1.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_for(4), 1.0);  // capped
+}
+
+TEST(RunWithRetry, FirstAttemptSuccessIsOk) {
+  br::RetryPolicy policy;
+  int attempts = 0, resets = 0;
+  const auto status = br::run_with_retry(
+      policy, [&](int) { ++attempts; }, [&] { ++resets; });
+  EXPECT_EQ(status.outcome, br::Outcome::Ok);
+  EXPECT_EQ(status.attempts, 1);
+  EXPECT_EQ(attempts, 1);
+  EXPECT_EQ(resets, 0);
+  EXPECT_DOUBLE_EQ(status.backoff_s, 0.0);
+  EXPECT_TRUE(status.error.empty());
+}
+
+TEST(RunWithRetry, LaterSuccessIsDegradedWithResetBeforeRetry) {
+  br::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.backoff_base_s = 0.25;
+  int resets = 0;
+  const auto status = br::run_with_retry(
+      policy,
+      [&](int k) {
+        if (k < 3) throw std::runtime_error("transient");
+      },
+      [&] { ++resets; });
+  EXPECT_EQ(status.outcome, br::Outcome::Degraded);
+  EXPECT_EQ(status.attempts, 3);
+  EXPECT_EQ(resets, 2);  // before attempt 2 and attempt 3
+  // Backoff bookkeeping: 0.25 after attempt 1, 0.5 after attempt 2.
+  EXPECT_DOUBLE_EQ(status.backoff_s, 0.75);
+}
+
+TEST(RunWithRetry, ExhaustedBudgetIsFailedAndSlotReset) {
+  br::RetryPolicy policy;
+  policy.max_attempts = 2;
+  int resets = 0;
+  const auto status = br::run_with_retry(
+      policy, [&](int) { throw std::runtime_error("persistent"); },
+      [&] { ++resets; });
+  EXPECT_EQ(status.outcome, br::Outcome::Failed);
+  EXPECT_EQ(status.attempts, 2);
+  // One reset before the retry, one final reset so the zeroed slot
+  // never leaks a partial attempt into the reduction.
+  EXPECT_EQ(resets, 2);
+  EXPECT_EQ(status.error, "persistent");
+  EXPECT_STREQ(br::outcome_name(status.outcome), "failed");
+}

@@ -1,0 +1,236 @@
+// Unit tests for the crash-safety and containment primitives behind
+// DESIGN.md Sec. 12: util::atomic_write (tmp+fsync+rename), the
+// obs::parse_json nesting-depth limit, the PoolObserver
+// on_task_failure retry hook, and the simt::Engine virtual-time
+// deadline / cooperative abort.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/json.hpp"
+#include "simt/engine.hpp"
+#include "util/atomic_write.hpp"
+#include "util/parallel.hpp"
+
+namespace bu = balbench::util;
+namespace bo = balbench::obs;
+namespace bs = balbench::simt;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// util::atomic_write
+
+TEST(AtomicWrite, WritesExactBytes) {
+  const std::string path = ::testing::TempDir() + "atomic_write_new.txt";
+  bu::atomic_write(path, "hello\nworld\n");
+  EXPECT_EQ(slurp(path), "hello\nworld\n");
+}
+
+TEST(AtomicWrite, ReplacesExistingFileCompletely) {
+  const std::string path = ::testing::TempDir() + "atomic_write_replace.txt";
+  bu::atomic_write(path, std::string(4096, 'x'));
+  bu::atomic_write(path, "short");
+  // rename(2) replacement: the new content, never old-tail residue.
+  EXPECT_EQ(slurp(path), "short");
+}
+
+TEST(AtomicWrite, FailureLeavesTargetUntouched) {
+  const std::string dir = ::testing::TempDir() + "atomic_write_no_such_dir";
+  const std::string path = dir + "/out.txt";
+  // The temporary lives next to the target, so a missing parent
+  // directory fails the write before anything is renamed into place.
+  EXPECT_THROW(bu::atomic_write(path, "content"), std::runtime_error);
+  EXPECT_FALSE(std::ifstream(path).good());
+}
+
+TEST(AtomicWrite, EmptyContentIsValid) {
+  const std::string path = ::testing::TempDir() + "atomic_write_empty.txt";
+  bu::atomic_write(path, "seed");
+  bu::atomic_write(path, "");
+  EXPECT_EQ(slurp(path), "");
+}
+
+// ---------------------------------------------------------------------------
+// obs::parse_json depth limit
+
+namespace {
+
+std::string nested_arrays(int depth) {
+  std::string s;
+  s.reserve(static_cast<std::size_t>(depth) * 2);
+  for (int i = 0; i < depth; ++i) s += '[';
+  for (int i = 0; i < depth; ++i) s += ']';
+  return s;
+}
+
+}  // namespace
+
+TEST(JsonDepthLimit, AcceptsDepth256) {
+  const auto v = bo::parse_json(nested_arrays(256));
+  EXPECT_EQ(v.kind(), bo::JsonValue::Kind::Array);
+}
+
+TEST(JsonDepthLimit, RejectsDepth257WithClearError) {
+  try {
+    (void)bo::parse_json(nested_arrays(257));
+    FAIL() << "depth-257 document parsed";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("nesting depth"), std::string::npos)
+        << "unhelpful error: " << e.what();
+  }
+}
+
+TEST(JsonDepthLimit, AppliesToObjectsToo) {
+  std::string s;
+  for (int i = 0; i < 257; ++i) s += "{\"k\":";
+  s += "0";
+  for (int i = 0; i < 257; ++i) s += '}';
+  EXPECT_THROW((void)bo::parse_json(s), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// PoolObserver::on_task_failure
+
+namespace {
+
+/// Grants each failing index a fixed number of in-place retries.
+class RetryGranter : public bu::PoolObserver {
+ public:
+  explicit RetryGranter(int budget) : budget_(budget) {}
+  bool on_task_failure(std::uint64_t, std::size_t, int, int attempt,
+                       const char*) override {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return attempt <= budget_;
+  }
+  [[nodiscard]] int failures() const {
+    return failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  int budget_;
+  std::atomic<int> failures_{0};
+};
+
+}  // namespace
+
+TEST(PoolFailureHook, GrantedRetryRecoversTheTask) {
+  RetryGranter granter(2);
+  bu::set_pool_observer(&granter);
+  std::atomic<int> completed{0};
+  std::atomic<int> flaky_attempts{0};
+  // Index 3 fails twice and succeeds on the third in-place attempt;
+  // every other index runs clean.  The batch must complete without
+  // throwing and without tearing down any worker.
+  bu::parallel_for(4, 16, [&](std::size_t i) {
+    if (i == 3 && flaky_attempts.fetch_add(1) < 2) {
+      throw std::runtime_error("transient cell failure");
+    }
+    completed.fetch_add(1, std::memory_order_relaxed);
+  });
+  bu::set_pool_observer(nullptr);
+  EXPECT_EQ(completed.load(), 16);
+  EXPECT_EQ(granter.failures(), 2);
+}
+
+TEST(PoolFailureHook, DeclinedRetryRethrowsLowestIndex) {
+  RetryGranter granter(0);  // observes but declines every retry
+  bu::set_pool_observer(&granter);
+  std::atomic<int> completed{0};
+  try {
+    bu::parallel_for(2, 8, [&](std::size_t i) {
+      if (i == 2 || i == 5) throw std::runtime_error("cell " + std::to_string(i));
+      completed.fetch_add(1, std::memory_order_relaxed);
+    });
+    bu::set_pool_observer(nullptr);
+    FAIL() << "declined failures did not rethrow";
+  } catch (const std::runtime_error& e) {
+    bu::set_pool_observer(nullptr);
+    // Deterministic error reporting: the lowest failing index wins.
+    EXPECT_STREQ(e.what(), "cell 2");
+  }
+  // The batch drained: every non-failing task still completed.
+  EXPECT_EQ(completed.load(), 6);
+  EXPECT_EQ(granter.failures(), 2);
+}
+
+TEST(PoolFailureHook, PoolSurvivesFailuresAcrossBatches) {
+  bu::ThreadPool pool(3);
+  RetryGranter granter(0);
+  bu::set_pool_observer(&granter);
+  EXPECT_THROW(
+      pool.parallel_for(4, [](std::size_t) { throw std::runtime_error("x"); }),
+      std::runtime_error);
+  bu::set_pool_observer(nullptr);
+  // Same pool, next batch: workers were never torn down.
+  std::atomic<int> done{0};
+  pool.parallel_for(12, [&](std::size_t) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), 12);
+}
+
+// ---------------------------------------------------------------------------
+// simt::Engine deadline / cooperative abort
+
+TEST(EngineDeadline, UnreachableDeadlineChangesNothing) {
+  bs::Engine e;
+  double woke_at = -1.0;
+  e.set_deadline(1e9);
+  e.spawn([&](bs::Process& p) {
+    p.sleep(2.5);
+    woke_at = e.now();
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(woke_at, 2.5);
+  EXPECT_FALSE(e.aborted());
+}
+
+TEST(EngineDeadline, ExpiredDeadlineAbortsAtTheDeadline) {
+  bs::Engine e;
+  e.set_deadline(1.0);
+  bool reached_end = false;
+  e.spawn([&](bs::Process& p) {
+    p.sleep(5.0);  // would finish at t=5, past the deadline
+    reached_end = true;
+  });
+  try {
+    e.run();
+    FAIL() << "deadline did not abort the run";
+  } catch (const bs::AbortError& err) {
+    EXPECT_NE(std::string(err.what()).find("deadline"), std::string::npos);
+  }
+  EXPECT_FALSE(reached_end);
+  EXPECT_TRUE(e.aborted());
+  // The clock stops AT the deadline, never at the overdue event.
+  EXPECT_DOUBLE_EQ(e.now(), 1.0);
+}
+
+TEST(EngineDeadline, AbortUnwindsEveryLiveProcess) {
+  bs::Engine e;
+  e.set_deadline(1.0);
+  int unwound = 0;
+  for (int i = 0; i < 4; ++i) {
+    e.spawn([&](bs::Process& p) {
+      try {
+        p.sleep(10.0);
+      } catch (const bs::AbortError&) {
+        ++unwound;  // cooperative unwind releases the fiber stack
+        throw;
+      }
+    });
+  }
+  EXPECT_THROW(e.run(), bs::AbortError);
+  EXPECT_EQ(unwound, 4);
+}

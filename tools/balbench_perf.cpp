@@ -23,6 +23,14 @@
 //                     factor F (busy-spin); exists so the gate itself
 //                     is testable end to end
 //   --wall-profile F  wall-clock profile of the run (obs/prof.hpp)
+//   --checkpoint FILE crash-safe journal of completed cells
+//                     ("balbench-perf-checkpoint/1", atomically
+//                     rewritten after each cell, DESIGN.md Sec. 12.3)
+//   --resume          replay samples of cells already completed in the
+//                     --checkpoint journal instead of re-timing them
+//
+// Exit codes: 0 = clean; 3 = the gate found regressions; 1 = fatal
+// error; 2 = bad usage.
 //
 // Median/MAD/bootstrap follow the robust-statistics advice for noisy
 // benchmark environments (Hunold & Carpen-Amarie): the median of a
@@ -46,6 +54,7 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -64,6 +73,7 @@
 #include "parmsg/sim_transport.hpp"
 #include "simt/engine.hpp"
 #include "simt/fiber.hpp"
+#include "util/atomic_write.hpp"
 #include "util/hash.hpp"
 #include "util/options.hpp"
 #include "util/stats.hpp"
@@ -473,10 +483,96 @@ bool spill(const std::string& path, const std::string& text) {
     std::cout << text;
     return static_cast<bool>(std::cout);
   }
-  std::ofstream out(path, std::ios::binary);
-  out << text;
-  return static_cast<bool>(out);
+  try {
+    util::atomic_write(path, text);
+  } catch (const std::exception& e) {
+    std::cerr << "balbench-perf: " << e.what() << '\n';
+    return false;
+  }
+  return true;
 }
+
+// ---------------------------------------------------------------------------
+// Crash-safe cell checkpoint ("balbench-perf-checkpoint/1")
+// ---------------------------------------------------------------------------
+
+/// Journal of completed cells' raw samples; atomically rewritten after
+/// every cell (DESIGN.md Sec. 12.3).  The config key pins the cell
+/// list AND the sampling parameters: samples taken under a different
+/// --repeat/--warmup/--handicap must not be replayed into this run.
+class PerfCheckpoint {
+ public:
+  PerfCheckpoint(std::string path, std::string config_key, bool resume)
+      : path_(std::move(path)), config_key_(std::move(config_key)) {
+    if (!resume) return;
+    std::ifstream in(path_, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "[perf] checkpoint %s: no journal, starting "
+                   "fresh\n", path_.c_str());
+      return;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    try {
+      const obs::JsonValue doc = obs::parse_json(buf.str());
+      if (doc.at("schema").as_string() != "balbench-perf-checkpoint/1") {
+        throw std::runtime_error("schema is not balbench-perf-checkpoint/1");
+      }
+      if (doc.at("config").as_string() != config_key_) {
+        std::fprintf(stderr,
+                     "[perf] checkpoint %s: written for a different "
+                     "configuration, discarding\n",
+                     path_.c_str());
+        return;
+      }
+      for (const auto& [id, samples] : doc.at("cells").as_object()) {
+        std::vector<double>& v = cells_[id];
+        for (const auto& s : samples.as_array()) v.push_back(s.as_number());
+      }
+      std::fprintf(stderr, "[perf] checkpoint %s: resuming, %zu cell%s "
+                   "completed\n", path_.c_str(), cells_.size(),
+                   cells_.size() == 1 ? "" : "s");
+    } catch (const std::exception& e) {
+      cells_.clear();
+      std::fprintf(stderr, "[perf] checkpoint %s: unusable journal (%s), "
+                   "starting fresh\n", path_.c_str(), e.what());
+    }
+  }
+
+  bool load(const std::string& id, std::vector<double>* samples) const {
+    const auto it = cells_.find(id);
+    if (it == cells_.end()) return false;
+    *samples = it->second;
+    return true;
+  }
+
+  void record(const std::string& id, const std::vector<double>& samples) {
+    cells_[id] = samples;
+    std::string text = "{\"schema\":\"balbench-perf-checkpoint/1\","
+                       "\"config\":\"" + obs::json_escape(config_key_) +
+                       "\",\"cells\":{";
+    bool first = true;
+    for (const auto& [cid, v] : cells_) {
+      if (!first) text += ',';
+      first = false;
+      text += '"';
+      text += obs::json_escape(cid);
+      text += "\":[";
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i > 0) text += ',';
+        text += obs::json_double(v[i]);
+      }
+      text += ']';
+    }
+    text += "}}\n";
+    util::atomic_write(path_, text);
+  }
+
+ private:
+  std::string path_;
+  std::string config_key_;
+  std::map<std::string, std::vector<double>> cells_;
+};
 
 }  // namespace
 
@@ -490,11 +586,15 @@ int main(int argc, char** argv) {
   std::string validate_path;
   std::string handicap_arg;
   std::string wall_profile_path;
+  std::string checkpoint_path;
+  bool resume = false;
   bool verbose = false;
   util::Options options(
       "balbench-perf: run host-timed benchmark cells, emit a "
       "balbench-perf-record/1 JSON (median/MAD/bootstrap CI per cell), "
-      "and optionally gate against a baseline record");
+      "and optionally gate against a baseline record.  Exit codes: 0 = "
+      "clean, 3 = gate found regressions, 1 = fatal error, 2 = bad "
+      "usage");
   options.add_string("suite", &suites,
                      "comma-separated suites: micro | sweep | calib | all");
   options.add_int("repeat", &repeat, "recorded samples per cell");
@@ -510,6 +610,12 @@ int main(int argc, char** argv) {
                      "slow one cell by ID=FACTOR (gate self-test hook)");
   options.add_string("wall-profile", &wall_profile_path,
                      "write a wall-clock profile of this run here");
+  options.add_string("checkpoint", &checkpoint_path,
+                     "crash-safe balbench-perf-checkpoint/1 journal of "
+                     "completed cells (atomically rewritten per cell)");
+  options.add_flag("resume", &resume,
+                   "replay samples of cells already completed in the "
+                   "--checkpoint journal instead of re-timing them");
   options.add_flag("verbose", &verbose, "per-cell statistics on stderr");
   try {
     if (!options.parse(argc, argv)) return 0;
@@ -546,6 +652,19 @@ int main(int argc, char** argv) {
       std::cerr << "balbench-perf: " << error << '\n';
       return 2;
     }
+    if (resume && checkpoint_path.empty()) {
+      std::cerr << "balbench-perf: --resume needs --checkpoint FILE\n";
+      return 2;
+    }
+    std::unique_ptr<PerfCheckpoint> ck;
+    if (!checkpoint_path.empty()) {
+      ck = std::make_unique<PerfCheckpoint>(
+          checkpoint_path,
+          perf_config_hash(cells) + "|repeat=" + std::to_string(repeat) +
+              "|warmup=" + std::to_string(warmup) +
+              "|handicap=" + handicap_arg,
+          resume);
+    }
 
     std::unique_ptr<obs::prof::Profiler> profiler;
     if (!wall_profile_path.empty()) {
@@ -556,9 +675,22 @@ int main(int argc, char** argv) {
     std::vector<CellResult> results;
     results.reserve(cells.size());
     for (const auto& cell : cells) {
-      const double factor = cell.id == handicap.id ? handicap.factor : 1.0;
-      results.push_back(run_cell(cell, static_cast<int>(repeat),
-                                 static_cast<int>(warmup), factor, verbose));
+      CellResult r;
+      if (ck != nullptr && ck->load(cell.id, &r.samples)) {
+        r.id = cell.id;
+        r.suite = cell.suite;
+        r.stats = util::robust_summary(r.samples);
+        if (verbose) {
+          std::fprintf(stderr, "[perf] %-32s replayed from checkpoint\n",
+                       cell.id.c_str());
+        }
+      } else {
+        const double factor = cell.id == handicap.id ? handicap.factor : 1.0;
+        r = run_cell(cell, static_cast<int>(repeat), static_cast<int>(warmup),
+                     factor, verbose);
+        if (ck != nullptr) ck->record(cell.id, r.samples);
+      }
+      results.push_back(std::move(r));
     }
 
     if (profiler != nullptr) {
@@ -587,7 +719,10 @@ int main(int argc, char** argv) {
 
     if (!baseline_path.empty()) {
       const Baseline base = load_record(baseline_path);
-      if (compare(base, results, cfg_hash, threshold) > 0) return 1;
+      // Exit 3 = "completed, but the gate flagged regressions" --
+      // distinct from fatal errors (1) so CI can branch on it, and
+      // aligned with balbench-report's degraded-cells exit code.
+      if (compare(base, results, cfg_hash, threshold) > 0) return 3;
     }
     return 0;
   } catch (const std::exception& e) {

@@ -28,8 +28,25 @@
 //                       with --trace the wall spans also land on the
 //                       trace's dedicated "wall" pid.
 //
-// "-" as FILE writes to stdout.  All sweep outputs are byte-identical
-// for every --jobs value (DESIGN.md Sec. 10.2).
+// Robustness layer (DESIGN.md Sec. 12):
+//
+//   --faults SPEC     deterministic fault injection, e.g.
+//                     "seed=7,io=0.3,retries=4"; exhausted cells are
+//                     recorded as degraded/failed instead of aborting
+//   --checkpoint FILE crash-safe journal of completed sweep tasks,
+//                     atomically rewritten after each task
+//   --resume          replay completed tasks from --checkpoint FILE;
+//                     resumed output is byte-identical to an
+//                     uninterrupted run
+//   --kill-after N    test hook: SIGKILL after N checkpointed tasks
+//
+// Exit codes: 0 = clean sweep; 3 = the sweep completed but at least
+// one cell is degraded or failed (inspect "status" in the record);
+// 1 = fatal error; 2 = bad usage.
+//
+// "-" as FILE writes to stdout; real files are written atomically
+// (tmp + fsync + rename).  All sweep outputs are byte-identical for
+// every --jobs value (DESIGN.md Sec. 10.2).
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -44,7 +61,9 @@
 #include "obs/metrics.hpp"
 #include "obs/prof.hpp"
 #include "parmsg/sim_transport.hpp"
+#include "robust/fault.hpp"
 #include "simt/trace.hpp"
+#include "util/atomic_write.hpp"
 #include "util/options.hpp"
 #include "util/parallel.hpp"
 
@@ -52,15 +71,21 @@ namespace {
 
 using namespace balbench;
 
-/// Writes `text` to `path` ("-" = stdout).  Returns false on I/O error.
+/// Writes `text` to `path` ("-" = stdout; files are written via
+/// util::atomic_write so a crash never leaves a torn output).
+/// Returns false on I/O error.
 bool spill(const std::string& path, const std::string& text) {
   if (path == "-") {
     std::cout << text;
     return static_cast<bool>(std::cout);
   }
-  std::ofstream out(path, std::ios::binary);
-  out << text;
-  return static_cast<bool>(out);
+  try {
+    util::atomic_write(path, text);
+  } catch (const std::exception& e) {
+    std::cerr << "balbench-report: " << e.what() << '\n';
+    return false;
+  }
+  return true;
 }
 
 int check_doc(const std::string& path, const std::string& rendered) {
@@ -193,6 +218,10 @@ int main(int argc, char** argv) {
   std::int64_t jobs = 1;
   bool verbose = false;
   std::string wall_profile_path;
+  std::string faults_arg;
+  std::string checkpoint_path;
+  bool resume = false;
+  std::int64_t kill_after = 0;
   // The `profile` CMake preset builds with BALBENCH_PROFILE, which
   // turns wall-clock profiling on by default (summary to stderr).
 #ifdef BALBENCH_PROFILE
@@ -202,7 +231,10 @@ int main(int argc, char** argv) {
 #endif
   util::Options options(
       "balbench-report: run the experiments sweep and emit JSON run "
-      "records, the regenerated EXPERIMENTS.md, or Chrome traces");
+      "records, the regenerated EXPERIMENTS.md, or Chrome traces.  "
+      "Exit codes: 0 = clean sweep, 3 = completed with degraded/failed "
+      "cells (see \"status\" in the record), 1 = fatal error, 2 = bad "
+      "usage");
   options.add_string("scope", &scope_arg, "sweep size: quick | doc");
   options.add_string("record", &record_path, "write the JSON run record here");
   options.add_string("markdown", &markdown_path,
@@ -220,6 +252,21 @@ int main(int argc, char** argv) {
   options.add_string("wall-profile", &wall_profile_path,
                      "write a wall-clock profile of this invocation "
                      "(balbench-wall-profile/1 JSON) here");
+  options.add_string("faults", &faults_arg,
+                     "deterministic fault injection spec, comma-separated "
+                     "key=value: seed=N link=P degrade=F stall=P stall-s=T "
+                     "io=P io-spike=P spike-s=T timeout=S retries=N "
+                     "backoff=S backoff-cap=S (DESIGN.md Sec. 12.1)");
+  options.add_string("checkpoint", &checkpoint_path,
+                     "crash-safe balbench-checkpoint/1 journal of completed "
+                     "sweep tasks (atomically rewritten after each task)");
+  options.add_flag("resume", &resume,
+                   "replay tasks already completed in the --checkpoint "
+                   "journal; the resumed output is byte-identical to an "
+                   "uninterrupted run");
+  options.add_int("kill-after", &kill_after,
+                  "test hook: raise SIGKILL after this many newly "
+                  "checkpointed tasks (0 = never)");
   try {
     if (!options.parse(argc, argv)) return 0;
   } catch (const std::exception& e) {
@@ -248,9 +295,29 @@ int main(int argc, char** argv) {
     if (record_path.empty() && markdown_path.empty() && check_path.empty()) {
       markdown_path.assign(1, '-');  // default: render the document to stdout
     }
+    if (resume && checkpoint_path.empty()) {
+      std::cerr << "balbench-report: --resume needs --checkpoint FILE\n";
+      return 2;
+    }
+    if (kill_after > 0 && checkpoint_path.empty()) {
+      std::cerr << "balbench-report: --kill-after needs --checkpoint FILE\n";
+      return 2;
+    }
 
-    const auto data =
-        report::run_experiments(scope, util::resolve_jobs(jobs), verbose);
+    robust::FaultPlan plan;
+    report::ExperimentOptions run_opt;
+    run_opt.scope = scope;
+    run_opt.jobs = util::resolve_jobs(jobs);
+    run_opt.verbose = verbose;
+    if (!faults_arg.empty()) {
+      plan = robust::FaultPlan::parse(faults_arg);
+      run_opt.fault_plan = &plan;
+    }
+    run_opt.checkpoint_path = checkpoint_path;
+    run_opt.resume = resume;
+    run_opt.kill_after = static_cast<int>(kill_after);
+
+    const auto data = report::run_experiments(run_opt);
     const std::string hash = report::config_hash(scope);
 
     if (!record_path.empty()) {
@@ -272,6 +339,21 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (!check_path.empty()) return check_doc(check_path, rendered);
+
+    // With faults on, a completed-but-imperfect sweep is exit 3 so CI
+    // can tell "every cell clean" from "some cells degraded/failed"
+    // without parsing the record.
+    robust::Outcome worst = robust::Outcome::Ok;
+    auto fold = [&worst](robust::Outcome o) {
+      if (static_cast<int>(o) > static_cast<int>(worst)) worst = o;
+    };
+    for (const auto& b : data.beff) fold(b.r.worst_outcome());
+    for (const auto& r : data.io) fold(r.r.worst_outcome());
+    if (worst != robust::Outcome::Ok) {
+      std::cerr << "balbench-report: sweep completed with "
+                << robust::outcome_name(worst) << " cells (exit 3)\n";
+      return 3;
+    }
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "balbench-report: " << e.what() << '\n';

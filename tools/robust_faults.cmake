@@ -1,0 +1,58 @@
+# Fault-injection determinism test, run by ctest as
+# `robust_fault_determinism` (cmake -P).  Proves the DESIGN.md
+# Sec. 12.1 contract end to end:
+#
+#   1. a quick-scope sweep under an aggressive --faults spec completes
+#      (exit 3: cells failed, the sweep did not abort) at --jobs 1
+#   2. the same spec at --jobs 2 produces the SAME exit code and a
+#      byte-identical run record -- the injected schedule is a pure
+#      function of (seed, session, attempt), never of host scheduling
+#   3. the degraded record actually contains per-cell retry statuses
+#      (guards against a vacuous pass where no fault fired)
+if(NOT BALBENCH_REPORT OR NOT WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DBALBENCH_REPORT=<exe> -DWORK_DIR=<dir> -P robust_faults.cmake")
+endif()
+
+set(spec "seed=7,io=0.5,retries=2")
+set(record_j1 "${WORK_DIR}/faults_j1.json")
+set(record_j2 "${WORK_DIR}/faults_j2.json")
+
+# Act 1: serial run under faults.  Exit 3 is the documented
+# "completed with degraded/failed cells" code; anything else -- a clean
+# 0 (no fault fired) or a fatal 1 (the sweep aborted) -- fails the test.
+execute_process(
+  COMMAND ${BALBENCH_REPORT} --scope quick --jobs 1
+          --faults ${spec} --record ${record_j1}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 3)
+  message(FATAL_ERROR "faulted --jobs 1 sweep exited ${rc}, expected 3")
+endif()
+
+# Act 2: same spec, two workers.
+execute_process(
+  COMMAND ${BALBENCH_REPORT} --scope quick --jobs 2
+          --faults ${spec} --record ${record_j2}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 3)
+  message(FATAL_ERROR "faulted --jobs 2 sweep exited ${rc}, expected 3")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${record_j1} ${record_j2}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fault-injected records differ between --jobs 1 and --jobs 2")
+endif()
+
+# Act 3: the record must carry the fault plan and real cell statuses.
+file(READ ${record_j1} record)
+string(FIND "${record}" "\"faults\"" has_faults)
+if(has_faults EQUAL -1)
+  message(FATAL_ERROR "degraded record carries no \"faults\" header")
+endif()
+string(FIND "${record}" "\"status\"" has_status)
+if(has_status EQUAL -1)
+  message(FATAL_ERROR "degraded record carries no per-run \"status\" field")
+endif()
+
+message(STATUS "robust fault determinism: exit 3 and byte-identity at jobs 1/2")
