@@ -1,0 +1,176 @@
+#include "core/history/trace_diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+#include "obs/chrome_trace.hpp"
+
+namespace balbench::history {
+
+namespace {
+
+/// Aggregation key within one trace, after session alignment.
+struct CellKey {
+  std::string session;
+  int occurrence;
+  std::int64_t tid;
+  std::string category;
+  bool operator<(const CellKey& o) const {
+    return std::tie(session, occurrence, tid, category) <
+           std::tie(o.session, o.occurrence, o.tid, o.category);
+  }
+};
+
+struct CellAgg {
+  double seconds = 0.0;
+  std::uint64_t count = 0;
+};
+
+struct TraceIndex {
+  std::map<CellKey, CellAgg> cells;
+  std::size_t sessions = 0;
+};
+
+/// Builds the (session, occurrence, tid, category) aggregates of one
+/// trace.  Session names come from the "process_name" metadata events;
+/// a pid without one keeps a synthetic "pid N" label so malformed or
+/// foreign traces still align positionally.
+TraceIndex index_trace(const obs::JsonValue& doc) {
+  const obs::JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr) {
+    throw std::runtime_error("not a Chrome trace: no traceEvents array");
+  }
+  // pid -> label, in pid order; then label -> occurrence counter.
+  std::map<std::int64_t, std::string> pid_label;
+  for (const auto& e : events->as_array()) {
+    const obs::JsonValue* ph = e.find("ph");
+    const obs::JsonValue* name = e.find("name");
+    if (ph == nullptr || name == nullptr) continue;
+    if (ph->as_string() != "M" || name->as_string() != "process_name") continue;
+    const auto pid = static_cast<std::int64_t>(e.at("pid").as_number());
+    if (pid == obs::kWallTracePid) continue;
+    pid_label[pid] = e.at("args").at("name").as_string();
+  }
+  std::map<std::int64_t, std::pair<std::string, int>> pid_session;
+  std::map<std::string, int> seen;
+  for (const auto& [pid, label] : pid_label) {
+    pid_session[pid] = {label, seen[label]++};
+  }
+
+  TraceIndex index;
+  index.sessions = pid_session.size();
+  for (const auto& e : events->as_array()) {
+    const obs::JsonValue* ph = e.find("ph");
+    if (ph == nullptr || ph->as_string() != "X") continue;
+    const auto pid = static_cast<std::int64_t>(e.at("pid").as_number());
+    if (pid == obs::kWallTracePid) continue;  // host time is observe-only
+    CellKey key;
+    auto it = pid_session.find(pid);
+    if (it != pid_session.end()) {
+      key.session = it->second.first;
+      key.occurrence = it->second.second;
+    } else {
+      key.session = "pid " + std::to_string(pid);
+      key.occurrence = 0;
+    }
+    key.tid = static_cast<std::int64_t>(e.at("tid").as_number());
+    const obs::JsonValue* cat = e.find("cat");
+    key.category = cat != nullptr ? cat->as_string() : "";
+    CellAgg& agg = index.cells[key];
+    agg.seconds += e.at("dur").as_number() / 1e6;  // trace us -> seconds
+    ++agg.count;
+  }
+  return index;
+}
+
+}  // namespace
+
+bool TraceCellDelta::drifted(const TraceDiffOptions& options) const {
+  if (in_a != in_b) return true;
+  if (count_a != count_b) return true;
+  return std::fabs(delta()) > options.tolerance_seconds;
+}
+
+TraceDiff diff_traces(const obs::JsonValue& a, const obs::JsonValue& b,
+                      const TraceDiffOptions& options) {
+  const TraceIndex ia = index_trace(a);
+  const TraceIndex ib = index_trace(b);
+
+  // Union of keys; std::map iteration gives the deterministic order.
+  std::map<CellKey, TraceCellDelta> merged;
+  for (const auto& [key, agg] : ia.cells) {
+    TraceCellDelta& d = merged[key];
+    d.session = key.session;
+    d.occurrence = key.occurrence;
+    d.tid = key.tid;
+    d.category = key.category;
+    d.seconds_a = agg.seconds;
+    d.count_a = agg.count;
+    d.in_a = true;
+  }
+  for (const auto& [key, agg] : ib.cells) {
+    TraceCellDelta& d = merged[key];
+    d.session = key.session;
+    d.occurrence = key.occurrence;
+    d.tid = key.tid;
+    d.category = key.category;
+    d.seconds_b = agg.seconds;
+    d.count_b = agg.count;
+    d.in_b = true;
+  }
+
+  TraceDiff diff;
+  diff.sessions_a = ia.sessions;
+  diff.sessions_b = ib.sessions;
+  for (auto& [key, d] : merged) {
+    if (d.drifted(options)) ++diff.drifted;
+    diff.max_abs_delta_seconds =
+        std::max(diff.max_abs_delta_seconds, std::fabs(d.delta()));
+    diff.cells.push_back(std::move(d));
+  }
+  return diff;
+}
+
+void write_trace_diff(std::ostream& os, const TraceDiff& diff,
+                      const std::string& name_a, const std::string& name_b,
+                      const TraceDiffOptions& options) {
+  char line[512];
+  for (const auto& d : diff.cells) {
+    if (!d.drifted(options)) continue;
+    if (d.in_a != d.in_b) {
+      std::snprintf(line, sizeof line,
+                    "[trace-diff] %s#%d rank %lld %s: only in %s "
+                    "(%.9fs over %llu spans)\n",
+                    d.session.c_str(), d.occurrence,
+                    static_cast<long long>(d.tid), d.category.c_str(),
+                    d.in_a ? name_a.c_str() : name_b.c_str(),
+                    d.in_a ? d.seconds_a : d.seconds_b,
+                    static_cast<unsigned long long>(d.in_a ? d.count_a
+                                                          : d.count_b));
+    } else {
+      std::snprintf(line, sizeof line,
+                    "[trace-diff] %s#%d rank %lld %s: %.9fs -> %.9fs "
+                    "(Δ %+.9fs, spans %llu -> %llu)\n",
+                    d.session.c_str(), d.occurrence,
+                    static_cast<long long>(d.tid), d.category.c_str(),
+                    d.seconds_a, d.seconds_b, d.delta(),
+                    static_cast<unsigned long long>(d.count_a),
+                    static_cast<unsigned long long>(d.count_b));
+    }
+    os << line;
+  }
+  std::snprintf(line, sizeof line,
+                "[trace-diff] %s (%zu sessions) vs %s (%zu sessions): "
+                "%zu aligned cells, %zu drifted, max |Δ| %.9fs "
+                "(tolerance %.9fs)\n",
+                name_a.c_str(), diff.sessions_a, name_b.c_str(),
+                diff.sessions_b, diff.cells.size(), diff.drifted,
+                diff.max_abs_delta_seconds, options.tolerance_seconds);
+  os << line;
+}
+
+}  // namespace balbench::history

@@ -1,0 +1,80 @@
+// Chrome-trace diffing (DESIGN.md Sec. 13.3).
+//
+// Two traces of the same configuration are byte-identical today
+// (virtual time, deterministic export), which makes the trace itself a
+// regression artifact: when a code change moves virtual time, the diff
+// names the exact measurement cell and rank that changed.  The diff
+// aligns the two traces structurally rather than textually:
+//
+//   * sessions are aligned by (label, occurrence): the k-th session
+//     named "cell 3: ring-2d" in trace A is compared with the k-th in
+//     trace B, so reordered pids (a future parallel exporter) or
+//     repeated labels never misalign;
+//   * within a session, spans are aggregated per (rank tid, category)
+//     into total virtual seconds and span count -- the granularity at
+//     which a timing change is attributable;
+//   * the wall-clock pid (obs::kWallTracePid) and counter samples are
+//     ignored: host time is observe-only by the Sec. 10.2 invariant,
+//     and a wall-profiled trace must still diff clean against a plain
+//     one.
+//
+// A cell drifts when its |Δ virtual seconds| exceeds the tolerance,
+// when its span count changes, or when it exists in only one trace.
+// Byte-identical traces therefore produce zero deltas and no drift
+// (asserted by the history smoke ctest).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace balbench::history {
+
+struct TraceDiffOptions {
+  /// |Δ total virtual seconds| per aggregated cell at or below this is
+  /// not drift.  0 (default) demands exact virtual-time equality.
+  double tolerance_seconds = 0.0;
+};
+
+/// One aligned (session, rank, category) aggregate of both traces.
+struct TraceCellDelta {
+  std::string session;   // session label
+  int occurrence = 0;    // k-th session with this label (0-based)
+  std::int64_t tid = 0;  // simulated rank
+  std::string category;  // tracer legend entry ("compute", "io-write", ...)
+  double seconds_a = 0.0;  // total virtual seconds in trace A
+  double seconds_b = 0.0;
+  std::uint64_t count_a = 0;  // span count in trace A
+  std::uint64_t count_b = 0;
+  bool in_a = false;
+  bool in_b = false;
+  [[nodiscard]] double delta() const { return seconds_b - seconds_a; }
+  [[nodiscard]] bool drifted(const TraceDiffOptions& options) const;
+};
+
+struct TraceDiff {
+  /// Every aggregated cell of either trace, sorted by (session,
+  /// occurrence, tid, category) -- deterministic for a given pair.
+  std::vector<TraceCellDelta> cells;
+  std::size_t drifted = 0;
+  double max_abs_delta_seconds = 0.0;
+  std::size_t sessions_a = 0;
+  std::size_t sessions_b = 0;
+};
+
+/// Diffs two parsed Chrome trace_event documents (the format
+/// obs::write_chrome_trace emits).  Throws std::runtime_error when a
+/// document lacks the traceEvents array.
+TraceDiff diff_traces(const obs::JsonValue& a, const obs::JsonValue& b,
+                      const TraceDiffOptions& options);
+
+/// Human report: one line per drifted cell plus a summary.  `name_a` /
+/// `name_b` label the inputs (file names).
+void write_trace_diff(std::ostream& os, const TraceDiff& diff,
+                      const std::string& name_a, const std::string& name_b,
+                      const TraceDiffOptions& options);
+
+}  // namespace balbench::history

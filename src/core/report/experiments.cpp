@@ -1094,4 +1094,11 @@ void render_experiments_md(std::ostream& os, const ExperimentsData& data,
         "them).\n";
 }
 
+void render_experiments_md(std::ostream& os, const ExperimentsData& data,
+                           const std::string& cfg_hash,
+                           const std::string& trend_section) {
+  render_experiments_md(os, data, cfg_hash);
+  if (!trend_section.empty()) os << '\n' << trend_section;
+}
+
 }  // namespace balbench::report

@@ -160,4 +160,14 @@ void write_run_record(std::ostream& os, const ExperimentsData& data,
 void render_experiments_md(std::ostream& os, const ExperimentsData& data,
                            const std::string& cfg_hash);
 
+/// Same document with a pre-rendered performance-history section (see
+/// core/history, DESIGN.md Sec. 13) appended after a blank line.  The
+/// section arrives as opaque bytes so core/report stays independent of
+/// core/history; pass "" for the plain document.  The marker lines
+/// inside the section let `balbench-history` splice updates in place
+/// without re-running the sweep.
+void render_experiments_md(std::ostream& os, const ExperimentsData& data,
+                           const std::string& cfg_hash,
+                           const std::string& trend_section);
+
 }  // namespace balbench::report

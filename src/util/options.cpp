@@ -45,6 +45,14 @@ void Options::add_jobs(std::int64_t* target, const std::string& what) {
               " (0 = all hardware threads, 1 = serial)");
 }
 
+void Options::add_positionals(std::vector<std::string>* target,
+                              const std::string& name,
+                              const std::string& help) {
+  positionals_ = target;
+  positional_name_ = name;
+  positional_help_ = help;
+}
+
 bool Options::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -53,6 +61,10 @@ bool Options::parse(int argc, const char* const* argv) {
       return false;
     }
     if (arg.rfind("--", 0) != 0) {
+      if (positionals_ != nullptr) {
+        positionals_->push_back(arg);
+        continue;
+      }
       throw std::invalid_argument("unexpected positional argument '" + arg +
                                   "'\n" + help());
     }
@@ -102,7 +114,12 @@ bool Options::parse(int argc, const char* const* argv) {
 
 std::string Options::help() const {
   std::ostringstream oss;
-  oss << description_ << "\n\noptions:\n";
+  oss << description_ << "\n";
+  if (positionals_ != nullptr) {
+    oss << "\npositional arguments:\n  " << positional_name_ << "...\n        "
+        << positional_help_ << "\n";
+  }
+  oss << "\noptions:\n";
   for (const auto& name : order_) {
     const Spec& s = specs_.at(name);
     oss << "  --" << name;

@@ -30,6 +30,13 @@ class Options {
   /// 0 means "all hardware threads", 1 restores serial execution.
   void add_jobs(std::int64_t* target, const std::string& what);
 
+  /// Accepts positional (non "--") arguments, collected into `target`
+  /// in command-line order.  `name` is the metavar shown in --help
+  /// (e.g. "FILE").  Without this registration positionals stay an
+  /// error, so existing binaries keep rejecting stray arguments.
+  void add_positionals(std::vector<std::string>* target,
+                       const std::string& name, const std::string& help);
+
   /// Parses argv.  Returns false if --help was requested (help text is
   /// printed to stdout).  Throws std::invalid_argument on bad input.
   bool parse(int argc, const char* const* argv);
@@ -48,6 +55,9 @@ class Options {
   std::string description_;
   std::map<std::string, Spec> specs_;
   std::vector<std::string> order_;
+  std::vector<std::string>* positionals_ = nullptr;
+  std::string positional_name_;
+  std::string positional_help_;
 };
 
 }  // namespace balbench::util

@@ -1,0 +1,225 @@
+#include "core/history/history.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace bh = balbench::history;
+namespace bo = balbench::obs;
+
+namespace {
+
+/// A minimal balbench-perf-record/1 document.  `cells` is a list of
+/// (id, suite, constant-sample value); constant samples give degenerate
+/// CIs, so the gate arithmetic in the tests is exact.
+bo::JsonValue make_record(
+    const std::string& rev, const std::string& cfg,
+    const std::vector<std::tuple<std::string, std::string, double>>& cells) {
+  std::ostringstream os;
+  os << "{\"schema\":\"balbench-perf-record/1\",\"suite\":\"micro,calib\","
+        "\"repeat\":5,\"warmup\":1,\"config_hash\":\""
+     << cfg << "\",\"provenance\":{\"generator\":\"test\",\"git_rev\":\""
+     << rev << "\"},\"cells\":[";
+  bool first = true;
+  for (const auto& [id, suite, value] : cells) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"id\":\"" << id << "\",\"suite\":\"" << suite
+       << "\",\"samples_seconds\":[";
+    for (int i = 0; i < 5; ++i) os << (i > 0 ? "," : "") << value;
+    os << "]}";
+  }
+  os << "]}";
+  return bo::parse_json(os.str());
+}
+
+/// Ingests a sequence of single-cell snapshots of `id` with the given
+/// per-revision constant medians, all in one (config, host) group.
+bh::History series(const std::vector<double>& medians) {
+  bh::History h;
+  for (std::size_t i = 0; i < medians.size(); ++i) {
+    bh::ingest_record(
+        h,
+        make_record("rev" + std::to_string(i), "cafe",
+                    {{"calib.spin", "calib", medians[i]}}),
+        "host0");
+  }
+  return h;
+}
+
+const bh::CellTrend& only_cell(const std::vector<bh::GroupTrend>& groups) {
+  EXPECT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].cells.size(), 1u);
+  return groups[0].cells[0];
+}
+
+}  // namespace
+
+TEST(HistoryStore, RoundTripPreservesEverything) {
+  bh::History h;
+  bh::ingest_record(h,
+                    make_record("abc1234", "cafe",
+                                {{"calib.spin", "calib", 0.005},
+                                 {"micro.ring", "micro", 0.001}}),
+                    "host0");
+  std::ostringstream os;
+  bh::write_history(os, h);
+  const bh::History back = bh::parse_history(os.str());
+  ASSERT_EQ(back.entries.size(), 1u);
+  const bh::HistoryEntry& e = back.entries[0];
+  EXPECT_EQ(e.git_rev, "abc1234");
+  EXPECT_EQ(e.config_hash, "cafe");
+  EXPECT_EQ(e.host, "host0");
+  EXPECT_EQ(e.suite_spec, "micro,calib");
+  EXPECT_EQ(e.repeat, 5);
+  EXPECT_EQ(e.warmup, 1);
+  ASSERT_EQ(e.cells.size(), 2u);
+  EXPECT_EQ(e.cells[0].id, "calib.spin");
+  ASSERT_EQ(e.cells[0].samples.size(), 5u);
+  EXPECT_DOUBLE_EQ(e.cells[0].samples[0], 0.005);
+
+  // Same store, same bytes.
+  std::ostringstream os2;
+  bh::write_history(os2, back);
+  EXPECT_EQ(os.str(), os2.str());
+}
+
+TEST(HistoryStore, IngestRejectsDuplicateKey) {
+  bh::History h;
+  const auto rec = make_record("abc", "cafe", {{"calib.spin", "calib", 0.005}});
+  bh::ingest_record(h, rec, "host0");
+  EXPECT_THROW(bh::ingest_record(h, rec, "host0"), std::runtime_error);
+  // A different host is a different key.
+  EXPECT_NO_THROW(bh::ingest_record(h, rec, "host1"));
+  EXPECT_EQ(h.entries.size(), 2u);
+}
+
+TEST(HistoryStore, IngestRejectsWrongSchema) {
+  bh::History h;
+  EXPECT_THROW(
+      bh::ingest_record(h, bo::parse_json("{\"schema\":\"nope/1\"}"), "host0"),
+      std::runtime_error);
+  EXPECT_THROW(bh::parse_history("{\"schema\":\"nope/1\",\"entries\":[]}"),
+               std::runtime_error);
+}
+
+TEST(HistoryTrend, MixedConfigHashesStaySeparate) {
+  bh::History h;
+  bh::ingest_record(h, make_record("r1", "cafe", {{"c.a", "calib", 0.005}}),
+                    "host0");
+  // Same revision re-recorded under a different sweep configuration:
+  // a separate group, never compared against the first.
+  bh::ingest_record(h, make_record("r1", "beef", {{"c.a", "calib", 0.010}}),
+                    "host0");
+  const auto groups = bh::analyze_trends(h, bh::TrendOptions{});
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].config_hash, "cafe");
+  EXPECT_EQ(groups[1].config_hash, "beef");
+  EXPECT_EQ(groups[0].revs.size(), 1u);
+  EXPECT_EQ(groups[1].revs.size(), 1u);
+  // One revision each: nothing to gate, nothing drifted.
+  EXPECT_FALSE(groups[0].drifted());
+  EXPECT_FALSE(groups[1].drifted());
+}
+
+TEST(HistoryTrend, TwoXSlowerRegresses) {
+  const auto groups =
+      bh::analyze_trends(series({0.005, 0.010}), bh::TrendOptions{});
+  const bh::CellTrend& c = only_cell(groups);
+  EXPECT_EQ(c.verdict, bh::Verdict::Regressed);
+  EXPECT_TRUE(groups[0].drifted());
+}
+
+TEST(HistoryTrend, TwoXFasterImproves) {
+  const auto groups =
+      bh::analyze_trends(series({0.010, 0.005}), bh::TrendOptions{});
+  const bh::CellTrend& c = only_cell(groups);
+  EXPECT_EQ(c.verdict, bh::Verdict::Improved);
+  EXPECT_FALSE(groups[0].drifted());
+}
+
+TEST(HistoryTrend, WithinThresholdIsOk) {
+  // +8 % is within the 10 % slack.
+  const auto groups =
+      bh::analyze_trends(series({0.100, 0.108}), bh::TrendOptions{});
+  EXPECT_EQ(only_cell(groups).verdict, bh::Verdict::Ok);
+}
+
+TEST(HistoryTrend, SlidingWindowCatchesSlowDrift) {
+  // ~3 % per commit: every adjacent pair is within the 10 % slack, but
+  // the cumulative +13 % exceeds the fastest window revision's edge.
+  const auto groups = bh::analyze_trends(
+      series({0.100, 0.103, 0.106, 0.109, 0.113}), bh::TrendOptions{});
+  const bh::CellTrend& c = only_cell(groups);
+  EXPECT_EQ(c.verdict, bh::Verdict::Regressed);
+  EXPECT_DOUBLE_EQ(c.window_ci_hi, 0.100);  // gate = fastest in window
+}
+
+TEST(HistoryTrend, ShortWindowMissesTheSameDrift) {
+  // The same series gated with window 2 only sees 0.106/0.109 -- the
+  // drift passes, which is exactly why the default window is longer.
+  bh::TrendOptions opt;
+  opt.window = 2;
+  const auto groups =
+      bh::analyze_trends(series({0.100, 0.103, 0.106, 0.109, 0.113}), opt);
+  EXPECT_EQ(only_cell(groups).verdict, bh::Verdict::Ok);
+}
+
+TEST(HistoryTrend, CellAppearingInNewestRevisionIsNew) {
+  bh::History h;
+  bh::ingest_record(h, make_record("r1", "cafe", {{"c.a", "calib", 0.005}}),
+                    "host0");
+  bh::ingest_record(h,
+                    make_record("r2", "cafe",
+                                {{"c.a", "calib", 0.005},
+                                 {"c.b", "calib", 0.001}}),
+                    "host0");
+  const auto groups = bh::analyze_trends(h, bh::TrendOptions{});
+  ASSERT_EQ(groups.size(), 1u);
+  ASSERT_EQ(groups[0].cells.size(), 2u);
+  EXPECT_EQ(groups[0].cells[0].verdict, bh::Verdict::Ok);   // c.a
+  EXPECT_EQ(groups[0].cells[1].verdict, bh::Verdict::New);  // c.b
+  EXPECT_FALSE(groups[0].drifted());
+}
+
+TEST(HistorySection, RenderIsDeterministicAndFlagsDrift) {
+  const bh::History h = series({0.005, 0.010});
+  std::ostringstream a, b;
+  EXPECT_TRUE(bh::render_trend_section(a, h, bh::TrendOptions{}));
+  EXPECT_TRUE(bh::render_trend_section(b, h, bh::TrendOptions{}));
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_NE(a.str().find("DRIFT: 1 cell regressed"), std::string::npos);
+  EXPECT_NE(a.str().find("median wall time per revision"), std::string::npos);
+}
+
+TEST(HistorySection, SingleSnapshotRendersPlaceholderNotDrift) {
+  std::ostringstream os;
+  EXPECT_FALSE(
+      bh::render_trend_section(os, series({0.005}), bh::TrendOptions{}));
+  EXPECT_NE(os.str().find("One snapshot so far"), std::string::npos);
+  EXPECT_EQ(os.str().find("DRIFT"), std::string::npos);
+}
+
+TEST(HistorySection, SpliceAppendsThenReplacesIdempotently) {
+  std::ostringstream s1, s2;
+  bh::render_trend_section(s1, series({0.005}), bh::TrendOptions{});
+  bh::render_trend_section(s2, series({0.005, 0.010}), bh::TrendOptions{});
+
+  const std::string doc = "# title\n\nbody.\n";
+  const std::string with1 = bh::splice_trend_section(doc, s1.str());
+  EXPECT_NE(with1.find("# title"), std::string::npos);
+  EXPECT_EQ(bh::extract_trend_section(with1), s1.str());
+
+  // Re-splicing replaces in place; splicing the same section is a
+  // fixed point.
+  const std::string with2 = bh::splice_trend_section(with1, s2.str());
+  EXPECT_EQ(bh::extract_trend_section(with2), s2.str());
+  EXPECT_EQ(with2.find("One snapshot so far"), std::string::npos);
+  EXPECT_EQ(bh::splice_trend_section(with2, s2.str()), with2);
+}
+
+TEST(HistorySection, ExtractFromPlainDocumentIsEmpty) {
+  EXPECT_EQ(bh::extract_trend_section("# no section here\n"), "");
+}

@@ -1,0 +1,152 @@
+#include "core/history/trace_diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/json.hpp"
+
+namespace bh = balbench::history;
+namespace bo = balbench::obs;
+
+namespace {
+
+struct Span {
+  std::int64_t pid;
+  std::int64_t tid;
+  std::string category;
+  double dur_us;
+};
+
+/// A minimal Chrome trace in the shape obs::write_chrome_trace emits:
+/// one process_name metadata event per session plus "X" span events.
+bo::JsonValue make_trace(
+    const std::vector<std::pair<std::int64_t, std::string>>& sessions,
+    const std::vector<Span>& spans) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [pid, label] : sessions) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"args\":{\"name\":\"" << label << "\"}}";
+  }
+  for (const auto& s : spans) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"span\",\"cat\":\"" << s.category
+       << "\",\"ph\":\"X\",\"ts\":0,\"dur\":" << s.dur_us
+       << ",\"pid\":" << s.pid << ",\"tid\":" << s.tid << "}";
+  }
+  os << "]}";
+  return bo::parse_json(os.str());
+}
+
+}  // namespace
+
+TEST(TraceDiff, IdenticalTracesHaveZeroDeltas) {
+  const auto t = make_trace({{1, "cell 0: ring"}},
+                            {{1, 0, "send", 1000.0}, {1, 1, "recv", 500.0}});
+  const bh::TraceDiff d = bh::diff_traces(t, t, bh::TraceDiffOptions{});
+  EXPECT_EQ(d.cells.size(), 2u);
+  EXPECT_EQ(d.drifted, 0u);
+  EXPECT_DOUBLE_EQ(d.max_abs_delta_seconds, 0.0);
+  EXPECT_EQ(d.sessions_a, 1u);
+  EXPECT_EQ(d.sessions_b, 1u);
+}
+
+TEST(TraceDiff, DurationChangeIsDrift) {
+  const auto a = make_trace({{1, "cell 0"}}, {{1, 0, "send", 1000.0}});
+  const auto b = make_trace({{1, "cell 0"}}, {{1, 0, "send", 1500.0}});
+  const bh::TraceDiff d = bh::diff_traces(a, b, bh::TraceDiffOptions{});
+  ASSERT_EQ(d.cells.size(), 1u);
+  EXPECT_EQ(d.drifted, 1u);
+  EXPECT_DOUBLE_EQ(d.cells[0].delta(), 0.0005);  // 500 us
+  EXPECT_DOUBLE_EQ(d.max_abs_delta_seconds, 0.0005);
+}
+
+TEST(TraceDiff, ToleranceSuppressesSmallDeltas) {
+  const auto a = make_trace({{1, "cell 0"}}, {{1, 0, "send", 1000.0}});
+  const auto b = make_trace({{1, "cell 0"}}, {{1, 0, "send", 1500.0}});
+  bh::TraceDiffOptions opt;
+  opt.tolerance_seconds = 0.001;  // 1 ms > the 0.5 ms delta
+  const bh::TraceDiff d = bh::diff_traces(a, b, opt);
+  EXPECT_EQ(d.drifted, 0u);
+  // The delta is still reported, just not counted as drift.
+  EXPECT_DOUBLE_EQ(d.max_abs_delta_seconds, 0.0005);
+}
+
+TEST(TraceDiff, CountMismatchDriftsEvenWithinTolerance) {
+  // Same total virtual time, different span structure: one 1000 us
+  // span vs two 500 us spans must be drift regardless of tolerance.
+  const auto a = make_trace({{1, "cell 0"}}, {{1, 0, "send", 1000.0}});
+  const auto b = make_trace({{1, "cell 0"}},
+                            {{1, 0, "send", 500.0}, {1, 0, "send", 500.0}});
+  bh::TraceDiffOptions opt;
+  opt.tolerance_seconds = 1.0;
+  const bh::TraceDiff d = bh::diff_traces(a, b, opt);
+  ASSERT_EQ(d.cells.size(), 1u);
+  EXPECT_EQ(d.drifted, 1u);
+  EXPECT_EQ(d.cells[0].count_a, 1u);
+  EXPECT_EQ(d.cells[0].count_b, 2u);
+}
+
+TEST(TraceDiff, SessionOnlyInOneTraceIsDrift) {
+  const auto a = make_trace({{1, "cell 0"}}, {{1, 0, "send", 1000.0}});
+  const auto b = make_trace({{1, "cell 0"}, {2, "cell 1"}},
+                            {{1, 0, "send", 1000.0}, {2, 0, "send", 100.0}});
+  const bh::TraceDiff d = bh::diff_traces(a, b, bh::TraceDiffOptions{});
+  ASSERT_EQ(d.cells.size(), 2u);
+  EXPECT_EQ(d.drifted, 1u);
+  EXPECT_FALSE(d.cells[1].in_a);
+  EXPECT_TRUE(d.cells[1].in_b);
+}
+
+TEST(TraceDiff, WallClockPidIsIgnored) {
+  // Host wall spans are observe-only (Sec. 10.2): a wall-profiled
+  // trace must diff clean against a plain one.
+  const auto plain = make_trace({{1, "cell 0"}}, {{1, 0, "send", 1000.0}});
+  const auto walled =
+      make_trace({{1, "cell 0"}, {bo::kWallTracePid, "wall"}},
+                 {{1, 0, "send", 1000.0},
+                  {bo::kWallTracePid, 0, "harness", 12345.0}});
+  const bh::TraceDiff d =
+      bh::diff_traces(plain, walled, bh::TraceDiffOptions{});
+  EXPECT_EQ(d.drifted, 0u);
+  EXPECT_EQ(d.cells.size(), 1u);
+  EXPECT_EQ(d.sessions_b, 1u);
+}
+
+TEST(TraceDiff, RepeatedLabelsAlignByOccurrenceNotPid) {
+  // Both traces have two sessions labelled "cell"; the pids differ
+  // (a re-export may renumber), but the k-th "cell" aligns with the
+  // k-th "cell".
+  const auto a = make_trace({{1, "cell"}, {2, "cell"}},
+                            {{1, 0, "send", 100.0}, {2, 0, "send", 200.0}});
+  const auto b = make_trace({{5, "cell"}, {9, "cell"}},
+                            {{5, 0, "send", 100.0}, {9, 0, "send", 200.0}});
+  const bh::TraceDiff d = bh::diff_traces(a, b, bh::TraceDiffOptions{});
+  EXPECT_EQ(d.cells.size(), 2u);
+  EXPECT_EQ(d.drifted, 0u);
+}
+
+TEST(TraceDiff, MissingTraceEventsThrows) {
+  const auto bad = bo::parse_json("{\"foo\":1}");
+  EXPECT_THROW(bh::diff_traces(bad, bad, bh::TraceDiffOptions{}),
+               std::runtime_error);
+}
+
+TEST(TraceDiff, ReportNamesDriftedCells) {
+  const auto a = make_trace({{1, "cell 0"}}, {{1, 3, "send", 1000.0}});
+  const auto b = make_trace({{1, "cell 0"}}, {{1, 3, "send", 2000.0}});
+  const bh::TraceDiffOptions opt;
+  const bh::TraceDiff d = bh::diff_traces(a, b, opt);
+  std::ostringstream os;
+  bh::write_trace_diff(os, d, "A.json", "B.json", opt);
+  EXPECT_NE(os.str().find("cell 0#0 rank 3 send"), std::string::npos);
+  EXPECT_NE(os.str().find("1 drifted"), std::string::npos);
+}

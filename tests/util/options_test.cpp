@@ -54,6 +54,27 @@ TEST(Options, PositionalArgThrows) {
   EXPECT_THROW(parse(o, {"stray"}), std::invalid_argument);
 }
 
+TEST(Options, PositionalsCollectedInOrder) {
+  std::int64_t n = 0;
+  std::vector<std::string> files;
+  bu::Options o("test");
+  o.add_int("n", &n, "an int");
+  o.add_positionals(&files, "FILE", "input files");
+  EXPECT_TRUE(parse(o, {"a.json", "--n", "3", "b.json"}));
+  EXPECT_EQ(n, 3);
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_EQ(files[0], "a.json");
+  EXPECT_EQ(files[1], "b.json");
+}
+
+TEST(Options, PositionalMetavarShownInHelp) {
+  std::vector<std::string> files;
+  bu::Options o("test");
+  o.add_positionals(&files, "FILE", "input files");
+  EXPECT_NE(o.help().find("FILE"), std::string::npos);
+  EXPECT_NE(o.help().find("input files"), std::string::npos);
+}
+
 TEST(Options, HelpReturnsFalseAndListsOptions) {
   std::int64_t n = 0;
   bu::Options o("my tool");

@@ -1,0 +1,329 @@
+// balbench-history: the perf-history front end (DESIGN.md Sec. 13).
+//
+// Subcommands:
+//
+//   ingest --history FILE --record FILE [--host NAME]
+//       Appends one balbench-perf-record/1 snapshot (written by
+//       `balbench-perf --record`) to the balbench-perf-history/1 store,
+//       keyed by (git revision, config hash, host).  A missing store
+//       file is created; re-ingesting an existing key is an error --
+//       replacing history must be a conscious delete + re-ingest.
+//
+//   trend --history FILE [--window N] [--threshold F]
+//       Prints the trend section (per-group tables + ASCII chart) to
+//       stdout.  Exit 3 when any cell regressed under the
+//       sliding-window CI-overlap rule.
+//
+//   render --history FILE --doc FILE [--window N] [--threshold F]
+//       Splices the freshly rendered trend section into the document
+//       between the PERF HISTORY markers (appended when absent),
+//       without re-running the experiments sweep.  Exit 3 on drift.
+//
+//   check-doc --history FILE --doc FILE [--window N] [--threshold F]
+//       Byte-compares the document's PERF HISTORY section against a
+//       fresh render; exit 1 on mismatch.  This is the
+//       `history_doc_drift` ctest -- the cheap mirror of
+//       doc_drift_guard (seconds, not minutes, because only the
+//       section is recomputed).
+//
+//   merge-wall-profiles [--output FILE] PROFILE...
+//       Sums the category rollups and scheduler telemetry of N
+//       balbench-wall-profile/1 files into one merged record (schema
+//       kept, plus "merged_runs"); merged records are themselves
+//       mergeable.
+//
+// Exit codes: 0 = clean; 3 = completed but drift detected (trend /
+// render); 1 = fatal error or check-doc mismatch; 2 = bad usage.
+// All file outputs go through util::atomic_write ("-" = stdout).
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/history/history.hpp"
+#include "core/history/wall_merge.hpp"
+#include "obs/json.hpp"
+#include "util/atomic_write.hpp"
+#include "util/options.hpp"
+
+namespace {
+
+using namespace balbench;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+bool spill(const std::string& path, const std::string& text) {
+  if (path == "-") {
+    std::cout << text;
+    return static_cast<bool>(std::cout);
+  }
+  try {
+    util::atomic_write(path, text);
+  } catch (const std::exception& e) {
+    std::cerr << "balbench-history: " << e.what() << '\n';
+    return false;
+  }
+  return true;
+}
+
+/// The machine label entries default to when --host is not given.  CI
+/// pins --host explicitly so the committed store stays host-neutral.
+std::string default_host() {
+  char buf[256];
+  if (gethostname(buf, sizeof buf) == 0) {
+    buf[sizeof buf - 1] = '\0';
+    if (buf[0] != '\0') return buf;
+  }
+  return "unknown-host";
+}
+
+/// Loads the store, treating a missing file as the empty store so the
+/// very first `ingest` bootstraps it.
+history::History load_history(const std::string& path, bool allow_missing) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (allow_missing) return history::History{};
+    throw std::runtime_error("cannot read " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return history::parse_history(buf.str());
+}
+
+int cmd_ingest(int argc, const char* const* argv) {
+  std::string history_path;
+  std::string record_path;
+  std::string host;
+  util::Options options(
+      "balbench-history ingest: append one balbench-perf-record/1 "
+      "snapshot to the balbench-perf-history/1 store, keyed by (git "
+      "revision, config hash, host).  Duplicate keys are rejected");
+  options.add_string("history", &history_path,
+                     "the history store (created when missing)");
+  options.add_string("record", &record_path,
+                     "the balbench-perf-record/1 snapshot to ingest");
+  options.add_string("host", &host,
+                     "machine label for the entry (default: gethostname)");
+  if (!options.parse(argc, argv)) return 0;
+  if (history_path.empty() || record_path.empty()) {
+    std::cerr << "balbench-history ingest: --history and --record are "
+                 "required\n";
+    return 2;
+  }
+  if (host.empty()) host = default_host();
+
+  history::History store = load_history(history_path, /*allow_missing=*/true);
+  const obs::JsonValue record = obs::parse_json(slurp(record_path));
+  const history::HistoryEntry& entry =
+      history::ingest_record(store, record, host);
+  std::ostringstream out;
+  history::write_history(out, store);
+  if (!spill(history_path, out.str())) return 1;
+  std::cerr << "balbench-history: ingested rev " << entry.git_rev
+            << " (config " << entry.config_hash << ", host " << entry.host
+            << ", " << entry.cells.size() << " cells); store now holds "
+            << store.entries.size() << " snapshot(s)\n";
+  return 0;
+}
+
+int cmd_trend(int argc, const char* const* argv, bool splice) {
+  std::string history_path;
+  std::string doc_path;
+  std::int64_t window = history::TrendOptions{}.window;
+  double threshold = history::TrendOptions{}.threshold;
+  util::Options options(
+      splice ? "balbench-history render: splice the trend section into "
+               "the document between the PERF HISTORY markers (appended "
+               "when absent) without re-running the sweep.  Exit 3 on "
+               "drift"
+             : "balbench-history trend: print the trend section (per-"
+               "group tables + ASCII chart) to stdout.  Exit 3 on drift");
+  options.add_string("history", &history_path, "the history store to analyze");
+  if (splice) {
+    options.add_string("doc", &doc_path,
+                       "the document (EXPERIMENTS.md) to splice into");
+  }
+  options.add_int("window", &window,
+                  "sliding-window length in revisions for drift detection");
+  options.add_double("threshold", &threshold,
+                     "regression slack as a fraction of the window's "
+                     "pessimistic CI edge");
+  if (!options.parse(argc, argv)) return 0;
+  if (history_path.empty() || (splice && doc_path.empty())) {
+    std::cerr << "balbench-history: --history" << (splice ? " and --doc" : "")
+              << (splice ? " are" : " is") << " required\n";
+    return 2;
+  }
+
+  const history::History store =
+      load_history(history_path, /*allow_missing=*/false);
+  history::TrendOptions trend_opt;
+  trend_opt.window = static_cast<int>(window);
+  trend_opt.threshold = threshold;
+  std::ostringstream section;
+  const bool drifted =
+      history::render_trend_section(section, store, trend_opt);
+
+  if (splice) {
+    const std::string doc = slurp(doc_path);
+    const std::string next =
+        history::splice_trend_section(doc, section.str());
+    if (next != doc) {
+      if (!spill(doc_path, next)) return 1;
+      std::cerr << "balbench-history: updated the PERF HISTORY section of "
+                << doc_path << '\n';
+    } else {
+      std::cerr << "balbench-history: " << doc_path << " is up to date\n";
+    }
+  } else {
+    std::cout << section.str();
+  }
+  if (drifted) {
+    std::cerr << "balbench-history: regression drift detected (exit 3)\n";
+    return 3;
+  }
+  return 0;
+}
+
+int cmd_check_doc(int argc, const char* const* argv) {
+  std::string history_path;
+  std::string doc_path;
+  std::int64_t window = history::TrendOptions{}.window;
+  double threshold = history::TrendOptions{}.threshold;
+  util::Options options(
+      "balbench-history check-doc: byte-compare the document's PERF "
+      "HISTORY section against a fresh render of the store.  Exit 1 on "
+      "mismatch");
+  options.add_string("history", &history_path, "the history store");
+  options.add_string("doc", &doc_path, "the document (EXPERIMENTS.md)");
+  options.add_int("window", &window,
+                  "sliding-window length in revisions for drift detection");
+  options.add_double("threshold", &threshold,
+                     "regression slack as a fraction of the window's "
+                     "pessimistic CI edge");
+  if (!options.parse(argc, argv)) return 0;
+  if (history_path.empty() || doc_path.empty()) {
+    std::cerr << "balbench-history check-doc: --history and --doc are "
+                 "required\n";
+    return 2;
+  }
+
+  const history::History store =
+      load_history(history_path, /*allow_missing=*/false);
+  history::TrendOptions trend_opt;
+  trend_opt.window = static_cast<int>(window);
+  trend_opt.threshold = threshold;
+  std::ostringstream section;
+  history::render_trend_section(section, store, trend_opt);
+  const std::string committed =
+      history::extract_trend_section(slurp(doc_path));
+  if (committed == section.str()) {
+    std::cerr << "balbench-history: the PERF HISTORY section of " << doc_path
+              << " is up to date\n";
+    return 0;
+  }
+  std::cerr << "balbench-history: the PERF HISTORY section of " << doc_path
+            << (committed.empty() ? " is missing" : " drifted")
+            << "; regenerate with\n  balbench-history render --history "
+            << history_path << " --doc " << doc_path << '\n';
+  return 1;
+}
+
+int cmd_merge_wall_profiles(int argc, const char* const* argv) {
+  std::string output = "-";
+  std::vector<std::string> inputs;
+  util::Options options(
+      "balbench-history merge-wall-profiles: sum the category rollups "
+      "and scheduler telemetry of N balbench-wall-profile/1 files into "
+      "one merged record (merged records are themselves mergeable)");
+  options.add_string("output", &output, "write the merged record here");
+  options.add_positionals(&inputs, "PROFILE",
+                          "balbench-wall-profile/1 files to merge");
+  if (!options.parse(argc, argv)) return 0;
+  if (inputs.empty()) {
+    std::cerr << "balbench-history merge-wall-profiles: need at least one "
+                 "profile\n";
+    return 2;
+  }
+
+  history::WallProfileMerge merged;
+  bool first = true;
+  for (const auto& path : inputs) {
+    const history::WallProfileMerge one =
+        history::parse_wall_profile(obs::parse_json(slurp(path)));
+    if (first) {
+      merged = one;
+      first = false;
+    } else {
+      history::merge_wall_profiles(merged, one);
+    }
+  }
+  std::ostringstream out;
+  history::write_merged_wall_profile(out, merged);
+  if (!spill(output, out.str())) return 1;
+  std::cerr << "balbench-history: merged " << inputs.size() << " file(s), "
+            << merged.runs << " run(s) total\n";
+  return 0;
+}
+
+void usage(std::ostream& os) {
+  os << "balbench-history: perf-history store, trend analysis and "
+        "aggregation (DESIGN.md Sec. 13)\n\n"
+        "subcommands:\n"
+        "  ingest               append a balbench-perf-record/1 snapshot "
+        "to the store\n"
+        "  trend                print the trend section; exit 3 on "
+        "regression drift\n"
+        "  render               splice the trend section into "
+        "EXPERIMENTS.md; exit 3 on drift\n"
+        "  check-doc            byte-compare the document's section "
+        "against a fresh render\n"
+        "  merge-wall-profiles  sum N balbench-wall-profile/1 files into "
+        "one record\n\n"
+        "run `balbench-history <subcommand> --help` for the options.\n"
+        "exit codes: 0 = clean, 3 = drift, 1 = fatal / stale doc, "
+        "2 = bad usage\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage(std::cerr);
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    usage(std::cout);
+    return 0;
+  }
+  // Each subcommand re-parses argv past its own name, so `--help`
+  // after the subcommand prints that subcommand's options.
+  const int sub_argc = argc - 1;
+  const char* const* sub_argv = argv + 1;
+  try {
+    if (cmd == "ingest") return cmd_ingest(sub_argc, sub_argv);
+    if (cmd == "trend") return cmd_trend(sub_argc, sub_argv, /*splice=*/false);
+    if (cmd == "render") return cmd_trend(sub_argc, sub_argv, /*splice=*/true);
+    if (cmd == "check-doc") return cmd_check_doc(sub_argc, sub_argv);
+    if (cmd == "merge-wall-profiles") {
+      return cmd_merge_wall_profiles(sub_argc, sub_argv);
+    }
+    std::cerr << "balbench-history: unknown subcommand '" << cmd << "'\n\n";
+    usage(std::cerr);
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "balbench-history: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -18,6 +18,19 @@
 //                     with a tracer and a sampling metrics registry
 //                     attached, and write a Chrome trace_event JSON
 //                     loadable in chrome://tracing / ui.perfetto.dev.
+//   --diff-trace A B  align two Chrome traces by (session label,
+//                     occurrence, rank, category) and report per-cell
+//                     virtual-time deltas; |Δ| beyond --tolerance (or
+//                     any structural mismatch) exits 3.  Byte-identical
+//                     traces always diff clean (DESIGN.md Sec. 13.3).
+//
+// The sweep outputs can carry the perf-history trend section
+// (DESIGN.md Sec. 13.2):
+//
+//   --history FILE    append the trend section rendered from this
+//                     "balbench-perf-history/1" store to --markdown /
+//                     --check-doc output; the same section is produced
+//                     by `balbench-history render`.
 //
 // Observe-only extras (stderr / side files, never the byte-compared
 // outputs):
@@ -52,12 +65,16 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/beff/beff.hpp"
 #include "core/beffio/beffio.hpp"
+#include "core/history/history.hpp"
+#include "core/history/trace_diff.hpp"
 #include "core/report/experiments.hpp"
 #include "machines/machines.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/prof.hpp"
 #include "parmsg/sim_transport.hpp"
@@ -86,6 +103,26 @@ bool spill(const std::string& path, const std::string& text) {
     return false;
   }
   return true;
+}
+
+/// Reads a whole file; throws std::runtime_error when unreadable.
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+int diff_traces(const std::string& path_a, const std::string& path_b,
+                double tolerance) {
+  history::TraceDiffOptions opt;
+  opt.tolerance_seconds = tolerance;
+  const obs::JsonValue a = obs::parse_json(slurp(path_a));
+  const obs::JsonValue b = obs::parse_json(slurp(path_b));
+  const history::TraceDiff diff = history::diff_traces(a, b, opt);
+  history::write_trace_diff(std::cout, diff, path_a, path_b, opt);
+  return diff.drifted > 0 ? 3 : 0;
 }
 
 int check_doc(const std::string& path, const std::string& rendered) {
@@ -213,6 +250,10 @@ int main(int argc, char** argv) {
   std::string markdown_path;
   std::string check_path;
   std::string trace_path;
+  bool diff_trace = false;
+  double tolerance = 0.0;
+  std::vector<std::string> positionals;
+  std::string history_path;
   std::string machine = "t3e";
   std::int64_t procs = 64;
   std::int64_t jobs = 1;
@@ -243,6 +284,18 @@ int main(int argc, char** argv) {
                      "byte-compare the regenerated document against this file");
   options.add_string("trace", &trace_path,
                      "write a Chrome trace of one run (no sweep)");
+  options.add_flag("diff-trace", &diff_trace,
+                   "diff two Chrome traces given as positional arguments: "
+                   "aligned per-cell virtual-time deltas to stdout, exit 3 "
+                   "when any |delta| exceeds --tolerance");
+  options.add_double("tolerance", &tolerance,
+                     "--diff-trace drift tolerance in virtual seconds");
+  options.add_string("history", &history_path,
+                     "append the perf-history trend section rendered from "
+                     "this balbench-perf-history/1 store to --markdown / "
+                     "--check-doc output (see balbench-history)");
+  options.add_positionals(&positionals, "FILE",
+                          "trace files for --diff-trace (exactly two)");
   options.add_string("machine", &machine, "machine for --trace (short name)");
   options.add_int("procs", &procs, "partition size for --trace");
   options.add_jobs(&jobs, "the experiments sweep");
@@ -277,7 +330,21 @@ int main(int argc, char** argv) {
   ProfileSession profile(kProfileDefault || !wall_profile_path.empty(),
                          wall_profile_path);
 
+  if (!diff_trace && !positionals.empty()) {
+    std::cerr << "balbench-report: positional arguments need --diff-trace\n";
+    return 2;
+  }
+  if (diff_trace && positionals.size() != 2) {
+    std::cerr << "balbench-report: --diff-trace takes exactly two trace "
+                 "files, got "
+              << positionals.size() << '\n';
+    return 2;
+  }
+
   try {
+    if (diff_trace) {
+      return diff_traces(positionals[0], positionals[1], tolerance);
+    }
     if (!trace_path.empty()) {
       return write_trace(trace_path, machine, static_cast<int>(procs));
     }
@@ -330,8 +397,16 @@ int main(int argc, char** argv) {
     }
     std::string rendered;
     if (!markdown_path.empty() || !check_path.empty()) {
+      std::string trend_section;
+      if (!history_path.empty()) {
+        const history::History store =
+            history::parse_history(slurp(history_path));
+        std::ostringstream section;
+        history::render_trend_section(section, store, history::TrendOptions{});
+        trend_section = section.str();
+      }
       std::ostringstream out;
-      report::render_experiments_md(out, data, hash);
+      report::render_experiments_md(out, data, hash, trend_section);
       rendered = out.str();
     }
     if (!markdown_path.empty() && !spill(markdown_path, rendered)) {
