@@ -50,7 +50,7 @@ namespace balbench::history {
 /// statistics -- medians/CIs are recomputed at analysis time.
 struct HistoryCell {
   std::string id;     // "suite.name[...]", unique within the entry
-  std::string suite;  // "micro" | "sweep" | "calib"
+  std::string suite;  // "micro" | "sweep" | "kernels" | "calib"
   std::vector<double> samples;  // host seconds, in run order
 };
 

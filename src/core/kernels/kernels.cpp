@@ -1,0 +1,305 @@
+#include "core/kernels/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "core/kernels/roofline.hpp"
+#include "simt/engine.hpp"
+
+namespace balbench::kernels {
+namespace {
+
+// Vector machines block GEMM for vector registers, not a cache; the
+// classic libsci/ASL value.
+constexpr double kVectorGemmBlock = 256.0;
+
+// Vector FFTs run large-radix passes straight from memory; treat them
+// like a 1 MB "blocking window" (65536 complex points).
+constexpr double kVectorFftPoints = 65536.0;
+
+// RandomAccess buckets updates 16 to a message, amortizing the
+// per-call software overhead (the HPCC reference implementation's
+// bucket exchange).
+constexpr double kRandomAccessBucket = 16.0;
+
+struct StreamShape {
+  double bytes_per_elem;
+  double flops_per_elem;
+  int arrays;  // arrays touched, for the working-set size
+};
+
+StreamShape stream_shape(KernelId id) {
+  switch (id) {
+    case KernelId::StreamCopy:  return {16.0, 0.0, 2};   // c = a
+    case KernelId::StreamScale: return {16.0, 1.0, 2};   // b = s*c
+    case KernelId::StreamAdd:   return {24.0, 1.0, 3};   // c = a+b
+    case KernelId::StreamTriad: return {24.0, 2.0, 3};   // a = b+s*c
+    default: throw std::logic_error("not a stream kernel");
+  }
+}
+
+/// HPL sizing rule: the matrix fills 80 % of total memory.
+double gemm_order(const machines::MachineSpec& m, int nprocs) {
+  const double total =
+      static_cast<double>(m.memory_per_proc) * static_cast<double>(nprocs);
+  return std::floor(std::sqrt(0.8 * total / 8.0));
+}
+
+}  // namespace
+
+const char* kernel_name(KernelId id) {
+  switch (id) {
+    case KernelId::StreamCopy:   return "stream_copy";
+    case KernelId::StreamScale:  return "stream_scale";
+    case KernelId::StreamAdd:    return "stream_add";
+    case KernelId::StreamTriad:  return "stream_triad";
+    case KernelId::Gemm:         return "gemm";
+    case KernelId::Ptrans:       return "ptrans";
+    case KernelId::RandomAccess: return "random_access";
+    case KernelId::Fft:          return "fft";
+  }
+  return "?";
+}
+
+std::vector<KernelId> all_kernels() {
+  std::vector<KernelId> v;
+  v.reserve(kNumKernels);
+  for (int i = 0; i < kNumKernels; ++i) v.push_back(static_cast<KernelId>(i));
+  return v;
+}
+
+KernelWork kernel_work(const machines::MachineSpec& m, int nprocs,
+                       KernelId id) {
+  if (!m.roofline.valid()) {
+    throw std::invalid_argument("machine '" + m.short_name +
+                                "' has no roofline model");
+  }
+  const auto& r = m.roofline;
+  const double P = static_cast<double>(nprocs);
+  const double mem = static_cast<double>(m.memory_per_proc);
+  const double total = mem * P;
+  const double call = m.costs.send_overhead + m.costs.recv_overhead;
+
+  KernelWork w;
+  switch (id) {
+    case KernelId::StreamCopy:
+    case KernelId::StreamScale:
+    case KernelId::StreamAdd:
+    case KernelId::StreamTriad: {
+      // Each array takes a tenth of the process memory -- far larger
+      // than any cache, as the STREAM run rules demand.
+      const double n = std::floor(mem / 80.0);
+      const StreamShape s = stream_shape(id);
+      w.flops_per_proc = n * s.flops_per_elem;
+      w.bytes_per_proc = n * s.bytes_per_elem;
+      w.working_set_bytes = n * 8.0 * s.arrays;
+      break;
+    }
+    case KernelId::Gemm: {
+      // LU factorization of an N x N system filling 80 % of total
+      // memory: 2/3 N^3 + 2 N^2 flops.  Blocked for the cache (3
+      // blocks of b^2 doubles resident: b = sqrt(cache/24)), which
+      // cuts the memory traffic to ~2 N^3 / b words.
+      const double n = gemm_order(m, nprocs);
+      const double b =
+          r.cache_bytes > 0
+              ? std::max(8.0, std::floor(std::sqrt(
+                                  static_cast<double>(r.cache_bytes) / 24.0)))
+              : kVectorGemmBlock;
+      w.flops_per_proc = ((2.0 / 3.0) * n * n * n + 2.0 * n * n) / P;
+      w.bytes_per_proc = 16.0 * n * n * n / b / P;
+      w.working_set_bytes = 24.0 * b * b;
+      // Panel broadcast per block step down a binary tree.
+      const double steps = std::ceil(n / b);
+      const double log_p = std::ceil(std::log2(std::max(2.0, P)));
+      w.comm_bytes_per_proc = 8.0 * n * n * log_p / P;
+      w.comm_overhead_seconds = steps * call;
+      break;
+    }
+    case KernelId::Ptrans: {
+      // A += B^T on an (N/2)^2 matrix: every element is read twice and
+      // written once, and all but the 1/P diagonal share crosses the
+      // network in a full exchange.
+      const double n = std::floor(gemm_order(m, nprocs) / 2.0);
+      w.flops_per_proc = n * n / P;
+      w.bytes_per_proc = 24.0 * n * n / P;
+      w.working_set_bytes = 16.0 * n * n / P;
+      w.comm_bytes_per_proc = 8.0 * n * n * (P - 1.0) / P / P;
+      w.comm_overhead_seconds = (P - 1.0) * call;
+      break;
+    }
+    case KernelId::RandomAccess: {
+      // Table of half the total memory in 64-bit words, 4 updates per
+      // word.  Cache machines pay the full memory latency per update
+      // (the table defeats every cache); vector machines pipeline
+      // gathers at streaming bandwidth.  On distributed machines
+      // (P-1)/P of the updates travel as 16-byte (index, xor) pairs,
+      // bucketed kRandomAccessBucket to a message.
+      const double words = total / 16.0;
+      const double updates = 4.0 * words;
+      const double per_proc = updates / P;
+      w.updates = static_cast<std::uint64_t>(updates);
+      w.working_set_bytes = 8.0 * words / P;
+      const double mem_cost =
+          r.cache_bytes > 0 ? r.mem_latency : 16.0 / r.mem_bw;
+      w.latency_seconds = per_proc * mem_cost;
+      if (!m.shared_memory && nprocs > 1) {
+        const double remote = per_proc * (P - 1.0) / P;
+        w.comm_bytes_per_proc = remote * 16.0;
+        w.comm_overhead_seconds = remote * call / kRandomAccessBucket;
+      }
+      break;
+    }
+    case KernelId::Fft: {
+      // 1-D complex transform over half the total memory (data plus
+      // workspace): n points, 5 n log2 n flops.  Out-of-cache passes:
+      // each radix sweep that exceeds the cache re-streams the whole
+      // vector, so traffic is ceil(log2 n / log2 cache_points) passes
+      // of read+write.  The parallel transform does three full
+      // exchanges (bit-reversal plus two transposes).
+      const double n = std::floor(total / 64.0);
+      const double log_n = std::log2(std::max(2.0, n));
+      const double cache_points =
+          r.cache_bytes > 0
+              ? std::max(1024.0, static_cast<double>(r.cache_bytes) / 16.0)
+              : kVectorFftPoints;
+      const double passes = std::ceil(log_n / std::log2(cache_points));
+      w.flops_per_proc = 5.0 * n * log_n / P;
+      w.bytes_per_proc = passes * 32.0 * n / P;
+      w.working_set_bytes = 32.0 * n / P;
+      if (nprocs > 1) {
+        w.comm_bytes_per_proc = 3.0 * 16.0 * n * (P - 1.0) / P / P;
+        w.comm_overhead_seconds = 3.0 * (P - 1.0) * call;
+      }
+      break;
+    }
+  }
+  return w;
+}
+
+KernelResult run_kernel(const machines::MachineSpec& m, int nprocs,
+                        KernelId id, const KernelOptions& opts) {
+  if (nprocs < 1) throw std::invalid_argument("nprocs must be >= 1");
+  const KernelWork w = kernel_work(m, nprocs, id);
+  const auto& r = m.roofline;
+  const std::string name = kernel_name(id);
+
+  if (opts.tracer != nullptr) {
+    opts.tracer->describe('k', "kernel compute");
+    opts.tracer->describe('x', "kernel exchange");
+  }
+
+  double best = std::numeric_limits<double>::infinity();
+  const int reps = std::max(1, opts.repetitions);
+  for (int rep = 0; rep < reps; ++rep) {
+    simt::Engine engine;
+    if (opts.tracer != nullptr) {
+      opts.tracer->begin_session(m.short_name + "/" + name + " rep " +
+                                 std::to_string(rep));
+    }
+    for (int rank = 0; rank < nprocs; ++rank) {
+      engine.spawn([&, rank, rep](simt::Process& proc) {
+        const std::string label = m.short_name + "|" + name + "|rank" +
+                                  std::to_string(rank) + "|rep" +
+                                  std::to_string(rep);
+        const double jitter = noise_factor(label, opts.random_seed);
+        const double compute =
+            (phase_seconds(r, w.flops_per_proc, w.bytes_per_proc,
+                           w.working_set_bytes) +
+             w.latency_seconds) *
+            jitter;
+        double t0 = engine.now();
+        proc.sleep(compute);
+        if (opts.tracer != nullptr) {
+          opts.tracer->record(t0, engine.now(), rank, 'k', name);
+        }
+        const double exchange =
+            (w.comm_bytes_per_proc / r.net_bw + w.comm_overhead_seconds) *
+            jitter;
+        if (exchange > 0.0) {
+          t0 = engine.now();
+          proc.sleep(exchange);
+          if (opts.tracer != nullptr) {
+            opts.tracer->record(t0, engine.now(), rank, 'x', name);
+          }
+        }
+      });
+    }
+    engine.run();
+    best = std::min(best, engine.now());
+  }
+
+  KernelResult res;
+  res.id = id;
+  res.name = name;
+  res.nprocs = nprocs;
+  const double P = static_cast<double>(nprocs);
+  res.flops = w.flops_per_proc * P;
+  res.bytes = w.bytes_per_proc * P;
+  res.comm_bytes = w.comm_bytes_per_proc * P;
+  res.seconds = best;
+  switch (id) {
+    case KernelId::StreamCopy:
+    case KernelId::StreamScale:
+    case KernelId::StreamAdd:
+    case KernelId::StreamTriad:
+    case KernelId::Ptrans:
+      res.value = res.bytes / best;
+      res.unit = "B/s";
+      break;
+    case KernelId::Gemm:
+    case KernelId::Fft:
+      res.value = res.flops / best;
+      res.unit = "flop/s";
+      break;
+    case KernelId::RandomAccess:
+      res.value = static_cast<double>(w.updates) / best;
+      res.unit = "up/s";
+      break;
+  }
+  return res;
+}
+
+KernelSuiteResult run_kernels(const machines::MachineSpec& m, int nprocs,
+                              const KernelOptions& opts) {
+  KernelSuiteResult suite;
+  suite.machine = m.short_name;
+  suite.nprocs = nprocs;
+  obs::Registry registry;
+  for (KernelId id : all_kernels()) {
+    KernelResult res = run_kernel(m, nprocs, id, opts);
+    suite.suite_seconds += res.seconds;
+    if (opts.collect_metrics) {
+      registry.sum("kernels.flops").add(res.flops);
+      registry.sum("kernels.mem_bytes").add(res.bytes);
+      registry.sum("kernels.comm_bytes").add(res.comm_bytes);
+      registry.sum("kernels.virtual_seconds").add(res.seconds);
+      registry.counter("kernels.runs").add(1);
+    }
+    suite.kernels.push_back(std::move(res));
+  }
+  if (opts.collect_metrics) suite.metrics = registry.snapshot();
+  return suite;
+}
+
+const KernelResult* KernelSuiteResult::find(KernelId id) const {
+  for (const auto& k : kernels) {
+    if (k.id == id) return &k;
+  }
+  return nullptr;
+}
+
+double KernelSuiteResult::rmax_flops() const {
+  const KernelResult* k = find(KernelId::Gemm);
+  return k != nullptr ? k->value : 0.0;
+}
+
+double KernelSuiteResult::stream_triad_bps() const {
+  const KernelResult* k = find(KernelId::StreamTriad);
+  return k != nullptr ? k->value : 0.0;
+}
+
+}  // namespace balbench::kernels

@@ -1,0 +1,124 @@
+// Simulated HPCC-style compute kernel suite (DESIGN.md Sec. 14).
+//
+// Eight kernels characterize the compute/memory/network corners that
+// the communication-only benchmarks (b_eff, b_eff_io) cannot see:
+//
+//   stream_copy/scale/add/triad  sustainable memory bandwidth (STREAM)
+//   gemm                         dense Linpack-class solve -> R_max
+//   ptrans                       parallel matrix transpose bandwidth
+//   random_access                random table updates -> GUP rate
+//   fft                          1-D complex FFT across all processes
+//
+// Each kernel is *analytic*: its flop count, memory traffic and
+// interconnect traffic follow from the machine's memory size (the
+// HPCC sizing rules), and the per-phase duration comes from the
+// machine's roofline model (core/kernels/roofline.hpp).  The phases
+// are then *executed* through simt virtual time -- every rank is a
+// simulated process that sleeps its compute phase and its
+// communication phase, with a deterministic per-(rank, repetition)
+// noise factor -- so kernels produce trace spans and virtual-time
+// metrics exactly like the transport-driven benchmarks, and the
+// slowest rank sets the measured time just as in the real codes.
+//
+// Determinism: no transport, no wall clock; the engine's event
+// sequence is a pure function of (machine, nprocs, options).  Suite
+// results are byte-identical for every host --jobs value.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "machines/machines.hpp"
+#include "obs/metrics.hpp"
+#include "simt/trace.hpp"
+
+namespace balbench::kernels {
+
+enum class KernelId {
+  StreamCopy = 0,
+  StreamScale = 1,
+  StreamAdd = 2,
+  StreamTriad = 3,
+  Gemm = 4,
+  Ptrans = 5,
+  RandomAccess = 6,
+  Fft = 7,
+};
+inline constexpr int kNumKernels = 8;
+
+/// Stable lower-case identifier ("stream_triad", "gemm", ...); used in
+/// records, cell labels and metric names.
+const char* kernel_name(KernelId id);
+
+/// All kernels in fixed suite order (the KernelId order above).
+std::vector<KernelId> all_kernels();
+
+struct KernelOptions {
+  /// Mixed into every noise label; same default as the b_eff sweep.
+  std::uint64_t random_seed = 2001;
+  /// Repetitions per kernel; the best (fastest) repetition is
+  /// reported, as the real STREAM/HPL/HPCC drivers do.
+  int repetitions = 3;
+  /// Collect kernels.* metrics into KernelSuiteResult::metrics.
+  bool collect_metrics = false;
+  /// Optional activity tracer: each kernel repetition becomes one
+  /// trace session with per-rank compute ('k') and exchange ('x')
+  /// spans.  Not owned; may be nullptr.
+  simt::Tracer* tracer = nullptr;
+};
+
+/// Work description of one kernel instance, fully determined by
+/// (machine, nprocs).  Exposed for tests and for METRICS.md examples.
+struct KernelWork {
+  double flops_per_proc = 0.0;        // useful floating-point ops
+  double bytes_per_proc = 0.0;        // memory traffic after blocking
+  double working_set_bytes = 0.0;     // per-process, decides cache use
+  double comm_bytes_per_proc = 0.0;   // interconnect traffic
+  double comm_overhead_seconds = 0.0; // per-process software overhead
+  double latency_seconds = 0.0;       // per-process latency-bound term
+  std::uint64_t updates = 0;          // RandomAccess only: table updates
+};
+
+/// Sizing + cost model for one kernel on one machine; pure.
+KernelWork kernel_work(const machines::MachineSpec& m, int nprocs,
+                       KernelId id);
+
+struct KernelResult {
+  KernelId id = KernelId::StreamCopy;
+  std::string name;          // kernel_name(id)
+  int nprocs = 0;
+  double flops = 0.0;        // total useful flops, all processes
+  double bytes = 0.0;        // total memory traffic, all processes
+  double comm_bytes = 0.0;   // total interconnect traffic
+  double seconds = 0.0;      // virtual seconds, best repetition
+  double value = 0.0;        // headline figure in `unit`
+  std::string unit;          // "B/s", "flop/s" or "up/s"
+};
+
+struct KernelSuiteResult {
+  std::string machine;       // machines short name
+  int nprocs = 0;
+  std::vector<KernelResult> kernels;  // suite order
+  /// Sum of best-repetition virtual times over the suite.
+  double suite_seconds = 0.0;
+  /// kernels.* metric snapshot; empty unless collect_metrics.
+  obs::MetricsSnapshot metrics;
+
+  [[nodiscard]] const KernelResult* find(KernelId id) const;
+  /// Measured Linpack-class R_max in flop/s (the gemm kernel's value).
+  [[nodiscard]] double rmax_flops() const;
+  /// Aggregate STREAM triad rate in bytes/s.
+  [[nodiscard]] double stream_triad_bps() const;
+};
+
+/// Run one kernel: `opts.repetitions` simt sessions of `nprocs`
+/// simulated ranks, best repetition reported.
+KernelResult run_kernel(const machines::MachineSpec& m, int nprocs,
+                        KernelId id, const KernelOptions& opts);
+
+/// Run the full suite in suite order.
+KernelSuiteResult run_kernels(const machines::MachineSpec& m, int nprocs,
+                              const KernelOptions& opts);
+
+}  // namespace balbench::kernels

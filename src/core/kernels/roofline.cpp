@@ -1,0 +1,33 @@
+#include "core/kernels/roofline.hpp"
+
+#include <string>
+
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace balbench::kernels {
+
+double effective_mem_bw(const machines::Roofline& r,
+                        double working_set_bytes) {
+  if (r.cache_bytes > 0 &&
+      working_set_bytes <= static_cast<double>(r.cache_bytes)) {
+    return r.mem_bw * kCacheBwBoost;
+  }
+  return r.mem_bw;
+}
+
+double phase_seconds(const machines::Roofline& r, double flops, double bytes,
+                     double working_set_bytes) {
+  double t = 0.0;
+  if (flops > 0.0) t += flops / r.peak_flops;
+  if (bytes > 0.0) t += bytes / effective_mem_bw(r, working_set_bytes);
+  return t;
+}
+
+double noise_factor(std::string_view label, std::uint64_t seed,
+                    double amplitude) {
+  util::Xoshiro256 rng(util::fnv1a(label) ^ seed);
+  return 1.0 + amplitude * rng.uniform();
+}
+
+}  // namespace balbench::kernels

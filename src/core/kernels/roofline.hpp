@@ -1,0 +1,59 @@
+// Roofline evaluation for the simulated HPCC-style kernel suite.
+//
+// A machines::Roofline gives each machine a per-process compute/memory
+// model: dense FP peak, sustainable streaming bandwidth, last-level
+// cache size, random-access latency and interconnect bandwidth.  The
+// functions here turn a kernel phase's *work description* (flops,
+// memory traffic, working-set size) into virtual seconds under the
+// classic additive roofline:
+//
+//   t(phase) = flops / peak_flops + bytes / effective_mem_bw
+//
+// We use the additive form, not max(compute, memory): the paper's
+// platforms overlap compute with memory traffic only partially, and
+// the additive model reproduces published Linpack efficiencies
+// (70-85 % of peak) where a pure max() roofline would predict ~98 %.
+// See DESIGN.md Sec. 14.
+//
+// Determinism: everything here is pure double arithmetic -- no
+// wall-clock, no global state.  The only "noise" is noise_factor(),
+// which hashes a label with FNV-1a into a xoshiro256** stream, so a
+// given (machine, kernel, rank, repetition) always jitters by the same
+// factor on every host and for every --jobs value.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "machines/machines.hpp"
+
+namespace balbench::kernels {
+
+/// Bandwidth boost when a phase's working set fits in the data cache.
+/// Caches of the paper's era sustain roughly 4x the memory-bus rate.
+inline constexpr double kCacheBwBoost = 4.0;
+
+/// Default multiplicative jitter amplitude: measured kernels repeat
+/// within a few percent, so each repetition is slowed by up to 3 %.
+inline constexpr double kNoiseAmplitude = 0.03;
+
+/// Streaming bandwidth a phase actually sees: mem_bw, boosted by
+/// kCacheBwBoost when the working set fits in the cache.  Vector
+/// machines (cache_bytes == 0) always stream at mem_bw.
+double effective_mem_bw(const machines::Roofline& r, double working_set_bytes);
+
+/// Virtual seconds of one compute/memory phase under the additive
+/// roofline.  `bytes` is the memory traffic actually moved (after any
+/// blocking), `working_set_bytes` decides cache residency.
+double phase_seconds(const machines::Roofline& r, double flops, double bytes,
+                     double working_set_bytes);
+
+/// Deterministic jitter factor >= 1.0: the label (e.g.
+/// "t3e|gemm|rank3|rep1") is FNV-1a-hashed together with `seed` and
+/// expanded through xoshiro256**.  Returns 1 + amplitude * u with
+/// u uniform in [0, 1).  Repetition loops take the *best* (smallest)
+/// repetition, mirroring how the real benchmarks report best-of-N.
+double noise_factor(std::string_view label, std::uint64_t seed,
+                    double amplitude = kNoiseAmplitude);
+
+}  // namespace balbench::kernels

@@ -111,6 +111,39 @@ std::vector<IoRun> io_specs(Scope scope) {
   return v;
 }
 
+std::vector<KernelRun> kernel_specs(Scope scope) {
+  std::vector<KernelRun> v;
+  auto add = [&](const char* key, const char* display, int np) {
+    KernelRun run;
+    run.key = key;
+    run.display = display;
+    run.nprocs = np;
+    v.push_back(std::move(run));
+  };
+  if (scope == Scope::Quick) {
+    add("t3e", "Cray T3E/900", 8);
+    add("sx5", "NEC SX-5/8B", 4);
+    return v;
+  }
+  // Doc scope: one suite per machine at its headline partition --
+  // the same (machine, nprocs) as the Table 1 rows where one exists,
+  // so the balance table can divide b_eff by the *matching* R_max.
+  // SP and Beowulf have no Table 1 b_eff row; the SP partition matches
+  // its largest Fig. 5 b_eff_io run, the Beowulf one is the Sec. 6
+  // "Top Clusters" configuration.
+  add("t3e", "Cray T3E/900", 512);
+  add("sr8000rr", "SR 8000 round-robin", 128);
+  add("sr8000", "SR 8000 sequential", 24);
+  add("sr2201", "SR 2201", 16);
+  add("sx5", "NEC SX-5/8B", 4);
+  add("sx4", "NEC SX-4/32", 16);
+  add("hpv", "HP-V 9000", 7);
+  add("sv1", "SGI SV1-B/16-8", 15);
+  add("sp", "IBM SP", 128);
+  add("beowulf", "Beowulf cluster", 32);
+  return v;
+}
+
 namespace {
 
 // ---------------------------------------------------------------------------
@@ -145,6 +178,38 @@ std::string mbps_small(double bytes_per_second) {
   } else {
     std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(std::llround(v)));
   }
+  return buf;
+}
+
+/// GFlop/s with one decimal below 10, integer above (balance table).
+std::string gflops(double flops_per_second) {
+  const double v = flops_per_second / 1e9;
+  char buf[32];
+  if (v < 10.0) {
+    std::snprintf(buf, sizeof buf, "%.1f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lld",
+                  static_cast<long long>(std::llround(v)));
+  }
+  return buf;
+}
+
+/// Bytes-per-flop balance factor, 3 significant digits (the values
+/// span 1e-4 .. 1, paper Fig. 1 scale).
+std::string bpf(double bytes_per_flop) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3g", bytes_per_flop);
+  return buf;
+}
+
+/// Unit-free variant of marker() for non-MByte/s comparisons (same
+/// fixed thresholds: 10 % check mark, 50 % approx, else the ratio).
+std::string ratio_marker(double paper, double measured) {
+  const double r = measured / paper;
+  if (std::fabs(r - 1.0) <= 0.10) return " ✓";
+  if (std::fabs(r - 1.0) <= 0.50) return " ≈";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, " (≈%.2f×)", r);
   return buf;
 }
 
@@ -198,6 +263,22 @@ const IoRun* find_io(const ExperimentsData& d, const std::string& figure,
                      const std::string& key, int nprocs) {
   for (const auto& r : d.io) {
     if (r.figure == figure && r.key == key && r.nprocs == nprocs) return &r;
+  }
+  return nullptr;
+}
+
+/// Balance-table rule for the b_eff_io numerator (docs/METRICS.md):
+/// the machine's best measured b_eff_io, preferring the official
+/// Fig. 5 schedule (T >= 15 min) and falling back to Fig. 3; nullptr
+/// when the machine has no I/O runs in the sweep.
+const IoRun* best_io(const ExperimentsData& d, const std::string& key) {
+  for (const char* fig : {"fig5", "fig3"}) {
+    const IoRun* best = nullptr;
+    for (const auto& r : d.io) {
+      if (r.figure != fig || r.key != key) continue;
+      if (best == nullptr || r.r.b_eff_io > best->r.b_eff_io) best = &r;
+    }
+    if (best != nullptr) return best;
   }
   return nullptr;
 }
@@ -268,6 +349,46 @@ void write_status_fields(obs::JsonWriter& w,
   w.end_array();
 }
 
+/// One kernel cell as JSON, shared by the run record's "kernels" array
+/// and the standalone kernel record so the two can never drift.
+void write_kernel_run(obs::JsonWriter& w, const KernelRun& k,
+                      const ExperimentsData& d) {
+  w.begin_object();
+  w.field("machine", k.key);
+  w.field("system", k.display);
+  w.field("nprocs", k.nprocs);
+  w.field("rmax_flops", k.r.rmax_flops());
+  w.field("stream_triad_Bps", k.r.stream_triad_bps());
+  w.field("suite_virtual_seconds", k.r.suite_seconds);
+  w.key("kernels").begin_array();
+  for (const auto& kr : k.r.kernels) {
+    w.begin_object();
+    w.field("name", kr.name);
+    w.field("flops", kr.flops);
+    w.field("mem_bytes", kr.bytes);
+    w.field("comm_bytes", kr.comm_bytes);
+    w.field("virtual_seconds", kr.seconds);
+    w.field("value", kr.value);
+    w.field("unit", kr.unit);
+    w.end_object();
+  }
+  w.end_array();
+  // Derived balance factors (docs/METRICS.md): communication and I/O
+  // numerators divided by the *measured* R_max of this cell.  A
+  // missing numerator omits the field (readers must not assume it).
+  const double rmax = k.r.rmax_flops();
+  const BeffRun* b = find_beff(d, k.key, k.nprocs);
+  const IoRun* io = best_io(d, k.key);
+  w.key("balance").begin_object();
+  if (b != nullptr) w.field("b_eff_per_rmax_Bpf", b->r.b_eff / rmax);
+  if (io != nullptr) w.field("b_eff_io_per_rmax_Bpf", io->r.b_eff_io / rmax);
+  w.field("stream_per_rmax_Bpf", k.r.stream_triad_bps() / rmax);
+  w.end_object();
+  w.key("metrics");
+  write_metrics(w, k.r.metrics);
+  w.end_object();
+}
+
 }  // namespace
 
 const char* scope_name(Scope s) {
@@ -329,6 +450,7 @@ ExperimentsData run_experiments(const ExperimentOptions& options) {
   data.scope = scope;
   data.beff = beff_specs(scope);
   data.io = io_specs(scope);
+  data.kernels = kernel_specs(scope);
   if (options.fault_plan != nullptr) data.faults = options.fault_plan->describe();
 
   // The journal key pins everything that changes a task's bytes: the
@@ -351,7 +473,8 @@ ExperimentsData run_experiments(const ExperimentOptions& options) {
   // cannot change any output byte (DESIGN.md Sec. 9/10.2).
   const std::size_t n_beff = data.beff.size();
   const std::size_t n_io = data.io.size();
-  util::parallel_for(jobs, n_beff + n_io + 1, [&](std::size_t i) {
+  const std::size_t n_kern = data.kernels.size();
+  util::parallel_for(jobs, n_beff + n_io + n_kern + 1, [&](std::size_t i) {
     if (i < n_beff) {
       BeffRun& run = data.beff[i];
       auto m = machines::machine_by_name(run.key);
@@ -412,6 +535,21 @@ ExperimentsData run_experiments(const ExperimentOptions& options) {
         ck->record_io(task, run.r);
         maybe_kill(ck.get(), options.kill_after);
       }
+    } else if (i < n_beff + n_io + n_kern) {
+      // Kernel-suite cells are analytic (microseconds of host time)
+      // and therefore never journaled: re-running them on resume is
+      // byte-identical and cheaper than replaying a checkpoint entry.
+      KernelRun& run = data.kernels[i - n_beff - n_io];
+      auto m = machines::machine_by_name(run.key);
+      run.rmax_gflops_per_proc = m.rmax_gflops_per_proc;
+      const std::string what =
+          "kernels " + run.key + ", " + std::to_string(run.nprocs) + " procs";
+      const double t0 = verbose ? log_cell_start(what) : 0.0;
+      obs::prof::Scope prof_scope("cell", what);
+      kernels::KernelOptions opt;
+      opt.collect_metrics = true;
+      run.r = kernels::run_kernels(m, run.nprocs, opt);
+      if (verbose) log_cell_finish(what, t0);
     } else {
       // Paper Sec. 5.4: barrier + broadcast on 32 T3E PEs versus the
       // per-call cost of a small I/O access.
@@ -452,6 +590,9 @@ std::string describe_config(Scope scope) {
   for (const auto& r : io_specs(scope)) {
     os << "beffio " << r.figure << ' ' << r.key << " np=" << r.nprocs
        << " T=" << r.scheduled_seconds << " cap=" << r.mpart_cap << '\n';
+  }
+  for (const auto& k : kernel_specs(scope)) {
+    os << "kernels " << k.key << " np=" << k.nprocs << '\n';
   }
   os << "micro termination-check t3e np=32\n";
   return os.str();
@@ -577,10 +718,33 @@ void write_run_record(std::ostream& os, const ExperimentsData& data,
   }
   w.end_array();
 
+  w.key("kernels").begin_array();
+  for (const auto& k : data.kernels) write_kernel_run(w, k, data);
+  w.end_array();
+
   w.key("micro").begin_object();
   w.field("termination_check_seconds", data.termination_check_seconds);
   w.field("io_call_seconds", data.io_call_seconds);
   w.end_object();
+  w.end_object();
+  os << '\n';
+}
+
+void write_kernel_record(std::ostream& os, const ExperimentsData& data,
+                         const std::string& cfg_hash,
+                         const std::string& git_rev) {
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.field("schema", "balbench-kernel-record/1");
+  w.field("scope", scope_name(data.scope));
+  w.field("config_hash", cfg_hash);
+  w.key("provenance").begin_object();
+  w.field("generator", "balbench-report");
+  w.field("git_rev", git_rev);
+  w.end_object();
+  w.key("kernels").begin_array();
+  for (const auto& k : data.kernels) write_kernel_run(w, k, data);
+  w.end_array();
   w.end_object();
   os << '\n';
 }
@@ -964,6 +1128,98 @@ void render_experiments_md(std::ostream& os, const ExperimentsData& data,
                  "")
          << "\n\n";
     }
+  }
+
+  // ---- Balance characterization ----------------------------------------
+  // Marker-delimited like the PERF HISTORY section so external tools
+  // can extract or splice it without re-running the sweep.
+  if (!data.kernels.empty()) {
+    os << "<!-- BEGIN BALANCE CHARACTERIZATION -->\n"
+          "## Balance characterization — compute vs. communication vs. "
+          "I/O\n"
+          "\n";
+    section_stamp("balance characterization");
+    os << "The compute side comes from the simulated HPCC-style kernel "
+          "suite\n"
+          "(`core/kernels`, DESIGN.md §14): **R_max** is the *measured* "
+          "GEMM/LU\n"
+          "rate under each machine's roofline model (compared against the\n"
+          "published Linpack value), **STREAM** is the aggregate triad "
+          "rate.\n"
+          "The quotient columns are the paper's balance factors "
+          "generalized to\n"
+          "I/O and memory; exact formulas, units and matching rules: "
+          "docs/METRICS.md.\n"
+          "b_eff uses the same (machine, procs) partition as the kernel "
+          "suite;\n"
+          "b_eff_io is the machine's best Fig. 5 (fallback Fig. 3) value.\n"
+          "\n"
+          "| System | procs | R_max GFlop/s (paper → meas) | "
+          "STREAM triad MB/s | GUP/s | b_eff/R_max B/flop | "
+          "b_eff_io/R_max B/flop | STREAM/R_max B/flop |\n"
+          "|---|---|---|---|---|---|---|---|\n";
+    for (const auto& k : data.kernels) {
+      const double rmax = k.r.rmax_flops();
+      const double paper_rmax = k.rmax_gflops_per_proc * 1e9 * k.nprocs;
+      std::string rmax_cell = gflops(rmax);
+      if (paper_rmax > 0.0) {
+        rmax_cell = gflops(paper_rmax) + " → " + gflops(rmax) +
+                    ratio_marker(paper_rmax, rmax);
+      }
+      const kernels::KernelResult* gup =
+          k.r.find(kernels::KernelId::RandomAccess);
+      char gup_buf[32];
+      std::snprintf(gup_buf, sizeof gup_buf, "%.3g",
+                    gup != nullptr ? gup->value / 1e9 : 0.0);
+      const BeffRun* b = find_beff(data, k.key, k.nprocs);
+      const IoRun* io = best_io(data, k.key);
+      os << "| " << k.display << " | " << k.nprocs << " | " << rmax_cell
+         << " | " << mbps(k.r.stream_triad_bps()) << " | " << gup_buf
+         << " | " << (b != nullptr ? bpf(b->r.b_eff / rmax) : "—") << " | "
+         << (io != nullptr ? bpf(io->r.b_eff_io / rmax) : "—") << " | "
+         << bpf(k.r.stream_triad_bps() / rmax) << " |\n";
+    }
+    os << "\n";
+    // Computed reading of the table: which architectures are balanced.
+    {
+      const KernelRun* best_k = nullptr;
+      const KernelRun* worst_k = nullptr;
+      double best_v = 0.0, worst_v = 1e300;
+      for (const auto& k : data.kernels) {
+        const BeffRun* b = find_beff(data, k.key, k.nprocs);
+        if (b == nullptr) continue;
+        const double v = b->r.b_eff / k.r.rmax_flops();
+        if (v > best_v) { best_v = v; best_k = &k; }
+        if (v < worst_v) { worst_v = v; worst_k = &k; }
+      }
+      if (best_k != nullptr && worst_k != nullptr && best_k != worst_k) {
+        char ratio[16];
+        std::snprintf(ratio, sizeof ratio, "%.0f", best_v / worst_v);
+        os << wrap("* b_eff/R_max spans " + std::string(ratio) +
+                       "× across the field: " + best_k->display + " (" +
+                       bpf(best_v) + " B/flop) is the best-balanced "
+                       "communication/compute pairing, " + worst_k->display +
+                       " (" + bpf(worst_v) + ") the most compute-heavy — "
+                       "the paper's Fig. 1 reading, now derived from a "
+                       "*measured* R_max instead of the published Linpack "
+                       "number.",
+                   "  ")
+           << "\n";
+      }
+      os << wrap("* Every machine's b_eff_io/R_max is orders of magnitude "
+                 "below its b_eff/R_max: disks, not networks, are the "
+                 "scarce resource per flop — the imbalance the paper's "
+                 "Sec. 5 argues b_eff_io exposes.",
+                 "  ")
+         << "\n";
+      os << wrap("* STREAM/R_max separates the vector machines (whole "
+                 "bytes per flop) from the cache machines (fractions) — "
+                 "the memory-bandwidth side of the balance argument "
+                 "(RZBENCH's machine-balance metric, PAPERS.md).",
+                 "  ")
+         << "\n";
+    }
+    os << "<!-- END BALANCE CHARACTERIZATION -->\n\n";
   }
 
   // ---- Micro ------------------------------------------------------------

@@ -30,6 +30,7 @@
 
 #include "core/beff/beff.hpp"
 #include "core/beffio/beffio.hpp"
+#include "core/kernels/kernels.hpp"
 
 namespace balbench::report {
 
@@ -74,10 +75,25 @@ struct IoRun {
   beffio::BeffIoResult r;
 };
 
+/// One kernel-suite configuration of the sweep plus its result: the
+/// compute side of the balance table (simulated HPCC-style kernels,
+/// DESIGN.md Sec. 14).  One cell runs the *whole* suite on one
+/// (machine, partition).
+struct KernelRun {
+  std::string key;      // machines::machine_by_name() key
+  std::string display;  // row label, e.g. "Cray T3E/900"
+  int nprocs = 0;
+  /// Published Linpack R_max per processor (GFlop/s) for the
+  /// paper-vs-measured comparison marker; 0 = not published.
+  double rmax_gflops_per_proc = 0.0;
+  kernels::KernelSuiteResult r;
+};
+
 struct ExperimentsData {
   Scope scope = Scope::Quick;
   std::vector<BeffRun> beff;
   std::vector<IoRun> io;
+  std::vector<KernelRun> kernels;
   /// Simulated barrier+bcast on 32 T3E PEs (paper Sec. 5.4), seconds.
   double termination_check_seconds = 0.0;
   /// Per-call overhead of a small I/O access on the T3E, seconds.
@@ -95,6 +111,7 @@ struct ExperimentsData {
 /// returned order is the pipeline's execution-slot order.
 std::vector<BeffRun> beff_specs(Scope scope);
 std::vector<IoRun> io_specs(Scope scope);
+std::vector<KernelRun> kernel_specs(Scope scope);
 
 /// Knobs of one sweep invocation beyond the scope itself (robustness
 /// layer, DESIGN.md Sec. 12).
@@ -150,6 +167,17 @@ std::string git_revision();
 /// obs::MetricsSnapshot of every run.
 void write_run_record(std::ostream& os, const ExperimentsData& data,
                       const std::string& cfg_hash, const std::string& git_rev);
+
+/// JSON kernel record, schema "balbench-kernel-record/1": provenance
+/// plus every kernel cell of the sweep (per-kernel flops, memory and
+/// interconnect traffic, virtual seconds, headline value) and the
+/// derived per-machine balance factors (b_eff/R_max, b_eff_io/R_max,
+/// STREAM/R_max -- the formulas of docs/METRICS.md).  The same data
+/// also appears inside the run record's "kernels" array; this record
+/// is the standalone export for kernel-only consumers.
+void write_kernel_record(std::ostream& os, const ExperimentsData& data,
+                         const std::string& cfg_hash,
+                         const std::string& git_rev);
 
 /// Renders the complete EXPERIMENTS.md.  Every measured number in the
 /// document is recomputed from `data`; paper reference values and the

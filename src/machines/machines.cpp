@@ -26,6 +26,14 @@ MachineSpec cray_t3e_900() {
   m.rmax_gflops_per_proc = 0.675;  // 900 MF peak, ~75 % Linpack efficiency
   m.paper_pingpong = mbps(330);
 
+  // Alpha 21164/450: 2 flop/cycle peak, 96 kB on-chip L2 (the T3E has
+  // no board cache), stream-buffer memory system ~600 MB/s sustained.
+  m.roofline.peak_flops = 900e6;
+  m.roofline.mem_bw = mbps(600);
+  m.roofline.cache_bytes = 96 * 1024;
+  m.roofline.mem_latency = 280e-9;
+  m.roofline.net_bw = mbps(330);  // Table 1 ping-pong
+
   m.costs.send_overhead = 3e-6;
   m.costs.recv_overhead = 3e-6;
   m.costs.alltoallv_base = 5e-6;
@@ -82,6 +90,14 @@ MachineSpec hitachi_sr8000(net::Placement placement) {
   m.rmax_gflops_per_proc = 0.85;
   m.paper_pingpong = rr ? mbps(776) : mbps(954);
 
+  // 1 GF per IP, pseudo-vector preload streams past the cache (model
+  // as cache-less); ~2 GB/s per-CPU share of the node memory system.
+  m.roofline.peak_flops = 1.0e9;
+  m.roofline.mem_bw = mbps(2000);
+  m.roofline.cache_bytes = 0;
+  m.roofline.mem_latency = 200e-9;
+  m.roofline.net_bw = rr ? mbps(776) : mbps(954);
+
   m.costs.send_overhead = 5.0e-6;
   m.costs.recv_overhead = 5.0e-6;
   m.costs.barrier_hop = 8e-6;
@@ -133,6 +149,13 @@ MachineSpec hitachi_sr2201() {
   m.rmax_gflops_per_proc = 0.22;
   m.paper_pingpong = 0.0;  // cell empty in Table 1
 
+  // 300 MF PA-RISC with pseudo-vector preload; ~300 MB/s per PE.
+  m.roofline.peak_flops = 300e6;
+  m.roofline.mem_bw = mbps(300);
+  m.roofline.cache_bytes = 0;
+  m.roofline.mem_latency = 300e-9;
+  m.roofline.net_bw = mbps(100);  // calibrated: ring ~96 MB/s per proc
+
   m.costs.send_overhead = 6e-6;
   m.costs.recv_overhead = 6e-6;
   m.costs.barrier_hop = 10e-6;
@@ -158,6 +181,14 @@ MachineSpec nec_sx5() {
   m.shared_memory = true;
   m.rmax_gflops_per_proc = 7.2;
   m.paper_pingpong = 0.0;
+
+  // 8 GF vector CPU, no data cache, 64 GB/s memory ports per CPU
+  // (~41 GB/s STREAM-class sustained).
+  m.roofline.peak_flops = 8.0e9;
+  m.roofline.mem_bw = mbps(41000);
+  m.roofline.cache_bytes = 0;
+  m.roofline.mem_latency = 50e-9;
+  m.roofline.net_bw = mbps(8762);  // per-proc ring at L_max
 
   m.costs.send_overhead = 3e-6;
   m.costs.recv_overhead = 3e-6;
@@ -210,6 +241,14 @@ MachineSpec nec_sx4() {
   m.rmax_gflops_per_proc = 1.7;
   m.paper_pingpong = 0.0;
 
+  // 2 GF vector CPU, cache-less, 16 GB/s memory ports per CPU
+  // (~14 GB/s sustained).
+  m.roofline.peak_flops = 2.0e9;
+  m.roofline.mem_bw = mbps(14000);
+  m.roofline.cache_bytes = 0;
+  m.roofline.mem_latency = 60e-9;
+  m.roofline.net_bw = mbps(3552);
+
   m.costs.send_overhead = 3e-6;
   m.costs.recv_overhead = 3e-6;
 
@@ -234,6 +273,16 @@ MachineSpec hp_v9000() {
   m.rmax_gflops_per_proc = 0.35;
   m.paper_pingpong = 0.0;
 
+  // V2200-class PA-8200/200: 2 flop/cycle peak, 2 MB off-chip data
+  // cache; the shared Runway bus sustains ~480 MB/s per CPU under
+  // load.  (The paper's 2.5 GF R_max over 7 CPUs rules out the later
+  // PA-8500 V2500.)
+  m.roofline.peak_flops = 400e6;
+  m.roofline.mem_bw = mbps(480);
+  m.roofline.cache_bytes = 2 * 1024 * 1024;
+  m.roofline.mem_latency = 400e-9;
+  m.roofline.net_bw = mbps(162);  // per-proc ring
+
   m.costs.send_overhead = 5e-6;
   m.costs.recv_overhead = 5e-6;
 
@@ -257,6 +306,14 @@ MachineSpec sgi_sv1() {
   m.shared_memory = true;
   m.rmax_gflops_per_proc = 0.9;
   m.paper_pingpong = mbps(994);
+
+  // SV1 vector CPU: 1.2 GF peak, 256 kB cache (the first cached Cray
+  // vector design), ~1.6 GB/s per CPU from the shared memory system.
+  m.roofline.peak_flops = 1.2e9;
+  m.roofline.mem_bw = mbps(1600);
+  m.roofline.cache_bytes = 256 * 1024;
+  m.roofline.mem_latency = 120e-9;
+  m.roofline.net_bw = mbps(994);  // ping-pong
 
   m.costs.send_overhead = 3e-6;
   m.costs.recv_overhead = 3e-6;
@@ -283,6 +340,16 @@ MachineSpec ibm_sp() {
   m.shared_memory = false;
   m.rmax_gflops_per_proc = 0.9;  // 4 x 332 MHz per node
   m.paper_pingpong = 0.0;
+
+  // One process per 4-way 332 MHz 604e node: 2.66 GF nominal, but the
+  // shared 1.3 GB/s memory bus starves four 604e FPUs -- dense kernels
+  // sustain ~1 GF/node (the published 0.9 GF/node Linpack), so the
+  // modelled peak is the sustainable node rate, not 4x the chip sheet.
+  m.roofline.peak_flops = 1.0e9;
+  m.roofline.mem_bw = mbps(1300);
+  m.roofline.cache_bytes = 1024 * 1024;
+  m.roofline.mem_latency = 350e-9;
+  m.roofline.net_bw = mbps(133);  // TB3MX adapter
 
   m.costs.send_overhead = 4e-6;
   m.costs.recv_overhead = 4e-6;
@@ -346,6 +413,16 @@ MachineSpec beowulf() {
   m.rmax_gflops_per_proc = 0.35;  // ~800 MHz commodity CPU
   m.paper_pingpong = 0.0;
 
+  // 800 MHz commodity CPU: 1 flop/cycle nominal, but PC100-class
+  // SDRAM (~350 MB/s STREAM) keeps dense kernels near 450 MF --
+  // consistent with the 0.35 GF/proc HPL figure above.  Fast ethernet
+  // carries every byte of comm.
+  m.roofline.peak_flops = 450e6;
+  m.roofline.mem_bw = mbps(350);
+  m.roofline.cache_bytes = 256 * 1024;
+  m.roofline.mem_latency = 150e-9;
+  m.roofline.net_bw = mbps(11);
+
   m.costs.send_overhead = 15e-6;  // TCP/IP stack
   m.costs.recv_overhead = 15e-6;
   m.costs.barrier_hop = 60e-6;
@@ -408,9 +485,17 @@ MachineSpec machine_by_name(const std::string& short_name) {
   for (auto& m : all_machines()) {
     if (m.short_name == short_name) return m;
   }
-  throw std::invalid_argument("unknown machine '" + short_name +
-                              "' (try: t3e sr8000 sr8000rr sr2201 sx5 sx4 hpv "
-                              "sv1 sp beowulf)");
+  throw std::invalid_argument("unknown machine '" + short_name + "' (try: " +
+                              machine_list() + ")");
+}
+
+std::string machine_list() {
+  std::string out;
+  for (const auto& m : all_machines()) {
+    if (!out.empty()) out += ' ';
+    out += m.short_name;
+  }
+  return out;
 }
 
 }  // namespace balbench::machines

@@ -27,6 +27,39 @@
 
 namespace balbench::machines {
 
+/// Per-process compute/memory roofline for the simulated HPCC-style
+/// kernel suite (core/kernels, DESIGN.md Sec. 14).  All quantities are
+/// per *process* (the same granularity as memory_per_proc): on SMP
+/// nodes a "process" is one MPI rank's share of the node.
+///
+/// Provenance mirrors the rest of this file: peak flop rates and cache
+/// sizes are published processor specs; sustainable memory bandwidths
+/// are STREAM-class figures calibrated so the simulated kernels land
+/// in the published R_max / stream neighbourhood (EXPERIMENTS.md
+/// "Balance characterization").
+struct Roofline {
+  /// Dense floating-point peak, flop/s (NOT Linpack R_max — the kernel
+  /// suite *measures* its own R_max against this ceiling).
+  double peak_flops = 0.0;
+  /// Sustainable streaming memory bandwidth, bytes/s (STREAM-class).
+  double mem_bw = 0.0;
+  /// Last-level cache per process, bytes.  0 = vector/streaming
+  /// machine without a data cache: working sets never get the cache
+  /// bandwidth boost, but random gathers pipeline at full mem_bw.
+  std::int64_t cache_bytes = 0;
+  /// Single random memory access latency, seconds (RandomAccess term;
+  /// only charged on cache machines — vector gathers pipeline).
+  double mem_latency = 0.0;
+  /// Interconnect bandwidth one process sees in the kernels'
+  /// communication phases, bytes/s (calibrated from ping-pong /
+  /// per-process ring figures; shared-memory machines use copy bw).
+  double net_bw = 0.0;
+
+  [[nodiscard]] bool valid() const {
+    return peak_flops > 0.0 && mem_bw > 0.0 && net_bw > 0.0;
+  }
+};
+
 struct MachineSpec {
   std::string name;                // "Cray T3E/900-512"
   std::string short_name;          // "t3e" (CLI key)
@@ -39,6 +72,10 @@ struct MachineSpec {
   /// Reference ping-pong bandwidth from the paper's Table 1, bytes/s;
   /// 0 when the paper leaves the cell empty.
   double paper_pingpong = 0.0;
+
+  /// Compute/memory model for the simulated kernel suite; valid() on
+  /// every registered machine (asserted in tests/machines).
+  Roofline roofline;
 
   parmsg::CommCosts costs;
   std::function<std::unique_ptr<net::Topology>(int nprocs)> make_topology;
@@ -71,5 +108,11 @@ MachineSpec beowulf();
 /// Registry access for CLI tools: all machines / lookup by short name.
 std::vector<MachineSpec> all_machines();
 MachineSpec machine_by_name(const std::string& short_name);
+
+/// Space-separated short names of every registered machine, in
+/// registry order ("t3e sr8000rr sr8000 ...").  Generated from
+/// all_machines() so CLI help text and error messages can never drift
+/// from the registry.
+std::string machine_list();
 
 }  // namespace balbench::machines

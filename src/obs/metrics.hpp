@@ -3,8 +3,9 @@
 //
 // A Registry is the write-side of the observability subsystem: the
 // transport (parmsg), the MPI-I/O layer (pario), the filesystem model
-// (pfsim) and the benchmark drivers increment metrics through handles
-// obtained once at attach time.  Increments are wait-free atomic
+// (pfsim), the kernel suite (core/kernels, `kernels.*` names) and the
+// benchmark drivers increment metrics through handles obtained once at
+// attach time.  Increments are wait-free atomic
 // operations and reads (snapshot()) never block a writer -- the
 // registry is lock-free on the read path; only *registration* of a new
 // metric name takes a mutex, and instrumented components register all

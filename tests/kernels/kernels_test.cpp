@@ -1,0 +1,233 @@
+#include "core/kernels/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "core/kernels/roofline.hpp"
+#include "machines/machines.hpp"
+#include "simt/trace.hpp"
+
+namespace bk = balbench::kernels;
+namespace bm = balbench::machines;
+
+namespace {
+
+bk::KernelOptions quiet() {
+  bk::KernelOptions o;
+  return o;
+}
+
+}  // namespace
+
+TEST(Kernels, NamesAndSuiteOrderAreStable) {
+  const auto all = bk::all_kernels();
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(bk::kNumKernels));
+  EXPECT_STREQ(bk::kernel_name(all[0]), "stream_copy");
+  EXPECT_STREQ(bk::kernel_name(all[3]), "stream_triad");
+  EXPECT_STREQ(bk::kernel_name(all[4]), "gemm");
+  EXPECT_STREQ(bk::kernel_name(all[5]), "ptrans");
+  EXPECT_STREQ(bk::kernel_name(all[6]), "random_access");
+  EXPECT_STREQ(bk::kernel_name(all[7]), "fft");
+}
+
+TEST(Kernels, StreamSizingFollowsTheRunRules) {
+  // Arrays are memory/10 each (mem/80 doubles): far larger than any
+  // cache, so STREAM must never see the cache bandwidth boost.
+  const auto m = bm::machine_by_name("t3e");
+  const double n = std::floor(static_cast<double>(m.memory_per_proc) / 80.0);
+  const auto copy = bk::kernel_work(m, 8, bk::KernelId::StreamCopy);
+  EXPECT_DOUBLE_EQ(copy.flops_per_proc, 0.0);
+  EXPECT_DOUBLE_EQ(copy.bytes_per_proc, 16.0 * n);
+  EXPECT_GT(copy.working_set_bytes, static_cast<double>(m.roofline.cache_bytes));
+  const auto triad = bk::kernel_work(m, 8, bk::KernelId::StreamTriad);
+  EXPECT_DOUBLE_EQ(triad.flops_per_proc, 2.0 * n);
+  EXPECT_DOUBLE_EQ(triad.bytes_per_proc, 24.0 * n);
+  // STREAM is embarrassingly parallel: no interconnect traffic.
+  EXPECT_DOUBLE_EQ(triad.comm_bytes_per_proc, 0.0);
+}
+
+TEST(Kernels, GemmFollowsTheHplSizingRule) {
+  const auto m = bm::machine_by_name("t3e");
+  const int np = 8;
+  const double total =
+      static_cast<double>(m.memory_per_proc) * static_cast<double>(np);
+  const double n = std::floor(std::sqrt(0.8 * total / 8.0));
+  const auto w = bk::kernel_work(m, np, bk::KernelId::Gemm);
+  EXPECT_DOUBLE_EQ(w.flops_per_proc,
+                   ((2.0 / 3.0) * n * n * n + 2.0 * n * n) / np);
+  // Blocking keeps the working set cache-resident by construction.
+  EXPECT_LE(w.working_set_bytes, static_cast<double>(m.roofline.cache_bytes));
+  EXPECT_GT(w.comm_bytes_per_proc, 0.0);
+  EXPECT_GT(w.comm_overhead_seconds, 0.0);
+}
+
+TEST(Kernels, RandomAccessChargesLatencyNotBandwidth) {
+  const auto t3e = bm::machine_by_name("t3e");
+  const auto w = bk::kernel_work(t3e, 8, bk::KernelId::RandomAccess);
+  const double total = static_cast<double>(t3e.memory_per_proc) * 8.0;
+  EXPECT_EQ(w.updates, static_cast<std::uint64_t>(4.0 * (total / 16.0)));
+  // Cache machines pay mem_latency per update...
+  EXPECT_DOUBLE_EQ(
+      w.latency_seconds,
+      static_cast<double>(w.updates) / 8.0 * t3e.roofline.mem_latency);
+  EXPECT_DOUBLE_EQ(w.bytes_per_proc, 0.0);  // cost lives in the latency term
+  // ...and distributed machines send (P-1)/P of them as 16-byte pairs.
+  EXPECT_GT(w.comm_bytes_per_proc, 0.0);
+  // Vector machines pipeline gathers at streaming bandwidth instead.
+  const auto sx5 = bm::machine_by_name("sx5");
+  const auto v = bk::kernel_work(sx5, 4, bk::KernelId::RandomAccess);
+  const double per_proc = static_cast<double>(v.updates) / 4.0;
+  EXPECT_DOUBLE_EQ(v.latency_seconds, per_proc * 16.0 / sx5.roofline.mem_bw);
+  // Shared-memory machine: no interconnect traffic for the updates.
+  EXPECT_DOUBLE_EQ(v.comm_bytes_per_proc, 0.0);
+}
+
+TEST(Kernels, FftTrafficScalesWithOutOfCachePasses) {
+  const auto m = bm::machine_by_name("t3e");
+  const int np = 8;
+  const double total =
+      static_cast<double>(m.memory_per_proc) * static_cast<double>(np);
+  const double n = std::floor(total / 64.0);
+  const auto w = bk::kernel_work(m, np, bk::KernelId::Fft);
+  EXPECT_DOUBLE_EQ(w.flops_per_proc, 5.0 * n * std::log2(n) / np);
+  // Multi-pass: the vector exceeds the cache, so traffic is a multiple
+  // of one read+write sweep.
+  EXPECT_GE(w.bytes_per_proc, 2.0 * 32.0 * n / np);
+  EXPECT_GT(w.comm_bytes_per_proc, 0.0);
+  // Single process: the three exchanges disappear.
+  const auto solo = bk::kernel_work(m, 1, bk::KernelId::Fft);
+  EXPECT_DOUBLE_EQ(solo.comm_bytes_per_proc, 0.0);
+  EXPECT_DOUBLE_EQ(solo.comm_overhead_seconds, 0.0);
+}
+
+TEST(Kernels, PtransMovesAllButTheDiagonalShare) {
+  const auto m = bm::machine_by_name("t3e");
+  const int np = 8;
+  const auto w = bk::kernel_work(m, np, bk::KernelId::Ptrans);
+  const double n = std::floor(
+      std::sqrt(0.8 * static_cast<double>(m.memory_per_proc) * np / 8.0) / 2.0);
+  EXPECT_DOUBLE_EQ(w.comm_bytes_per_proc, 8.0 * n * n * (np - 1.0) / np / np);
+  EXPECT_DOUBLE_EQ(w.bytes_per_proc, 24.0 * n * n / np);
+}
+
+TEST(Kernels, RunKernelIsDeterministicAcrossCalls) {
+  const auto m = bm::machine_by_name("t3e");
+  for (bk::KernelId id : bk::all_kernels()) {
+    const auto a = bk::run_kernel(m, 8, id, quiet());
+    const auto b = bk::run_kernel(m, 8, id, quiet());
+    EXPECT_EQ(a.seconds, b.seconds) << a.name;
+    EXPECT_EQ(a.value, b.value) << a.name;
+  }
+}
+
+TEST(Kernels, SeedChangesTheMeasuredTime) {
+  const auto m = bm::machine_by_name("t3e");
+  bk::KernelOptions other = quiet();
+  other.random_seed = 4242;
+  const auto a = bk::run_kernel(m, 8, bk::KernelId::Gemm, quiet());
+  const auto b = bk::run_kernel(m, 8, bk::KernelId::Gemm, other);
+  EXPECT_NE(a.seconds, b.seconds);
+}
+
+TEST(Kernels, BestRepetitionIsNoSlowerThanOneRep) {
+  const auto m = bm::machine_by_name("t3e");
+  bk::KernelOptions one = quiet();
+  one.repetitions = 1;
+  const auto best3 = bk::run_kernel(m, 8, bk::KernelId::StreamTriad, quiet());
+  const auto only1 = bk::run_kernel(m, 8, bk::KernelId::StreamTriad, one);
+  EXPECT_LE(best3.seconds, only1.seconds);
+}
+
+TEST(Kernels, HeadlineUnitsMatchTheKernelClass) {
+  const auto m = bm::machine_by_name("sx5");
+  const auto suite = bk::run_kernels(m, 4, quiet());
+  ASSERT_EQ(suite.kernels.size(), static_cast<std::size_t>(bk::kNumKernels));
+  for (const auto& k : suite.kernels) {
+    EXPECT_GT(k.seconds, 0.0) << k.name;
+    EXPECT_GT(k.value, 0.0) << k.name;
+  }
+  EXPECT_EQ(suite.find(bk::KernelId::StreamTriad)->unit, "B/s");
+  EXPECT_EQ(suite.find(bk::KernelId::Ptrans)->unit, "B/s");
+  EXPECT_EQ(suite.find(bk::KernelId::Gemm)->unit, "flop/s");
+  EXPECT_EQ(suite.find(bk::KernelId::Fft)->unit, "flop/s");
+  EXPECT_EQ(suite.find(bk::KernelId::RandomAccess)->unit, "up/s");
+}
+
+TEST(Kernels, MeasuredRmaxStaysBelowPeakAndAboveHalfPeak) {
+  // The additive roofline should land blocked DGEMM in the published
+  // Linpack-efficiency neighbourhood: below peak, above 50 % of it.
+  for (const auto& m : bm::all_machines()) {
+    const int np = std::min(m.max_procs, 8);
+    const auto suite = bk::run_kernels(m, np, quiet());
+    const double peak = m.roofline.peak_flops * np;
+    EXPECT_LT(suite.rmax_flops(), peak) << m.name;
+    EXPECT_GT(suite.rmax_flops(), 0.5 * peak) << m.name;
+  }
+}
+
+TEST(Kernels, StreamTriadStaysBelowMemoryBandwidth) {
+  for (const auto& m : bm::all_machines()) {
+    const int np = std::min(m.max_procs, 8);
+    const auto suite = bk::run_kernels(m, np, quiet());
+    EXPECT_LT(suite.stream_triad_bps(), m.roofline.mem_bw * np) << m.name;
+    EXPECT_GT(suite.stream_triad_bps(), 0.5 * m.roofline.mem_bw * np)
+        << m.name;
+  }
+}
+
+TEST(Kernels, SuiteAccessorsAndSeconds) {
+  const auto m = bm::machine_by_name("t3e");
+  const auto suite = bk::run_kernels(m, 8, quiet());
+  EXPECT_EQ(suite.machine, "t3e");
+  EXPECT_EQ(suite.nprocs, 8);
+  double sum = 0.0;
+  for (const auto& k : suite.kernels) sum += k.seconds;
+  EXPECT_DOUBLE_EQ(suite.suite_seconds, sum);
+  EXPECT_EQ(suite.find(bk::KernelId::Gemm)->value, suite.rmax_flops());
+  EXPECT_TRUE(suite.metrics.empty());  // collect_metrics defaulted off
+}
+
+TEST(Kernels, MetricsFollowTheTaxonomy) {
+  const auto m = bm::machine_by_name("t3e");
+  bk::KernelOptions opts = quiet();
+  opts.collect_metrics = true;
+  const auto suite = bk::run_kernels(m, 8, opts);
+  ASSERT_FALSE(suite.metrics.empty());
+  EXPECT_EQ(suite.metrics.counters.at("kernels.runs"),
+            static_cast<std::uint64_t>(bk::kNumKernels));
+  EXPECT_GT(suite.metrics.sums.at("kernels.flops"), 0.0);
+  EXPECT_GT(suite.metrics.sums.at("kernels.mem_bytes"), 0.0);
+  EXPECT_GT(suite.metrics.sums.at("kernels.comm_bytes"), 0.0);
+  EXPECT_NEAR(suite.metrics.sums.at("kernels.virtual_seconds"),
+              suite.suite_seconds, 1e-9);
+}
+
+TEST(Kernels, TracerSeesComputeAndExchangeSpans) {
+  const auto m = bm::machine_by_name("t3e");
+  balbench::simt::Tracer tracer;
+  bk::KernelOptions opts = quiet();
+  opts.tracer = &tracer;
+  bk::run_kernel(m, 4, bk::KernelId::Gemm, opts);
+  // 3 repetitions -> 3 sessions; every rank records one compute ('k')
+  // and one exchange ('x') span per repetition.
+  EXPECT_EQ(tracer.sessions().size(), 3u);
+  EXPECT_EQ(tracer.spans().size(), 3u * 4u * 2u);
+  std::set<char> cats;
+  for (const auto& s : tracer.spans()) cats.insert(s.category);
+  EXPECT_EQ(cats, (std::set<char>{'k', 'x'}));
+  EXPECT_EQ(tracer.legend().at('k'), "kernel compute");
+  EXPECT_EQ(tracer.legend().at('x'), "kernel exchange");
+}
+
+TEST(Kernels, InvalidInputsThrow) {
+  const auto m = bm::machine_by_name("t3e");
+  EXPECT_THROW(bk::run_kernel(m, 0, bk::KernelId::Gemm, quiet()),
+               std::invalid_argument);
+  bm::MachineSpec bare = m;
+  bare.roofline = bm::Roofline{};
+  EXPECT_THROW(bk::kernel_work(bare, 8, bk::KernelId::Gemm),
+               std::invalid_argument);
+}

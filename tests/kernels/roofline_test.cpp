@@ -1,0 +1,133 @@
+#include "core/kernels/roofline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "machines/machines.hpp"
+
+namespace bk = balbench::kernels;
+namespace bm = balbench::machines;
+
+namespace {
+
+bm::Roofline cache_machine() {
+  bm::Roofline r;
+  r.peak_flops = 1.0e9;
+  r.mem_bw = 1.0e9;
+  r.cache_bytes = 1 << 20;  // 1 MiB
+  r.mem_latency = 100e-9;
+  r.net_bw = 100e6;
+  return r;
+}
+
+bm::Roofline vector_machine() {
+  bm::Roofline r = cache_machine();
+  r.cache_bytes = 0;
+  return r;
+}
+
+}  // namespace
+
+TEST(Roofline, CacheResidentWorkingSetGetsBandwidthBoost) {
+  const auto r = cache_machine();
+  const double streaming = bk::effective_mem_bw(r, 8.0 * (1 << 20));
+  const double resident = bk::effective_mem_bw(r, 1 << 19);
+  EXPECT_DOUBLE_EQ(streaming, r.mem_bw);
+  EXPECT_DOUBLE_EQ(resident, bk::kCacheBwBoost * r.mem_bw);
+}
+
+TEST(Roofline, BoostSwitchesExactlyAtCacheSize) {
+  const auto r = cache_machine();
+  const double at = bk::effective_mem_bw(r, static_cast<double>(r.cache_bytes));
+  const double above =
+      bk::effective_mem_bw(r, static_cast<double>(r.cache_bytes) + 1.0);
+  EXPECT_DOUBLE_EQ(at, bk::kCacheBwBoost * r.mem_bw);
+  EXPECT_DOUBLE_EQ(above, r.mem_bw);
+}
+
+TEST(Roofline, VectorMachineNeverGetsTheBoost) {
+  const auto r = vector_machine();
+  EXPECT_DOUBLE_EQ(bk::effective_mem_bw(r, 1024.0), r.mem_bw);
+  EXPECT_DOUBLE_EQ(bk::effective_mem_bw(r, 1e12), r.mem_bw);
+}
+
+TEST(Roofline, PhaseSecondsIsAdditive) {
+  // t = flops/peak + bytes/bw: the additive roofline, not max().
+  const auto r = cache_machine();
+  const double flops = 2.0e9;           // 2 s of compute
+  const double bytes = 3.0e9;           // 3 s of streaming traffic
+  const double ws = 1e12;               // far out of cache
+  EXPECT_DOUBLE_EQ(bk::phase_seconds(r, flops, bytes, ws), 5.0);
+  // Compute-only and memory-only phases degenerate correctly.
+  EXPECT_DOUBLE_EQ(bk::phase_seconds(r, flops, 0.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(bk::phase_seconds(r, 0.0, bytes, ws), 3.0);
+}
+
+TEST(Roofline, PhaseSecondsUsesEffectiveBandwidth) {
+  const auto r = cache_machine();
+  const double bytes = 4.0e9;
+  const double out = bk::phase_seconds(r, 0.0, bytes, 1e12);
+  const double in = bk::phase_seconds(r, 0.0, bytes, 1024.0);
+  EXPECT_DOUBLE_EQ(out, 4.0);
+  EXPECT_DOUBLE_EQ(in, 4.0 / bk::kCacheBwBoost);
+}
+
+TEST(Roofline, NoiseFactorDeterministicAndBounded) {
+  const double a = bk::noise_factor("t3e|gemm|rank0|rep0", 2001);
+  const double b = bk::noise_factor("t3e|gemm|rank0|rep0", 2001);
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_GE(a, 1.0);
+  EXPECT_LT(a, 1.0 + bk::kNoiseAmplitude);
+}
+
+TEST(Roofline, NoiseFactorSensitiveToLabelAndSeed) {
+  // Distinct (machine, kernel, rank, repetition) labels must jitter
+  // independently; so must distinct seeds.
+  std::set<double> seen;
+  for (const char* label :
+       {"t3e|gemm|rank0|rep0", "t3e|gemm|rank1|rep0", "t3e|gemm|rank0|rep1",
+        "t3e|fft|rank0|rep0", "sx5|gemm|rank0|rep0"}) {
+    seen.insert(bk::noise_factor(label, 2001));
+  }
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_NE(bk::noise_factor("t3e|gemm|rank0|rep0", 2001),
+            bk::noise_factor("t3e|gemm|rank0|rep0", 2002));
+}
+
+TEST(Roofline, NoiseAmplitudeScalesTheJitter) {
+  const double u =
+      bk::noise_factor("t3e|gemm|rank0|rep0", 2001, bk::kNoiseAmplitude) - 1.0;
+  const double u2 =
+      bk::noise_factor("t3e|gemm|rank0|rep0", 2001, 2.0 * bk::kNoiseAmplitude) -
+      1.0;
+  EXPECT_NEAR(u2, 2.0 * u, 1e-15);
+  EXPECT_DOUBLE_EQ(bk::noise_factor("t3e|gemm|rank0|rep0", 2001, 0.0), 1.0);
+}
+
+TEST(Roofline, EveryRegisteredMachineHasAValidModel) {
+  for (const auto& m : bm::all_machines()) {
+    EXPECT_TRUE(m.roofline.valid()) << m.name;
+    EXPECT_GT(m.roofline.peak_flops, 0.0) << m.name;
+    EXPECT_GT(m.roofline.mem_bw, 0.0) << m.name;
+    EXPECT_GT(m.roofline.net_bw, 0.0) << m.name;
+    // Cache machines must charge a random-access latency; vector
+    // machines (cache_bytes == 0) pipeline gathers instead.
+    if (m.roofline.cache_bytes > 0) {
+      EXPECT_GT(m.roofline.mem_latency, 0.0) << m.name;
+    }
+  }
+}
+
+TEST(Roofline, VectorMachinesAreModelledCacheless) {
+  // The NEC vector systems stream from memory without a data cache.
+  // (The SV1 keeps its cache_bytes: it is the vector machine that
+  // introduced a vector cache.)
+  EXPECT_EQ(bm::machine_by_name("sx5").roofline.cache_bytes, 0);
+  EXPECT_EQ(bm::machine_by_name("sx4").roofline.cache_bytes, 0);
+  EXPECT_GT(bm::machine_by_name("sv1").roofline.cache_bytes, 0);
+  // The microprocessor systems all have one.
+  EXPECT_GT(bm::machine_by_name("t3e").roofline.cache_bytes, 0);
+  EXPECT_GT(bm::machine_by_name("sp").roofline.cache_bytes, 0);
+  EXPECT_GT(bm::machine_by_name("beowulf").roofline.cache_bytes, 0);
+}

@@ -8,8 +8,10 @@
 // median, MAD and a bootstrap 95 % confidence interval of the median
 // per cell, stamped with the suite's config hash and the git revision.
 //
-//   --suite S         comma-separated subset of micro,sweep,calib
-//                     (or "all"); default all
+//   --suite S         comma-separated subset of the registered suites
+//                     (micro, sweep, kernels, calib -- see kSuites; the
+//                     help text is generated from the registry so it
+//                     cannot drift) or "all"; default all
 //   --repeat N        recorded samples per cell (default 5)
 //   --warmup N        unrecorded warm-up runs per cell (default 1)
 //   --out FILE        where to write the record (default
@@ -64,6 +66,7 @@
 #include "core/beff/patterns.hpp"
 #include "core/beffio/beffio.hpp"
 #include "core/beffio/pattern_table.hpp"
+#include "core/kernels/kernels.hpp"
 #include "core/report/experiments.hpp"
 #include "machines/machines.hpp"
 #include "net/flow.hpp"
@@ -92,7 +95,7 @@ volatile double g_sink = 0.0;
 
 struct Cell {
   std::string id;     // "suite.name[...]", unique across the run
-  std::string suite;  // "micro" | "sweep" | "calib"
+  std::string suite;  // a kSuites name: "micro" | "sweep" | ...
   std::function<void()> body;
 };
 
@@ -211,6 +214,34 @@ std::vector<Cell> sweep_cells() {
   return v;
 }
 
+/// Kernel-suite cells, enumerated from report::kernel_specs(Quick)
+/// like the sweep cells come from beff_specs/io_specs.  One analytic
+/// suite run is microseconds of host time, so each body loops until a
+/// sample is dominated by the work rather than the timer.
+std::vector<Cell> kernel_cells() {
+  std::vector<Cell> v;
+  for (const auto& spec : report::kernel_specs(report::Scope::Quick)) {
+    Cell c;
+    c.id = "kernels." + spec.key + ".np" + std::to_string(spec.nprocs);
+    c.suite = "kernels";
+    const std::string key = spec.key;
+    const int nprocs = spec.nprocs;
+    c.body = [key, nprocs] {
+      auto m = machines::machine_by_name(key);
+      kernels::KernelOptions opt;
+      opt.collect_metrics = true;
+      double sink = 0.0;
+      for (int i = 0; i < 50; ++i) {
+        auto r = kernels::run_kernels(m, nprocs, opt);
+        sink += r.rmax_flops();
+      }
+      g_sink = sink;
+    };
+    v.push_back(std::move(c));
+  }
+  return v;
+}
+
 /// Fixed-duration busy-spins.  Their true cost is known by
 /// construction, which makes them the stable cells the perf-gate smoke
 /// test keys on (a real workload's wall time can swing with machine
@@ -222,37 +253,62 @@ std::vector<Cell> calib_cells() {
   return v;
 }
 
+/// The suite registry: one row per suite, in execution order.  Help
+/// text, --suite parsing and error messages are all generated from
+/// this table, so none of them can drift from the code (the one-place
+/// rule that ISSUE 6 asked for).
+struct SuiteSpec {
+  const char* name;
+  std::vector<Cell> (*factory)();
+};
+
+constexpr SuiteSpec kSuites[] = {
+    {"micro", micro_cells},
+    {"sweep", sweep_cells},
+    {"kernels", kernel_cells},
+    {"calib", calib_cells},
+};
+
+/// "micro | sweep | kernels | calib | all", generated from kSuites.
+std::string suite_list() {
+  std::string out;
+  for (const auto& s : kSuites) {
+    out += s.name;
+    out += " | ";
+  }
+  return out + "all";
+}
+
 /// Parses "--suite micro,calib" (or "all") into the cell list, in
-/// fixed micro -> sweep -> calib order regardless of spelling order.
+/// fixed registry order regardless of spelling order.
 std::vector<Cell> select_cells(const std::string& suites, std::string* error) {
-  bool micro = false, sweep = false, calib = false;
+  constexpr std::size_t n_suites = std::size(kSuites);
+  bool selected[n_suites] = {};
   std::stringstream in(suites);
   std::string part;
   while (std::getline(in, part, ',')) {
+    if (part.empty()) continue;
     if (part == "all") {
-      micro = sweep = calib = true;
-    } else if (part == "micro") {
-      micro = true;
-    } else if (part == "sweep") {
-      sweep = true;
-    } else if (part == "calib") {
-      calib = true;
-    } else if (!part.empty()) {
-      *error = "unknown suite '" + part + "' (micro | sweep | calib | all)";
+      for (auto& s : selected) s = true;
+      continue;
+    }
+    bool known = false;
+    for (std::size_t i = 0; i < n_suites; ++i) {
+      if (part == kSuites[i].name) {
+        selected[i] = true;
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      *error = "unknown suite '" + part + "' (" + suite_list() + ")";
       return {};
     }
   }
   std::vector<Cell> v;
-  if (micro) {
-    auto c = micro_cells();
-    std::move(c.begin(), c.end(), std::back_inserter(v));
-  }
-  if (sweep) {
-    auto c = sweep_cells();
-    std::move(c.begin(), c.end(), std::back_inserter(v));
-  }
-  if (calib) {
-    auto c = calib_cells();
+  for (std::size_t i = 0; i < n_suites; ++i) {
+    if (!selected[i]) continue;
+    auto c = kSuites[i].factory();
     std::move(c.begin(), c.end(), std::back_inserter(v));
   }
   if (v.empty() && error->empty()) *error = "no suites selected";
@@ -596,7 +652,7 @@ int main(int argc, char** argv) {
       "clean, 3 = gate found regressions, 1 = fatal error, 2 = bad "
       "usage");
   options.add_string("suite", &suites,
-                     "comma-separated suites: micro | sweep | calib | all");
+                     "comma-separated suites: " + suite_list());
   options.add_int("repeat", &repeat, "recorded samples per cell");
   options.add_int("warmup", &warmup, "unrecorded warm-up runs per cell");
   options.add_string("out", &out_path, "output record path (- = stdout)");

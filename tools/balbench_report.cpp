@@ -6,6 +6,9 @@
 //   --record FILE     JSON run record ("balbench-run-record/1"): config
 //                     hash, git revision, per-cell bandwidths, merged
 //                     obs metric snapshots.
+//   --kernel-record FILE  standalone "balbench-kernel-record/1" JSON:
+//                     the kernel-suite cells plus derived balance
+//                     factors (docs/FORMATS.md, docs/METRICS.md).
 //   --markdown FILE   the regenerated EXPERIMENTS.md.
 //   --check-doc FILE  regenerate in memory and byte-compare against
 //                     FILE; exit 1 and report the first differing line
@@ -14,10 +17,11 @@
 // or, independently of the sweep:
 //
 //   --trace FILE      run b_eff (and, where the machine has an I/O
-//                     subsystem, a short b_eff_io) on --machine/--procs
-//                     with a tracer and a sampling metrics registry
-//                     attached, and write a Chrome trace_event JSON
-//                     loadable in chrome://tracing / ui.perfetto.dev.
+//                     subsystem, a short b_eff_io) plus the kernel
+//                     suite on --machine/--procs with a tracer and a
+//                     sampling metrics registry attached, and write a
+//                     Chrome trace_event JSON loadable in
+//                     chrome://tracing / ui.perfetto.dev.
 //   --diff-trace A B  align two Chrome traces by (session label,
 //                     occurrence, rank, category) and report per-cell
 //                     virtual-time deltas; |Δ| beyond --tolerance (or
@@ -70,6 +74,7 @@
 #include "core/beff/beff.hpp"
 #include "core/beffio/beffio.hpp"
 #include "core/history/history.hpp"
+#include "core/kernels/kernels.hpp"
 #include "core/history/trace_diff.hpp"
 #include "core/report/experiments.hpp"
 #include "machines/machines.hpp"
@@ -191,6 +196,14 @@ int write_trace(const std::string& path, const std::string& machine_name,
     beffio::run_beffio(transport, *m.io, nprocs, io_opt);
   }
 
+  // Kernel-suite spans ('k' compute / 'x' exchange sessions) so the
+  // trace shows the compute side of the balance picture too.
+  std::fprintf(stderr, "[trace] kernels %s, %d procs...\n",
+               machine_name.c_str(), nprocs);
+  kernels::KernelOptions kern_opt;
+  kern_opt.tracer = tracer.get();
+  kernels::run_kernels(m, nprocs, kern_opt);
+
   std::ostringstream out;
   obs::ChromeTraceOptions trace_opt;
   // When profiling is on, the harness's own wall-clock spans ride along
@@ -247,6 +260,7 @@ class ProfileSession {
 int main(int argc, char** argv) {
   std::string scope_arg = "doc";
   std::string record_path;
+  std::string kernel_record_path;
   std::string markdown_path;
   std::string check_path;
   std::string trace_path;
@@ -278,6 +292,9 @@ int main(int argc, char** argv) {
       "usage");
   options.add_string("scope", &scope_arg, "sweep size: quick | doc");
   options.add_string("record", &record_path, "write the JSON run record here");
+  options.add_string("kernel-record", &kernel_record_path,
+                     "write the standalone balbench-kernel-record/1 JSON "
+                     "(kernel cells + balance factors) here");
   options.add_string("markdown", &markdown_path,
                      "write the regenerated EXPERIMENTS.md here");
   options.add_string("check-doc", &check_path,
@@ -296,7 +313,10 @@ int main(int argc, char** argv) {
                      "--check-doc output (see balbench-history)");
   options.add_positionals(&positionals, "FILE",
                           "trace files for --diff-trace (exactly two)");
-  options.add_string("machine", &machine, "machine for --trace (short name)");
+  // The machine list is generated from the registry so this help text
+  // can never drift from the code (same for machine_by_name errors).
+  options.add_string("machine", &machine,
+                     "machine for --trace: " + machines::machine_list());
   options.add_int("procs", &procs, "partition size for --trace");
   options.add_jobs(&jobs, "the experiments sweep");
   options.add_flag("verbose", &verbose,
@@ -359,7 +379,8 @@ int main(int argc, char** argv) {
                 << "' (quick | doc)\n";
       return 2;
     }
-    if (record_path.empty() && markdown_path.empty() && check_path.empty()) {
+    if (record_path.empty() && kernel_record_path.empty() &&
+        markdown_path.empty() && check_path.empty()) {
       markdown_path.assign(1, '-');  // default: render the document to stdout
     }
     if (resume && checkpoint_path.empty()) {
@@ -392,6 +413,15 @@ int main(int argc, char** argv) {
       report::write_run_record(out, data, hash, report::git_revision());
       if (!spill(record_path, out.str())) {
         std::cerr << "balbench-report: cannot write " << record_path << '\n';
+        return 1;
+      }
+    }
+    if (!kernel_record_path.empty()) {
+      std::ostringstream out;
+      report::write_kernel_record(out, data, hash, report::git_revision());
+      if (!spill(kernel_record_path, out.str())) {
+        std::cerr << "balbench-report: cannot write " << kernel_record_path
+                  << '\n';
         return 1;
       }
     }
