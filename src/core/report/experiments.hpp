@@ -31,6 +31,11 @@
 #include "core/beff/beff.hpp"
 #include "core/beffio/beffio.hpp"
 #include "core/kernels/kernels.hpp"
+#include "robust/fault.hpp"
+
+namespace balbench::scenario {
+struct Scenario;
+}
 
 namespace balbench::report {
 
@@ -89,11 +94,29 @@ struct KernelRun {
   kernels::KernelSuiteResult r;
 };
 
+/// One point of the fault-rate sweep: a b_eff cell re-run under an
+/// injected link-fault rate (the "Fault-scenario sweeps" section of
+/// EXPERIMENTS.md).  The plan is part of the spec -- it feeds the
+/// config hash, so a journal can never mix sweeps with different
+/// fault parameters.
+struct FaultSweepRun {
+  std::string key;
+  std::string display;
+  int nprocs = 0;
+  double rate = 0.0;  // per-message link degradation probability
+  robust::FaultPlan plan;
+  beff::BeffResult r;
+};
+
 struct ExperimentsData {
   Scope scope = Scope::Quick;
+  /// Scenario name when the sweep came from --scenario FILE; empty for
+  /// the built-in sweep (keeps built-in records byte-identical).
+  std::string scenario;
   std::vector<BeffRun> beff;
   std::vector<IoRun> io;
   std::vector<KernelRun> kernels;
+  std::vector<FaultSweepRun> fault_sweep;
   /// Simulated barrier+bcast on 32 T3E PEs (paper Sec. 5.4), seconds.
   double termination_check_seconds = 0.0;
   /// Per-call overhead of a small I/O access on the T3E, seconds.
@@ -112,6 +135,7 @@ struct ExperimentsData {
 std::vector<BeffRun> beff_specs(Scope scope);
 std::vector<IoRun> io_specs(Scope scope);
 std::vector<KernelRun> kernel_specs(Scope scope);
+std::vector<FaultSweepRun> fault_sweep_specs(Scope scope);
 
 /// Knobs of one sweep invocation beyond the scope itself (robustness
 /// layer, DESIGN.md Sec. 12).
@@ -133,6 +157,14 @@ struct ExperimentOptions {
   /// Test hook: raise SIGKILL after this many NEWLY checkpointed tasks
   /// (0 = never), simulating a mid-flight crash for the resume test.
   int kill_after = 0;
+  /// Config-defined sweep (not owned, must outlive the call).  When
+  /// set, the cell lists come from the scenario instead of the
+  /// built-in specs, machine keys resolve scenario-first, the
+  /// scenario's fault plan applies when `fault_plan` is null (the CLI
+  /// flag wins), and the scenario's fault sweep replaces the built-in
+  /// one.  Everything downstream -- journal, records, rendering,
+  /// byte-identity across jobs -- behaves exactly as for built-ins.
+  const scenario::Scenario* scenario = nullptr;
 };
 
 /// Runs the whole sweep with `jobs` host worker threads (outer
@@ -155,6 +187,12 @@ ExperimentsData run_experiments(const ExperimentOptions& options);
 /// aggregation constants.  Stamped into both outputs so a record can
 /// be matched to the configuration that produced it.
 std::string config_hash(Scope scope);
+
+/// Scenario-run variant: hashes the scenario's canonical describe()
+/// (machines, cells, fault plan, fault sweep) instead of the built-in
+/// spec lists.  Falls back to config_hash(scope) when `sc` is null, so
+/// drivers can call it unconditionally.
+std::string config_hash(Scope scope, const scenario::Scenario* sc);
 
 /// `git rev-parse --short HEAD`, or "unknown" outside a work tree.
 /// Provenance only: it goes into the JSON record, never the rendered

@@ -1,9 +1,11 @@
 #include "net/topology.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 namespace balbench::net {
 
@@ -278,6 +280,317 @@ class CrossbarTopology final : public Topology {
   std::vector<Link> links_;
 };
 
+// ---------------------------------------------------------------------------
+// Fat tree
+// ---------------------------------------------------------------------------
+class FatTreeTopology final : public Topology {
+ public:
+  explicit FatTreeTopology(const FatTreeParams& p) : p_(p) {
+    if (p.leaves <= 0 || p.leaf_radix <= 0 || p.spines <= 0) {
+      throw std::invalid_argument(
+          "fat tree leaves, leaf_radix and spines must be > 0");
+    }
+    n_ = p.leaves * p.leaf_radix;
+    // Layout: [0, n) tx, [n, 2n) rx, then one shared wire per
+    // (leaf, spine) pair at 2n + leaf * spines + spine.
+    links_.reserve(static_cast<std::size_t>(n_) * 2 +
+                   static_cast<std::size_t>(p.leaves) * p.spines);
+    for (int i = 0; i < n_; ++i) links_.push_back({"tx" + std::to_string(i), p.port_bw});
+    for (int i = 0; i < n_; ++i) links_.push_back({"rx" + std::to_string(i), p.port_bw});
+    up_base_ = 2 * n_;
+    for (int l = 0; l < p.leaves; ++l) {
+      for (int s = 0; s < p.spines; ++s) {
+        links_.push_back(
+            {"up" + std::to_string(l) + "s" + std::to_string(s), p.up_bw});
+      }
+    }
+  }
+
+  int num_endpoints() const override { return n_; }
+  const std::vector<Link>& links() const override { return links_; }
+
+  void route(int src, int dst, std::vector<LinkId>& out) const override {
+    out.clear();
+    if (src == dst) return;
+    out.push_back(src);  // tx
+    const int sl = src / p_.leaf_radix;
+    const int dl = dst / p_.leaf_radix;
+    if (sl != dl) {
+      const int spine = (src + dst) % p_.spines;
+      out.push_back(up_base_ + sl * p_.spines + spine);  // leaf up
+      out.push_back(up_base_ + dl * p_.spines + spine);  // leaf down
+    }
+    out.push_back(n_ + dst);  // rx
+  }
+
+  double latency(int src, int dst) const override {
+    if (src / p_.leaf_radix == dst / p_.leaf_radix) return p_.latency_sec;
+    return p_.latency_sec + p_.spine_latency;
+  }
+
+  double self_bandwidth() const override { return 2.0 * p_.port_bw; }
+
+  std::string describe() const override {
+    std::ostringstream oss;
+    oss << "fat tree " << p_.leaves << " leaves x " << p_.leaf_radix
+        << " ports, " << p_.spines << " spines, port " << p_.port_bw / 1e6
+        << " MB/s, uplink " << p_.up_bw / 1e6 << " MB/s";
+    return oss.str();
+  }
+
+ private:
+  FatTreeParams p_;
+  int n_ = 0;
+  int up_base_ = 0;
+  std::vector<Link> links_;
+};
+
+// ---------------------------------------------------------------------------
+// Dragonfly
+// ---------------------------------------------------------------------------
+class DragonflyTopology final : public Topology {
+ public:
+  explicit DragonflyTopology(const DragonflyParams& p) : p_(p) {
+    if (p.groups <= 0 || p.group_size <= 0) {
+      throw std::invalid_argument("dragonfly groups and group_size must be > 0");
+    }
+    n_ = p.groups * p.group_size;
+    // Layout: [0, n) tx, [n, 2n) rx, [2n, 2n + groups) per-group
+    // backplanes, then one global wire per unordered group pair.
+    for (int i = 0; i < n_; ++i) links_.push_back({"tx" + std::to_string(i), p.port_bw});
+    for (int i = 0; i < n_; ++i) links_.push_back({"rx" + std::to_string(i), p.port_bw});
+    local_base_ = 2 * n_;
+    for (int g = 0; g < p.groups; ++g) {
+      links_.push_back({"grp" + std::to_string(g), p.local_bw});
+    }
+    global_base_ = static_cast<int>(links_.size());
+    for (int a = 0; a < p.groups; ++a) {
+      for (int b = a + 1; b < p.groups; ++b) {
+        links_.push_back(
+            {"gbl" + std::to_string(a) + "-" + std::to_string(b), p.global_bw});
+      }
+    }
+  }
+
+  int num_endpoints() const override { return n_; }
+  const std::vector<Link>& links() const override { return links_; }
+
+  void route(int src, int dst, std::vector<LinkId>& out) const override {
+    out.clear();
+    if (src == dst) return;
+    const int sg = src / p_.group_size;
+    const int dg = dst / p_.group_size;
+    out.push_back(src);               // tx
+    out.push_back(local_base_ + sg);  // source backplane
+    if (sg != dg) {
+      out.push_back(global_base_ + pair_index(sg, dg));
+      out.push_back(local_base_ + dg);  // destination backplane
+    }
+    out.push_back(n_ + dst);  // rx
+  }
+
+  double latency(int src, int dst) const override {
+    if (src / p_.group_size == dst / p_.group_size) return p_.base_latency;
+    return p_.base_latency + p_.global_latency;
+  }
+
+  double self_bandwidth() const override { return 2.0 * p_.port_bw; }
+
+  std::string describe() const override {
+    std::ostringstream oss;
+    oss << "dragonfly " << p_.groups << " groups x " << p_.group_size
+        << " endpoints, port " << p_.port_bw / 1e6 << " MB/s, global "
+        << p_.global_bw / 1e6 << " MB/s";
+    return oss.str();
+  }
+
+ private:
+  /// Index of the unordered pair (a, b), a != b, in the row-major
+  /// upper-triangular enumeration used at construction.
+  [[nodiscard]] int pair_index(int a, int b) const {
+    if (a > b) std::swap(a, b);
+    return a * p_.groups - a * (a + 1) / 2 + (b - a - 1);
+  }
+
+  DragonflyParams p_;
+  int n_ = 0;
+  int local_base_ = 0;
+  int global_base_ = 0;
+  std::vector<Link> links_;
+};
+
+// ---------------------------------------------------------------------------
+// Multi-rail
+// ---------------------------------------------------------------------------
+class MultiRailTopology final : public Topology {
+ public:
+  explicit MultiRailTopology(const MultiRailParams& p) : p_(p) {
+    if (p.processes <= 0 || p.rails <= 0) {
+      throw std::invalid_argument("multi-rail processes and rails must be > 0");
+    }
+    // Layout: rail r occupies [r*2n, (r+1)*2n): tx ports then rx ports.
+    links_.reserve(static_cast<std::size_t>(p.processes) * 2 * p.rails);
+    for (int r = 0; r < p.rails; ++r) {
+      for (int i = 0; i < p.processes; ++i) {
+        links_.push_back(
+            {"r" + std::to_string(r) + "tx" + std::to_string(i), p.rail_bw});
+      }
+      for (int i = 0; i < p.processes; ++i) {
+        links_.push_back(
+            {"r" + std::to_string(r) + "rx" + std::to_string(i), p.rail_bw});
+      }
+    }
+  }
+
+  int num_endpoints() const override { return p_.processes; }
+  const std::vector<Link>& links() const override { return links_; }
+
+  void route(int src, int dst, std::vector<LinkId>& out) const override {
+    out.clear();
+    if (src == dst) return;
+    const int rail = (src + dst) % p_.rails;
+    const int base = rail * 2 * p_.processes;
+    out.push_back(base + src);
+    out.push_back(base + p_.processes + dst);
+  }
+
+  double latency(int, int) const override { return p_.latency_sec; }
+
+  /// A local copy can stripe across every rail's worth of port
+  /// bandwidth.
+  double self_bandwidth() const override {
+    return 2.0 * p_.rail_bw * p_.rails;
+  }
+
+  std::string describe() const override {
+    std::ostringstream oss;
+    oss << "multi-rail, " << p_.rails << " rails x " << p_.processes
+        << " ports x " << p_.rail_bw / 1e6 << " MB/s";
+    return oss.str();
+  }
+
+ private:
+  MultiRailParams p_;
+  std::vector<Link> links_;
+};
+
+// ---------------------------------------------------------------------------
+// Explicit adjacency
+// ---------------------------------------------------------------------------
+class AdjacencyTopology final : public Topology {
+ public:
+  explicit AdjacencyTopology(const AdjacencyParams& p) : p_(p) {
+    if (p.nodes <= 0) throw std::invalid_argument("adjacency nodes must be > 0");
+    if (p.attach.empty()) {
+      throw std::invalid_argument("adjacency attach list must not be empty");
+    }
+    n_ = static_cast<int>(p.attach.size());
+    for (int node : p.attach) {
+      if (node < 0 || node >= p.nodes) {
+        throw std::invalid_argument("adjacency attach node out of range");
+      }
+    }
+    // Layout: [0, n) tx, [n, 2n) rx, then one shared wire per edge.
+    for (int i = 0; i < n_; ++i) links_.push_back({"tx" + std::to_string(i), p.port_bw});
+    for (int i = 0; i < n_; ++i) links_.push_back({"rx" + std::to_string(i), p.port_bw});
+    edge_base_ = 2 * n_;
+    std::vector<std::vector<std::pair<int, int>>> adj(
+        static_cast<std::size_t>(p.nodes));  // node -> (neighbour, edge idx)
+    for (std::size_t e = 0; e < p.edges.size(); ++e) {
+      const auto& edge = p.edges[e];
+      if (edge.a < 0 || edge.a >= p.nodes || edge.b < 0 || edge.b >= p.nodes) {
+        throw std::invalid_argument("adjacency edge node out of range");
+      }
+      if (edge.a == edge.b) {
+        throw std::invalid_argument("adjacency edge must join two distinct nodes");
+      }
+      if (!(edge.bandwidth > 0.0)) {
+        throw std::invalid_argument("adjacency edge bandwidth must be > 0");
+      }
+      links_.push_back({"e" + std::to_string(edge.a) + "-" +
+                            std::to_string(edge.b),
+                        edge.bandwidth});
+      adj[static_cast<std::size_t>(edge.a)].emplace_back(edge.b, static_cast<int>(e));
+      adj[static_cast<std::size_t>(edge.b)].emplace_back(edge.a, static_cast<int>(e));
+    }
+    // Deterministic ties: lowest-numbered neighbour first, then edge
+    // declaration order.
+    for (auto& nbrs : adj) std::sort(nbrs.begin(), nbrs.end());
+    // Precompute shortest edge paths (hop count) between every pair of
+    // switch nodes with one BFS per source.
+    paths_.assign(static_cast<std::size_t>(p.nodes) * p.nodes, {});
+    for (int srcn = 0; srcn < p.nodes; ++srcn) {
+      std::vector<int> parent(static_cast<std::size_t>(p.nodes), -1);
+      std::vector<int> via_edge(static_cast<std::size_t>(p.nodes), -1);
+      std::vector<int> queue{srcn};
+      parent[static_cast<std::size_t>(srcn)] = srcn;
+      for (std::size_t head = 0; head < queue.size(); ++head) {
+        const int u = queue[head];
+        for (const auto& [v, e] : adj[static_cast<std::size_t>(u)]) {
+          if (parent[static_cast<std::size_t>(v)] != -1) continue;
+          parent[static_cast<std::size_t>(v)] = u;
+          via_edge[static_cast<std::size_t>(v)] = e;
+          queue.push_back(v);
+        }
+      }
+      for (int dstn = 0; dstn < p.nodes; ++dstn) {
+        if (dstn == srcn) continue;
+        if (parent[static_cast<std::size_t>(dstn)] == -1) {
+          throw std::invalid_argument(
+              "adjacency graph is disconnected: no path from node " +
+              std::to_string(srcn) + " to node " + std::to_string(dstn));
+        }
+        auto& path = paths_[static_cast<std::size_t>(srcn) * p.nodes + dstn];
+        for (int v = dstn; v != srcn; v = parent[static_cast<std::size_t>(v)]) {
+          path.push_back(edge_base_ + via_edge[static_cast<std::size_t>(v)]);
+        }
+        std::reverse(path.begin(), path.end());
+      }
+    }
+  }
+
+  int num_endpoints() const override { return n_; }
+  const std::vector<Link>& links() const override { return links_; }
+
+  void route(int src, int dst, std::vector<LinkId>& out) const override {
+    out.clear();
+    if (src == dst) return;
+    out.push_back(src);  // tx
+    const auto& path = node_path(p_.attach[static_cast<std::size_t>(src)],
+                                 p_.attach[static_cast<std::size_t>(dst)]);
+    out.insert(out.end(), path.begin(), path.end());
+    out.push_back(n_ + dst);  // rx
+  }
+
+  double latency(int src, int dst) const override {
+    if (src == dst) return p_.latency_sec;
+    const auto& path = node_path(p_.attach[static_cast<std::size_t>(src)],
+                                 p_.attach[static_cast<std::size_t>(dst)]);
+    return p_.latency_sec + p_.per_hop_latency * static_cast<double>(path.size());
+  }
+
+  double self_bandwidth() const override { return 2.0 * p_.port_bw; }
+
+  std::string describe() const override {
+    std::ostringstream oss;
+    oss << "adjacency graph, " << p_.nodes << " nodes, " << p_.edges.size()
+        << " edges, " << n_ << " endpoints, port " << p_.port_bw / 1e6
+        << " MB/s";
+    return oss.str();
+  }
+
+ private:
+  [[nodiscard]] const std::vector<LinkId>& node_path(int a, int b) const {
+    return paths_[static_cast<std::size_t>(a) * p_.nodes + b];
+  }
+
+  AdjacencyParams p_;
+  int n_ = 0;
+  int edge_base_ = 0;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> paths_;  // (src node, dst node) -> edges
+};
+
 }  // namespace
 
 std::unique_ptr<Topology> make_shared_memory(const SharedMemoryParams& p) {
@@ -294,6 +607,22 @@ std::unique_ptr<Topology> make_smp_cluster(const SmpClusterParams& p) {
 
 std::unique_ptr<Topology> make_crossbar(const CrossbarParams& p) {
   return std::make_unique<CrossbarTopology>(p);
+}
+
+std::unique_ptr<Topology> make_fat_tree(const FatTreeParams& p) {
+  return std::make_unique<FatTreeTopology>(p);
+}
+
+std::unique_ptr<Topology> make_dragonfly(const DragonflyParams& p) {
+  return std::make_unique<DragonflyTopology>(p);
+}
+
+std::unique_ptr<Topology> make_multi_rail(const MultiRailParams& p) {
+  return std::make_unique<MultiRailTopology>(p);
+}
+
+std::unique_ptr<Topology> make_adjacency(const AdjacencyParams& p) {
+  return std::make_unique<AdjacencyTopology>(p);
 }
 
 void torus_dims_for(int n, int dims_out[3]) {

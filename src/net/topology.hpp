@@ -133,4 +133,83 @@ struct CrossbarParams {
 
 std::unique_ptr<Topology> make_crossbar(const CrossbarParams& p);
 
+// ---------------------------------------------------------------------------
+// Two-level fat tree: `leaves` leaf switches of `leaf_radix` endpoint
+// ports each, cross-connected through `spines` spine switches.  Every
+// endpoint owns a tx and an rx port of `port_bw`; traffic between
+// different leaves additionally crosses one leaf->spine uplink and one
+// spine->leaf downlink of `up_bw` (each a shared bidirectional wire).
+// The spine for a flow is picked deterministically as
+// (src + dst) % spines, a static D-mod routing.
+// ---------------------------------------------------------------------------
+struct FatTreeParams {
+  int leaves = 4;
+  int leaf_radix = 8;           // endpoints per leaf switch
+  int spines = 2;
+  double port_bw = 1e9;         // endpoint port, per direction
+  double up_bw = 4e9;           // each leaf<->spine wire (shared)
+  double latency_sec = 10e-6;   // same-leaf end-to-end latency
+  double spine_latency = 5e-6;  // extra when crossing a spine
+};
+
+std::unique_ptr<Topology> make_fat_tree(const FatTreeParams& p);
+
+// ---------------------------------------------------------------------------
+// Dragonfly: `groups` groups of `group_size` endpoints.  Each group
+// has an internal backplane of `local_bw` shared by all its traffic;
+// every unordered pair of groups is joined by one global optical link
+// of `global_bw` (full all-to-all global wiring, minimal routing --
+// no intermediate-group Valiant detour).
+// ---------------------------------------------------------------------------
+struct DragonflyParams {
+  int groups = 4;
+  int group_size = 8;             // endpoints per group
+  double port_bw = 1e9;           // endpoint port, per direction
+  double local_bw = 8e9;          // per-group backplane (shared)
+  double global_bw = 2e9;         // each inter-group wire (shared)
+  double base_latency = 10e-6;    // intra-group end-to-end latency
+  double global_latency = 25e-6;  // extra for the optical hop
+};
+
+std::unique_ptr<Topology> make_dragonfly(const DragonflyParams& p);
+
+// ---------------------------------------------------------------------------
+// Multi-rail crossbar: `rails` independent non-blocking planes, each
+// giving every endpoint a tx and an rx port of `rail_bw`.  A message
+// uses exactly one rail, chosen statically as (src + dst) % rails --
+// the common static rail-striping policy on dual-rail clusters.
+// ---------------------------------------------------------------------------
+struct MultiRailParams {
+  int processes = 16;
+  int rails = 2;
+  double rail_bw = 1e9;        // per endpoint per rail, per direction
+  double latency_sec = 10e-6;
+};
+
+std::unique_ptr<Topology> make_multi_rail(const MultiRailParams& p);
+
+// ---------------------------------------------------------------------------
+// Explicit adjacency: an arbitrary switch graph given as a node count
+// plus bidirectional weighted edges, with every endpoint attached to
+// one switch node.  Routing is breadth-first shortest path by hop
+// count (lowest-numbered neighbour wins ties, so routes are
+// deterministic), precomputed at construction.  This is the escape
+// hatch for topologies the named generators cannot express.
+// ---------------------------------------------------------------------------
+struct AdjacencyParams {
+  struct Edge {
+    int a = 0;
+    int b = 0;
+    double bandwidth = 1e9;  // the shared bidirectional wire
+  };
+  int nodes = 0;               // switch count
+  std::vector<int> attach;     // endpoint -> switch node (size = #endpoints)
+  std::vector<Edge> edges;
+  double port_bw = 1e9;        // endpoint<->switch port, per direction
+  double latency_sec = 10e-6;  // base end-to-end latency
+  double per_hop_latency = 1e-6;
+};
+
+std::unique_ptr<Topology> make_adjacency(const AdjacencyParams& p);
+
 }  // namespace balbench::net

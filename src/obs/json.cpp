@@ -1,9 +1,11 @@
 #include "obs/json.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
+#include <vector>
 
 namespace balbench::obs {
 
@@ -281,9 +283,28 @@ class Parser {
   }
 
  private:
+  /// Errors carry a 1-based line/column (computed from the cursor) and
+  /// the JSON-Pointer-like key path of the innermost value being
+  /// parsed ("$" is the document root), so a human editing a config
+  /// file can find the offending spot without counting bytes.
   [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("JSON parse error at byte " +
-                             std::to_string(pos_) + ": " + what);
+    std::size_t line = 1;
+    std::size_t column = 1;
+    const std::size_t end = std::min(pos_, text_.size());
+    for (std::size_t i = 0; i < end; ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    std::string where = "$";
+    for (const std::string& seg : path_) where += seg;
+    throw std::runtime_error("JSON parse error at line " +
+                             std::to_string(line) + ", column " +
+                             std::to_string(column) + " (at " + where +
+                             "): " + what);
   }
 
   void skip_ws() {
@@ -349,8 +370,10 @@ class Parser {
       skip_ws();
       std::string key = parse_string();
       skip_ws();
+      path_.push_back("." + key);
       expect(':');
       members[std::move(key)] = parse_value();
+      path_.pop_back();
       skip_ws();
       if (peek() == ',') {
         ++pos_;
@@ -373,7 +396,9 @@ class Parser {
       return JsonValue::make_array(std::move(items));
     }
     for (;;) {
+      path_.push_back("[" + std::to_string(items.size()) + "]");
       items.push_back(parse_value());
+      path_.pop_back();
       skip_ws();
       if (peek() == ',') {
         ++pos_;
@@ -470,6 +495,7 @@ class Parser {
   std::string_view text_;
   std::size_t pos_ = 0;
   int depth_ = 0;
+  std::vector<std::string> path_;  // ".key" / "[index]" segments
 };
 
 }  // namespace

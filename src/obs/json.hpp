@@ -125,8 +125,10 @@ class JsonValue {
 };
 
 /// Parses one complete JSON document (trailing whitespace allowed,
-/// trailing garbage is an error).  Throws std::runtime_error with a
-/// byte offset on malformed input.  Container nesting deeper than 256
+/// trailing garbage is an error).  Throws std::runtime_error on
+/// malformed input, reporting the 1-based line and column plus the key
+/// path of the enclosing container ("$.machines[0].roofline").
+/// Container nesting deeper than 256
 /// levels is rejected with a parse error rather than recursing into a
 /// stack overflow (baseline files are attacker-adjacent inputs: a
 /// corrupt download must not crash the perf gate).

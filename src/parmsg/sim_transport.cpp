@@ -182,7 +182,10 @@ Request SimComm::isend(int dst, const void* buf, std::size_t n, int tag) {
   double flow_bytes = static_cast<double>(n);
   double stall_s = 0.0;
   if (run_.injector != nullptr) {
-    const auto fault = run_.injector->next_send();
+    // Windowed and node-drop faults are gated on the current virtual
+    // time and the (src, dst) pair; a drop throws InjectedFault out of
+    // the sending fiber, failing the attempt like an I/O error does.
+    const auto fault = run_.injector->next_send(run_.engine.now(), src, dst);
     stall_s = fault.stall_s;
     if (fault.degrade_factor < 1.0) flow_bytes /= fault.degrade_factor;
   }

@@ -49,6 +49,16 @@ std::uint64_t parse_u64(std::string_view token, std::string_view value) {
   return out;
 }
 
+std::int64_t parse_i64(std::string_view token, std::string_view value) {
+  std::int64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    bad_spec(token, "expected an integer");
+  }
+  return out;
+}
+
 double parse_prob(std::string_view token, std::string_view value) {
   const double p = parse_double(token, value);
   if (p < 0.0 || p > 1.0) bad_spec(token, "probability must be in [0, 1]");
@@ -106,6 +116,16 @@ FaultPlan FaultPlan::parse(std::string_view spec) {
       plan.io_spike_prob = parse_prob(token, value);
     } else if (key == "spike-s") {
       plan.spike_s = parse_seconds(token, value);
+    } else if (key == "window-start") {
+      plan.window_start_s = parse_seconds(token, value);
+    } else if (key == "window-end") {
+      plan.window_end_s = parse_seconds(token, value);
+    } else if (key == "drop-rank") {
+      const std::int64_t r = parse_i64(token, value);
+      if (r < -1 || r > 1 << 20) bad_spec(token, "rank must be -1 or a rank");
+      plan.drop_rank = static_cast<int>(r);
+    } else if (key == "drop-after") {
+      plan.drop_after_s = parse_seconds(token, value);
     } else if (key == "timeout") {
       plan.retry.timeout_s = parse_seconds(token, value);
     } else if (key == "retries") {
@@ -134,6 +154,10 @@ std::string FaultPlan::describe() const {
   out += ",io=" + num(io_error_prob);
   out += ",io-spike=" + num(io_spike_prob);
   out += ",spike-s=" + num(spike_s);
+  out += ",window-start=" + num(window_start_s);
+  out += ",window-end=" + num(window_end_s);
+  out += ",drop-rank=" + std::to_string(drop_rank);
+  out += ",drop-after=" + num(drop_after_s);
   out += ",timeout=" + num(retry.timeout_s);
   out += ",retries=" + std::to_string(retry.max_attempts);
   out += ",backoff=" + num(retry.backoff_base_s);
@@ -150,14 +174,33 @@ SessionInjector::SessionInjector(const FaultPlan& plan,
                        std::string(session_label) + "|" +
                        std::to_string(attempt))) {}
 
-SessionInjector::SendFault SessionInjector::next_send() {
+SessionInjector::SendFault SessionInjector::next_send(double now, int src,
+                                                      int dst) {
+  // Node drop: a pure function of (time, ranks) -- no RNG draw, so a
+  // plan with and without a drop produces identical probabilistic
+  // schedules for the surviving traffic.
+  if (plan_.drop_rank >= 0 && now >= plan_.drop_after_s &&
+      (src == plan_.drop_rank || dst == plan_.drop_rank)) {
+    ++injected_;
+    throw InjectedFault("injected node drop: rank " +
+                        std::to_string(plan_.drop_rank) + " is down (send " +
+                        std::to_string(src) + " -> " + std::to_string(dst) +
+                        " at t=" + num(now) + "s)");
+  }
+  // The virtual-time window gates whether a hit *applies*; the draws
+  // themselves always happen so the schedule outside the window is
+  // byte-identical to the windowless plan's.
+  const bool in_window =
+      plan_.window_end_s <= 0.0 ||
+      (now >= plan_.window_start_s && now < plan_.window_end_s);
   SendFault f;
-  if (plan_.stall_prob > 0.0 && rng_.uniform() < plan_.stall_prob) {
+  if (plan_.stall_prob > 0.0 && rng_.uniform() < plan_.stall_prob &&
+      in_window) {
     f.stall_s = plan_.stall_s;
     ++injected_;
   }
   if (plan_.link_degrade_prob > 0.0 &&
-      rng_.uniform() < plan_.link_degrade_prob) {
+      rng_.uniform() < plan_.link_degrade_prob && in_window) {
     f.degrade_factor = plan_.degrade_factor;
     ++injected_;
   }

@@ -48,6 +48,14 @@ class InjectedFault : public std::runtime_error {
 /// (per-cell virtual-time deadline, 0 = none), retries=N (attempt
 /// budget per cell), backoff=S / backoff-cap=S (exponential backoff
 /// bookkeeping, see RetryPolicy).
+///
+/// Correlated faults (the scenario DSL compiles into these, see
+/// docs/SCENARIOS.md): window-start=S / window-end=S confine the
+/// probabilistic *message* faults (link, stall) to the virtual-time
+/// window [start, end) -- window-end=0 (the default) means no window;
+/// drop-rank=R / drop-after=S make every send touching rank R fail
+/// hard from virtual time S on (drop-rank=-1, the default, disables
+/// the drop).
 struct FaultPlan {
   std::uint64_t seed = 2001;
   double link_degrade_prob = 0.0;
@@ -57,10 +65,14 @@ struct FaultPlan {
   double io_error_prob = 0.0;
   double io_spike_prob = 0.0;
   double spike_s = 0.005;
+  double window_start_s = 0.0;
+  double window_end_s = 0.0;  // 0 = no window (faults at any time)
+  int drop_rank = -1;         // -1 = no node drop
+  double drop_after_s = 0.0;
   RetryPolicy retry;
 
   [[nodiscard]] bool injects_messages() const {
-    return link_degrade_prob > 0.0 || stall_prob > 0.0;
+    return link_degrade_prob > 0.0 || stall_prob > 0.0 || drop_rank >= 0;
   }
   [[nodiscard]] bool injects_io() const {
     return io_error_prob > 0.0 || io_spike_prob > 0.0;
@@ -91,7 +103,15 @@ class SessionInjector {
     double stall_s = 0.0;         // delay before the flow starts
     double degrade_factor = 1.0;  // effective-bandwidth multiplier
   };
-  SendFault next_send();
+  /// `now` is the current virtual time and (src, dst) the message
+  /// endpoints; they gate the plan's fault window and node drop.  The
+  /// RNG draws happen unconditionally so the schedule outside a window
+  /// stays aligned with the windowless plan.  Throws InjectedFault
+  /// when the send touches a dropped rank.
+  SendFault next_send(double now, int src, int dst);
+  /// Context-free form for callers without a clock (unit tests):
+  /// windows behave as if now == 0 and no rank is ever dropped.
+  SendFault next_send() { return next_send(0.0, -1, -1); }
 
   /// Decision for the next I/O request (pfsim::FileSystem::submit).
   struct IoFault {

@@ -145,19 +145,42 @@ TEST(JsonParse, StringEscapesIncludingUnicode) {
   EXPECT_EQ(parse_json("\"\\u00e9\"").as_string(), "\xc3\xa9");  // e-acute as UTF-8
 }
 
-TEST(JsonParse, MalformedInputThrowsWithOffset) {
+TEST(JsonParse, MalformedInputThrows) {
   EXPECT_THROW(parse_json(""), std::runtime_error);
   EXPECT_THROW(parse_json("{\"a\":1,}"), std::runtime_error);   // trailing comma
   EXPECT_THROW(parse_json("[1 2]"), std::runtime_error);      // missing comma
   EXPECT_THROW(parse_json("{\"a\" 1}"), std::runtime_error);   // missing colon
   EXPECT_THROW(parse_json("1 garbage"), std::runtime_error);  // trailing junk
   EXPECT_THROW(parse_json("\"unterminated"), std::runtime_error);
+}
+
+/// What the error message looks like for `input`.
+std::string parse_error(std::string_view input) {
   try {
-    parse_json("[1, nope]");
-    FAIL() << "expected throw";
+    parse_json(input);
   } catch (const std::runtime_error& e) {
-    EXPECT_NE(std::string(e.what()).find("byte"), std::string::npos);
+    return e.what();
   }
+  return "";
+}
+
+TEST(JsonParse, ErrorsCarryLineAndColumn) {
+  // The bad token is on line 3; the column points into "nope".
+  const std::string what = parse_error("{\n  \"a\": 1,\n  \"b\": nope\n}");
+  EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+  EXPECT_NE(what.find("column"), std::string::npos) << what;
+  // Single-line input: everything is line 1.
+  EXPECT_NE(parse_error("[1, nope]").find("line 1"), std::string::npos);
+}
+
+TEST(JsonParse, ErrorsCarryKeyPath) {
+  // The innermost enclosing container is named, root is "$".
+  EXPECT_NE(parse_error("{\"machines\": [{\"roofline\": nope}]}")
+                .find("$.machines[0].roofline"),
+            std::string::npos);
+  EXPECT_NE(parse_error("{\"a\": [1, , 2]}").find("$.a[1]"),
+            std::string::npos);
+  EXPECT_NE(parse_error("nope").find("(at $)"), std::string::npos);
 }
 
 TEST(JsonParse, KindMismatchThrows) {

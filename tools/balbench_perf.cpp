@@ -12,6 +12,13 @@
 //                     (micro, sweep, kernels, calib -- see kSuites; the
 //                     help text is generated from the registry so it
 //                     cannot drift) or "all"; default all
+//   --scenario FILE   load a balbench-scenario/1 file (core/scenario,
+//                     docs/SCENARIOS.md) and register its cells as an
+//                     extra suite named "scenario" (ids
+//                     scenario.beff.<machine>.np<N> etc.); "all" then
+//                     includes it, "--suite scenario" runs it alone.
+//                     Without the flag the suite does not exist, so the
+//                     default cell list and config hash are unchanged
 //   --repeat N        recorded samples per cell (default 5)
 //   --warmup N        unrecorded warm-up runs per cell (default 1)
 //   --out FILE        where to write the record (default
@@ -68,6 +75,7 @@
 #include "core/beffio/pattern_table.hpp"
 #include "core/kernels/kernels.hpp"
 #include "core/report/experiments.hpp"
+#include "core/scenario/scenario.hpp"
 #include "machines/machines.hpp"
 #include "net/flow.hpp"
 #include "net/topology.hpp"
@@ -253,6 +261,112 @@ std::vector<Cell> calib_cells() {
   return v;
 }
 
+/// Cells of a --scenario FILE run (core/scenario), one per scheduled
+/// configuration: the opt-in fifth suite, named "scenario".  It exists
+/// only when the flag is given, so the default registry composition --
+/// and with it the perf config hash the committed BENCH_PERF.json
+/// baseline pins -- never changes.  Machine keys resolve
+/// scenario-first, exactly as in the report pipeline.
+std::vector<Cell> scenario_cells(
+    const std::shared_ptr<const scenario::Scenario>& sc) {
+  std::vector<Cell> v;
+  for (const auto& spec : sc->beff) {
+    Cell c;
+    c.id = "scenario.beff." + spec.machine + ".np" +
+           std::to_string(spec.nprocs);
+    c.suite = "scenario";
+    const std::string key = spec.machine;
+    const int nprocs = spec.nprocs;
+    const bool analysis = spec.analysis;
+    c.body = [sc, key, nprocs, analysis] {
+      const machines::MachineSpec m = sc->resolve_machine(key);
+      parmsg::SimTransport t(m.make_topology(nprocs), m.costs);
+      beff::BeffOptions opt;
+      opt.memory_per_proc = m.memory_per_proc;
+      opt.measure_analysis = analysis;
+      opt.collect_metrics = true;
+      auto r = beff::run_beff(t, nprocs, opt);
+      g_sink = r.b_eff;
+    };
+    v.push_back(std::move(c));
+  }
+  for (const auto& spec : sc->io) {
+    Cell c;
+    c.id = "scenario.beffio." + spec.machine + ".np" +
+           std::to_string(spec.nprocs);
+    c.suite = "scenario";
+    const std::string key = spec.machine;
+    const int nprocs = spec.nprocs;
+    const double scheduled = spec.scheduled_seconds;
+    const std::int64_t cap = spec.mpart_cap;
+    c.body = [sc, key, nprocs, scheduled, cap] {
+      const machines::MachineSpec m = sc->resolve_machine(key);
+      parmsg::SimTransport t(m.make_topology(nprocs), m.costs);
+      beffio::BeffIoOptions opt;
+      opt.scheduled_time = scheduled;
+      opt.memory_per_node = m.memory_per_proc;
+      opt.mpart_cap = cap;
+      opt.file_prefix = m.short_name;
+      opt.collect_metrics = true;
+      auto r = beffio::run_beffio(t, *m.io, nprocs, opt);
+      g_sink = r.b_eff_io;
+    };
+    v.push_back(std::move(c));
+  }
+  for (const auto& spec : sc->kernels) {
+    Cell c;
+    c.id = "scenario.kernels." + spec.machine + ".np" +
+           std::to_string(spec.nprocs);
+    c.suite = "scenario";
+    const std::string key = spec.machine;
+    const int nprocs = spec.nprocs;
+    c.body = [sc, key, nprocs] {
+      const machines::MachineSpec m = sc->resolve_machine(key);
+      kernels::KernelOptions opt;
+      opt.collect_metrics = true;
+      double sink = 0.0;
+      for (int i = 0; i < 50; ++i) {
+        auto r = kernels::run_kernels(m, nprocs, opt);
+        sink += r.rmax_flops();
+      }
+      g_sink = sink;
+    };
+    v.push_back(std::move(c));
+  }
+  if (sc->has_fault_sweep) {
+    const scenario::FaultSweep& fs = sc->fault_sweep;
+    for (std::size_t i = 0; i < fs.rates.size(); ++i) {
+      Cell c;
+      // Indexed ids: float-formatted rates in ids would couple the
+      // cell list (and thus the config hash) to printf rounding.
+      c.id = "scenario.faultsweep." + fs.machine + ".np" +
+             std::to_string(fs.nprocs) + ".r" + std::to_string(i);
+      c.suite = "scenario";
+      const std::string key = fs.machine;
+      const int nprocs = fs.nprocs;
+      robust::FaultPlan plan;
+      plan.seed = fs.seed;
+      plan.link_degrade_prob = fs.rates[i];
+      plan.degrade_factor = fs.degrade_factor;
+      plan.window_start_s = fs.window_start_s;
+      plan.window_end_s = fs.window_end_s;
+      c.body = [sc, key, nprocs, plan] {
+        const machines::MachineSpec m = sc->resolve_machine(key);
+        parmsg::SimTransport t(m.make_topology(nprocs), m.costs);
+        beff::BeffOptions opt;
+        opt.memory_per_proc = m.memory_per_proc;
+        opt.measure_analysis = false;
+        opt.collect_metrics = true;
+        opt.fault_plan = &plan;
+        auto r = beff::run_beff(t, nprocs, opt);
+        g_sink = r.b_eff;
+      };
+      v.push_back(std::move(c));
+    }
+  }
+  return v;
+}
+
 /// The suite registry: one row per suite, in execution order.  Help
 /// text, --suite parsing and error messages are all generated from
 /// this table, so none of them can drift from the code (the one-place
@@ -280,16 +394,32 @@ std::string suite_list() {
 }
 
 /// Parses "--suite micro,calib" (or "all") into the cell list, in
-/// fixed registry order regardless of spelling order.
-std::vector<Cell> select_cells(const std::string& suites, std::string* error) {
+/// fixed registry order regardless of spelling order.  `scenario` is
+/// the extra opt-in suite of a --scenario run (nullptr without the
+/// flag): "all" includes it, and "scenario" selects it by name -- only
+/// when it exists, so the registry help text stays exact for plain
+/// runs.
+std::vector<Cell> select_cells(const std::string& suites,
+                               const std::vector<Cell>* scenario,
+                               std::string* error) {
   constexpr std::size_t n_suites = std::size(kSuites);
   bool selected[n_suites] = {};
+  bool selected_scenario = false;
   std::stringstream in(suites);
   std::string part;
   while (std::getline(in, part, ',')) {
     if (part.empty()) continue;
     if (part == "all") {
       for (auto& s : selected) s = true;
+      selected_scenario = scenario != nullptr;
+      continue;
+    }
+    if (part == "scenario") {
+      if (scenario == nullptr) {
+        *error = "suite 'scenario' needs --scenario FILE";
+        return {};
+      }
+      selected_scenario = true;
       continue;
     }
     bool known = false;
@@ -310,6 +440,9 @@ std::vector<Cell> select_cells(const std::string& suites, std::string* error) {
     if (!selected[i]) continue;
     auto c = kSuites[i].factory();
     std::move(c.begin(), c.end(), std::back_inserter(v));
+  }
+  if (selected_scenario) {
+    for (const Cell& c : *scenario) v.push_back(c);
   }
   if (v.empty() && error->empty()) *error = "no suites selected";
   return v;
@@ -634,6 +767,7 @@ class PerfCheckpoint {
 
 int main(int argc, char** argv) {
   std::string suites = "all";
+  std::string scenario_path;
   std::int64_t repeat = 5;
   std::int64_t warmup = 1;
   std::string out_path = "BENCH_PERF.json";
@@ -653,6 +787,9 @@ int main(int argc, char** argv) {
       "usage");
   options.add_string("suite", &suites,
                      "comma-separated suites: " + suite_list());
+  options.add_string("scenario", &scenario_path,
+                     "balbench-scenario/1 file whose cells form an extra "
+                     "suite named 'scenario' (docs/SCENARIOS.md)");
   options.add_int("repeat", &repeat, "recorded samples per cell");
   options.add_int("warmup", &warmup, "unrecorded warm-up runs per cell");
   options.add_string("out", &out_path, "output record path (- = stdout)");
@@ -696,8 +833,16 @@ int main(int argc, char** argv) {
                    "--threshold >= 0\n";
       return 2;
     }
+    std::shared_ptr<const scenario::Scenario> scen;
+    std::vector<Cell> scen_cells;
+    if (!scenario_path.empty()) {
+      scen = std::make_shared<const scenario::Scenario>(
+          scenario::load_scenario_file(scenario_path));
+      scen_cells = scenario_cells(scen);
+    }
     std::string error;
-    const std::vector<Cell> cells = select_cells(suites, &error);
+    const std::vector<Cell> cells =
+        select_cells(suites, scen ? &scen_cells : nullptr, &error);
     if (cells.empty()) {
       std::cerr << "balbench-perf: " << error << '\n';
       return 2;

@@ -45,6 +45,21 @@
 //                       with --trace the wall spans also land on the
 //                       trace's dedicated "wall" pid.
 //
+// Scenario DSL (docs/SCENARIOS.md):
+//
+//   --scenario FILE   run the config-defined sweep from this
+//                     "balbench-scenario/1" JSON (machines with
+//                     arbitrary topologies, beff/beffio/kernel cell
+//                     mixes, correlated fault plans, fault-rate
+//                     sweeps) instead of the built-in specs; the
+//                     other sweep flags (--record, --markdown,
+//                     --jobs, --checkpoint, --faults, ...) compose
+//                     unchanged and the byte-identity contract holds
+//   --validate-scenario FILE  lint mode: parse + validate only, no
+//                     sweep.  Prints every violation (one per line,
+//                     key-path qualified) and exits 2 on schema
+//                     violations, 0 when valid.
+//
 // Robustness layer (DESIGN.md Sec. 12):
 //
 //   --faults SPEC     deterministic fault injection, e.g.
@@ -77,6 +92,7 @@
 #include "core/kernels/kernels.hpp"
 #include "core/history/trace_diff.hpp"
 #include "core/report/experiments.hpp"
+#include "core/scenario/scenario.hpp"
 #include "machines/machines.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/json.hpp"
@@ -277,6 +293,8 @@ int main(int argc, char** argv) {
   std::string checkpoint_path;
   bool resume = false;
   std::int64_t kill_after = 0;
+  std::string scenario_path;
+  std::string validate_path;
   // The `profile` CMake preset builds with BALBENCH_PROFILE, which
   // turns wall-clock profiling on by default (summary to stderr).
 #ifdef BALBENCH_PROFILE
@@ -325,6 +343,13 @@ int main(int argc, char** argv) {
   options.add_string("wall-profile", &wall_profile_path,
                      "write a wall-clock profile of this invocation "
                      "(balbench-wall-profile/1 JSON) here");
+  options.add_string("scenario", &scenario_path,
+                     "run the config-defined sweep from this "
+                     "balbench-scenario/1 JSON file instead of the built-in "
+                     "specs (docs/SCENARIOS.md)");
+  options.add_string("validate-scenario", &validate_path,
+                     "lint a scenario file and exit: 0 = valid, 2 = schema "
+                     "violations (printed one per line)");
   options.add_string("faults", &faults_arg,
                      "deterministic fault injection spec, comma-separated "
                      "key=value: seed=N link=P degrade=F stall=P stall-s=T "
@@ -362,6 +387,19 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (!validate_path.empty()) {
+      const std::vector<std::string> violations =
+          scenario::validate_scenario_text(slurp(validate_path));
+      if (violations.empty()) {
+        std::cerr << "balbench-report: " << validate_path << " is a valid "
+                  << "balbench-scenario/1 file\n";
+        return 0;
+      }
+      for (const std::string& v : violations) {
+        std::cerr << validate_path << ": " << v << '\n';
+      }
+      return 2;
+    }
     if (diff_trace) {
       return diff_traces(positionals[0], positionals[1], tolerance);
     }
@@ -393,6 +431,7 @@ int main(int argc, char** argv) {
     }
 
     robust::FaultPlan plan;
+    scenario::Scenario scen;
     report::ExperimentOptions run_opt;
     run_opt.scope = scope;
     run_opt.jobs = util::resolve_jobs(jobs);
@@ -401,12 +440,16 @@ int main(int argc, char** argv) {
       plan = robust::FaultPlan::parse(faults_arg);
       run_opt.fault_plan = &plan;
     }
+    if (!scenario_path.empty()) {
+      scen = scenario::load_scenario_file(scenario_path);
+      run_opt.scenario = &scen;
+    }
     run_opt.checkpoint_path = checkpoint_path;
     run_opt.resume = resume;
     run_opt.kill_after = static_cast<int>(kill_after);
 
     const auto data = report::run_experiments(run_opt);
-    const std::string hash = report::config_hash(scope);
+    const std::string hash = report::config_hash(scope, run_opt.scenario);
 
     if (!record_path.empty()) {
       std::ostringstream out;
@@ -454,6 +497,7 @@ int main(int argc, char** argv) {
     };
     for (const auto& b : data.beff) fold(b.r.worst_outcome());
     for (const auto& r : data.io) fold(r.r.worst_outcome());
+    for (const auto& f : data.fault_sweep) fold(f.r.worst_outcome());
     if (worst != robust::Outcome::Ok) {
       std::cerr << "balbench-report: sweep completed with "
                 << robust::outcome_name(worst) << " cells (exit 3)\n";

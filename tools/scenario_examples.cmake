@@ -1,0 +1,26 @@
+# Scenario-example lint test, run by ctest as `scenario_examples_valid`
+# (cmake -P).  Every file shipped under examples/scenarios/ -- which
+# includes every worked example of docs/SCENARIOS.md verbatim -- must
+# pass `balbench-report --validate-scenario`.  A stale example is a
+# documentation bug: the manual promises each one runs as-is.
+if(NOT BALBENCH_REPORT OR NOT EXAMPLES_DIR)
+  message(FATAL_ERROR "usage: cmake -DBALBENCH_REPORT=<exe> -DEXAMPLES_DIR=<dir> -P scenario_examples.cmake")
+endif()
+
+file(GLOB examples ${EXAMPLES_DIR}/*.json)
+if(NOT examples)
+  message(FATAL_ERROR "no scenario examples found under ${EXAMPLES_DIR}")
+endif()
+
+foreach(example ${examples})
+  execute_process(
+    COMMAND ${BALBENCH_REPORT} --validate-scenario ${example}
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${example} failed validation (exit ${rc}):\n${err}")
+  endif()
+endforeach()
+
+list(LENGTH examples n)
+message(STATUS "scenario examples: ${n} file(s) valid")
