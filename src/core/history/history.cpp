@@ -13,7 +13,8 @@ namespace balbench::history {
 
 namespace {
 
-constexpr const char* kSchema = "balbench-perf-history/1";
+constexpr const char* kSchemaV1 = "balbench-perf-history/1";
+constexpr const char* kSchemaV2 = "balbench-perf-history/2";
 constexpr const char* kRecordSchema = "balbench-perf-record/1";
 
 /// Deterministic human time formatting for the markdown tables: three
@@ -42,12 +43,22 @@ std::string fmt_percent(double fraction) {
 // Store I/O
 // ---------------------------------------------------------------------------
 
+util::RobustSummary cell_stats(const HistoryCell& cell) {
+  return cell.compacted ? cell.summary : util::robust_summary(cell.samples);
+}
+
+std::size_t cell_sample_count(const HistoryCell& cell) {
+  return cell.compacted ? cell.summary.count : cell.samples.size();
+}
+
 History parse_history(std::string_view text) {
   const obs::JsonValue doc = obs::parse_json(text);
   const std::string& schema = doc.at("schema").as_string();
-  if (schema != kSchema) {
+  const bool v1 = schema == kSchemaV1;
+  if (!v1 && schema != kSchemaV2) {
     throw std::runtime_error("history store schema is '" + schema +
-                             "', want '" + kSchema + "'");
+                             "', want '" + kSchemaV2 + "' (or the deprecated "
+                             "read-only '" + kSchemaV1 + "')");
   }
   History h;
   for (const auto& e : doc.at("entries").as_array()) {
@@ -62,12 +73,38 @@ History parse_history(std::string_view text) {
       HistoryCell cell;
       cell.id = c.at("id").as_string();
       cell.suite = c.at("suite").as_string();
-      for (const auto& s : c.at("samples_seconds").as_array()) {
-        cell.samples.push_back(s.as_number());
+      const obs::JsonValue* samples = c.find("samples_seconds");
+      const obs::JsonValue* summary = v1 ? nullptr : c.find("summary");
+      if ((samples != nullptr) == (summary != nullptr)) {
+        throw std::runtime_error(
+            "history store: cell " + cell.id + " of rev " + entry.git_rev +
+            " must have exactly one of samples_seconds (raw) or summary "
+            "(compacted)");
       }
-      if (cell.samples.empty()) {
-        throw std::runtime_error("history store: cell " + cell.id +
-                                 " of rev " + entry.git_rev + " has no samples");
+      if (samples != nullptr) {
+        for (const auto& s : samples->as_array()) {
+          cell.samples.push_back(s.as_number());
+        }
+        if (cell.samples.empty()) {
+          throw std::runtime_error("history store: cell " + cell.id +
+                                   " of rev " + entry.git_rev +
+                                   " has no samples");
+        }
+      } else {
+        cell.compacted = true;
+        cell.summary.count =
+            static_cast<std::size_t>(summary->at("count").as_number());
+        cell.summary.median = summary->at("median_seconds").as_number();
+        cell.summary.mad = summary->at("mad_seconds").as_number();
+        cell.summary.ci_lo = summary->at("ci95_lo_seconds").as_number();
+        cell.summary.ci_hi = summary->at("ci95_hi_seconds").as_number();
+        cell.summary.min = summary->at("min_seconds").as_number();
+        cell.summary.max = summary->at("max_seconds").as_number();
+        if (cell.summary.count == 0) {
+          throw std::runtime_error("history store: compacted cell " + cell.id +
+                                   " of rev " + entry.git_rev +
+                                   " has a zero sample count");
+        }
       }
       entry.cells.push_back(std::move(cell));
     }
@@ -83,7 +120,7 @@ History parse_history(std::string_view text) {
 void write_history(std::ostream& os, const History& h) {
   obs::JsonWriter w(os);
   w.begin_object();
-  w.field("schema", kSchema);
+  w.field("schema", kSchemaV2);
   w.key("entries").begin_array();
   for (const auto& e : h.entries) {
     w.begin_object();
@@ -98,9 +135,21 @@ void write_history(std::ostream& os, const History& h) {
       w.begin_object();
       w.field("id", c.id);
       w.field("suite", c.suite);
-      w.key("samples_seconds").begin_array();
-      for (double s : c.samples) w.value(s);
-      w.end_array();
+      if (c.compacted) {
+        w.key("summary").begin_object();
+        w.field("count", static_cast<std::int64_t>(c.summary.count));
+        w.field("median_seconds", c.summary.median);
+        w.field("mad_seconds", c.summary.mad);
+        w.field("ci95_lo_seconds", c.summary.ci_lo);
+        w.field("ci95_hi_seconds", c.summary.ci_hi);
+        w.field("min_seconds", c.summary.min);
+        w.field("max_seconds", c.summary.max);
+        w.end_object();
+      } else {
+        w.key("samples_seconds").begin_array();
+        for (double s : c.samples) w.value(s);
+        w.end_array();
+      }
       w.end_object();
     }
     w.end_array();
@@ -112,7 +161,7 @@ void write_history(std::ostream& os, const History& h) {
 }
 
 const HistoryEntry& ingest_record(History& h, const obs::JsonValue& record,
-                                  std::string host) {
+                                  std::string host, bool replace) {
   const std::string& schema = record.at("schema").as_string();
   if (schema != kRecordSchema) {
     throw std::runtime_error("record schema is '" + schema + "', want '" +
@@ -138,18 +187,108 @@ const HistoryEntry& ingest_record(History& h, const obs::JsonValue& record,
     entry.cells.push_back(std::move(cell));
   }
   if (entry.cells.empty()) throw std::runtime_error("record has no cells");
-  for (const auto& e : h.entries) {
+  for (auto& e : h.entries) {
     if (e.git_rev == entry.git_rev && e.config_hash == entry.config_hash &&
         e.host == entry.host) {
+      if (replace) {
+        // Deliberate re-ingest: overwrite in place so the entry keeps
+        // its position on the revision axis.
+        e = std::move(entry);
+        return e;
+      }
       throw std::runtime_error(
           "duplicate entry: rev " + entry.git_rev + ", config " +
           entry.config_hash + ", host " + entry.host +
           " is already in the store (re-recording a revision must replace "
-          "history consciously, never silently)");
+          "history consciously: pass --replace, never silently)");
     }
   }
   h.entries.push_back(std::move(entry));
   return h.entries.back();
+}
+
+std::size_t compact_history(History& h, int keep_revisions) {
+  if (keep_revisions < 0) keep_revisions = 0;
+  // Revision depth is per (config hash, host) group: count, for every
+  // entry, how many *later* entries belong to the same group.  The
+  // newest keep_revisions of each group keep their raw samples.
+  std::size_t compacted_entries = 0;
+  for (std::size_t i = 0; i < h.entries.size(); ++i) {
+    HistoryEntry& e = h.entries[i];
+    std::size_t newer = 0;
+    for (std::size_t j = i + 1; j < h.entries.size(); ++j) {
+      if (h.entries[j].config_hash == e.config_hash &&
+          h.entries[j].host == e.host) {
+        ++newer;
+      }
+    }
+    if (newer < static_cast<std::size_t>(keep_revisions)) continue;
+    bool changed = false;
+    for (HistoryCell& c : e.cells) {
+      if (c.compacted) continue;
+      c.summary = util::robust_summary(c.samples);
+      c.samples.clear();
+      c.samples.shrink_to_fit();
+      c.compacted = true;
+      changed = true;
+    }
+    if (changed) ++compacted_entries;
+  }
+  return compacted_entries;
+}
+
+void render_list(std::ostream& os, const History& h) {
+  // Sort by (host, config hash, revision-axis position): the axis
+  // position is the entry's index, which within one (config, host)
+  // group is exactly the ingest order.
+  std::vector<std::size_t> order(h.entries.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const HistoryEntry& ea = h.entries[a];
+    const HistoryEntry& eb = h.entries[b];
+    if (ea.host != eb.host) return ea.host < eb.host;
+    if (ea.config_hash != eb.config_hash) return ea.config_hash < eb.config_hash;
+    return a < b;
+  });
+
+  std::size_t raw_entries = 0;
+  std::size_t compacted_cells = 0;
+  std::size_t total_samples = 0;
+  std::vector<std::string> hosts;
+  os << "rev       host             config            suite     cells  "
+        "samples  state\n";
+  for (std::size_t i : order) {
+    const HistoryEntry& e = h.entries[i];
+    if (std::find(hosts.begin(), hosts.end(), e.host) == hosts.end()) {
+      hosts.push_back(e.host);
+    }
+    std::size_t samples = 0;
+    std::size_t compacted = 0;
+    for (const auto& c : e.cells) {
+      samples += cell_sample_count(c);
+      if (c.compacted) ++compacted;
+    }
+    compacted_cells += compacted;
+    total_samples += samples;
+    const char* state = compacted == 0          ? "raw"
+                        : compacted == e.cells.size() ? "compacted"
+                                                      : "mixed";
+    if (compacted == 0) ++raw_entries;
+    char line[256];
+    std::snprintf(line, sizeof line, "%-9s %-16s %-17s %-9s %5zu  %7zu  %s\n",
+                  e.git_rev.c_str(), e.host.c_str(), e.config_hash.c_str(),
+                  e.suite_spec.c_str(), e.cells.size(), samples, state);
+    os << line;
+  }
+  char foot[192];
+  std::snprintf(foot, sizeof foot,
+                "%zu entr%s | %zu host%s | %zu raw, %zu compacted | %zu "
+                "sample%s held\n",
+                h.entries.size(), h.entries.size() == 1 ? "y" : "ies",
+                hosts.size(), hosts.size() == 1 ? "" : "s", raw_entries,
+                h.entries.size() - raw_entries, total_samples,
+                total_samples == 1 ? "" : "s");
+  os << foot;
 }
 
 // ---------------------------------------------------------------------------
@@ -224,7 +363,7 @@ std::vector<GroupTrend> analyze_trends(const History& h,
       for (std::size_t r = 0; r < nrevs; ++r) {
         for (const auto& c : h.entries[idx[r]].cells) {
           if (c.id != id) continue;
-          stats[r] = util::robust_summary(c.samples);
+          stats[r] = cell_stats(c);
           present[r] = true;
           t.medians[r] = stats[r].median;
           ++t.revisions;
@@ -353,13 +492,17 @@ bool render_trend_section(std::ostream& os, const History& h,
                 options.window, options.threshold * 100.0);
   os << stamp
      << "\n"
-        "The `balbench-perf-history/1` store (`BENCH_HISTORY.json`) "
+        "The `balbench-perf-history/2` store (`BENCH_HISTORY.json`) "
         "accumulates\n"
         "`balbench-perf-record/1` snapshots keyed by (git revision, config "
         "hash,\n"
         "host); trends are recomputed from the stored raw samples "
         "(median/MAD/\n"
-        "bootstrap-95 %-CI via `util::robust_summary`).  Every number below "
+        "bootstrap-95 %-CI via `util::robust_summary`; entries downsampled "
+        "by\n"
+        "`balbench-history compact` keep exactly those summaries, so "
+        "verdicts\n"
+        "survive compaction byte for byte).  Every number below "
         "is\n"
         "HOST wall-clock read from the committed store — the section is a "
         "pure\n"
@@ -421,9 +564,48 @@ bool render_trend_section(std::ostream& os, const History& h,
       continue;
     }
 
-    // Chart: normalized per-suite medians over revisions.
+    // Chart: normalized per-suite medians over revisions.  A group
+    // whose normalized series are all exactly equal (e.g. identical
+    // snapshots re-ingested) has no spread to scale an axis around --
+    // AsciiPlot would invent a [v, v+1] range and squash every series
+    // onto the bottom row, which reads as a cliff.  Clamp to an
+    // explicit flat line instead.
     const auto series = suite_series(group);
-    if (!series.empty()) {
+    double series_min = std::numeric_limits<double>::max();
+    double series_max = -std::numeric_limits<double>::max();
+    for (const auto& s : series) {
+      for (double v : s.values) {
+        series_min = std::min(series_min, v);
+        series_max = std::max(series_max, v);
+      }
+    }
+    if (!series.empty() && series_max == series_min) {
+      const int flat_width = 56;
+      char axis[32];
+      std::snprintf(axis, sizeof axis, "%9.4g |", series_min);
+      os << "\n```\n"
+            "median wall time per revision (1.0 = first tracked "
+            "revision)\n";
+      for (const auto& s : series) {
+        os << axis
+           << std::string(static_cast<std::size_t>(flat_width),
+                          s.suite.empty() ? '*' : s.suite.front())
+           << '\n';
+      }
+      os << "          +"
+         << std::string(static_cast<std::size_t>(flat_width), '-') << '\n';
+      char note[160];
+      std::snprintf(note, sizeof note,
+                    "  (no spread: every per-suite normalized median equals "
+                    "%.4g across all %zu revisions -- flat line)\n",
+                    series_min, nrevs);
+      os << note << "  legend:";
+      for (const auto& s : series) {
+        os << "  " << (s.suite.empty() ? '*' : s.suite.front()) << '='
+           << s.suite;
+      }
+      os << "   [y: × first revision]\n```\n";
+    } else if (!series.empty()) {
       util::AsciiPlot::Options plot_opt;
       plot_opt.width = 56;
       plot_opt.height = 10;
@@ -480,9 +662,11 @@ bool render_trend_section(std::ostream& os, const History& h,
   return drifted;
 }
 
-std::string splice_trend_section(const std::string& doc,
-                                 const std::string& section) {
-  const std::size_t begin = doc.find(kTrendBeginPrefix);
+std::string splice_marked_section(const std::string& doc,
+                                  const std::string& section,
+                                  std::string_view begin_prefix,
+                                  std::string_view end_line) {
+  const std::size_t begin = doc.find(begin_prefix);
   if (begin == std::string::npos) {
     std::string out = doc;
     if (!out.empty() && out.back() != '\n') out += '\n';
@@ -490,24 +674,36 @@ std::string splice_trend_section(const std::string& doc,
     out += section;
     return out;
   }
-  std::size_t end = doc.find(kTrendEndLine, begin);
+  std::size_t end = doc.find(end_line, begin);
   if (end == std::string::npos) {
-    throw std::runtime_error(
-        "document has a BEGIN PERF HISTORY marker but no END marker");
+    throw std::runtime_error("document has a begin marker '" +
+                             std::string(begin_prefix) +
+                             "' but no matching end marker");
   }
-  end += std::string(kTrendEndLine).size();
+  end += end_line.size();
   if (end < doc.size() && doc[end] == '\n') ++end;
   return doc.substr(0, begin) + section + doc.substr(end);
 }
 
-std::string extract_trend_section(const std::string& doc) {
-  const std::size_t begin = doc.find(kTrendBeginPrefix);
+std::string extract_marked_section(const std::string& doc,
+                                   std::string_view begin_prefix,
+                                   std::string_view end_line) {
+  const std::size_t begin = doc.find(begin_prefix);
   if (begin == std::string::npos) return {};
-  std::size_t end = doc.find(kTrendEndLine, begin);
+  std::size_t end = doc.find(end_line, begin);
   if (end == std::string::npos) return {};
-  end += std::string(kTrendEndLine).size();
+  end += end_line.size();
   if (end < doc.size() && doc[end] == '\n') ++end;
   return doc.substr(begin, end - begin);
+}
+
+std::string splice_trend_section(const std::string& doc,
+                                 const std::string& section) {
+  return splice_marked_section(doc, section, kTrendBeginPrefix, kTrendEndLine);
+}
+
+std::string extract_trend_section(const std::string& doc) {
+  return extract_marked_section(doc, kTrendBeginPrefix, kTrendEndLine);
 }
 
 }  // namespace balbench::history

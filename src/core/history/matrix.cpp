@@ -1,0 +1,401 @@
+#include "core/history/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "util/parallel.hpp"
+
+namespace balbench::history {
+
+namespace {
+
+std::string fmt_seconds(double s) {
+  char buf[48];
+  if (s < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.1f µs", s * 1e6);
+  } else if (s < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f s", s);
+  }
+  return buf;
+}
+
+/// One (host, cell) slot as rendered in the matrix table:
+/// "1.04× (+12.3 %)" -- normalized median, delta vs the host's
+/// previous revision (or no parenthesis without history), "—" when
+/// the host lacks the cell entirely.
+std::string fmt_host_cell(const MatrixHostCell& c) {
+  if (!c.present) return "—";
+  char buf[64];
+  if (c.has_prev) {
+    std::snprintf(buf, sizeof buf, "%.2f× (%+.1f %%)", c.normalized,
+                  c.delta * 100.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f× (new)", c.normalized);
+  }
+  return buf;
+}
+
+}  // namespace
+
+const char* attribution_name(Attribution a) {
+  switch (a) {
+    case Attribution::New: return "new";
+    case Attribution::Ok: return "ok";
+    case Attribution::Code: return "CODE";
+    case Attribution::Host: return "HOST";
+    case Attribution::Mixed: return "mixed";
+    case Attribution::Single: return "moved (1 host)";
+  }
+  return "?";
+}
+
+std::string newest_revision(const History& h) {
+  return h.entries.empty() ? std::string() : h.entries.back().git_rev;
+}
+
+MatrixView analyze_matrix(const History& h, const MatrixOptions& options) {
+  MatrixView view;
+  view.threshold = options.threshold;
+  view.rev = options.rev.empty() ? newest_revision(h) : options.rev;
+  if (view.rev.empty()) return view;
+
+  // (config hash, host) groups, as in analyze_trends: within a group,
+  // entry order is the revision axis.
+  struct HostSlice {
+    std::string host;
+    std::string suite_spec;
+    std::size_t at;    // entry index of revision R
+    std::size_t prev;  // entry index of the preceding revision, or npos
+  };
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  struct Group {
+    std::string config;
+    std::string host;
+    std::vector<std::size_t> idx;
+  };
+  std::vector<Group> groups;
+  for (std::size_t i = 0; i < h.entries.size(); ++i) {
+    const auto& e = h.entries[i];
+    Group* g = nullptr;
+    for (auto& k : groups) {
+      if (k.config == e.config_hash && k.host == e.host) g = &k;
+    }
+    if (g == nullptr) {
+      groups.push_back(Group{e.config_hash, e.host, {}});
+      g = &groups.back();
+    }
+    g->idx.push_back(i);
+  }
+
+  // Config hashes that contain revision R on at least one host, and
+  // each host's (at, prev) slice.
+  std::vector<std::string> configs;
+  std::vector<std::vector<HostSlice>> slices;  // parallel to configs
+  for (const auto& g : groups) {
+    std::size_t pos = npos;
+    for (std::size_t p = 0; p < g.idx.size(); ++p) {
+      if (h.entries[g.idx[p]].git_rev == view.rev) pos = p;
+    }
+    if (pos == npos) continue;
+    HostSlice slice;
+    slice.host = g.host;
+    slice.at = g.idx[pos];
+    slice.prev = pos > 0 ? g.idx[pos - 1] : npos;
+    slice.suite_spec = h.entries[slice.at].suite_spec;
+    std::size_t c = configs.size();
+    for (std::size_t k = 0; k < configs.size(); ++k) {
+      if (configs[k] == g.config) c = k;
+    }
+    if (c == configs.size()) {
+      configs.push_back(g.config);
+      slices.emplace_back();
+    }
+    slices[c].push_back(std::move(slice));
+  }
+
+  // Sort configs and, within each, hosts -- the presentation axes are
+  // data-determined, never load-order-determined.
+  std::vector<std::size_t> config_order(configs.size());
+  for (std::size_t i = 0; i < config_order.size(); ++i) config_order[i] = i;
+  std::sort(config_order.begin(), config_order.end(),
+            [&](std::size_t a, std::size_t b) { return configs[a] < configs[b]; });
+
+  for (std::size_t ci : config_order) {
+    auto& hosts = slices[ci];
+    std::sort(hosts.begin(), hosts.end(),
+              [](const HostSlice& a, const HostSlice& b) {
+                return a.host < b.host;
+              });
+    MatrixGroup group;
+    group.config_hash = configs[ci];
+    group.suite_spec = hosts.front().suite_spec;
+    for (const auto& s : hosts) group.hosts.push_back(s.host);
+
+    // Row universe: union of (suite, id) over the hosts' R entries.
+    std::vector<std::pair<std::string, std::string>> ids;
+    for (const auto& s : hosts) {
+      for (const auto& c : h.entries[s.at].cells) {
+        const auto key = std::make_pair(c.suite, c.id);
+        if (std::find(ids.begin(), ids.end(), key) == ids.end()) {
+          ids.push_back(key);
+        }
+      }
+    }
+    std::sort(ids.begin(), ids.end());
+
+    // Rows are independent pure functions of the store; the bootstrap
+    // CIs dominate the cost, so compute them into index-ordered slots
+    // on up to `jobs` threads (byte-identical for every N).
+    group.rows = util::parallel_map<MatrixRow>(
+        util::resolve_jobs(options.jobs), ids.size(), [&](std::size_t r) {
+          const auto& [suite, id] = ids[r];
+          MatrixRow row;
+          row.id = id;
+          row.suite = suite;
+          std::vector<double> medians;
+          for (const auto& s : hosts) {
+            MatrixHostCell slot;
+            const HistoryCell* now = nullptr;
+            for (const auto& c : h.entries[s.at].cells) {
+              if (c.id == id) now = &c;
+            }
+            if (now != nullptr) {
+              slot.present = true;
+              slot.stats = cell_stats(*now);
+              medians.push_back(slot.stats.median);
+              if (s.prev != npos) {
+                for (const auto& c : h.entries[s.prev].cells) {
+                  if (c.id != id) continue;
+                  const double prev_median = cell_stats(c).median;
+                  if (prev_median > 0.0) {
+                    slot.has_prev = true;
+                    slot.delta = slot.stats.median / prev_median - 1.0;
+                  }
+                }
+              }
+            }
+            row.hosts.push_back(std::move(slot));
+          }
+          row.median_of_medians = util::median(medians);
+          std::vector<double> normalized;
+          for (auto& slot : row.hosts) {
+            if (!slot.present) continue;
+            slot.normalized = row.median_of_medians > 0.0
+                                  ? slot.stats.median / row.median_of_medians
+                                  : 1.0;
+            normalized.push_back(slot.normalized);
+          }
+          row.dispersion_mad =
+              normalized.size() >= 2 ? util::mad(normalized) : 0.0;
+
+          // Attribution: compare each host against its own previous
+          // revision; the cross-host pattern of who moved separates
+          // code changes from machine changes (METRICS.md).
+          std::size_t with_prev = 0;
+          std::size_t moved = 0, up = 0, down = 0;
+          std::size_t moved_index = npos;
+          for (std::size_t k = 0; k < row.hosts.size(); ++k) {
+            const MatrixHostCell& slot = row.hosts[k];
+            if (!slot.present || !slot.has_prev) continue;
+            ++with_prev;
+            if (std::abs(slot.delta) > options.threshold) {
+              ++moved;
+              moved_index = k;
+              (slot.delta > 0.0 ? up : down)++;
+            }
+          }
+          if (with_prev == 0) {
+            row.attribution = Attribution::New;
+          } else if (moved == 0) {
+            row.attribution = Attribution::Ok;
+          } else if (with_prev == 1) {
+            row.attribution = Attribution::Single;
+          } else if (moved == with_prev && (up == 0 || down == 0)) {
+            row.attribution = Attribution::Code;
+          } else if (moved == 1) {
+            row.attribution = Attribution::Host;
+            row.moved_host = hosts[moved_index].host;
+          } else {
+            row.attribution = Attribution::Mixed;
+          }
+          return row;
+        });
+
+    for (const auto& row : group.rows) {
+      if (row.attribution == Attribution::Code) ++group.code_moves;
+      if (row.attribution == Attribution::Host) ++group.host_moves;
+      if (row.attribution == Attribution::Mixed) ++group.mixed_moves;
+    }
+    view.groups.push_back(std::move(group));
+  }
+  return view;
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+void render_fleet_section(std::ostream& os, const History& h,
+                          const MatrixOptions& options) {
+  const MatrixView m = analyze_matrix(h, options);
+
+  os << kFleetBeginPrefix
+     << " (generated: balbench-history matrix --history BENCH_HISTORY.json"
+        " --doc EXPERIMENTS.md; do not edit — byte-compared by the"
+        " history_doc_drift ctest) -->\n"
+        "\n"
+        "## Fleet view — (host × cell) matrix of one revision\n"
+        "\n";
+  std::size_t fleet_hosts = 0;
+  for (const auto& g : m.groups) {
+    fleet_hosts = std::max(fleet_hosts, g.hosts.size());
+  }
+  char stamp[128];
+  std::snprintf(stamp, sizeof stamp,
+                "<!-- rev %s | threshold %.0f %% | %zu config group%s -->\n",
+                m.rev.empty() ? "(none)" : m.rev.c_str(),
+                m.threshold * 100.0, m.groups.size(),
+                m.groups.size() == 1 ? "" : "s");
+  os << stamp
+     << "\n"
+        "One revision of the store, hosts × cells: each slot is the "
+        "host's\n"
+        "median normalized by the cross-host median of medians (1.00× = "
+        "typical\n"
+        "for the fleet), with the change against that host's *previous*\n"
+        "revision in parentheses.  `MAD` is the cross-host dispersion of "
+        "the\n"
+        "normalized medians — the row's machine-to-machine noise floor.  "
+        "The\n"
+        "attribution column separates code from machines (METRICS.md): "
+        "every\n"
+        "host moved the same way → `CODE` (the commit did it); exactly "
+        "one\n"
+        "host moved while the others stayed flat → `HOST` (that machine\n"
+        "changed, not the code).\n";
+
+  if (m.rev.empty()) {
+    os << "\nThe store is empty — ingest per-host snapshots with "
+          "`balbench-history\ningest --host NAME` and re-render.\n";
+  } else if (m.groups.empty()) {
+    os << "\nRevision " << m.rev
+       << " is absent from every (config, host) group of the store.\n";
+  }
+
+  for (const auto& g : m.groups) {
+    char head[160];
+    std::snprintf(head, sizeof head,
+                  "\n### config %s — %zu host%s, suite `%s`\n\n",
+                  g.config_hash.c_str(), g.hosts.size(),
+                  g.hosts.size() == 1 ? "" : "s", g.suite_spec.c_str());
+    os << head;
+    if (g.hosts.size() < 2) {
+      os << "Fleet of one host (" << g.hosts.front()
+         << ") — cross-host dispersion and code-vs-host attribution need "
+            "at\nleast two hosts; ingest another host's snapshot of the "
+            "same config\nto unlock them.  Columns shown for the "
+            "mechanism anyway:\n\n";
+    }
+    os << "| cell | suite |";
+    for (const auto& host : g.hosts) os << " " << host << " |";
+    os << " median | MAD | attribution |\n|---|---|";
+    for (std::size_t i = 0; i < g.hosts.size(); ++i) os << "---|";
+    os << "---|---|---|\n";
+    for (const auto& row : g.rows) {
+      os << "| " << row.id << " | " << row.suite << " |";
+      for (const auto& slot : row.hosts) os << " " << fmt_host_cell(slot) << " |";
+      char mad[32];
+      std::snprintf(mad, sizeof mad, "%.3f", row.dispersion_mad);
+      os << " " << fmt_seconds(row.median_of_medians) << " | " << mad << " | "
+         << attribution_name(row.attribution);
+      if (row.attribution == Attribution::Host) os << ": " << row.moved_host;
+      os << " |\n";
+    }
+    os << "\n";
+    if (g.code_moves + g.host_moves + g.mixed_moves == 0) {
+      os << "No attributed moves: every host with history stayed within "
+            "the\nthreshold of its previous revision.\n";
+    } else {
+      char sum[192];
+      std::snprintf(sum, sizeof sum,
+                    "**%zu CODE-attributed, %zu HOST-attributed, %zu mixed** "
+                    "move%s against the previous revision.\n",
+                    g.code_moves, g.host_moves, g.mixed_moves,
+                    g.code_moves + g.host_moves + g.mixed_moves == 1 ? ""
+                                                                     : "s");
+      os << sum;
+    }
+  }
+  os << kFleetEndLine << "\n";
+}
+
+void write_matrix_json(std::ostream& os, const MatrixView& m) {
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.field("schema", "balbench-history-matrix/1");
+  w.field("rev", m.rev);
+  w.field("threshold", m.threshold);
+  w.key("groups").begin_array();
+  for (const auto& g : m.groups) {
+    w.begin_object();
+    w.field("config_hash", g.config_hash);
+    w.field("suite", g.suite_spec);
+    w.key("hosts").begin_array();
+    for (const auto& host : g.hosts) w.value(host);
+    w.end_array();
+    w.key("rows").begin_array();
+    for (const auto& row : g.rows) {
+      w.begin_object();
+      w.field("id", row.id);
+      w.field("suite", row.suite);
+      w.key("cells").begin_array();
+      for (std::size_t k = 0; k < row.hosts.size(); ++k) {
+        const MatrixHostCell& slot = row.hosts[k];
+        w.begin_object();
+        w.field("host", g.hosts[k]);
+        w.field("present", slot.present);
+        if (slot.present) {
+          w.field("median_seconds", slot.stats.median);
+          w.field("mad_seconds", slot.stats.mad);
+          w.field("ci95_lo_seconds", slot.stats.ci_lo);
+          w.field("ci95_hi_seconds", slot.stats.ci_hi);
+          w.field("normalized", slot.normalized);
+          if (slot.has_prev) w.field("delta_vs_prev", slot.delta);
+        }
+        w.end_object();
+      }
+      w.end_array();
+      w.field("median_of_medians_seconds", row.median_of_medians);
+      w.field("dispersion_mad", row.dispersion_mad);
+      w.field("attribution", attribution_name(row.attribution));
+      if (row.attribution == Attribution::Host) {
+        w.field("moved_host", row.moved_host);
+      }
+      w.end_object();
+    }
+    w.end_array();
+    w.field("code_moves", static_cast<std::int64_t>(g.code_moves));
+    w.field("host_moves", static_cast<std::int64_t>(g.host_moves));
+    w.field("mixed_moves", static_cast<std::int64_t>(g.mixed_moves));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+std::string splice_fleet_section(const std::string& doc,
+                                 const std::string& section) {
+  return splice_marked_section(doc, section, kFleetBeginPrefix, kFleetEndLine);
+}
+
+std::string extract_fleet_section(const std::string& doc) {
+  return extract_marked_section(doc, kFleetBeginPrefix, kFleetEndLine);
+}
+
+}  // namespace balbench::history

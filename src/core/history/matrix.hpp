@@ -1,0 +1,128 @@
+// Cross-host (host x cell) matrix of one revision (DESIGN.md Sec. 16).
+//
+// The trend section answers "did this cell drift over revisions on
+// this host?"; the matrix answers the fleet question the paper's
+// cross-machine tables pose: "when revision R looks slower, did the
+// *code* change or did one *machine* change?".  Hunold &
+// Carpen-Amarie ("MPI Benchmarking Revisited", PAPERS.md) call this
+// separating run-to-run from machine-to-machine variance; "Evaluating
+// current processors performance and machines stability" (PAPERS.md)
+// treats per-machine stability as a first-class benchmark output.
+//
+// For one revision R, one config hash, hosts as columns and cells as
+// rows:
+//
+//   * normalized median: each host's cell median divided by the
+//     cross-host median of medians -- 1.00x is "this host is typical
+//     for this cell", and the normalization makes rows comparable;
+//   * cross-host dispersion: the MAD of those normalized medians
+//     across hosts -- the row's machine-to-machine noise floor;
+//   * attribution: each host's median is compared against that host's
+//     *previous* revision in the same (config, host) group.  All
+//     hosts moved the same way -> "code" (the commit did it); exactly
+//     one host moved while others stayed flat -> "host:<name>" (that
+//     machine changed, not the code); otherwise "mixed".
+//
+// Everything here is a pure function of (store, options): rows sorted
+// by (suite, id), hosts sorted lexicographically, groups sorted by
+// config hash -- so the rendered bytes are identical for any shard
+// load order and any --jobs N.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/history/history.hpp"
+
+namespace balbench::history {
+
+struct MatrixOptions {
+  /// Revision to slice; empty selects the newest revision in canonical
+  /// store order (the last entry's git_rev).
+  std::string rev;
+  /// |relative delta| beyond which a host counts as "moved" vs its
+  /// previous revision (same default as the trend drift gate).
+  double threshold = 0.10;
+  /// Worker threads for the per-row bootstrap statistics; any value
+  /// produces identical bytes.
+  int jobs = 1;
+};
+
+enum class Attribution {
+  New,     ///< no host has a previous revision for this cell
+  Ok,      ///< no host moved beyond the threshold
+  Code,    ///< every host with history moved, same direction
+  Host,    ///< exactly one host moved, the others stayed flat
+  Mixed,   ///< several-but-not-all moved, or directions disagree
+  Single,  ///< moved, but only one host has history -- unattributable
+};
+const char* attribution_name(Attribution a);
+
+/// One (host, cell) slot of the matrix.
+struct MatrixHostCell {
+  bool present = false;         ///< host has this cell at revision R
+  util::RobustSummary stats;    ///< cell stats at revision R
+  double normalized = 0.0;      ///< median / cross-host median of medians
+  bool has_prev = false;        ///< host has a previous revision w/ cell
+  double delta = 0.0;           ///< median / previous median - 1
+};
+
+struct MatrixRow {
+  std::string id;
+  std::string suite;
+  std::vector<MatrixHostCell> hosts;  ///< parallel to MatrixGroup::hosts
+  double median_of_medians = 0.0;
+  double dispersion_mad = 0.0;  ///< MAD across hosts of normalized medians
+  Attribution attribution = Attribution::New;
+  std::string moved_host;       ///< Attribution::Host only
+};
+
+struct MatrixGroup {
+  std::string config_hash;
+  std::string suite_spec;            ///< newest spelling among the hosts
+  std::vector<std::string> hosts;    ///< sorted lexicographically
+  std::vector<MatrixRow> rows;       ///< sorted by (suite, id)
+  std::size_t code_moves = 0;
+  std::size_t host_moves = 0;
+  std::size_t mixed_moves = 0;
+};
+
+struct MatrixView {
+  std::string rev;
+  double threshold = 0.10;
+  std::vector<MatrixGroup> groups;  ///< sorted by config hash
+};
+
+/// The newest revision in canonical store order (the last entry's
+/// git_rev); "" for an empty store.
+std::string newest_revision(const History& h);
+
+/// Slices the store at options.rev (or the newest revision) and
+/// computes the full matrix.  Pure function of (store, options).
+MatrixView analyze_matrix(const History& h, const MatrixOptions& options);
+
+// ---------------------------------------------------------------------------
+// EXPERIMENTS.md "Fleet view" section + JSON record
+// ---------------------------------------------------------------------------
+
+inline constexpr const char* kFleetBeginPrefix = "<!-- BEGIN FLEET VIEW";
+inline constexpr const char* kFleetEndLine = "<!-- END FLEET VIEW -->";
+
+/// Renders the marker-delimited markdown section: per-config (host x
+/// cell) tables with normalized medians, cross-host MAD and the
+/// code-vs-host attribution column.  Byte-deterministic in (store,
+/// options) for any jobs value.
+void render_fleet_section(std::ostream& os, const History& h,
+                          const MatrixOptions& options);
+
+/// Serializes the matrix as a "balbench-history-matrix/1" document.
+void write_matrix_json(std::ostream& os, const MatrixView& m);
+
+/// FLEET VIEW variants of splice/extract (see history.hpp).
+std::string splice_fleet_section(const std::string& doc,
+                                 const std::string& section);
+std::string extract_fleet_section(const std::string& doc);
+
+}  // namespace balbench::history

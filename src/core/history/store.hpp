@@ -1,0 +1,136 @@
+// On-disk history stores: single-file and sharded (DESIGN.md Sec. 16).
+//
+// The v1 store was one JSON file holding every host's raw samples, so
+// ingesting one CI box's nightly snapshot meant parsing and rewriting
+// every *other* box's history too -- O(fleet) work for an O(1) change,
+// which is exactly what caps a store at a handful of hosts.  A
+// *sharded* store splits the entries into per-host shard files under a
+// small index:
+//
+//   BENCH_FLEET.json                  balbench-perf-history-index/1
+//   BENCH_FLEET.shards/ci-a.json      balbench-perf-history/2 (host ci-a)
+//   BENCH_FLEET.shards/ci-b.json      balbench-perf-history/2 (host ci-b)
+//
+// Because the store key is (git rev, config hash, host) and every
+// trend group is (config hash, host), a host's entries are a closed
+// world: ingest and compaction touch exactly one shard plus the index,
+// and duplicate-key detection never needs another host's data.  Full
+// analyses (trend, matrix, list) load shards into index-ordered slots
+// -- optionally in parallel -- so the assembled History, and therefore
+// every rendered byte downstream, is identical for any shard load
+// order and any --jobs N.
+//
+// HistoryStore::open() auto-detects the layout from the document's
+// schema string, so every balbench-history subcommand and
+// balbench-report --history accept either layout through one path.
+// All writes go through util::atomic_write.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/history/history.hpp"
+
+namespace balbench::history {
+
+/// One shard reference inside the index.  `file` is relative to the
+/// index file's directory.
+struct ShardRef {
+  std::string host;
+  std::string file;
+  std::size_t entries = 0;
+};
+
+/// The index document (schema "balbench-perf-history-index/1").
+/// Shards are kept sorted by host and hosts are unique, so the
+/// canonical entry order of a sharded store -- shards in index order,
+/// entries in shard order -- is a pure function of the stored data,
+/// never of directory enumeration.
+struct StoreIndex {
+  std::vector<ShardRef> shards;
+};
+
+StoreIndex parse_index(std::string_view text);
+void write_index(std::ostream& os, const StoreIndex& idx);
+
+/// The shard file name a host's entries land in: the host label with
+/// every character outside [A-Za-z0-9._-] replaced by '_', plus
+/// ".json", disambiguated with "-2", "-3", ... against the names
+/// already in `taken` (distinct hosts may sanitize identically).
+std::string shard_file_name(const std::string& host,
+                            const std::vector<std::string>& taken);
+
+/// A history store on disk, either layout.
+class HistoryStore {
+ public:
+  enum class Kind {
+    Missing,     ///< no file yet: reads are empty, ingest bootstraps
+    SingleFile,  ///< one balbench-perf-history/{1,2} document
+    Sharded,     ///< balbench-perf-history-index/1 + per-host shards
+  };
+
+  /// Inspects `path` and classifies the store.  Throws on unreadable
+  /// or schema-invalid documents (a missing file is Kind::Missing, not
+  /// an error).
+  static HistoryStore open(const std::string& path);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] const StoreIndex& index() const { return index_; }
+
+  /// Total entries without loading any shard (sharded: index counts;
+  /// single-file: entry count).
+  [[nodiscard]] std::size_t entry_count() const;
+
+  /// Loads the whole store in canonical order.  Sharded stores parse
+  /// their shards on up to `jobs` threads into index-ordered slots;
+  /// the result is byte-for-byte the same History for every N.
+  [[nodiscard]] History load_all(int jobs = 1) const;
+
+  /// Loads one host's entries: the host's shard alone for sharded
+  /// stores (other shards are not even parsed), a filtered view for
+  /// single-file stores, empty when missing.
+  [[nodiscard]] History load_host(const std::string& host) const;
+
+  struct IngestResult {
+    std::string git_rev;
+    std::string config_hash;
+    std::string host;
+    std::size_t cells = 0;
+    std::size_t store_entries = 0;  // after the ingest
+    bool replaced = false;
+  };
+
+  /// Appends (or with `replace` overwrites) one balbench-perf-record/1
+  /// snapshot.  A Missing store bootstraps as a single-file v2 store.
+  /// Sharded stores rewrite only the affected host's shard plus the
+  /// index; no other shard is read.
+  IngestResult ingest(const obs::JsonValue& record, std::string host,
+                      bool replace);
+
+  /// Compacts entries older than `keep_revisions` per (config hash,
+  /// host) group (see compact_history).  Sharded stores stream shard
+  /// by shard -- one shard in memory at a time -- and rewrite only
+  /// shards that changed.  Returns the number of entries compacted.
+  std::size_t compact(int keep_revisions);
+
+  /// Writes `h` as a sharded store: shards under
+  /// "<index_path>.shards/", index at `index_path`, shards sorted by
+  /// host, entries in original relative order.  The one-shot v1/v2
+  /// single-file -> sharded migration path.
+  static void write_sharded(const History& h, const std::string& index_path);
+
+ private:
+  HistoryStore() = default;
+  void save_index() const;
+  [[nodiscard]] std::string shard_path(const ShardRef& shard) const;
+
+  Kind kind_ = Kind::Missing;
+  std::string path_;
+  StoreIndex index_;  // sharded only
+};
+
+}  // namespace balbench::history

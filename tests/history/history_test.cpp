@@ -223,3 +223,128 @@ TEST(HistorySection, SpliceAppendsThenReplacesIdempotently) {
 TEST(HistorySection, ExtractFromPlainDocumentIsEmpty) {
   EXPECT_EQ(bh::extract_trend_section("# no section here\n"), "");
 }
+
+TEST(HistoryIngest, ReplaceOverwritesInPlace) {
+  bh::History h;
+  bh::ingest_record(h, make_record("r1", "cafe", {{"c.a", "calib", 0.005}}),
+                    "host0");
+  bh::ingest_record(h, make_record("r2", "cafe", {{"c.a", "calib", 0.006}}),
+                    "host0");
+  // Re-recording r1 with --replace keeps its position on the revision
+  // axis (entry 0), never appends.
+  const auto rec = make_record("r1", "cafe", {{"c.a", "calib", 0.009}});
+  EXPECT_THROW(bh::ingest_record(h, rec, "host0"), std::runtime_error);
+  bh::ingest_record(h, rec, "host0", /*replace=*/true);
+  ASSERT_EQ(h.entries.size(), 2u);
+  EXPECT_EQ(h.entries[0].git_rev, "r1");
+  EXPECT_DOUBLE_EQ(h.entries[0].cells[0].samples[0], 0.009);
+  EXPECT_EQ(h.entries[1].git_rev, "r2");
+}
+
+TEST(HistoryCompact, OldEntriesLoseSamplesButKeepExactStats) {
+  bh::History h = series({0.005, 0.010, 0.007, 0.008});
+  // Reference stats computed from the raw samples, before compaction.
+  const balbench::util::RobustSummary raw0 = bh::cell_stats(h.entries[0].cells[0]);
+
+  EXPECT_EQ(bh::compact_history(h, /*keep_revisions=*/2), 2u);
+  EXPECT_TRUE(h.entries[0].cells[0].compacted);
+  EXPECT_TRUE(h.entries[1].cells[0].compacted);
+  EXPECT_FALSE(h.entries[2].cells[0].compacted);
+  EXPECT_FALSE(h.entries[3].cells[0].compacted);
+  EXPECT_TRUE(h.entries[0].cells[0].samples.empty());
+  EXPECT_EQ(bh::cell_sample_count(h.entries[0].cells[0]), 5u);
+
+  // The stored summary is exactly what the raw samples produced.
+  const balbench::util::RobustSummary after = bh::cell_stats(h.entries[0].cells[0]);
+  EXPECT_EQ(after.median, raw0.median);
+  EXPECT_EQ(after.mad, raw0.mad);
+  EXPECT_EQ(after.ci_lo, raw0.ci_lo);
+  EXPECT_EQ(after.ci_hi, raw0.ci_hi);
+}
+
+TEST(HistoryCompact, VerdictsAndSectionSurviveCompactionByteForByte) {
+  bh::History raw = series({0.100, 0.103, 0.106, 0.109, 0.113});
+  std::ostringstream before;
+  const bool drift_before =
+      bh::render_trend_section(before, raw, bh::TrendOptions{});
+
+  bh::History compacted = raw;
+  EXPECT_EQ(bh::compact_history(compacted, 2), 3u);
+  std::ostringstream after;
+  const bool drift_after =
+      bh::render_trend_section(after, compacted, bh::TrendOptions{});
+
+  EXPECT_EQ(drift_before, drift_after);
+  EXPECT_EQ(before.str(), after.str());
+}
+
+TEST(HistoryCompact, CompactTwiceEqualsCompactOnce) {
+  bh::History h = series({0.005, 0.010, 0.007});
+  EXPECT_EQ(bh::compact_history(h, 1), 2u);
+  std::ostringstream once;
+  bh::write_history(once, h);
+  EXPECT_EQ(bh::compact_history(h, 1), 0u);  // nothing left to compact
+  std::ostringstream twice;
+  bh::write_history(twice, h);
+  EXPECT_EQ(once.str(), twice.str());
+}
+
+TEST(HistoryCompact, CompactedStoreRoundTrips) {
+  bh::History h = series({0.005, 0.010, 0.007});
+  bh::compact_history(h, 1);
+  std::ostringstream os;
+  bh::write_history(os, h);
+  const bh::History back = bh::parse_history(os.str());
+  std::ostringstream os2;
+  bh::write_history(os2, back);
+  EXPECT_EQ(os.str(), os2.str());
+  EXPECT_TRUE(back.entries[0].cells[0].compacted);
+  EXPECT_EQ(bh::cell_stats(back.entries[0].cells[0]).median,
+            bh::cell_stats(h.entries[0].cells[0]).median);
+}
+
+TEST(HistoryCompact, CellWithBothSamplesAndSummaryRejected) {
+  bh::History h = series({0.005});
+  std::ostringstream os;
+  bh::write_history(os, h);
+  // Inject a summary next to the raw samples: v2 cells carry one XOR
+  // the other.
+  std::string text = os.str();
+  const std::string needle = "\"samples_seconds\"";
+  const auto at = text.find(needle);
+  ASSERT_NE(at, std::string::npos);
+  text.insert(at,
+              "\"summary\": {\"count\": 5, \"median_seconds\": 1.0, "
+              "\"mad_seconds\": 0.0, \"ci95_lo_seconds\": 1.0, "
+              "\"ci95_hi_seconds\": 1.0, \"min_seconds\": 1.0, "
+              "\"max_seconds\": 1.0}, ");
+  EXPECT_THROW(bh::parse_history(text), std::runtime_error);
+}
+
+TEST(HistoryList, InventoryIsDeterministicAndCountsState) {
+  bh::History h = series({0.005, 0.010, 0.007});
+  bh::ingest_record(h, make_record("r9", "beef", {{"c.b", "micro", 0.001}}),
+                    "host1");
+  bh::compact_history(h, 2);
+  std::ostringstream a, b;
+  bh::render_list(a, h);
+  bh::render_list(b, h);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_NE(a.str().find("4 entries | 2 hosts | 3 raw, 1 compacted"),
+            std::string::npos);
+  EXPECT_NE(a.str().find("compacted"), std::string::npos);
+}
+
+TEST(HistoryChart, FlatSeriesRendersNoSpreadNote) {
+  // Every revision identical: the normalized median is 1.0 everywhere,
+  // which used to squash the chart into a meaningless bottom row.  The
+  // chart now clamps to an explicit flat line with a "no spread" note.
+  std::ostringstream os;
+  EXPECT_FALSE(bh::render_trend_section(os, series({0.005, 0.005, 0.005}),
+                                        bh::TrendOptions{}));
+  EXPECT_NE(os.str().find("no spread"), std::string::npos);
+  std::ostringstream again;
+  bh::render_trend_section(again, series({0.005, 0.005, 0.005}),
+                           bh::TrendOptions{});
+  EXPECT_EQ(os.str(), again.str());
+}

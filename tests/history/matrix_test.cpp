@@ -1,0 +1,205 @@
+// The fleet matrix (DESIGN.md Sec. 16): normalization, cross-host
+// dispersion, code-vs-host drift attribution, and byte-determinism of
+// the rendered section for any entry order and any jobs count.
+#include "core/history/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace bh = balbench::history;
+namespace bo = balbench::obs;
+
+namespace {
+
+bo::JsonValue make_record(
+    const std::string& rev, const std::string& cfg,
+    const std::vector<std::tuple<std::string, std::string, double>>& cells) {
+  std::ostringstream os;
+  os << "{\"schema\":\"balbench-perf-record/1\",\"suite\":\"micro,calib\","
+        "\"repeat\":5,\"warmup\":1,\"config_hash\":\""
+     << cfg << "\",\"provenance\":{\"generator\":\"test\",\"git_rev\":\""
+     << rev << "\"},\"cells\":[";
+  bool first = true;
+  for (const auto& [id, suite, value] : cells) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"id\":\"" << id << "\",\"suite\":\"" << suite
+       << "\",\"samples_seconds\":[";
+    for (int i = 0; i < 5; ++i) os << (i > 0 ? "," : "") << value;
+    os << "]}";
+  }
+  os << "]}";
+  return bo::parse_json(os.str());
+}
+
+void add(bh::History& h, const std::string& rev, const std::string& host,
+         double value, const std::string& id = "c.a") {
+  bh::ingest_record(h, make_record(rev, "cafe", {{id, "calib", value}}), host);
+}
+
+/// r1 -> r2 with per-host r2 medians given; r1 is 0.010 on every host.
+bh::History two_revs(const std::vector<std::pair<std::string, double>>& r2) {
+  bh::History h;
+  for (const auto& [host, value] : r2) {
+    (void)value;
+    add(h, "r1", host, 0.010);
+  }
+  for (const auto& [host, value] : r2) add(h, "r2", host, value);
+  return h;
+}
+
+const bh::MatrixRow& only_row(const bh::MatrixView& m) {
+  EXPECT_EQ(m.groups.size(), 1u);
+  EXPECT_EQ(m.groups[0].rows.size(), 1u);
+  return m.groups[0].rows[0];
+}
+
+}  // namespace
+
+TEST(Matrix, DefaultRevIsNewestCanonicalEntry) {
+  bh::History h;
+  add(h, "r1", "host-a", 0.010);
+  add(h, "r2", "host-a", 0.010);
+  EXPECT_EQ(bh::newest_revision(h), "r2");
+  const bh::MatrixView m = bh::analyze_matrix(h, bh::MatrixOptions{});
+  EXPECT_EQ(m.rev, "r2");
+  EXPECT_TRUE(bh::analyze_matrix(bh::History{}, bh::MatrixOptions{})
+                  .groups.empty());
+}
+
+TEST(Matrix, NormalizationAndDispersion) {
+  // Constant samples: medians are exact.  host-a 4 ms, host-b 6 ms ->
+  // median of medians 5 ms, normalized 0.8 / 1.2, MAD of {0.8, 1.2}
+  // around their median 1.0 is 0.2.
+  const bh::MatrixView m = bh::analyze_matrix(
+      two_revs({{"host-a", 0.004}, {"host-b", 0.006}}), bh::MatrixOptions{});
+  const bh::MatrixRow& row = only_row(m);
+  ASSERT_EQ(m.groups[0].hosts, (std::vector<std::string>{"host-a", "host-b"}));
+  EXPECT_DOUBLE_EQ(row.median_of_medians, 0.005);
+  EXPECT_DOUBLE_EQ(row.hosts[0].normalized, 0.8);
+  EXPECT_DOUBLE_EQ(row.hosts[1].normalized, 1.2);
+  EXPECT_DOUBLE_EQ(row.dispersion_mad, 0.2);
+}
+
+TEST(Matrix, AllHostsMovedSameWayIsCode) {
+  // Both hosts +50 % against their own r1: the commit did it.
+  const bh::MatrixView m = bh::analyze_matrix(
+      two_revs({{"host-a", 0.015}, {"host-b", 0.015}}), bh::MatrixOptions{});
+  const bh::MatrixRow& row = only_row(m);
+  EXPECT_EQ(row.attribution, bh::Attribution::Code);
+  EXPECT_DOUBLE_EQ(row.hosts[0].delta, 0.5);
+  EXPECT_EQ(m.groups[0].code_moves, 1u);
+}
+
+TEST(Matrix, OneHostMovedIsHost) {
+  const bh::MatrixView m = bh::analyze_matrix(
+      two_revs({{"host-a", 0.010}, {"host-b", 0.015}}), bh::MatrixOptions{});
+  const bh::MatrixRow& row = only_row(m);
+  EXPECT_EQ(row.attribution, bh::Attribution::Host);
+  EXPECT_EQ(row.moved_host, "host-b");
+  EXPECT_EQ(m.groups[0].host_moves, 1u);
+}
+
+TEST(Matrix, OppositeDirectionsAreMixed) {
+  const bh::MatrixView m = bh::analyze_matrix(
+      two_revs({{"host-a", 0.005}, {"host-b", 0.015}}), bh::MatrixOptions{});
+  EXPECT_EQ(only_row(m).attribution, bh::Attribution::Mixed);
+}
+
+TEST(Matrix, FlatFleetIsOkAndLoneHostIsSingleOrNew) {
+  EXPECT_EQ(only_row(bh::analyze_matrix(
+                two_revs({{"host-a", 0.010}, {"host-b", 0.0101}}),
+                bh::MatrixOptions{}))
+                .attribution,
+            bh::Attribution::Ok);
+  // One host, moved: real drift, but unattributable without a fleet.
+  EXPECT_EQ(
+      only_row(bh::analyze_matrix(two_revs({{"host-a", 0.015}}),
+                                  bh::MatrixOptions{}))
+          .attribution,
+      bh::Attribution::Single);
+  // No previous revision anywhere: nothing to attribute.
+  bh::History fresh;
+  add(fresh, "r1", "host-a", 0.010);
+  add(fresh, "r1", "host-b", 0.010);
+  EXPECT_EQ(only_row(bh::analyze_matrix(fresh, bh::MatrixOptions{}))
+                .attribution,
+            bh::Attribution::New);
+}
+
+TEST(Matrix, AbsentCellStaysAbsentNotZero) {
+  bh::History h;
+  bh::ingest_record(h,
+                    make_record("r1", "cafe",
+                                {{"c.a", "calib", 0.010},
+                                 {"c.b", "calib", 0.002}}),
+                    "host-a");
+  add(h, "r1", "host-b", 0.010);  // host-b never ran c.b
+  const bh::MatrixView m = bh::analyze_matrix(h, bh::MatrixOptions{});
+  ASSERT_EQ(m.groups.size(), 1u);
+  ASSERT_EQ(m.groups[0].rows.size(), 2u);
+  const bh::MatrixRow& cb = m.groups[0].rows[1];
+  EXPECT_EQ(cb.id, "c.b");
+  EXPECT_TRUE(cb.hosts[0].present);
+  EXPECT_FALSE(cb.hosts[1].present);
+  // One present host: it is the fleet median of this row.
+  EXPECT_DOUBLE_EQ(cb.hosts[0].normalized, 1.0);
+  EXPECT_DOUBLE_EQ(cb.dispersion_mad, 0.0);
+}
+
+TEST(Matrix, EntryOrderAndJobsDoNotChangeBytes) {
+  // The same fleet ingested host-a-first vs host-b-first: canonical
+  // sorting must erase the difference.
+  bh::History ab, ba;
+  add(ab, "r1", "host-a", 0.010);
+  add(ab, "r1", "host-b", 0.012);
+  add(ab, "r2", "host-a", 0.011);
+  add(ab, "r2", "host-b", 0.013);
+  add(ba, "r1", "host-b", 0.012);
+  add(ba, "r1", "host-a", 0.010);
+  add(ba, "r2", "host-b", 0.013);
+  add(ba, "r2", "host-a", 0.011);
+
+  for (int jobs : {1, 2, 4}) {
+    bh::MatrixOptions opt;
+    opt.jobs = jobs;
+    std::ostringstream a, b;
+    bh::render_fleet_section(a, ab, opt);
+    bh::render_fleet_section(b, ba, opt);
+    EXPECT_EQ(a.str(), b.str()) << "jobs=" << jobs;
+
+    std::ostringstream ja, jb;
+    bh::write_matrix_json(ja, bh::analyze_matrix(ab, opt));
+    bh::write_matrix_json(jb, bh::analyze_matrix(ba, opt));
+    EXPECT_EQ(ja.str(), jb.str()) << "jobs=" << jobs;
+  }
+}
+
+TEST(Matrix, JsonCarriesSchemaAndAttribution) {
+  const bh::MatrixView m = bh::analyze_matrix(
+      two_revs({{"host-a", 0.010}, {"host-b", 0.015}}), bh::MatrixOptions{});
+  std::ostringstream os;
+  bh::write_matrix_json(os, m);
+  const bo::JsonValue doc = bo::parse_json(os.str());
+  EXPECT_EQ(doc.at("schema").as_string(), "balbench-history-matrix/1");
+  EXPECT_EQ(doc.at("rev").as_string(), "r2");
+  const auto& row = doc.at("groups").as_array()[0].at("rows").as_array()[0];
+  EXPECT_EQ(row.at("attribution").as_string(), "HOST");
+  EXPECT_EQ(row.at("moved_host").as_string(), "host-b");
+  EXPECT_EQ(row.at("cells").as_array().size(), 2u);
+}
+
+TEST(Matrix, FleetSectionSplicesLikeTrendSection) {
+  const bh::History h = two_revs({{"host-a", 0.010}, {"host-b", 0.012}});
+  std::ostringstream section;
+  bh::render_fleet_section(section, h, bh::MatrixOptions{});
+
+  const std::string doc = "# title\n\nbody.\n";
+  const std::string spliced = bh::splice_fleet_section(doc, section.str());
+  EXPECT_EQ(bh::extract_fleet_section(spliced), section.str());
+  EXPECT_EQ(bh::splice_fleet_section(spliced, section.str()), spliced);
+  EXPECT_EQ(bh::extract_fleet_section(doc), "");
+}

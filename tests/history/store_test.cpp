@@ -1,0 +1,244 @@
+// Sharded history stores (DESIGN.md Sec. 16): migration equivalence,
+// shard-local ingest, streamed compaction, and byte-determinism of
+// the assembled History for any shard count and any --jobs N.
+#include "core/history/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace bh = balbench::history;
+namespace bo = balbench::obs;
+
+namespace {
+
+bo::JsonValue make_record(
+    const std::string& rev, const std::string& cfg,
+    const std::vector<std::tuple<std::string, std::string, double>>& cells) {
+  std::ostringstream os;
+  os << "{\"schema\":\"balbench-perf-record/1\",\"suite\":\"micro,calib\","
+        "\"repeat\":5,\"warmup\":1,\"config_hash\":\""
+     << cfg << "\",\"provenance\":{\"generator\":\"test\",\"git_rev\":\""
+     << rev << "\"},\"cells\":[";
+  bool first = true;
+  for (const auto& [id, suite, value] : cells) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"id\":\"" << id << "\",\"suite\":\"" << suite
+       << "\",\"samples_seconds\":[";
+    for (int i = 0; i < 5; ++i) os << (i > 0 ? "," : "") << value;
+    os << "]}";
+  }
+  os << "]}";
+  return bo::parse_json(os.str());
+}
+
+/// A two-host, two-revision store: the smallest fleet.  Entries are in
+/// the canonical sharded order (grouped by host, revisions in ingest
+/// order within each host) so byte comparisons against a re-assembled
+/// sharded store are exact.
+bh::History fleet() {
+  bh::History h;
+  bh::ingest_record(h, make_record("r1", "cafe", {{"c.a", "calib", 0.005}}),
+                    "host-a");
+  bh::ingest_record(h, make_record("r2", "cafe", {{"c.a", "calib", 0.005}}),
+                    "host-a");
+  bh::ingest_record(h, make_record("r1", "cafe", {{"c.a", "calib", 0.006}}),
+                    "host-b");
+  bh::ingest_record(h, make_record("r2", "cafe", {{"c.a", "calib", 0.006}}),
+                    "host-b");
+  return h;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string dump(const bh::History& h) {
+  std::ostringstream os;
+  bh::write_history(os, h);
+  return os.str();
+}
+
+/// A fresh per-test scratch directory name under gtest's TempDir.
+std::string scratch(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "store_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+}  // namespace
+
+TEST(ShardNaming, SanitizesAndDisambiguates) {
+  EXPECT_EQ(bh::shard_file_name("ci-a.example_1", {}), "ci-a.example_1.json");
+  EXPECT_EQ(bh::shard_file_name("we ird/host", {}), "we_ird_host.json");
+  // Distinct hosts may sanitize identically; taken names get a suffix.
+  EXPECT_EQ(bh::shard_file_name("we&ird/host", {"we_ird_host.json"}),
+            "we_ird_host-2.json");
+  EXPECT_EQ(bh::shard_file_name("", {}), "host.json");
+}
+
+TEST(StoreIndex, RoundTripsAndValidates) {
+  bh::StoreIndex idx;
+  idx.shards.push_back({"host-a", "s.shards/host-a.json", 2});
+  idx.shards.push_back({"host-b", "s.shards/host-b.json", 2});
+  std::ostringstream os;
+  bh::write_index(os, idx);
+  const bh::StoreIndex back = bh::parse_index(os.str());
+  ASSERT_EQ(back.shards.size(), 2u);
+  EXPECT_EQ(back.shards[0].host, "host-a");
+  EXPECT_EQ(back.shards[1].entries, 2u);
+
+  // Unsorted or duplicate hosts break canonical order; path escapes
+  // break the closed world.
+  std::string text = os.str();
+  auto swap_hosts = text;
+  swap_hosts.replace(swap_hosts.find("host-a"), 6, "host-z");
+  EXPECT_THROW(bh::parse_index(swap_hosts), std::runtime_error);
+  auto escape = text;
+  escape.replace(escape.find("s.shards/host-a.json"), 20, "../../etc/passwd");
+  EXPECT_THROW(bh::parse_index(escape), std::runtime_error);
+}
+
+TEST(HistoryStoreIO, MissingStoreBootstrapsSingleFileV2) {
+  const std::string path = scratch("boot") + "/BENCH.json";
+  bh::HistoryStore store = bh::HistoryStore::open(path);
+  EXPECT_EQ(store.kind(), bh::HistoryStore::Kind::Missing);
+  EXPECT_EQ(store.entry_count(), 0u);
+  EXPECT_TRUE(store.load_all().entries.empty());
+
+  const auto r = store.ingest(
+      make_record("r1", "cafe", {{"c.a", "calib", 0.005}}), "host-a",
+      /*replace=*/false);
+  EXPECT_EQ(r.git_rev, "r1");
+  EXPECT_FALSE(r.replaced);
+  EXPECT_EQ(store.kind(), bh::HistoryStore::Kind::SingleFile);
+  EXPECT_NE(slurp(path).find("balbench-perf-history/2"), std::string::npos);
+  EXPECT_EQ(bh::HistoryStore::open(path).load_all().entries.size(), 1u);
+}
+
+TEST(HistoryStoreIO, IngestReplaceRoundTrips) {
+  const std::string path = scratch("replace") + "/BENCH.json";
+  bh::HistoryStore store = bh::HistoryStore::open(path);
+  store.ingest(make_record("r1", "cafe", {{"c.a", "calib", 0.005}}), "host-a",
+               false);
+  const auto rec = make_record("r1", "cafe", {{"c.a", "calib", 0.009}});
+  EXPECT_THROW(store.ingest(rec, "host-a", false), std::runtime_error);
+  const auto r = store.ingest(rec, "host-a", true);
+  EXPECT_TRUE(r.replaced);
+  EXPECT_EQ(r.store_entries, 1u);
+  const bh::History back = bh::HistoryStore::open(path).load_all();
+  ASSERT_EQ(back.entries.size(), 1u);
+  EXPECT_DOUBLE_EQ(back.entries[0].cells[0].samples[0], 0.009);
+}
+
+TEST(HistoryStoreIO, MigrateV1EqualsV2EqualsSharded) {
+  const std::string dir = scratch("migrate");
+  const bh::History h = fleet();
+
+  // The v1 document: the v2 serialization of an all-raw store differs
+  // only in the schema string.
+  std::string v1 = dump(h);
+  const auto at = v1.find("balbench-perf-history/2");
+  ASSERT_NE(at, std::string::npos);
+  v1.replace(at, 23, "balbench-perf-history/1");
+  {
+    std::ofstream out(dir + "/v1.json", std::ios::binary);
+    out << v1;
+  }
+
+  // v1 single-file, v2 single-file and sharded all load to the same
+  // entries -- byte-identical once re-serialized.
+  const bh::History from_v1 =
+      bh::HistoryStore::open(dir + "/v1.json").load_all();
+  EXPECT_EQ(dump(from_v1), dump(h));
+
+  bh::HistoryStore::write_sharded(from_v1, dir + "/FLEET.json");
+  bh::HistoryStore sharded = bh::HistoryStore::open(dir + "/FLEET.json");
+  EXPECT_EQ(sharded.kind(), bh::HistoryStore::Kind::Sharded);
+  ASSERT_EQ(sharded.index().shards.size(), 2u);
+  EXPECT_EQ(sharded.index().shards[0].host, "host-a");
+  EXPECT_EQ(sharded.entry_count(), 4u);
+  EXPECT_EQ(dump(sharded.load_all()), dump(h));
+}
+
+TEST(HistoryStoreIO, ShardedLoadIsJobsInvariant) {
+  const std::string dir = scratch("jobs");
+  bh::HistoryStore::write_sharded(fleet(), dir + "/FLEET.json");
+  const bh::HistoryStore store = bh::HistoryStore::open(dir + "/FLEET.json");
+  const std::string j1 = dump(store.load_all(1));
+  EXPECT_EQ(dump(store.load_all(2)), j1);
+  EXPECT_EQ(dump(store.load_all(4)), j1);
+}
+
+TEST(HistoryStoreIO, ShardedIngestLeavesOtherShardsUntouched) {
+  const std::string dir = scratch("ingest");
+  bh::HistoryStore::write_sharded(fleet(), dir + "/FLEET.json");
+  bh::HistoryStore store = bh::HistoryStore::open(dir + "/FLEET.json");
+  const std::string b_before = slurp(dir + "/FLEET.json.shards/host-b.json");
+
+  const auto r = store.ingest(
+      make_record("r3", "cafe", {{"c.a", "calib", 0.005}}), "host-a", false);
+  EXPECT_EQ(r.store_entries, 5u);
+  // host-b's shard is byte-for-byte untouched; host-a's grew; the
+  // index tracks the new count.
+  EXPECT_EQ(slurp(dir + "/FLEET.json.shards/host-b.json"), b_before);
+  EXPECT_EQ(store.index().shards[0].entries, 3u);
+  EXPECT_EQ(store.index().shards[1].entries, 2u);
+  EXPECT_EQ(bh::HistoryStore::open(dir + "/FLEET.json").entry_count(), 5u);
+
+  // A brand-new host gets its own shard, inserted in sorted position.
+  store.ingest(make_record("r3", "cafe", {{"c.a", "calib", 0.004}}), "host-0",
+               false);
+  const bh::HistoryStore re = bh::HistoryStore::open(dir + "/FLEET.json");
+  ASSERT_EQ(re.index().shards.size(), 3u);
+  EXPECT_EQ(re.index().shards[0].host, "host-0");
+  EXPECT_EQ(re.load_host("host-0").entries.size(), 1u);
+}
+
+TEST(HistoryStoreIO, ShardedCompactEqualsInMemoryCompact) {
+  const std::string dir = scratch("compact");
+  bh::History h = fleet();
+  bh::HistoryStore::write_sharded(h, dir + "/FLEET.json");
+
+  bh::HistoryStore store = bh::HistoryStore::open(dir + "/FLEET.json");
+  EXPECT_EQ(store.compact(1), 2u);  // r1 of each host loses its samples
+
+  bh::History reference = h;
+  EXPECT_EQ(bh::compact_history(reference, 1), 2u);
+  EXPECT_EQ(dump(bh::HistoryStore::open(dir + "/FLEET.json").load_all()),
+            dump(reference));
+
+  // Compacting again changes nothing, on disk included.
+  const std::string a_once = slurp(dir + "/FLEET.json.shards/host-a.json");
+  EXPECT_EQ(bh::HistoryStore::open(dir + "/FLEET.json").compact(1), 0u);
+  EXPECT_EQ(slurp(dir + "/FLEET.json.shards/host-a.json"), a_once);
+}
+
+TEST(HistoryStoreIO, SingleFileCompactUpgradesV1) {
+  const std::string dir = scratch("upgrade");
+  std::string v1 = dump(fleet());
+  v1.replace(v1.find("balbench-perf-history/2"), 23,
+             "balbench-perf-history/1");
+  {
+    std::ofstream out(dir + "/BENCH.json", std::ios::binary);
+    out << v1;
+  }
+  // keep-revisions larger than any group: nothing compacts, but the
+  // rewrite upgrades the schema in place.
+  bh::HistoryStore store = bh::HistoryStore::open(dir + "/BENCH.json");
+  EXPECT_EQ(store.compact(10), 0u);
+  EXPECT_NE(slurp(dir + "/BENCH.json").find("balbench-perf-history/2"),
+            std::string::npos);
+  EXPECT_EQ(dump(bh::HistoryStore::open(dir + "/BENCH.json").load_all()),
+            dump(fleet()));
+}

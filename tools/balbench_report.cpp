@@ -89,6 +89,8 @@
 #include "core/beff/beff.hpp"
 #include "core/beffio/beffio.hpp"
 #include "core/history/history.hpp"
+#include "core/history/matrix.hpp"
+#include "core/history/store.hpp"
 #include "core/kernels/kernels.hpp"
 #include "core/history/trace_diff.hpp"
 #include "core/report/experiments.hpp"
@@ -473,9 +475,15 @@ int main(int argc, char** argv) {
       std::string trend_section;
       if (!history_path.empty()) {
         const history::History store =
-            history::parse_history(slurp(history_path));
+            history::HistoryStore::open(history_path)
+                .load_all(run_opt.jobs);
         std::ostringstream section;
         history::render_trend_section(section, store, history::TrendOptions{});
+        // The fleet view rides along under its own markers so both
+        // sections stay in lockstep with the committed store.
+        section << '\n';
+        history::render_fleet_section(section, store,
+                                      history::MatrixOptions{});
         trend_section = section.str();
       }
       std::ostringstream out;

@@ -1,0 +1,146 @@
+# Fleet-pipeline smoke test, run by ctest as `fleet_matrix_smoke`
+# (cmake -P).
+#
+# Drives the fleet-scale history features end to end on two synthetic
+# hosts, then proves the headline invariants on the *committed* store:
+#   1. ingest two revisions for host-a and host-b (host-a 2x slower in
+#      rev 2, host-b flat) -> the matrix attributes the move to HOST
+#      host-a, not to the code
+#   2. a duplicate (rev, config, host) ingest fails; --replace succeeds
+#      without growing the store
+#   3. `list` inventories 4 entries on 2 hosts
+#   4. `migrate` to a sharded store: the trend section byte-compares
+#      against the single-file render (verdicts survive migration)
+#   5. `compact --keep-revisions 1`: trend AND matrix sections
+#      byte-compare pre/post compaction (verdicts survive sample drop);
+#      compacting again is a no-op
+#   6. matrix markdown + JSON byte-compare at --jobs 1/2/4
+#   7. the committed BENCH_HISTORY.json: check-doc verdict bytes are
+#      identical before/after compact and after migrate to shards
+# The synthetic samples are exact constants, so every comparison is
+# deterministic.
+if(NOT BALBENCH_HISTORY OR NOT WORK_DIR OR NOT SRC_STORE)
+  message(FATAL_ERROR "usage: cmake -DBALBENCH_HISTORY=<exe> -DWORK_DIR=<dir> -DSRC_STORE=<BENCH_HISTORY.json> -P fleet_matrix_smoke.cmake")
+endif()
+
+set(dir "${WORK_DIR}/fleet_smoke")
+file(REMOVE_RECURSE ${dir})
+file(MAKE_DIRECTORY ${dir})
+set(store "${dir}/store.json")
+
+# One record per (rev, host): host-a regresses 2x in rev bbbb222 while
+# host-b stays flat -> a textbook HOST-attributed move.
+function(write_record path rev spin)
+  file(WRITE ${path} "{
+ \"schema\": \"balbench-perf-record/1\",
+ \"suite\": \"micro,calib\",
+ \"repeat\": 5,
+ \"warmup\": 1,
+ \"config_hash\": \"cafe0123\",
+ \"provenance\": {\"generator\": \"fleet_smoke\", \"git_rev\": \"${rev}\"},
+ \"cells\": [
+  {\"id\": \"calib.spin_5ms\", \"suite\": \"calib\",
+   \"samples_seconds\": [${spin}, ${spin}, ${spin}, ${spin}, ${spin}]},
+  {\"id\": \"micro.ring_small\", \"suite\": \"micro\",
+   \"samples_seconds\": [0.001, 0.001, 0.001, 0.001, 0.001]}
+ ]
+}
+")
+endfunction()
+write_record("${dir}/a1.json" aaaa111 0.005)
+write_record("${dir}/a2.json" bbbb222 0.010)
+write_record("${dir}/b1.json" aaaa111 0.005)
+write_record("${dir}/b2.json" bbbb222 0.005)
+
+function(run outvar rc_want)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+  if(NOT rc EQUAL ${rc_want})
+    message(FATAL_ERROR "'${ARGN}' exited ${rc}, want ${rc_want}")
+  endif()
+  set(${outvar} "${out}" PARENT_SCOPE)
+endfunction()
+
+# Act 1: build the fleet, hosts grouped (canonical sharded order).
+run(out 0 ${BALBENCH_HISTORY} ingest --history ${store} --record ${dir}/a1.json --host host-a)
+run(out 0 ${BALBENCH_HISTORY} ingest --history ${store} --record ${dir}/a2.json --host host-a)
+run(out 0 ${BALBENCH_HISTORY} ingest --history ${store} --record ${dir}/b1.json --host host-b)
+run(out 0 ${BALBENCH_HISTORY} ingest --history ${store} --record ${dir}/b2.json --host host-b)
+
+# Act 2: duplicate key rejected; --replace overwrites without growing.
+run(out 1 ${BALBENCH_HISTORY} ingest --history ${store} --record ${dir}/b2.json --host host-b)
+run(out 0 ${BALBENCH_HISTORY} ingest --history ${store} --record ${dir}/b2.json --host host-b --replace)
+
+# Act 3: the inventory sees 4 raw entries on 2 hosts.
+run(listing 0 ${BALBENCH_HISTORY} list --history ${store})
+if(NOT listing MATCHES "4 entries \\| 2 hosts \\| 4 raw, 0 compacted")
+  message(FATAL_ERROR "list inventory is wrong:\n${listing}")
+endif()
+
+# Act 4: migrate to shards; the trend render must not change a byte.
+# (exit 3: host-a's 2x regression is real drift on its own axis.)
+run(trend_single 3 ${BALBENCH_HISTORY} trend --history ${store})
+run(out 0 ${BALBENCH_HISTORY} migrate --history ${store} --output ${dir}/FLEET.json)
+run(trend_sharded 3 ${BALBENCH_HISTORY} trend --history ${dir}/FLEET.json)
+if(NOT trend_single STREQUAL trend_sharded)
+  message(FATAL_ERROR "trend section changed across single-file -> sharded migration")
+endif()
+
+# Act 5 + 6: matrix markdown/JSON are --jobs invariant; compaction
+# changes neither trend nor matrix bytes; a second compact is a no-op.
+run(matrix_j1 0 ${BALBENCH_HISTORY} matrix --history ${dir}/FLEET.json --jobs 1)
+foreach(j 2 4)
+  run(matrix_jn 0 ${BALBENCH_HISTORY} matrix --history ${dir}/FLEET.json --jobs ${j})
+  if(NOT matrix_jn STREQUAL matrix_j1)
+    message(FATAL_ERROR "matrix markdown differs between --jobs 1 and --jobs ${j}")
+  endif()
+endforeach()
+run(out 0 ${BALBENCH_HISTORY} matrix --history ${dir}/FLEET.json --json ${dir}/m1.json --jobs 1)
+run(out 0 ${BALBENCH_HISTORY} matrix --history ${dir}/FLEET.json --json ${dir}/m4.json --jobs 4)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${dir}/m1.json ${dir}/m4.json
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "matrix JSON differs between --jobs 1 and --jobs 4")
+endif()
+if(NOT matrix_j1 MATCHES "HOST: host-a")
+  message(FATAL_ERROR "matrix did not attribute the move to host-a:\n${matrix_j1}")
+endif()
+
+run(compact_out 0 ${BALBENCH_HISTORY} compact --history ${dir}/FLEET.json --keep-revisions 1)
+run(trend_compacted 3 ${BALBENCH_HISTORY} trend --history ${dir}/FLEET.json)
+if(NOT trend_compacted STREQUAL trend_single)
+  message(FATAL_ERROR "trend section changed across compaction")
+endif()
+run(matrix_compacted 0 ${BALBENCH_HISTORY} matrix --history ${dir}/FLEET.json)
+if(NOT matrix_compacted STREQUAL matrix_j1)
+  message(FATAL_ERROR "matrix section changed across compaction")
+endif()
+run(listing 0 ${BALBENCH_HISTORY} list --history ${dir}/FLEET.json)
+if(NOT listing MATCHES "2 raw, 2 compacted")
+  message(FATAL_ERROR "compaction state not visible in list:\n${listing}")
+endif()
+run(out 0 ${BALBENCH_HISTORY} compact --history ${dir}/FLEET.json --keep-revisions 1)
+run(trend_twice 3 ${BALBENCH_HISTORY} trend --history ${dir}/FLEET.json)
+if(NOT trend_twice STREQUAL trend_single)
+  message(FATAL_ERROR "second compact changed the trend section")
+endif()
+
+# Act 7: the committed store.  Its drift verdicts -- the exact bytes
+# history_doc_drift compares -- must survive compact and migrate.
+set(mine "${dir}/BENCH_HISTORY.json")
+configure_file(${SRC_STORE} ${mine} COPYONLY)
+execute_process(COMMAND ${BALBENCH_HISTORY} trend --history ${mine}
+                RESULT_VARIABLE rc_before OUTPUT_VARIABLE commit_before)
+run(out 0 ${BALBENCH_HISTORY} compact --history ${mine} --keep-revisions 1)
+execute_process(COMMAND ${BALBENCH_HISTORY} trend --history ${mine}
+                RESULT_VARIABLE rc_after OUTPUT_VARIABLE commit_after)
+if(NOT commit_before STREQUAL commit_after OR NOT rc_before EQUAL rc_after)
+  message(FATAL_ERROR "committed-store verdict changed across compaction (exit ${rc_before} -> ${rc_after})")
+endif()
+run(out 0 ${BALBENCH_HISTORY} migrate --history ${mine} --output ${dir}/COMMIT_FLEET.json)
+execute_process(COMMAND ${BALBENCH_HISTORY} trend --history ${dir}/COMMIT_FLEET.json
+                RESULT_VARIABLE rc_sharded OUTPUT_VARIABLE commit_sharded)
+if(NOT commit_before STREQUAL commit_sharded OR NOT rc_before EQUAL rc_sharded)
+  message(FATAL_ERROR "committed-store verdict changed across migration (exit ${rc_before} -> ${rc_sharded})")
+endif()
+
+message(STATUS "fleet smoke: ingest/replace/list/migrate/compact/matrix all byte-stable")
