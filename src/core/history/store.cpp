@@ -29,6 +29,20 @@ bool file_exists(const std::string& path) {
   return std::filesystem::exists(path, ec);
 }
 
+/// Parses one on-disk history document, prefixing every diagnostic
+/// with the file's path.  A truncated or corrupt shard must fail as
+/// one clean per-file error naming path, line and column (the
+/// obs::parse_json diagnostics carry line/column/key-path), never as
+/// a context-free message halfway through a multi-shard load.
+History parse_history_file(const std::string& path) {
+  const std::string text = slurp_file(path);
+  try {
+    return parse_history(text);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
 /// Directory of `path` ("" for a bare file name).
 std::string dir_of(const std::string& path) {
   const std::size_t slash = path.find_last_of('/');
@@ -67,7 +81,7 @@ StoreIndex parse_index_doc(const obs::JsonValue& doc) {
 /// Loads one shard and checks its closed-world invariant: every entry
 /// belongs to the shard's host.
 History load_shard(const std::string& path, const std::string& host) {
-  History h = parse_history(slurp_file(path));
+  History h = parse_history_file(path);
   for (const auto& e : h.entries) {
     if (e.host != host) {
       throw std::runtime_error("history shard " + path + " claims host '" +
@@ -138,15 +152,21 @@ HistoryStore HistoryStore::open(const std::string& path) {
     return store;
   }
   const std::string text = slurp_file(path);
-  const obs::JsonValue doc = obs::parse_json(text);
-  const std::string& schema = doc.at("schema").as_string();
-  if (schema == kIndexSchema) {
-    store.kind_ = Kind::Sharded;
-    store.index_ = parse_index_doc(doc);
-  } else {
-    // Let parse_history produce the pointed error for foreign schemas.
-    store.kind_ = Kind::SingleFile;
-    parse_history(text);
+  try {
+    const obs::JsonValue doc = obs::parse_json(text);
+    const std::string& schema = doc.at("schema").as_string();
+    if (schema == kIndexSchema) {
+      store.kind_ = Kind::Sharded;
+      store.index_ = parse_index_doc(doc);
+    } else {
+      // Let parse_history produce the pointed error for foreign schemas.
+      store.kind_ = Kind::SingleFile;
+      parse_history(text);
+    }
+  } catch (const std::exception& e) {
+    // A torn store file (truncated mid-write, disk-level corruption)
+    // fails with one per-file error naming path, line and column.
+    throw std::runtime_error(path + ": " + e.what());
   }
   return store;
 }
@@ -161,7 +181,7 @@ std::size_t HistoryStore::entry_count() const {
       return n;
     }
     case Kind::SingleFile:
-      return parse_history(slurp_file(path_)).entries.size();
+      return parse_history_file(path_).entries.size();
   }
   return 0;
 }
@@ -175,7 +195,7 @@ History HistoryStore::load_all(int jobs) const {
     case Kind::Missing:
       return History{};
     case Kind::SingleFile:
-      return parse_history(slurp_file(path_));
+      return parse_history_file(path_);
     case Kind::Sharded:
       break;
   }
@@ -215,7 +235,7 @@ History HistoryStore::load_host(const std::string& host) const {
     case Kind::SingleFile:
       break;
   }
-  History all = parse_history(slurp_file(path_));
+  History all = parse_history_file(path_);
   History mine;
   for (auto& e : all.entries) {
     if (e.host == host) mine.entries.push_back(std::move(e));
@@ -264,7 +284,7 @@ HistoryStore::IngestResult HistoryStore::ingest(const obs::JsonValue& record,
   }
   // Single-file (or missing: bootstrap a single-file v2 store).
   History all = kind_ == Kind::Missing ? History{}
-                                       : parse_history(slurp_file(path_));
+                                       : parse_history_file(path_);
   const std::size_t before = all.entries.size();
   const HistoryEntry& entry =
       ingest_record(all, record, std::move(host), replace);
@@ -283,7 +303,7 @@ std::size_t HistoryStore::compact(int keep_revisions) {
     throw std::runtime_error("cannot compact: no store at " + path_);
   }
   if (kind_ == Kind::SingleFile) {
-    History all = parse_history(slurp_file(path_));
+    History all = parse_history_file(path_);
     const std::size_t n = compact_history(all, keep_revisions);
     // Rewrite even when nothing compacted: compact doubles as the
     // v1 -> v2 single-file rewrite.

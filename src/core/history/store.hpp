@@ -74,7 +74,11 @@ class HistoryStore {
 
   /// Inspects `path` and classifies the store.  Throws on unreadable
   /// or schema-invalid documents (a missing file is Kind::Missing, not
-  /// an error).
+  /// an error).  Torn-input contract (here and in every shard load
+  /// below): a truncated or corrupt file fails with ONE per-file
+  /// error naming the path plus the obs::parse_json line/column/
+  /// key-path diagnostics -- "<path>: line L, column C (at $...)" --
+  /// never a context-free abort halfway through a multi-shard load.
   static HistoryStore open(const std::string& path);
 
   [[nodiscard]] Kind kind() const { return kind_; }

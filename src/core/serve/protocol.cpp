@@ -1,0 +1,192 @@
+#include "core/serve/protocol.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace balbench::serve {
+
+namespace {
+
+/// Every key the request schema knows; anything else is rejected so a
+/// typo'd field (or a future-version request) fails loudly instead of
+/// being silently ignored.
+void check_known_keys(const obs::JsonValue& doc,
+                      std::initializer_list<const char*> known,
+                      const char* what) {
+  for (const auto& [key, value] : doc.as_object()) {
+    (void)value;
+    bool ok = false;
+    for (const char* k : known) {
+      if (key == k) ok = true;
+    }
+    if (!ok) {
+      throw std::runtime_error(std::string(what) + ": unknown key '" + key +
+                               "'");
+    }
+  }
+}
+
+RequestKind parse_kind(const std::string& s) {
+  if (s == "ping") return RequestKind::Ping;
+  if (s == "sweep") return RequestKind::Sweep;
+  if (s == "stats") return RequestKind::Stats;
+  if (s == "shutdown") return RequestKind::Shutdown;
+  throw std::runtime_error("serve request: unknown kind '" + s +
+                           "' (ping | sweep | stats | shutdown)");
+}
+
+ResponseStatus parse_status(const std::string& s) {
+  if (s == "ok") return ResponseStatus::Ok;
+  if (s == "degraded") return ResponseStatus::Degraded;
+  if (s == "failed") return ResponseStatus::Failed;
+  if (s == "overloaded") return ResponseStatus::Overloaded;
+  if (s == "error") return ResponseStatus::Error;
+  throw std::runtime_error("serve response: unknown status '" + s + "'");
+}
+
+CacheDisposition parse_cache(const std::string& s) {
+  if (s == "none") return CacheDisposition::None;
+  if (s == "hit") return CacheDisposition::Hit;
+  if (s == "miss") return CacheDisposition::Miss;
+  if (s == "bypass") return CacheDisposition::Bypass;
+  throw std::runtime_error("serve response: unknown cache disposition '" + s +
+                           "'");
+}
+
+void check_schema(const obs::JsonValue& doc, const char* want,
+                  const char* what) {
+  const std::string& schema = doc.at("schema").as_string();
+  if (schema != want) {
+    throw std::runtime_error(std::string(what) + ": schema is '" + schema +
+                             "', want '" + want + "'");
+  }
+}
+
+}  // namespace
+
+const char* request_kind_name(RequestKind k) {
+  switch (k) {
+    case RequestKind::Ping: return "ping";
+    case RequestKind::Sweep: return "sweep";
+    case RequestKind::Stats: return "stats";
+    case RequestKind::Shutdown: return "shutdown";
+  }
+  return "ping";
+}
+
+const char* status_name(ResponseStatus s) {
+  switch (s) {
+    case ResponseStatus::Ok: return "ok";
+    case ResponseStatus::Degraded: return "degraded";
+    case ResponseStatus::Failed: return "failed";
+    case ResponseStatus::Overloaded: return "overloaded";
+    case ResponseStatus::Error: return "error";
+  }
+  return "error";
+}
+
+int status_exit_code(ResponseStatus s) {
+  switch (s) {
+    case ResponseStatus::Ok: return 0;
+    case ResponseStatus::Degraded:
+    case ResponseStatus::Failed: return 3;
+    case ResponseStatus::Overloaded: return 4;
+    case ResponseStatus::Error: return 1;
+  }
+  return 1;
+}
+
+const char* cache_name(CacheDisposition c) {
+  switch (c) {
+    case CacheDisposition::None: return "none";
+    case CacheDisposition::Hit: return "hit";
+    case CacheDisposition::Miss: return "miss";
+    case CacheDisposition::Bypass: return "bypass";
+  }
+  return "none";
+}
+
+ServeRequest parse_request(std::string_view line) {
+  const obs::JsonValue doc = obs::parse_json(line);
+  check_schema(doc, kRequestSchema, "serve request");
+  check_known_keys(
+      doc, {"schema", "id", "kind", "scope", "scenario", "faults",
+            "deadline_s"},
+      "serve request");
+  ServeRequest r;
+  if (const auto* v = doc.find("id")) r.id = v->as_string();
+  r.kind = parse_kind(doc.at("kind").as_string());
+  if (const auto* v = doc.find("scope")) r.scope = v->as_string();
+  if (const auto* v = doc.find("scenario")) r.scenario = v->as_string();
+  if (const auto* v = doc.find("faults")) r.faults = v->as_string();
+  if (const auto* v = doc.find("deadline_s")) {
+    r.deadline_s = v->as_number();
+    if (r.deadline_s < 0.0) {
+      throw std::runtime_error("serve request: deadline_s must be >= 0");
+    }
+  }
+  return r;
+}
+
+std::string write_request(const ServeRequest& r) {
+  std::ostringstream os;
+  obs::JsonWriter w(os, /*indent=*/0);
+  w.begin_object();
+  w.field("schema", kRequestSchema);
+  w.field("id", r.id);
+  w.field("kind", request_kind_name(r.kind));
+  if (r.kind == RequestKind::Sweep) {
+    w.field("scope", r.scope);
+    if (!r.scenario.empty()) w.field("scenario", r.scenario);
+    if (!r.faults.empty()) w.field("faults", r.faults);
+    if (r.deadline_s > 0.0) w.field("deadline_s", r.deadline_s);
+  }
+  w.end_object();
+  return os.str();
+}
+
+ServeResponse parse_response(std::string_view line) {
+  const obs::JsonValue doc = obs::parse_json(line);
+  check_schema(doc, kResponseSchema, "serve response");
+  check_known_keys(
+      doc, {"schema", "id", "status", "cache", "key", "record", "error",
+            "stats"},
+      "serve response");
+  ServeResponse r;
+  if (const auto* v = doc.find("id")) r.id = v->as_string();
+  r.status = parse_status(doc.at("status").as_string());
+  if (const auto* v = doc.find("cache")) r.cache = parse_cache(v->as_string());
+  if (const auto* v = doc.find("key")) r.key = v->as_string();
+  if (const auto* v = doc.find("record")) r.record = v->as_string();
+  if (const auto* v = doc.find("error")) r.error = v->as_string();
+  if (const auto* v = doc.find("stats")) {
+    for (const auto& [name, value] : v->as_object()) {
+      r.stats[name] = value.as_number();
+    }
+  }
+  return r;
+}
+
+std::string write_response(const ServeResponse& r) {
+  std::ostringstream os;
+  obs::JsonWriter w(os, /*indent=*/0);
+  w.begin_object();
+  w.field("schema", kResponseSchema);
+  w.field("id", r.id);
+  w.field("status", status_name(r.status));
+  if (r.cache != CacheDisposition::None) w.field("cache", cache_name(r.cache));
+  if (!r.key.empty()) w.field("key", r.key);
+  if (!r.record.empty()) w.field("record", r.record);
+  if (!r.error.empty()) w.field("error", r.error);
+  if (!r.stats.empty()) {
+    w.key("stats").begin_object();
+    for (const auto& [name, value] : r.stats) w.field(name, value);
+    w.end_object();
+  }
+  w.end_object();
+  return os.str();
+}
+
+}  // namespace balbench::serve

@@ -1,0 +1,106 @@
+// Wire protocol of balbench-serve (DESIGN.md Sec. 17.1).
+//
+// Requests and responses travel over a local AF_UNIX stream socket as
+// newline-delimited JSON: one complete single-line document per
+// message, schemas "balbench-serve-request/1" and
+// "balbench-serve-response/1" (docs/FORMATS.md).  The framing is
+// deliberately primitive -- a line is either a whole message or
+// garbage, so a crashed peer can never leave a half-frame that
+// desynchronizes the stream; the next line starts clean.
+//
+// Requests are hostile inputs by assumption (any local process can
+// connect): parse_request rejects unknown keys, wrong types and
+// foreign schemas with a pointed error, and the server answers a bad
+// line with a status="error" response instead of dying.
+//
+// A sweep response carries the balbench-run-record/1 document as a
+// JSON *string* (the verbatim record bytes, escaped), not as a nested
+// object: re-serializing the record through a parser would reorder
+// its keys, and the whole cache contract is that a hit returns the
+// exact bytes a never-crashed, never-cached run would have produced.
+// obs::json_escape is deterministic and lossless, so
+// parse -> unescape on the client side recovers the record byte for
+// byte (the serve_kill_recover ctest compares it against
+// balbench-report's own file output).
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace balbench::serve {
+
+inline constexpr const char* kRequestSchema = "balbench-serve-request/1";
+inline constexpr const char* kResponseSchema = "balbench-serve-response/1";
+
+enum class RequestKind {
+  Ping,      ///< liveness probe; answered inline, never queued
+  Sweep,     ///< run (or serve from cache) an experiments sweep
+  Stats,     ///< serve metrics snapshot (queue depth, hit/miss, ...)
+  Shutdown,  ///< graceful drain: in-flight finishes, queue persists
+};
+const char* request_kind_name(RequestKind k);
+
+struct ServeRequest {
+  std::string id;  ///< client-chosen correlation id, echoed back
+  RequestKind kind = RequestKind::Ping;
+  /// Sweep parameters (ignored for the other kinds).
+  std::string scope = "quick";  ///< "quick" | "doc"
+  /// Inline balbench-scenario/1 document ("" = the built-in sweep).
+  /// Sent by value, not by path: the server must not read files named
+  /// by untrusted peers, and the scenario text is what the cache key
+  /// hashes.
+  std::string scenario;
+  /// --faults spec (robust::FaultPlan grammar); non-empty bypasses the
+  /// result cache (the record bytes depend on the plan).
+  std::string faults;
+  /// Per-cell virtual-time deadline in seconds; > 0 bypasses the cache
+  /// and records exhausted cells as degraded instead of hanging.
+  double deadline_s = 0.0;
+};
+
+/// Parses one request line.  Throws std::runtime_error on malformed
+/// JSON, a foreign schema, unknown keys or wrong value types.
+ServeRequest parse_request(std::string_view line);
+/// One-line JSON form (no trailing newline; the socket layer appends
+/// the '\n' frame delimiter).
+std::string write_request(const ServeRequest& r);
+
+enum class ResponseStatus {
+  Ok,          ///< clean result (cache hit or clean sweep)
+  Degraded,    ///< sweep completed, >= 1 cell degraded (partial cells
+               ///< recorded -- inspect "status" fields in the record)
+  Failed,      ///< sweep completed, >= 1 cell exhausted its budget
+  Overloaded,  ///< admission control rejected the request (queue full)
+  Error,       ///< malformed request or internal failure, see `error`
+};
+const char* status_name(ResponseStatus s);
+/// Exit code a client maps the status to (README exit-code table):
+/// 0 = ok, 3 = degraded/failed, 4 = overloaded, 1 = error.
+int status_exit_code(ResponseStatus s);
+
+enum class CacheDisposition {
+  None,    ///< not a sweep response
+  Hit,     ///< served from the durable cache, no simulation ran
+  Miss,    ///< computed and (when clean) stored
+  Bypass,  ///< computed but uncacheable (faults/deadline requests)
+};
+const char* cache_name(CacheDisposition c);
+
+struct ServeResponse {
+  std::string id;  ///< echoed request id ("" when the line was garbage)
+  ResponseStatus status = ResponseStatus::Ok;
+  CacheDisposition cache = CacheDisposition::None;
+  std::string key;     ///< cache key "(rev:config:scenario)" of a sweep
+  std::string record;  ///< verbatim balbench-run-record/1 bytes
+  std::string error;   ///< human-readable cause when status == Error
+  /// Serve metrics for Stats responses: metric name -> value (counters
+  /// and gauges of the serve registry, deterministic map order).
+  std::map<std::string, double> stats;
+};
+
+/// Parses one response line; throws like parse_request.
+ServeResponse parse_response(std::string_view line);
+std::string write_response(const ServeResponse& r);
+
+}  // namespace balbench::serve

@@ -78,6 +78,15 @@ class Gauge {
            !v_.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
     }
   }
+  /// Adds a (possibly negative) delta -- a level that rises and falls,
+  /// e.g. the balbench-serve admission-queue depth.  Wait-free CAS
+  /// loop, safe against concurrent set()/add() writers.
+  void add(double delta) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+    }
+  }
   [[nodiscard]] double value() const {
     return v_.load(std::memory_order_relaxed);
   }

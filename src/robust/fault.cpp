@@ -4,13 +4,13 @@
 #include <charconv>
 #include <cmath>
 
+#include "util/backoff.hpp"
 #include "util/hash.hpp"
 
 namespace balbench::robust {
 
 double RetryPolicy::backoff_for(int attempt) const {
-  const double raw = backoff_base_s * std::ldexp(1.0, attempt - 1);
-  return std::min(backoff_cap_s, raw);
+  return util::Backoff{backoff_base_s, backoff_cap_s}.delay_for(attempt);
 }
 
 const char* outcome_name(Outcome outcome) {

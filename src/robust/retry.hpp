@@ -22,7 +22,9 @@ struct RetryPolicy {
   double timeout_s = 0.0;        // per-attempt virtual-time deadline, 0 = none
 
   /// Backoff after failed attempt `attempt` (1-based):
-  /// min(cap, base * 2^(attempt-1)).
+  /// min(cap, base * 2^(attempt-1)).  The schedule itself is
+  /// util::Backoff -- shared with the balbench-serve client, which
+  /// sleeps real host seconds on the same curve.
   [[nodiscard]] double backoff_for(int attempt) const;
 };
 

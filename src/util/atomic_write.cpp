@@ -17,15 +17,30 @@ namespace {
                            "': " + std::strerror(errno));
 }
 
+/// fsync, retried through EINTR (a signal must not silently skip the
+/// one syscall the durability guarantee hangs on).
+int fsync_retry(int fd) {
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  return rc;
+}
+
 /// fsync the directory containing `path` so the rename itself is
-/// durable, not just the file contents.  Best-effort: some
-/// filesystems refuse to open directories for syncing.
+/// durable, not just the file contents: on ext4-like filesystems the
+/// new directory entry lives in the parent's data, and a crash right
+/// after rename(2) can otherwise revert -- or on some journal modes
+/// lose -- the name.  Best-effort only in one respect: filesystems
+/// that refuse to open directories for syncing (some network/FUSE
+/// mounts) skip the sync, which degrades the guarantee from
+/// "committed" to "atomic but possibly reverted" (see the header).
 void sync_parent_dir(const std::string& path) {
   const auto slash = path.find_last_of('/');
   const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
   const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
   if (fd < 0) return;
-  ::fsync(fd);
+  fsync_retry(fd);
   ::close(fd);
 }
 
@@ -49,7 +64,7 @@ void atomic_write(const std::string& path, std::string_view content) {
     written += static_cast<std::size_t>(n);
   }
 
-  if (::fsync(fd) != 0) {
+  if (fsync_retry(fd) != 0) {
     ::close(fd);
     ::unlink(tmp.c_str());
     fail("fsync", tmp);

@@ -8,6 +8,23 @@
 // fsync'd, and the temporary is rename(2)d over the target -- readers
 // observe either the old complete file or the new complete file,
 // never a prefix (DESIGN.md Sec. 12.3).
+//
+// Guarantee actually provided (be precise -- the serve result cache
+// journals through this):
+//
+//   * Atomicity, always: any reader, before or after any crash, sees
+//     a complete old file or a complete new file, never a mix or a
+//     prefix.  This needs only rename(2) semantics.
+//   * Durability, on ext4-like filesystems: the parent directory is
+//     fsync'd after the rename, so once atomic_write returns, the NEW
+//     content survives a power failure.  Without that directory sync a
+//     crash immediately after commit can revert the rename -- the file
+//     silently reads as its previous version again.
+//   * On filesystems that refuse O_DIRECTORY opens for fsync (some
+//     network/FUSE mounts), the directory sync is skipped: atomicity
+//     holds, but the rename may be reverted by a crash.  Callers that
+//     must detect this (the serve cache) pair the write with a
+//     content hash in a separately-journaled index.
 #pragma once
 
 #include <string>

@@ -1,0 +1,14 @@
+#include "util/backoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace balbench::util {
+
+double Backoff::delay_for(int attempt) const {
+  const int k = attempt < 1 ? 1 : attempt;
+  const double raw = base_s * std::ldexp(1.0, k - 1);
+  return std::min(cap_s, raw);
+}
+
+}  // namespace balbench::util

@@ -1,0 +1,24 @@
+// Capped exponential backoff, shared by every retry loop.
+//
+// Two very different layers want the same schedule: the robustness
+// layer's per-cell retry (src/robust/retry.hpp) books virtual-time
+// backoff seconds into degraded records, and the balbench-serve client
+// really sleeps host seconds between reconnect attempts to a crashed
+// or draining server.  The schedule lives here once so the two can
+// never drift: attempt k (1-based) waits min(cap_s, base_s * 2^(k-1)).
+#pragma once
+
+namespace balbench::util {
+
+struct Backoff {
+  double base_s = 0.25;  // delay after the first failed attempt
+  double cap_s = 8.0;    // exponential growth saturates here
+
+  /// Delay after failed attempt `attempt` (1-based):
+  /// min(cap_s, base_s * 2^(attempt-1)).  Attempts below 1 are treated
+  /// as 1, so a defensive caller can never produce a huge 2^-k delay
+  /// overflowing into zero or a negative shift.
+  [[nodiscard]] double delay_for(int attempt) const;
+};
+
+}  // namespace balbench::util

@@ -1,0 +1,144 @@
+// Torn-input robustness of the history store (DESIGN.md Sec. 16): a
+// shard or index file truncated mid-byte -- the classic torn write a
+// non-atomic writer leaves behind -- must surface as ONE clean
+// per-file error naming the path plus the obs::parse_json line/column
+// diagnostics, never as a context-free abort halfway through a
+// multi-shard load.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/history/store.hpp"
+#include "obs/json.hpp"
+
+namespace bh = balbench::history;
+namespace bo = balbench::obs;
+
+namespace {
+
+bo::JsonValue tiny_record(const std::string& rev) {
+  std::ostringstream os;
+  os << "{\"schema\":\"balbench-perf-record/1\",\"suite\":\"calib\","
+        "\"repeat\":3,\"warmup\":1,\"config_hash\":\"cafe\","
+        "\"provenance\":{\"generator\":\"test\",\"git_rev\":\""
+     << rev << "\"},\"cells\":[{\"id\":\"c.a\",\"suite\":\"calib\","
+        "\"samples_seconds\":[0.005,0.005,0.005]}]}";
+  return bo::parse_json(os.str());
+}
+
+std::string scratch(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "corrupt_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// A two-host sharded store on disk; returns the index path.
+std::string make_store(const std::string& dir) {
+  bh::History h;
+  bh::ingest_record(h, tiny_record("r1"), "host-a");
+  bh::ingest_record(h, tiny_record("r1"), "host-b");
+  const std::string index = dir + "/FLEET.json";
+  bh::HistoryStore::write_sharded(h, index);
+  return index;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void truncate_to(const std::string& path, std::size_t bytes) {
+  const std::string text = slurp(path);
+  ASSERT_LT(bytes, text.size());
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text.substr(0, bytes);
+}
+
+/// Runs `fn` and returns the error message it must throw.
+template <typename Fn>
+std::string error_of(Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "no exception thrown";
+  return {};
+}
+
+}  // namespace
+
+TEST(HistoryCorruptShard, TruncatedShardNamesPathLineAndColumn) {
+  const std::string dir = scratch("shard");
+  const std::string index = make_store(dir);
+  const std::string shard = dir + "/FLEET.json.shards/host-a.json";
+  const std::size_t full = slurp(shard).size();
+
+  // Several torn points: mid-key, mid-structure, and just short of the
+  // closing brace.  Every one must fail the same way -- path-prefixed,
+  // with parser coordinates -- regardless of where the tear landed.
+  for (const std::size_t cut : {std::size_t{10}, full / 2, full - 2}) {
+    const std::string text = slurp(shard);
+    truncate_to(shard, cut);
+    const bh::HistoryStore store = bh::HistoryStore::open(index);
+    const std::string msg =
+        error_of([&] { (void)store.load_all(/*jobs=*/1); });
+    EXPECT_NE(msg.find(shard), std::string::npos)
+        << "cut at " << cut << ": " << msg;
+    EXPECT_NE(msg.find("line"), std::string::npos)
+        << "cut at " << cut << ": " << msg;
+    EXPECT_NE(msg.find("column"), std::string::npos)
+        << "cut at " << cut << ": " << msg;
+    std::ofstream(shard, std::ios::binary | std::ios::trunc) << text;
+  }
+}
+
+TEST(HistoryCorruptShard, TruncatedShardFailsHostLoadToo) {
+  const std::string dir = scratch("host_load");
+  const std::string index = make_store(dir);
+  const std::string shard = dir + "/FLEET.json.shards/host-b.json";
+  truncate_to(shard, 20);
+  const bh::HistoryStore store = bh::HistoryStore::open(index);
+  const std::string msg =
+      error_of([&] { (void)store.load_host("host-b"); });
+  EXPECT_NE(msg.find(shard), std::string::npos) << msg;
+  // The intact shard stays loadable: the failure is per-file, not
+  // store-wide.
+  EXPECT_EQ(store.load_host("host-a").entries.size(), 1u);
+}
+
+TEST(HistoryCorruptShard, TruncatedIndexNamesPath) {
+  const std::string dir = scratch("index");
+  const std::string index = make_store(dir);
+  truncate_to(index, slurp(index).size() / 2);
+  const std::string msg =
+      error_of([&] { (void)bh::HistoryStore::open(index); });
+  EXPECT_NE(msg.find(index), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("column"), std::string::npos) << msg;
+}
+
+TEST(HistoryCorruptShard, TruncatedSingleFileStoreNamesPath) {
+  const std::string dir = scratch("single");
+  bh::History h;
+  bh::ingest_record(h, tiny_record("r1"), "host-a");
+  const std::string path = dir + "/HIST.json";
+  {
+    std::ostringstream os;
+    bh::write_history(os, h);
+    std::ofstream(path, std::ios::binary) << os.str();
+  }
+  truncate_to(path, 30);
+  const std::string msg =
+      error_of([&] { (void)bh::HistoryStore::open(path); });
+  EXPECT_NE(msg.find(path), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("column"), std::string::npos) << msg;
+}

@@ -77,6 +77,22 @@ TEST(Registry, HandlesAreStable) {
   EXPECT_EQ(reg.counter("x").value(), 5u);
 }
 
+TEST(Gauge, AddTracksALevelUpAndDown) {
+  Registry reg;
+  Gauge& depth = reg.gauge("serve.queue_depth");
+  depth.add(1.0);
+  depth.add(1.0);
+  depth.add(-1.0);
+  EXPECT_DOUBLE_EQ(depth.value(), 1.0);
+  depth.add(-1.0);
+  EXPECT_DOUBLE_EQ(depth.value(), 0.0);
+  // add() composes with set(): the CAS loop starts from whatever the
+  // last writer left.
+  depth.set(5.0);
+  depth.add(-2.0);
+  EXPECT_DOUBLE_EQ(depth.value(), 3.0);
+}
+
 TEST(Registry, SnapshotCapturesAllKinds) {
   Registry reg;
   reg.counter("c").add(7);

@@ -1,0 +1,67 @@
+# Chaos schedule for balbench-serve, run by ctest as `serve_chaos`
+# (cmake -P).  Sweeps the crash point across the sweep: one iteration
+# per --kill-after value, each in a fresh cache, each proving the same
+# invariant as serve_kill_recover -- whenever the server dies, a
+# client with capped-backoff reconnects eventually receives bytes
+# identical to the uninterrupted reference.  The kill points are a
+# fixed schedule (task 1, 2, 3), so every iteration's crash location
+# is deterministic and the test never flakes on timing.
+if(NOT BALBENCH_SERVE OR NOT BALBENCH_REPORT OR NOT WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DBALBENCH_SERVE=<exe> -DBALBENCH_REPORT=<exe> -DWORK_DIR=<dir> -P serve_chaos.cmake")
+endif()
+include(${CMAKE_CURRENT_LIST_DIR}/serve_common.cmake)
+
+set(dir ${WORK_DIR}/serve_chaos)
+file(REMOVE_RECURSE ${dir})
+file(MAKE_DIRECTORY ${dir})
+
+# The uninterrupted reference, computed once.
+execute_process(
+  COMMAND ${BALBENCH_REPORT} --scope quick --record ${dir}/ref.json
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "reference sweep failed (exit ${rc})")
+endif()
+
+foreach(kill_at 1 2 3)
+  set(it ${dir}/kill${kill_at})
+  file(MAKE_DIRECTORY ${it})
+  set(sock ${it}/serve.sock)
+  set(cache ${it}/CACHE.json)
+
+  serve_start(${it}/a.pid ${it}/a.log
+              --socket ${sock} --cache ${cache} --kill-after ${kill_at})
+  serve_wait_ready(${sock})
+  serve_client_bg(${it}/client.rc ${it}/client.err
+                  --socket ${sock} --record-out ${it}/got.json
+                  --retries 40 --backoff-base 0.2 --backoff-cap 1)
+  serve_wait_dead(${it}/a.pid)
+
+  serve_start(${it}/b.pid ${it}/b.log --socket ${sock} --cache ${cache})
+  serve_wait_rcfile(${it}/client.rc clientrc)
+  if(NOT clientrc EQUAL 0)
+    file(READ ${it}/client.err cerr)
+    message(FATAL_ERROR "kill-after ${kill_at}: retried request failed (exit ${clientrc}):\n${cerr}")
+  endif()
+  file(READ ${it}/client.err cerr)
+  if(NOT cerr MATCHES "retry in")
+    message(FATAL_ERROR "kill-after ${kill_at}: client never engaged its backoff loop:\n${cerr}")
+  endif()
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${dir}/ref.json ${it}/got.json
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "kill-after ${kill_at}: post-crash record differs from the reference")
+  endif()
+
+  execute_process(COMMAND ${BALBENCH_SERVE} --client --socket ${sock}
+                          --shutdown --retries 1
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "kill-after ${kill_at}: shutdown failed (exit ${rc})")
+  endif()
+  serve_wait_dead(${it}/b.pid)
+  message(STATUS "serve chaos: kill point ${kill_at} recovered byte-identically")
+endforeach()
+
+message(STATUS "serve chaos: every kill point recovered byte-identically")

@@ -1,0 +1,77 @@
+# Shared plumbing of the balbench-serve smoke tests (included by the
+# serve_smoke / serve_kill_recover / serve_chaos cmake -P scripts).
+# cmake -P has no job control, so the server and background clients run
+# through `sh -c "... &"` with pid / exit-code files as the rendezvous.
+
+# Starts ${BALBENCH_SERVE} detached with the flags in ARGN; the pid
+# lands in `pidfile`, stdout+stderr in `log`.
+function(serve_start pidfile log)
+  string(JOIN " " args ${ARGN})
+  execute_process(
+    COMMAND sh -c "${BALBENCH_SERVE} ${args} > ${log} 2>&1 & echo $! > ${pidfile}"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "cannot start balbench-serve (${rc})")
+  endif()
+endfunction()
+
+# Runs one client request detached; the client's exit code lands in
+# `rcfile` when it finishes (serve_wait_rcfile polls for it), stderr in
+# `errfile`.
+function(serve_client_bg rcfile errfile)
+  string(JOIN " " args ${ARGN})
+  execute_process(
+    # The subshell's OWN stdio must be re-pointed too: execute_process
+    # waits for its output pipes to close, and an inherited descriptor
+    # inside the backgrounded subshell would hold them open -- turning
+    # this "background" client into a blocking one.
+    COMMAND sh -c "( ${BALBENCH_SERVE} --client ${args} > /dev/null 2> ${errfile}; echo $? > ${rcfile} ) < /dev/null > /dev/null 2>&1 &"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "cannot start background client (${rc})")
+  endif()
+endfunction()
+
+# Polls --ping until the server on `socket` answers; ~15 s budget.
+function(serve_wait_ready socket)
+  foreach(i RANGE 150)
+    execute_process(
+      COMMAND ${BALBENCH_SERVE} --client --socket ${socket} --ping --retries 1
+      RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+    if(rc EQUAL 0)
+      return()
+    endif()
+    execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+  endforeach()
+  message(FATAL_ERROR "server on ${socket} never became ready")
+endfunction()
+
+# Waits until the pid recorded in `pidfile` is gone; ~60 s budget.
+function(serve_wait_dead pidfile)
+  file(READ ${pidfile} pid)
+  string(STRIP "${pid}" pid)
+  foreach(i RANGE 600)
+    execute_process(COMMAND sh -c "kill -0 ${pid} 2>/dev/null"
+                    RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+      return()
+    endif()
+    execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+  endforeach()
+  message(FATAL_ERROR "server pid ${pid} did not exit")
+endfunction()
+
+# Waits for a background client's exit-code file and returns its value
+# in `out_var`; ~120 s budget.
+function(serve_wait_rcfile rcfile out_var)
+  foreach(i RANGE 1200)
+    if(EXISTS ${rcfile})
+      file(READ ${rcfile} rc)
+      string(STRIP "${rc}" rc)
+      set(${out_var} "${rc}" PARENT_SCOPE)
+      return()
+    endif()
+    execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+  endforeach()
+  message(FATAL_ERROR "background client never finished (${rcfile})")
+endfunction()

@@ -1,0 +1,108 @@
+# SIGKILL crash-recovery test, run by ctest as `serve_kill_recover`
+# (cmake -P).  The acceptance scenario of DESIGN.md Sec. 17.3:
+#
+#   1. balbench-report records the uninterrupted reference bytes
+#   2. a server started with --kill-after 2 SIGKILLs itself mid-sweep
+#      while a client (with capped-backoff reconnects) waits on it
+#   3. crashed state on disk: no committed cache entry, but the
+#      in-flight sweep's checkpoint journal survives
+#   4. a restarted server resumes the journal; the client's retried
+#      request completes with bytes identical to the reference
+#   5. the identical second request is served from the cache -- proven
+#      byte-for-byte AND through --stats (exactly 1 hit, 1 miss)
+if(NOT BALBENCH_SERVE OR NOT BALBENCH_REPORT OR NOT WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DBALBENCH_SERVE=<exe> -DBALBENCH_REPORT=<exe> -DWORK_DIR=<dir> -P serve_kill_recover.cmake")
+endif()
+include(${CMAKE_CURRENT_LIST_DIR}/serve_common.cmake)
+
+set(dir ${WORK_DIR}/serve_kill_recover)
+file(REMOVE_RECURSE ${dir})
+file(MAKE_DIRECTORY ${dir})
+set(sock ${dir}/serve.sock)
+set(cache ${dir}/CACHE.json)
+set(client ${BALBENCH_SERVE} --client --socket ${sock})
+
+# Act 1: the uninterrupted reference, straight from balbench-report --
+# the serve path must reproduce these bytes exactly.
+execute_process(
+  COMMAND ${BALBENCH_REPORT} --scope quick --record ${dir}/ref.json
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "reference sweep failed (exit ${rc})")
+endif()
+
+# Act 2: the server crashes mid-sweep (--kill-after SIGKILLs after the
+# 2nd newly checkpointed task), with a patient client attached.
+serve_start(${dir}/a.pid ${dir}/a.log
+            --socket ${sock} --cache ${cache} --kill-after 2 --verbose)
+serve_wait_ready(${sock})
+serve_client_bg(${dir}/client.rc ${dir}/client.err
+                --socket ${sock} --record-out ${dir}/got.json
+                --retries 40 --backoff-base 0.2 --backoff-cap 1)
+serve_wait_dead(${dir}/a.pid)
+
+# Act 3: autopsy of the crashed state.  Nothing was committed (store
+# happens only after a complete clean sweep), but the checkpoint
+# journal of the in-flight sweep must be there for the successor.
+if(EXISTS ${cache})
+  message(FATAL_ERROR "SIGKILLed server left a committed cache journal")
+endif()
+file(GLOB checkpoints ${cache}.entries/*.checkpoint.json)
+if(checkpoints STREQUAL "")
+  message(FATAL_ERROR "SIGKILLed server left no checkpoint journal to resume")
+endif()
+
+# Act 4: restart; the client's reconnect loop lands on the new server,
+# which resumes the journal and answers with the reference bytes.
+serve_start(${dir}/b.pid ${dir}/b.log --socket ${sock} --cache ${cache})
+serve_wait_rcfile(${dir}/client.rc clientrc)
+if(NOT clientrc EQUAL 0)
+  file(READ ${dir}/client.err cerr)
+  message(FATAL_ERROR "retried request failed (exit ${clientrc}):\n${cerr}")
+endif()
+file(READ ${dir}/client.err cerr)
+if(NOT cerr MATCHES "retry in")
+  message(FATAL_ERROR "client never engaged its backoff loop:\n${cerr}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${dir}/ref.json ${dir}/got.json
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "post-crash record differs from the uninterrupted reference")
+endif()
+file(GLOB checkpoints ${cache}.entries/*.checkpoint.json)
+if(NOT checkpoints STREQUAL "")
+  message(FATAL_ERROR "checkpoint journal survived the commit: ${checkpoints}")
+endif()
+
+# Act 5: the identical request again -- a cache hit, same bytes, and
+# the hit/miss counters agree.
+execute_process(COMMAND ${client} --record-out ${dir}/got2.json --retries 3
+                RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT err MATCHES "cache hit")
+  message(FATAL_ERROR "second request was not a cache hit (exit ${rc}): ${err}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${dir}/ref.json ${dir}/got2.json
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "cache hit bytes differ from the reference")
+endif()
+execute_process(COMMAND ${client} --stats --retries 1
+                RESULT_VARIABLE rc OUTPUT_VARIABLE stats)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--stats failed (exit ${rc})")
+endif()
+foreach(want "serve.hits 1" "serve.misses 1")
+  if(NOT stats MATCHES "${want}")
+    message(FATAL_ERROR "stats missing '${want}':\n${stats}")
+  endif()
+endforeach()
+
+execute_process(COMMAND ${client} --shutdown --retries 1 RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "shutdown failed (exit ${rc})")
+endif()
+serve_wait_dead(${dir}/b.pid)
+
+message(STATUS "serve kill+recover: crash, resume, byte-identity and memoization all behaved")
