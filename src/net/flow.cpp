@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 namespace balbench::net {
 
@@ -12,10 +16,41 @@ namespace {
 // A flow is finished once less than half a byte remains; avoids
 // spinning on floating-point residue.
 constexpr double kDoneEpsilonBytes = 0.5;
+
+// A fill-loop stall means the solver's invariants broke (every unfixed
+// flow crosses at least one touched link with a positive flow count,
+// so a bottleneck always exists).  Surface it loudly in debug builds;
+// release builds log and degrade by terminating the fill loop, which
+// leaves the remaining flows at rate zero and trips the explicit
+// zero-rate check in resolve().
+void report_fill_stall(const char* what, std::size_t unfixed,
+                       std::size_t total) {
+  std::fprintf(stderr,
+               "balbench: net/flow progressive filling stalled: %s "
+               "(%zu of %zu flows unfixed)\n",
+               what, unfixed, total);
+  assert(false && "progressive filling stalled (see stderr)");
+}
+
+FlowNetwork::SolverMode env_solver_mode() {
+  const char* env = std::getenv("BALBENCH_FLOW_SOLVER");
+  if (env != nullptr && std::strcmp(env, "full") == 0) {
+    return FlowNetwork::SolverMode::kFullOnly;
+  }
+  return FlowNetwork::SolverMode::kIncremental;
+}
+
+bool env_crosscheck() {
+  const char* env = std::getenv("BALBENCH_FLOW_CROSSCHECK");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
 }  // namespace
 
 FlowNetwork::FlowNetwork(const Topology& topo, simt::Engine& engine)
-    : topo_(topo), engine_(engine) {}
+    : topo_(topo), engine_(engine), mode_(env_solver_mode()),
+      crosscheck_(env_crosscheck()) {
+  link_flows_.resize(topo_.links().size());
+}
 
 void FlowNetwork::start_flow(int src, int dst, double bytes,
                              std::function<void(simt::Time)> done) {
@@ -52,9 +87,51 @@ void FlowNetwork::start_flow(int src, int dst, double bytes,
 }
 
 void FlowNetwork::add_active(ActiveFlow flow) {
-  advance_progress();
-  active_.push_back(std::move(flow));
+  FlowSlot slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(flow);
+  } else {
+    slot = static_cast<FlowSlot>(slots_.size());
+    slots_.push_back(std::move(flow));
+  }
+  ActiveFlow& f = slots_[slot];
+  f.in_use = true;
+  f.seq = next_flow_seq_++;
+  f.rate = 0.0;
+  f.last_update = engine_.now();
+  f.completion_event = 0;
+  f.link_slot.assign(f.path.size(), 0);
+  for (std::size_t i = 0; i < f.path.size(); ++i) {
+    auto& members = link_flows_[static_cast<std::size_t>(f.path[i])];
+    f.link_slot[i] = static_cast<std::uint32_t>(members.size());
+    members.push_back(LinkEntry{slot, static_cast<std::uint32_t>(i)});
+  }
+  ++active_count_;
+  arrival_order_.push_back(ArrivalEntry{slot, f.seq});
+  dirty_flows_.push_back(slot);
   schedule_resolve();
+}
+
+void FlowNetwork::remove_from_links(FlowSlot slot) {
+  ActiveFlow& f = slots_[slot];
+  for (std::size_t i = 0; i < f.path.size(); ++i) {
+    auto& members = link_flows_[static_cast<std::size_t>(f.path[i])];
+    const std::uint32_t pos = f.link_slot[i];
+    assert(pos < members.size() && members[pos].flow == slot);
+    members[pos] = members.back();
+    members.pop_back();
+    if (pos < members.size()) {
+      // Swap-removal moved another membership record into `pos`; keep
+      // that flow's back-pointer exact.
+      const LinkEntry& moved = members[pos];
+      slots_[moved.flow].link_slot[moved.path_pos] = pos;
+    }
+    // The departed flow's former links seed the next component walk:
+    // every flow whose rate can change is reachable from them.
+    dirty_links_.push_back(f.path[i]);
+  }
 }
 
 void FlowNetwork::schedule_resolve() {
@@ -64,44 +141,68 @@ void FlowNetwork::schedule_resolve() {
   // current instant, so simultaneous arrivals share one resolve.
   engine_.schedule_after(0.0, [this] {
     resolve_pending_ = false;
-    resolve_and_schedule();
+    resolve();
   });
 }
 
-void FlowNetwork::advance_progress() {
-  const simt::Time now = engine_.now();
-  const double dt = now - last_update_;
-  if (dt > 0.0) {
-    for (auto& f : active_) {
-      f.remaining = std::max(0.0, f.remaining - f.rate * dt);
-    }
+std::size_t FlowNetwork::collect_affected() {
+  ++epoch_;
+  if (flow_epoch_.size() < slots_.size()) flow_epoch_.resize(slots_.size(), 0);
+  if (link_epoch_.size() < link_flows_.size()) {
+    link_epoch_.resize(link_flows_.size(), 0);
   }
-  last_update_ = now;
+  bfs_stack_.clear();
+  std::size_t marked = 0;
+  const auto push_flow = [this, &marked](FlowSlot s) {
+    if (flow_epoch_[s] == epoch_) return;
+    flow_epoch_[s] = epoch_;
+    ++marked;
+    bfs_stack_.push_back(s);
+  };
+  const auto visit_link = [this, &push_flow](LinkId l) {
+    const auto idx = static_cast<std::size_t>(l);
+    if (link_epoch_[idx] == epoch_) return;
+    link_epoch_[idx] = epoch_;
+    for (const LinkEntry& e : link_flows_[idx]) push_flow(e.flow);
+  };
+  for (FlowSlot s : dirty_flows_) {
+    if (slots_[s].in_use) push_flow(s);
+  }
+  for (LinkId l : dirty_links_) visit_link(l);
+  while (!bfs_stack_.empty()) {
+    // Once every active flow is marked the component covers the whole
+    // network -- the caller takes the full path, so visiting the
+    // remaining links only to mark flows already marked is waste.
+    // Globally coupled patterns (rings, all-to-all) hit this early.
+    if (marked >= active_count_) break;
+    const FlowSlot s = bfs_stack_.back();
+    bfs_stack_.pop_back();
+    for (LinkId l : slots_[s].path) visit_link(l);
+  }
+  return marked;
 }
 
-void FlowNetwork::resolve_and_schedule() {
-  ++resolves_;
-  if (completion_event_ != 0) {
-    engine_.cancel(completion_event_);
-    completion_event_ = 0;
-  }
-  if (active_.empty()) return;
-
+void FlowNetwork::fill_rates(const std::vector<FlowSlot>& flows,
+                             std::vector<double>& rates) {
   // --- Progressive filling (max-min fairness). ---
-  // Only links actually crossed by an active flow participate; on large
-  // topologies this is a small subset.
+  // Only links actually crossed by a participating flow take part; on
+  // large topologies this is a small subset.
   const auto& links = topo_.links();
   if (residual_.size() != links.size()) {
     residual_.assign(links.size(), 0.0);
     flows_on_link_.assign(links.size(), 0);
   }
   touched_links_.clear();
-  std::vector<ActiveFlow*> unfixed;
-  unfixed.reserve(active_.size());
-  for (auto& f : active_) {
-    f.rate = 0.0;
-    unfixed.push_back(&f);
-    for (LinkId l : f.path) {
+  rates.assign(flows.size(), 0.0);
+  unfixed_.clear();
+  // Resolve the slot indirection once: the freeze loop below touches
+  // every unfixed path each round, and chasing slots_ from inside it
+  // costs a measurable fraction of the whole solve.
+  paths_scratch_.clear();
+  for (std::uint32_t i = 0; i < flows.size(); ++i) {
+    unfixed_.push_back(i);
+    paths_scratch_.push_back(&slots_[flows[i]].path);
+    for (LinkId l : *paths_scratch_.back()) {
       const auto idx = static_cast<std::size_t>(l);
       if (flows_on_link_[idx] == 0) {
         touched_links_.push_back(l);
@@ -111,73 +212,191 @@ void FlowNetwork::resolve_and_schedule() {
     }
   }
 
-  while (!unfixed.empty()) {
-    // Most constrained link: smallest residual fair share.
+  while (!unfixed_.empty()) {
+    // Most constrained link: smallest residual fair share.  Links
+    // whose flows have all frozen are compacted away in passing, so
+    // this scan shrinks as the fill proceeds instead of re-walking
+    // every touched link each round.
     double min_share = std::numeric_limits<double>::max();
+    std::size_t live = 0;
     for (LinkId l : touched_links_) {
       const auto idx = static_cast<std::size_t>(l);
       if (flows_on_link_[idx] > 0) {
+        touched_links_[live++] = l;
         min_share = std::min(min_share, residual_[idx] / flows_on_link_[idx]);
       }
+      // else: count already zero, which is exactly the scratch
+      // invariant the next fill expects -- safe to forget the link.
     }
-    if (min_share == std::numeric_limits<double>::max()) break;  // defensive
+    touched_links_.resize(live);
+    if (min_share == std::numeric_limits<double>::max()) {
+      report_fill_stall("no saturable link", unfixed_.size(), flows.size());
+      break;
+    }
 
     // Freeze every unfixed flow that crosses a bottleneck link.
     const double eps = min_share * 1e-12;
-    auto is_bottleneck = [&](LinkId l) {
+    const auto is_bottleneck = [&](LinkId l) {
       const auto idx = static_cast<std::size_t>(l);
       return residual_[idx] / flows_on_link_[idx] <= min_share + eps;
     };
     std::size_t kept = 0;
-    for (std::size_t i = 0; i < unfixed.size(); ++i) {
-      ActiveFlow* f = unfixed[i];
-      const bool frozen = std::any_of(f->path.begin(), f->path.end(), is_bottleneck);
+    for (std::size_t i = 0; i < unfixed_.size(); ++i) {
+      const std::uint32_t fi = unfixed_[i];
+      const auto& path = *paths_scratch_[fi];
+      const bool frozen =
+          std::any_of(path.begin(), path.end(), is_bottleneck);
       if (frozen) {
-        f->rate = min_share;
-        for (LinkId l : f->path) {
+        rates[fi] = min_share;
+        for (LinkId l : path) {
           const auto idx = static_cast<std::size_t>(l);
           residual_[idx] = std::max(0.0, residual_[idx] - min_share);
           --flows_on_link_[idx];
         }
       } else {
-        unfixed[kept++] = f;
+        unfixed_[kept++] = fi;
       }
     }
-    if (kept == unfixed.size()) break;  // defensive: no progress
-    unfixed.resize(kept);
+    if (kept == unfixed_.size()) {
+      report_fill_stall("no flow crosses a bottleneck", kept, flows.size());
+      break;
+    }
+    unfixed_.resize(kept);
   }
-  // Restore scratch state for the next resolve (counts normally reach
-  // zero; the defensive breaks above may leave residue).
-  for (LinkId l : touched_links_) flows_on_link_[static_cast<std::size_t>(l)] = 0;
+  // Restore scratch state for the next fill (counts normally reach
+  // zero; the stall paths above may leave residue).
+  for (LinkId l : touched_links_) {
+    flows_on_link_[static_cast<std::size_t>(l)] = 0;
+  }
+}
 
-  // --- Schedule the next completion. ---
-  double next_done = std::numeric_limits<double>::max();
-  for (const auto& f : active_) {
-    if (f.rate <= 0.0) {
+void FlowNetwork::resolve() {
+  if (active_count_ == 0) {
+    // Nothing to allocate (the last flow just departed); not counted,
+    // so resolves_ == incremental_resolves_ + full_resolves_ holds.
+    dirty_flows_.clear();
+    dirty_links_.clear();
+    return;
+  }
+  ++resolves_;
+  const simt::Time now = engine_.now();
+
+  bool full = (mode_ == SolverMode::kFullOnly);
+  if (!full) {
+    // Fallback: once the component walk covers every active flow,
+    // the incremental path has no advantage -- count it as a full
+    // solve (also the path taken for globally coupled patterns such
+    // as a ring, where all flows share links transitively).
+    full = collect_affected() >= active_count_;
+  }
+  if (full) {
+    ++full_resolves_;
+  } else {
+    ++incremental_resolves_;
+  }
+  dirty_flows_.clear();
+  dirty_links_.clear();
+
+  // One pass over the arrival-ordered list does double duty: compact
+  // stale entries (departed flows; a recycled slot is recognised by its
+  // seq) and read the commit set off it already in arrival order -- no
+  // per-resolve sort.  In full mode that is every live entry; in
+  // incremental mode, the epoch marks collect_affected just set.
+  affected_.clear();
+  std::size_t live = 0;
+  for (const ArrivalEntry& e : arrival_order_) {
+    const ActiveFlow& f = slots_[e.slot];
+    if (!f.in_use || f.seq != e.seq) continue;
+    arrival_order_[live++] = e;
+    if (full || flow_epoch_[e.slot] == epoch_) affected_.push_back(e.slot);
+  }
+  arrival_order_.resize(live);
+  assert(live == active_count_ && "arrival list out of sync");
+  if (affected_.empty()) return;
+
+  fill_rates(affected_, rates_scratch_);
+
+  // Commit, in arrival order: materialize progress under the *old*
+  // rate up to now, install the new rate, and move the flow's
+  // completion event to the new finish time (O(log n) each on the
+  // engine's indexed queue).  Flows outside `affected_` keep both
+  // their rate and their scheduled completion untouched -- that is the
+  // incremental solver's whole point.
+  for (std::size_t i = 0; i < affected_.size(); ++i) {
+    ActiveFlow& f = slots_[affected_[i]];
+    const double rate = rates_scratch_[i];
+    if (rate <= 0.0) {
       throw std::logic_error("FlowNetwork: flow allocated zero rate (link with "
                              "zero capacity on its path?)");
     }
-    next_done = std::min(next_done, f.remaining / f.rate);
-  }
-  completion_event_ =
-      engine_.schedule_after(next_done, [this] { on_completion_event(); });
-}
-
-void FlowNetwork::on_completion_event() {
-  completion_event_ = 0;
-  advance_progress();
-  std::vector<std::function<void(simt::Time)>> finished;
-  for (auto it = active_.begin(); it != active_.end();) {
-    if (it->remaining < kDoneEpsilonBytes) {
-      finished.push_back(std::move(it->done));
-      it = active_.erase(it);
+    if (rate == f.rate && f.completion_event != 0) {
+      // Bitwise-identical rate: the flow's byte trajectory -- and the
+      // completion event computed from it -- is still exact.  Skipping
+      // the materialize+reschedule here is what keeps a resolve cheap
+      // when a change only re-derives the same allocation for most of
+      // a large component.
+      continue;
+    }
+    f.remaining = remaining_at(f, now);
+    f.last_update = now;
+    f.rate = rate;
+    const double dt = f.remaining / f.rate;
+    if (f.completion_event != 0) {
+      f.completion_event = engine_.reschedule_after(f.completion_event, dt);
+      assert(f.completion_event != 0 && "pending completion event vanished");
     } else {
-      ++it;
+      const FlowSlot slot = affected_[i];
+      f.completion_event = engine_.schedule_after(
+          dt, [this, slot] { on_flow_complete(slot); });
     }
   }
+
+  if (crosscheck_ && !full) crosscheck_against_full();
+}
+
+void FlowNetwork::on_flow_complete(FlowSlot slot) {
+  ActiveFlow& f = slots_[slot];
+  f.completion_event = 0;
+  assert(remaining_at(f, engine_.now()) < kDoneEpsilonBytes &&
+         "completion event fired with bytes left");
+  auto cb = std::move(f.done);
+  remove_from_links(slot);
+  f.in_use = false;
+  f.done = nullptr;
+  f.path.clear();
+  f.link_slot.clear();
+  f.rate = 0.0;
+  f.remaining = 0.0;
+  free_slots_.push_back(slot);
+  --active_count_;
   schedule_resolve();
-  const simt::Time now = engine_.now();
-  for (auto& cb : finished) cb(now);
+  cb(engine_.now());
+}
+
+void FlowNetwork::crosscheck_against_full() {
+  std::vector<FlowSlot> all;
+  all.reserve(active_count_);
+  for (FlowSlot s = 0; s < slots_.size(); ++s) {
+    if (slots_[s].in_use) all.push_back(s);
+  }
+  std::sort(all.begin(), all.end(), [this](FlowSlot a, FlowSlot b) {
+    return slots_[a].seq < slots_[b].seq;
+  });
+  std::vector<double> full_rates;
+  fill_rates(all, full_rates);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const double got = slots_[all[i]].rate;
+    const double want = full_rates[i];
+    // Identical except for the near-tie epsilon in bottleneck
+    // detection, which can couple otherwise independent components at
+    // the 1e-12 relative level; anything larger is a solver bug.
+    if (std::abs(got - want) > 1e-9 * std::max(std::abs(want), 1.0)) {
+      throw std::logic_error(
+          "FlowNetwork crosscheck: incremental rate " + std::to_string(got) +
+          " != full rate " + std::to_string(want) + " for flow seq " +
+          std::to_string(slots_[all[i]].seq));
+    }
+  }
 }
 
 }  // namespace balbench::net

@@ -451,6 +451,18 @@ void SimTransport::run_with_setup(int nprocs,
     metrics_->counter("simt.events_fired").add(run.engine.events_fired());
     metrics_->counter("simt.context_switches").add(run.engine.context_switches());
     metrics_->sum("simt.virtual_seconds").add(run.engine.now());
+    metrics_->counter("net.flow_resolves").add(run.flows.resolves());
+    metrics_->counter("net.flow_resolves_incremental")
+        .add(run.flows.incremental_resolves());
+    // Capacity high-waters (merge across cells: max).  Both derive
+    // from the simulated configuration, never from the stack pool's
+    // host-side reuse behaviour, which would break record determinism
+    // (docs/SIMULATOR.md "Determinism invariants").
+    metrics_->gauge("simt.live_ranks_high_water")
+        .set_max(static_cast<double>(run.engine.live_process_high_water()));
+    metrics_->gauge("simt.fiber_stack_bytes_high_water")
+        .set_max(static_cast<double>(run.engine.live_process_high_water()) *
+                 static_cast<double>(simt::StackPool::default_stack_size()));
     // Only ever registered when a fault plan is active, so fault-free
     // records keep their exact pre-fault metric key set.
     if (run.injector != nullptr) {

@@ -1,9 +1,125 @@
 #include "simt/engine.hpp"
 
-#include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace balbench::simt {
+
+// ---------------------------------------------------------------------------
+// EventQueue
+// ---------------------------------------------------------------------------
+
+std::uint32_t EventQueue::find(std::uint64_t id) const {
+  const auto slot = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size()) return kInvalidPos;
+  const Slot& s = slots_[slot];
+  if (s.generation != generation || s.pos == kInvalidPos) return kInvalidPos;
+  return s.pos;
+}
+
+void EventQueue::release_slot(std::uint32_t slot) {
+  slots_[slot].pos = kInvalidPos;
+  ++slots_[slot].generation;  // invalidates every outstanding id
+  free_slots_.push_back(slot);
+}
+
+void EventQueue::move_to(std::size_t dst, std::size_t src) {
+  heap_[dst] = std::move(heap_[src]);
+  slots_[heap_[dst].slot].pos = static_cast<std::uint32_t>(dst);
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  Event ev = std::move(heap_[i]);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    const Event& p = heap_[parent];
+    if (p.time < ev.time || (p.time == ev.time && p.seq < ev.seq)) break;
+    move_to(i, parent);
+    i = parent;
+  }
+  heap_[i] = std::move(ev);
+  slots_[heap_[i].slot].pos = static_cast<std::uint32_t>(i);
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  Event ev = std::move(heap_[i]);
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && before(child + 1, child)) ++child;
+    const Event& c = heap_[child];
+    if (ev.time < c.time || (ev.time == c.time && ev.seq < c.seq)) break;
+    move_to(i, child);
+    i = child;
+  }
+  heap_[i] = std::move(ev);
+  slots_[heap_[i].slot].pos = static_cast<std::uint32_t>(i);
+}
+
+std::uint64_t EventQueue::push(Time time, std::uint64_t seq,
+                               std::function<void()> fn) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(Slot{});
+  }
+  heap_.push_back(Event{time, seq, slot, std::move(fn)});
+  sift_up(heap_.size() - 1);
+  return (static_cast<std::uint64_t>(slots_[slot].generation) << 32) |
+         static_cast<std::uint64_t>(slot);
+}
+
+EventQueue::Event EventQueue::pop() {
+  assert(!heap_.empty());
+  Event ev = std::move(heap_.front());
+  release_slot(ev.slot);
+  if (heap_.size() > 1) {
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    sift_down(0);
+  } else {
+    heap_.pop_back();
+  }
+  return ev;
+}
+
+void EventQueue::remove_at(std::size_t i) {
+  release_slot(heap_[i].slot);
+  const std::size_t last = heap_.size() - 1;
+  if (i == last) {
+    heap_.pop_back();
+    return;
+  }
+  heap_[i] = std::move(heap_[last]);
+  heap_.pop_back();
+  // The element filling the hole may need to travel either direction.
+  const std::uint32_t moved = heap_[i].slot;
+  sift_down(i);
+  sift_up(slots_[moved].pos);
+}
+
+bool EventQueue::cancel(std::uint64_t id) {
+  const std::uint32_t pos = find(id);
+  if (pos == kInvalidPos) return false;
+  remove_at(pos);
+  return true;
+}
+
+bool EventQueue::reschedule(std::uint64_t id, Time time, std::uint64_t new_seq) {
+  const std::uint32_t pos = find(id);
+  if (pos == kInvalidPos) return false;
+  heap_[pos].time = time;
+  heap_[pos].seq = new_seq;
+  const std::uint32_t slot = heap_[pos].slot;
+  sift_down(pos);
+  sift_up(slots_[slot].pos);
+  return true;
+}
 
 void Process::sleep(Time dt) {
   assert(dt >= 0.0);
@@ -42,19 +158,30 @@ Process& Engine::spawn(std::function<void(Process&)> fn, std::size_t stack_size)
   proc->fiber_ = std::make_unique<Fiber>([p, fn = std::move(fn)] { fn(*p); },
                                          stack_size);
   processes_.push_back(std::move(proc));
+  ++live_count_;
+  if (live_count_ > live_high_water_) live_high_water_ = live_count_;
   make_runnable(*p);
   return *p;
 }
 
 std::uint64_t Engine::schedule_at(Time t, std::function<void()> fn) {
   assert(t >= now_ && "event scheduled in the past");
-  const std::uint64_t seq = next_seq_++;
-  events_.push(Event{std::max(t, now_), seq, std::move(fn)});
-  return seq;
+  return events_.push(std::max(t, now_), next_seq_++, std::move(fn));
 }
 
 void Engine::cancel(std::uint64_t event_id) {
-  cancelled_.push_back(event_id);
+  events_.cancel(event_id);
+}
+
+std::uint64_t Engine::reschedule_at(std::uint64_t event_id, Time t) {
+  assert(t >= now_ && "event rescheduled into the past");
+  // The fresh sequence number keeps same-time ordering exactly as if
+  // the event had been cancelled and scheduled anew; it is consumed
+  // only on success so the seq stream stays a pure function of the
+  // simulated workload.
+  if (!events_.reschedule(event_id, std::max(t, now_), next_seq_)) return 0;
+  ++next_seq_;
+  return event_id;
 }
 
 void Engine::make_runnable(Process& p) {
@@ -92,6 +219,7 @@ void Engine::drain_run_queue() {
     if (p->finished()) continue;
     ++switches_;
     p->fiber_->resume();
+    if (p->finished()) --live_count_;
     try {
       p->fiber_->rethrow_if_failed();
     } catch (const AbortError&) {
@@ -108,14 +236,7 @@ void Engine::run() {
   running_ = true;
   drain_run_queue();
   while (!events_.empty() && !aborted_) {
-    Event ev = std::move(const_cast<Event&>(events_.top()));
-    events_.pop();
-    if (std::find(cancelled_.begin(), cancelled_.end(), ev.seq) !=
-        cancelled_.end()) {
-      cancelled_.erase(std::remove(cancelled_.begin(), cancelled_.end(), ev.seq),
-                       cancelled_.end());
-      continue;
-    }
+    EventQueue::Event ev = events_.pop();
     if (ev.time > deadline_ && has_unfinished_process()) {
       // Per-cell timeout: the clock stops *at* the deadline (never at
       // the overdue event's time) and the run aborts cooperatively.

@@ -61,6 +61,70 @@ class Process {
   bool blocked_ = false;    // waiting for wake()
 };
 
+/// Min-heap of pending events ordered by (time, seq) with an index
+/// from a stable per-event *handle* to the heap position, so cancel
+/// and reschedule are O(log n) instead of the tombstone-list scan
+/// every pop used to pay (docs/SIMULATOR.md "Event queue").  The
+/// sequence number is the deterministic tie-break: two events at the
+/// same virtual time fire in scheduling order.  Handles are small
+/// recycled integers tagged with a generation counter, so the position
+/// index is a flat vector (no hashing on the heap's hot sift path) and
+/// a stale id -- its event already fired or cancelled -- is recognised
+/// and ignored.
+class EventQueue {
+ public:
+  struct Event {
+    Time time = 0.0;
+    std::uint64_t seq = 0;
+    std::uint32_t slot = 0;  // owning handle slot (internal)
+    std::function<void()> fn;
+  };
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  /// Earliest pending event: smallest (time, seq).
+  [[nodiscard]] const Event& top() const { return heap_.front(); }
+
+  /// Returns a non-zero id for cancel()/reschedule().  `seq` is the
+  /// caller-provided tie-break and must be unique among pending events.
+  std::uint64_t push(Time time, std::uint64_t seq, std::function<void()> fn);
+  Event pop();
+  /// Removes the event with this id.  Returns false (and does nothing)
+  /// if it is not pending -- already fired, cancelled, or never
+  /// scheduled.
+  bool cancel(std::uint64_t id);
+  /// Moves a pending event to (time, new_seq), keeping its callback
+  /// and its id.  Equivalent to cancel + push of the same fn but
+  /// without touching the std::function.  Returns false if `id` is
+  /// not pending.
+  bool reschedule(std::uint64_t id, Time time, std::uint64_t new_seq);
+
+ private:
+  /// Handle table entry; `pos` is kInvalidPos while the slot is free.
+  struct Slot {
+    std::uint32_t pos = 0;
+    std::uint32_t generation = 1;  // >= 1, so no valid id is ever 0
+  };
+  static constexpr std::uint32_t kInvalidPos = 0xFFFFFFFFu;
+
+  [[nodiscard]] bool before(std::size_t a, std::size_t b) const {
+    if (heap_[a].time != heap_[b].time) return heap_[a].time < heap_[b].time;
+    return heap_[a].seq < heap_[b].seq;
+  }
+  /// Heap position of the event with this id, or kInvalidPos.
+  [[nodiscard]] std::uint32_t find(std::uint64_t id) const;
+  void release_slot(std::uint32_t slot);
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void move_to(std::size_t dst, std::size_t src);
+  /// Removes heap position i, restoring the heap property.
+  void remove_at(std::size_t i);
+
+  std::vector<Event> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+};
+
 class DeadlockError : public std::runtime_error {
  public:
   explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
@@ -87,9 +151,9 @@ class Engine {
 
   /// Create a process executing `fn(process)`.  Must be called before
   /// or during run(); processes spawned during the run start
-  /// immediately (at the current virtual time).
-  Process& spawn(std::function<void(Process&)> fn,
-                 std::size_t stack_size = Fiber::kDefaultStackSize);
+  /// immediately (at the current virtual time).  `stack_size` 0 means
+  /// StackPool::default_stack_size() (BALBENCH_FIBER_STACK_KB knob).
+  Process& spawn(std::function<void(Process&)> fn, std::size_t stack_size = 0);
 
   /// Schedule `fn` to run at absolute virtual time `t` (>= now).
   /// Returns an id usable with cancel().
@@ -98,8 +162,19 @@ class Engine {
     return schedule_at(now_ + dt, std::move(fn));
   }
 
-  /// Cancel a scheduled event.  No-op if it already fired.
+  /// Cancel a scheduled event.  No-op if it already fired.  O(log n).
   void cancel(std::uint64_t event_id);
+
+  /// Move a pending event to absolute time `t` (>= now), keeping its
+  /// callback and its id but assigning a fresh internal sequence
+  /// number, so same-time ordering is exactly as if the event had been
+  /// cancelled and rescheduled.  Returns the id on success, or 0 (and
+  /// leaves the queue untouched) if `event_id` is not pending.
+  /// O(log n).
+  std::uint64_t reschedule_at(std::uint64_t event_id, Time t);
+  std::uint64_t reschedule_after(std::uint64_t event_id, Time dt) {
+    return reschedule_at(event_id, now_ + dt);
+  }
 
   /// Run until all processes finished and the event queue is empty.
   /// Throws DeadlockError if processes remain blocked with no pending
@@ -127,19 +202,17 @@ class Engine {
   /// Statistics for engine micro-benchmarks.
   [[nodiscard]] std::uint64_t events_fired() const { return events_fired_; }
   [[nodiscard]] std::uint64_t context_switches() const { return switches_; }
+  /// Pending (not yet fired, not cancelled) events.
+  [[nodiscard]] std::size_t pending_events() const { return events_.size(); }
+  /// Largest number of processes alive (spawned, unfinished) at once.
+  /// A pure function of the simulated configuration, so safe for run
+  /// records (DESIGN.md Sec. 10.2).
+  [[nodiscard]] std::size_t live_process_high_water() const {
+    return live_high_water_;
+  }
 
  private:
   friend class Process;
-
-  struct Event {
-    Time time;
-    std::uint64_t seq;  // tie-break + cancellation id
-    std::function<void()> fn;
-    bool operator>(const Event& other) const {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
-    }
-  };
 
   void make_runnable(Process& p);
   void drain_run_queue();
@@ -153,9 +226,10 @@ class Engine {
   std::uint64_t next_seq_ = 1;
   std::uint64_t events_fired_ = 0;
   std::uint64_t switches_ = 0;
+  std::size_t live_count_ = 0;
+  std::size_t live_high_water_ = 0;
   std::vector<std::unique_ptr<Process>> processes_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
-  std::vector<std::uint64_t> cancelled_;
+  EventQueue events_;
   std::queue<Process*> run_queue_;
   bool running_ = false;
 };

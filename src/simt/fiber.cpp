@@ -23,6 +23,7 @@
 #endif
 
 #ifdef BALBENCH_ASAN_FIBERS
+#include <sanitizer/asan_interface.h>
 #include <sanitizer/common_interface_defs.h>
 #endif
 
@@ -49,18 +50,27 @@ inline void asan_finish_switch(void*, const void**, std::size_t*) {}
 Fiber* Fiber::current() { return g_current_fiber; }
 
 Fiber::Fiber(Fn fn, std::size_t stack_size)
-    : fn_(std::move(fn)), stack_(new char[stack_size]),
-      stack_size_(stack_size) {
+    : fn_(std::move(fn)), stack_(StackPool::acquire(stack_size)) {
   if (getcontext(&context_) != 0) {
+    StackPool::release(stack_);
     throw std::runtime_error("Fiber: getcontext failed");
   }
-  context_.uc_stack.ss_sp = stack_.get();
-  context_.uc_stack.ss_size = stack_size;
+  context_.uc_stack.ss_sp = stack_.base;
+  context_.uc_stack.ss_size = stack_.size;
   context_.uc_link = nullptr;  // we always switch back explicitly
   const auto self = reinterpret_cast<std::uintptr_t>(this);
   makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
               static_cast<unsigned int>(self >> 32),
               static_cast<unsigned int>(self & 0xFFFFFFFFu));
+}
+
+Fiber::~Fiber() {
+#ifdef BALBENCH_ASAN_FIBERS
+  // The pool will hand this stack to a future fiber; stale shadow
+  // poison from this fiber's deepest frames must not outlive it.
+  __asan_unpoison_memory_region(stack_.base, stack_.size);
+#endif
+  StackPool::release(stack_);
 }
 
 void Fiber::trampoline(unsigned int hi, unsigned int lo) {
@@ -98,7 +108,7 @@ void Fiber::resume() {
   assert(!finished_ && "resume of finished fiber");
   started_ = true;
   g_current_fiber = this;
-  asan_start_switch(&asan_resumer_fake_, stack_.get(), stack_size_);
+  asan_start_switch(&asan_resumer_fake_, stack_.base, stack_.size);
   if (swapcontext(&return_context_, &context_) != 0) {
     g_current_fiber = nullptr;
     throw std::runtime_error("Fiber: swapcontext failed");

@@ -14,7 +14,8 @@
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <memory>
+
+#include "simt/stack_pool.hpp"
 
 namespace balbench::simt {
 
@@ -22,8 +23,12 @@ class Fiber {
  public:
   using Fn = std::function<void()>;
 
-  /// The fiber does not start running until the first resume().
-  explicit Fiber(Fn fn, std::size_t stack_size = kDefaultStackSize);
+  /// The fiber does not start running until the first resume().  The
+  /// stack comes from StackPool (guard-paged, recycled); `stack_size`
+  /// 0 means StackPool::default_stack_size(), which honours the
+  /// BALBENCH_FIBER_STACK_KB knob.
+  explicit Fiber(Fn fn, std::size_t stack_size = 0);
+  ~Fiber();
 
   Fiber(const Fiber&) = delete;
   Fiber& operator=(const Fiber&) = delete;
@@ -46,15 +51,14 @@ class Fiber {
   /// stack.
   static Fiber* current();
 
-  static constexpr std::size_t kDefaultStackSize = 256 * 1024;
+  static constexpr std::size_t kDefaultStackSize = StackPool::kDefaultStackSize;
 
  private:
   static void trampoline(unsigned int hi, unsigned int lo);
   void run();
 
   Fn fn_;
-  std::unique_ptr<char[]> stack_;
-  std::size_t stack_size_ = 0;
+  StackPool::Stack stack_;
   ucontext_t context_{};
   ucontext_t return_context_{};
   bool started_ = false;

@@ -1,0 +1,118 @@
+// Fiber stack pool: page rounding, free-list reuse, high-water
+// accounting, and the 100k-rank scaling smoke (which exercises the
+// unguarded slab path once the guarded-VMA budget is spent).
+#include "simt/stack_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstring>
+#include <vector>
+
+#include "simt/engine.hpp"
+
+namespace bs = balbench::simt;
+
+namespace {
+
+std::size_t page() { return static_cast<std::size_t>(::sysconf(_SC_PAGESIZE)); }
+
+}  // namespace
+
+TEST(StackPool, AcquireRoundsUpToWholePages) {
+  auto s = bs::StackPool::acquire(1);
+  ASSERT_TRUE(s);
+  EXPECT_EQ(s.size, page());
+  // The usable region really is writable end to end.
+  std::memset(s.base, 0xAB, s.size);
+  bs::StackPool::release(s);
+
+  auto big = bs::StackPool::acquire(page() * 3 + 1);
+  EXPECT_EQ(big.size, page() * 4);
+  bs::StackPool::release(big);
+}
+
+TEST(StackPool, ReleaseThenAcquireReusesTheSameStack) {
+  const std::size_t size = 64 * 1024;
+  auto first = bs::StackPool::acquire(size);
+  char* base = first.base;
+  bs::StackPool::release(first);
+
+  const auto before = bs::StackPool::stats();
+  auto second = bs::StackPool::acquire(size);
+  const auto after = bs::StackPool::stats();
+  // LIFO free list: the same stack comes back, with no fresh mapping.
+  EXPECT_EQ(second.base, base);
+  EXPECT_EQ(after.reused, before.reused + 1);
+  EXPECT_EQ(after.mapped, before.mapped);
+  EXPECT_EQ(after.slab_carved, before.slab_carved);
+  bs::StackPool::release(second);
+}
+
+TEST(StackPool, InUseAndHighWaterTrackSimultaneousAcquires) {
+  const auto before = bs::StackPool::stats();
+  std::vector<bs::StackPool::Stack> held;
+  for (int i = 0; i < 5; ++i) held.push_back(bs::StackPool::acquire(16 * 1024));
+  const auto peak = bs::StackPool::stats();
+  EXPECT_EQ(peak.in_use, before.in_use + 5);
+  EXPECT_GE(peak.in_use_high_water, before.in_use + 5);
+  for (auto& s : held) bs::StackPool::release(s);
+  const auto after = bs::StackPool::stats();
+  EXPECT_EQ(after.in_use, before.in_use);
+}
+
+TEST(StackPool, DefaultStackSizeIsPageAlignedAndNonZero) {
+  const std::size_t d = bs::StackPool::default_stack_size();
+  EXPECT_GE(d, page());
+  EXPECT_EQ(d % page(), 0u);
+  // acquire(0) means "the default".
+  auto s = bs::StackPool::acquire(0);
+  EXPECT_EQ(s.size, d);
+  bs::StackPool::release(s);
+}
+
+TEST(StackPool, TrimReturnsGuardedCacheToTheOs) {
+  auto s = bs::StackPool::acquire(32 * 1024);
+  const bool guarded = s.guarded();
+  bs::StackPool::release(s);
+  const auto before = bs::StackPool::stats();
+  bs::StackPool::trim();
+  const auto after = bs::StackPool::stats();
+  if (guarded) {
+    EXPECT_GE(after.unmapped, before.unmapped + 1);
+  } else {
+    // Slab-carved stacks have nowhere to go; trim must not lose them.
+    EXPECT_EQ(after.unmapped, before.unmapped);
+  }
+}
+
+// The tentpole scaling target: a 100k-rank session must not exhaust
+// memory or the kernel mapping budget (vm.max_map_count is ~65k; guard
+// pages cost two VMAs each, so most of these stacks must come from
+// slabs).  Every fiber blocks once so all 100k stacks are live at the
+// same virtual instant.
+TEST(StackPool, HundredThousandFiberSession) {
+  constexpr int kRanks = 100'000;
+  constexpr std::size_t kStack = 16 * 1024;
+
+  const auto before = bs::StackPool::stats();
+  bs::Engine eng;
+  int finished = 0;
+  for (int i = 0; i < kRanks; ++i) {
+    eng.spawn([&finished](bs::Process& self) {
+      self.sleep(1e-6);
+      ++finished;
+    }, kStack);
+  }
+  eng.run();
+  const auto after = bs::StackPool::stats();
+
+  EXPECT_EQ(finished, kRanks);
+  EXPECT_EQ(eng.live_process_high_water(), static_cast<std::size_t>(kRanks));
+  EXPECT_GE(after.in_use_high_water, before.in_use + kRanks);
+  // The guarded budget is far below 100k, so the slab path must have
+  // carried the bulk of the session.
+  EXPECT_GT(after.slab_carved, 0u);
+  EXPECT_LE(after.mapped - before.mapped, bs::StackPool::kMaxGuardedStacks);
+}

@@ -219,6 +219,59 @@ std::vector<Cell> sweep_cells() {
     };
     v.push_back(std::move(c));
   }
+  // Machine-scale cells: a T3E-512-class partition, the configuration
+  // that dominates the doc-scope sweep's wall-clock.  These gate the
+  // DES-core hot path (fiber construction, event queue, flow solver)
+  // at the scale where it matters, with the message pattern cut down
+  // to a couple of exchanges so a sample stays in seconds.
+  {
+    constexpr int np512 = 512;
+    Cell c;
+    c.id = "sweep.t3e512.construct";
+    c.suite = "sweep";
+    c.body = [] {
+      auto m = machines::machine_by_name("t3e");
+      for (int rep = 0; rep < 4; ++rep) {
+        parmsg::SimTransport t(m.make_topology(np512), m.costs);
+        t.run(np512, [](parmsg::Comm& comm) { comm.barrier(); });
+      }
+    };
+    v.push_back(std::move(c));
+    auto add_pattern = [&v](const char* name, bool random) {
+      Cell pc;
+      pc.id = std::string("sweep.t3e512.") + name;
+      pc.suite = "sweep";
+      pc.body = [random] {
+        auto m = machines::machine_by_name("t3e");
+        parmsg::SimTransport t(m.make_topology(np512), m.costs);
+        const beff::CommPattern pat =
+            random ? beff::make_random_pattern(2, np512, 2001)
+                   : beff::make_ring_pattern(0, np512);
+        t.run(np512, [&pat](parmsg::Comm& comm) {
+          const int r = comm.rank();
+          const std::size_t bytes = 1 << 20;
+          for (int iter = 0; iter < 2; ++iter) {
+            auto rl = comm.irecv(pat.left[static_cast<std::size_t>(r)],
+                                 nullptr, bytes, 0);
+            auto rr = comm.irecv(pat.right[static_cast<std::size_t>(r)],
+                                 nullptr, bytes, 0);
+            auto sl = comm.isend(pat.left[static_cast<std::size_t>(r)],
+                                 nullptr, bytes, 0);
+            auto sr = comm.isend(pat.right[static_cast<std::size_t>(r)],
+                                 nullptr, bytes, 0);
+            comm.wait(rl);
+            comm.wait(rr);
+            comm.wait(sl);
+            comm.wait(sr);
+          }
+        });
+        g_sink = t.last_virtual_time();
+      };
+      v.push_back(std::move(pc));
+    };
+    add_pattern("ring", false);
+    add_pattern("random", true);
+  }
   return v;
 }
 

@@ -1,0 +1,139 @@
+# Markdown link checker (the `docs_links_check` ctest, label "doc").
+#
+# Scans README.md, DESIGN.md and every file under docs/ for inline
+# markdown links `[text](target)` and fails if any *relative* target
+# does not resolve: the referenced file (or directory) must exist, and
+# when the target carries a `#anchor` into a markdown file, a heading
+# with that GitHub-style slug must exist in it.  External links
+# (http/https/mailto) and absolute paths are skipped; fenced code
+# blocks are ignored on both the link-scanning and the heading-
+# collecting side (a `# comment` inside a ```sh block is not a
+# heading).
+#
+# Usage: cmake -DROOT_DIR=<repo root> -P docs_links_check.cmake
+
+cmake_policy(SET CMP0057 NEW)  # the IN_LIST operator
+
+if(NOT DEFINED ROOT_DIR)
+  message(FATAL_ERROR "ROOT_DIR not set")
+endif()
+
+# GitHub heading slug: lowercase; markdown emphasis/code markers and
+# everything but letters, digits, spaces, hyphens and underscores
+# dropped; spaces become hyphens.  Duplicate slugs in one file get
+# -1, -2, ... suffixes (handled by the caller).
+function(bb_slugify heading out_var)
+  string(TOLOWER "${heading}" s)
+  string(REPLACE "`" "" s "${s}")
+  string(REPLACE "*" "" s "${s}")
+  # Heading text may itself be a link: [text](url) anchors as `text`.
+  string(REGEX REPLACE "\\[([^]]*)\\]\\(([^)]*)\\)" "\\1" s "${s}")
+  string(REGEX REPLACE "[^a-z0-9 _-]" "" s "${s}")
+  string(REPLACE " " "-" s "${s}")
+  set(${out_var} "${s}" PARENT_SCOPE)
+endfunction()
+
+# Split a file into lines with fenced code blocks blanked out.
+function(bb_prose_lines md_file out_var)
+  # ENCODING UTF-8: without it, CMake treats multibyte characters (the
+  # en-dashes in headings) as string terminators and truncates lines.
+  file(STRINGS "${md_file}" lines ENCODING UTF-8)
+  set(prose "")
+  set(in_fence FALSE)
+  foreach(line IN LISTS lines)
+    if(line MATCHES "^[ \t]*```")
+      if(in_fence)
+        set(in_fence FALSE)
+      else()
+        set(in_fence TRUE)
+      endif()
+      list(APPEND prose "")
+    elseif(in_fence)
+      list(APPEND prose "")
+    else()
+      list(APPEND prose "${line}")
+    endif()
+  endforeach()
+  set(${out_var} "${prose}" PARENT_SCOPE)
+endfunction()
+
+# All heading slugs of a markdown file, deduplicated GitHub-style.
+function(bb_collect_anchors md_file out_var)
+  bb_prose_lines("${md_file}" lines)
+  set(slugs "")
+  foreach(line IN LISTS lines)
+    if(line MATCHES "^#+[ \t]+(.*)$")
+      bb_slugify("${CMAKE_MATCH_1}" slug)
+      set(candidate "${slug}")
+      set(n 0)
+      while(candidate IN_LIST slugs)
+        math(EXPR n "${n} + 1")
+        set(candidate "${slug}-${n}")
+      endwhile()
+      list(APPEND slugs "${candidate}")
+    endif()
+  endforeach()
+  set(${out_var} "${slugs}" PARENT_SCOPE)
+endfunction()
+
+set(doc_files "${ROOT_DIR}/README.md" "${ROOT_DIR}/DESIGN.md")
+file(GLOB docs_dir_files "${ROOT_DIR}/docs/*.md")
+list(APPEND doc_files ${docs_dir_files})
+list(SORT doc_files)
+
+set(errors 0)
+set(checked 0)
+
+foreach(doc IN LISTS doc_files)
+  bb_prose_lines("${doc}" lines)
+  get_filename_component(doc_dir "${doc}" DIRECTORY)
+  foreach(line IN LISTS lines)
+    string(REGEX MATCHALL "\\[[^]]*\\]\\(([^)]+)\\)" links "${line}")
+    foreach(link IN LISTS links)
+      string(REGEX REPLACE "^\\[[^]]*\\]\\(([^)]+)\\)$" "\\1" target "${link}")
+      if(target MATCHES "^https?://" OR target MATCHES "^mailto:" OR
+         target MATCHES "^/")
+        continue()
+      endif()
+      math(EXPR checked "${checked} + 1")
+      # Split off an anchor, if any.
+      set(anchor "")
+      set(path "${target}")
+      if(target MATCHES "^([^#]*)#(.+)$")
+        set(path "${CMAKE_MATCH_1}")
+        set(anchor "${CMAKE_MATCH_2}")
+      endif()
+      if(path STREQUAL "")
+        set(resolved "${doc}")   # same-file anchor
+      else()
+        set(resolved "${doc_dir}/${path}")
+      endif()
+      if(NOT EXISTS "${resolved}")
+        message(SEND_ERROR "${doc}: broken link target `${target}` "
+                           "(no such file: ${resolved})")
+        math(EXPR errors "${errors} + 1")
+        continue()
+      endif()
+      if(NOT anchor STREQUAL "" AND resolved MATCHES "\\.md$")
+        bb_collect_anchors("${resolved}" anchors)
+        if(NOT anchor IN_LIST anchors)
+          message(SEND_ERROR "${doc}: broken anchor `${target}` "
+                             "(no heading slugs to `#${anchor}` in "
+                             "${resolved})")
+          math(EXPR errors "${errors} + 1")
+        endif()
+      endif()
+    endforeach()
+  endforeach()
+endforeach()
+
+if(errors GREATER 0)
+  message(FATAL_ERROR "docs_links_check: ${errors} broken link(s)")
+endif()
+if(checked EQUAL 0)
+  message(FATAL_ERROR "docs_links_check: no relative links found -- "
+                      "scanner is broken")
+endif()
+list(LENGTH doc_files nfiles)
+message(STATUS
+        "docs_links_check: ${checked} relative links OK in ${nfiles} files")
